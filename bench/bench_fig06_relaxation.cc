@@ -1,0 +1,44 @@
+// Figure 6: the two relaxation stages, as per-job objective surfaces over the
+// replica count. Left: step utility with the hard M/D/c estimate (plateaus on
+// both sides). Middle: inverse utility, still plateaued where the queue is
+// unstable (latency = infinity regardless of how overloaded). Right: inverse
+// utility with the rho_max-relaxed M/D/c estimate -- plateau-free.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/core/utility.h"
+#include "src/queueing/mdc.h"
+
+namespace faro {
+namespace {
+
+void Run() {
+  PrintHeader("Figure 6: relaxation stages (N = 8 replicas, p = 150 ms, SLO = 600 ms)");
+  const uint32_t servers = 8;
+  const double p = 0.150;
+  const double slo = 0.600;
+  const double q = 0.99;
+  // Queue becomes unstable at lambda = N/p = 53.3 req/s; the precise
+  // estimate is infinite past that point no matter how overloaded the job is
+  // -- the plateau the second relaxation removes.
+  std::printf("%-12s %-22s %-26s %-26s\n", "lambda", "step+precise (left)",
+              "inverse+precise (middle)", "inverse+relaxed (right)");
+  for (double lambda = 10.0; lambda <= 110.0 + 1e-9; lambda += 5.0) {
+    const double hard = MdcLatencyPercentile(servers, lambda, p, q);
+    const double soft = RelaxedMdcLatency(servers, lambda, p, q);
+    std::printf("%-12.1f %-22.4f %-26.4f %-26.4f\n", lambda, StepUtility(hard, slo),
+                RelaxedUtility(hard, slo), RelaxedUtility(soft, slo));
+  }
+  std::printf("\n(left: a step -- plateaus on both sides; middle: smooth decay until the\n"
+              " queue destabilises, then an exact-zero plateau; right: strictly\n"
+              " decreasing everywhere, so the solver always sees a gradient)\n");
+}
+
+}  // namespace
+}  // namespace faro
+
+int main() {
+  faro::Run();
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Figure 7: hierarchical optimisation. Randomly grouping jobs into G groups
+// shrinks the solve from J variables to G variables: large speedups at scale,
+// and at small job counts the aggregated arrival rates degrade the objective
+// slightly (the paper's reason to keep G = 10).
+
+#include <chrono>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/sim/harness.h"
+
+namespace faro {
+namespace {
+
+void RunJobCount(size_t num_jobs) {
+  ExperimentSetup setup;
+  setup.num_jobs = num_jobs;
+  setup.right_size_replicas = 3.6 * static_cast<double>(num_jobs);
+  const PreparedWorkload workload = PrepareWorkload(setup);
+
+  // Metrics snapshot: a busy minute of each job's eval trace.
+  std::vector<JobSpec> specs;
+  std::vector<JobMetrics> metrics;
+  for (const SimJobConfig& job : workload.jobs) {
+    specs.push_back(job.spec);
+    JobMetrics m;
+    const Series& trace = job.arrival_rate_per_min;
+    const size_t t = trace.size() / 2;
+    for (size_t k = t - 15; k < t; ++k) {
+      m.arrival_history.push_back(trace[k] / 60.0);
+    }
+    m.arrival_rate = m.arrival_history.back();
+    m.processing_time = job.spec.processing_time;
+    m.ready_replicas = 3;
+    metrics.push_back(std::move(m));
+  }
+  const ClusterResources resources{setup.right_size_replicas, setup.right_size_replicas};
+
+  std::printf("\n-- %zu jobs --\n", num_jobs);
+  std::printf("%-8s %-16s %-22s %-14s\n", "G", "solve time (s)", "predicted utility sum",
+              "vs G=1");
+  double baseline_value = 0.0;
+  const int samples = FastBench() ? 2 : 5;
+  for (const size_t groups : {size_t{1}, size_t{2}, size_t{5}, size_t{10}, size_t{25}}) {
+    if (groups > num_jobs) {
+      continue;
+    }
+    FaroConfig config;
+    config.objective = ObjectiveKind::kSum;
+    config.hierarchical_groups = groups == 1 ? 1 : groups;
+    config.hierarchical_threshold = 0;  // the sweep itself decides G
+    // Evaluate the decision's quality with the relaxed utility of the actual
+    // (known) near-future loads.
+    double elapsed = 0.0;
+    double value = 0.0;
+    for (int s = 0; s < samples; ++s) {
+      FaroAutoscaler faro(config, nullptr);
+      const auto start = std::chrono::steady_clock::now();
+      const ScalingAction action = faro.Decide(0.0, specs, metrics, resources);
+      elapsed += std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+
+      ClusterObjectiveConfig oc;
+      oc.kind = ObjectiveKind::kSum;
+      std::vector<JobContext> contexts;
+      for (size_t i = 0; i < specs.size(); ++i) {
+        JobContext context;
+        context.spec = specs[i];
+        context.predicted_load = metrics[i].arrival_history;
+        contexts.push_back(std::move(context));
+      }
+      ClusterObjective objective(std::move(contexts), resources, oc);
+      std::vector<double> v(specs.size());
+      for (size_t i = 0; i < specs.size(); ++i) {
+        v[i] = action.replicas[i];
+      }
+      value += objective.Evaluate(v);
+    }
+    elapsed /= samples;
+    value /= samples;
+    if (groups == 1) {
+      baseline_value = value;
+    }
+    std::printf("%-8zu %-16.3f %-22.2f %-14.3f\n", groups, elapsed, value,
+                baseline_value > 0.0 ? value / baseline_value : 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace faro
+
+int main() {
+  faro::PrintHeader("Figure 7: hierarchical optimisation (time and objective vs G)");
+  faro::RunJobCount(20);
+  faro::RunJobCount(faro::FastBench() ? 50 : 100);
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Figure 10: lost cluster utility and cluster SLO violation rate for Faro vs
+// the four baselines at right-sized (36), slightly-oversubscribed (32), and
+// heavily-oversubscribed (16) clusters. The figure's Faro variant is FairSum
+// at RS/SO and Sum at HO, as in the paper.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/sim/harness.h"
+
+namespace faro {
+namespace {
+
+void Run() {
+  PrintHeader("Figure 10: Faro vs baselines at RS(36) / SO(32) / HO(16)");
+  ExperimentSetup setup;
+  setup.trials = BenchTrials(3);
+  const PreparedWorkload workload = PrepareWorkload(setup);
+  const auto predictor = TrainPredictor(workload, setup.seed);
+
+  struct CapRow {
+    const char* label;
+    double capacity;
+    const char* faro;
+  };
+  for (const CapRow& cap : {CapRow{"RS", 36.0, "Faro-FairSum"},
+                            CapRow{"SO", 32.0, "Faro-FairSum"},
+                            CapRow{"HO", 16.0, "Faro-Sum"}}) {
+    setup.capacity = cap.capacity;
+    std::printf("\n-- %s cluster: %.0f total replicas --\n", cap.label, cap.capacity);
+    std::printf("%-24s %-20s %-24s\n", "policy", "lost utility (SD)",
+                "SLO violation rate (SD)");
+    for (const std::string& name : {std::string("FairShare"), std::string("Oneshot"),
+                                    std::string("AIAD"), std::string("MArk/Cocktail/Barista"),
+                                    std::string(cap.faro)}) {
+      const TrialAggregate agg = RunTrials(setup, workload, name, predictor);
+      std::printf("%-24s %6.2f (%.2f)       %6.3f (%.3f)\n", name.c_str(),
+                  agg.lost_utility_mean, agg.lost_utility_sd, agg.violation_rate_mean,
+                  agg.violation_rate_sd);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace faro
+
+int main() {
+  faro::Run();
+  return 0;
+}

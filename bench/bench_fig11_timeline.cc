@@ -1,0 +1,71 @@
+// Figure 11: cluster-utility timeline (with the total workload underneath) at
+// 32 replicas. Faro holds the maximum cluster utility (10) for longer periods
+// and recovers quickly after load spikes via its short-term autoscaler.
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/sim/harness.h"
+
+namespace faro {
+namespace {
+
+void Run() {
+  PrintHeader("Figure 11: cluster utility timeline, 32 replicas");
+  ExperimentSetup setup;
+  setup.capacity = 32.0;
+  const PreparedWorkload workload = PrepareWorkload(setup);
+  const auto predictor = TrainPredictor(workload, setup.seed);
+
+  const std::vector<std::string> names{"FairShare", "Oneshot", "AIAD",
+                                       "MArk/Cocktail/Barista", "Faro-FairSum"};
+  std::map<std::string, RunResult> results;
+  for (const std::string& name : names) {
+    auto policy = MakePolicy(name, predictor);
+    results[name] = RunPolicy(setup, workload, *policy, 5150);
+  }
+
+  std::printf("%-8s %-12s", "t(min)", "load(req/m)");
+  for (const std::string& name : names) {
+    std::printf("%-12.10s", name.c_str());
+  }
+  std::printf("\n");
+  const RunResult& reference = results.begin()->second;
+  const size_t minutes = reference.cluster_utility_timeline.size();
+  for (size_t t0 = 0; t0 + 10 <= minutes; t0 += 10) {
+    double load = 0.0;
+    for (size_t t = t0; t < t0 + 10; ++t) {
+      load += reference.total_load_timeline[t] / 10.0;
+    }
+    std::printf("%-8zu %-12.0f", t0, load);
+    for (const std::string& name : names) {
+      double utility = 0.0;
+      for (size_t t = t0; t < t0 + 10; ++t) {
+        utility += results[name].cluster_utility_timeline[t] / 10.0;
+      }
+      std::printf("%-12.2f", utility);
+    }
+    std::printf("\n");
+  }
+  std::printf("\nminutes at max cluster utility (>= 9.9 of 10):\n");
+  for (const std::string& name : names) {
+    size_t at_max = 0;
+    for (const double u : results[name].cluster_utility_timeline) {
+      if (u >= 9.9) {
+        ++at_max;
+      }
+    }
+    std::printf("  %-24s %zu / %zu\n", name.c_str(), at_max, minutes);
+  }
+}
+
+}  // namespace
+}  // namespace faro
+
+int main() {
+  faro::Run();
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Figure 12: fairness box plots -- the distribution of *lost job utility*
+// across the 10 jobs, per policy and cluster size. Tighter spreads mean
+// better fairness; the Faro-*Fair* variants should be tightest, while MArk's
+// independent sizing starves specific jobs (max >> median).
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/common/stats.h"
+#include "src/sim/harness.h"
+
+namespace faro {
+namespace {
+
+void Run() {
+  PrintHeader("Figure 12: per-job lost-utility distribution (box-plot stats)");
+  ExperimentSetup setup;
+  setup.trials = BenchTrials(2);
+  const PreparedWorkload workload = PrepareWorkload(setup);
+  const auto predictor = TrainPredictor(workload, setup.seed);
+
+  for (const double capacity : {36.0, 32.0, 16.0}) {
+    setup.capacity = capacity;
+    std::printf("\n-- %.0f total replicas --\n", capacity);
+    std::printf("%-24s %-8s %-8s %-8s %-8s %-8s\n", "policy", "min", "p25", "median", "p75",
+                "max");
+    for (const std::string& name : AllPolicyNames()) {
+      const TrialAggregate agg = RunTrials(setup, workload, name, predictor);
+      std::vector<double> lost = agg.per_job_lost_utility;
+      std::sort(lost.begin(), lost.end());
+      std::printf("%-24s %-8.2f %-8.2f %-8.2f %-8.2f %-8.2f\n", name.c_str(),
+                  lost.front(), PercentileSorted(lost, 0.25), PercentileSorted(lost, 0.5),
+                  PercentileSorted(lost, 0.75), lost.back());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace faro
+
+int main() {
+  faro::Run();
+  return 0;
+}

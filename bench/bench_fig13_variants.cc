@@ -1,0 +1,40 @@
+// Figure 13: lost cluster utility and lost *effective* utility (with the
+// drop-request penalty, Eq. 2) for every Faro variant and baseline at the
+// three cluster sizes.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/sim/harness.h"
+
+namespace faro {
+namespace {
+
+void Run() {
+  PrintHeader("Figure 13: Faro variants vs baselines (utility + effective utility)");
+  ExperimentSetup setup;
+  setup.trials = BenchTrials(2);
+  const PreparedWorkload workload = PrepareWorkload(setup);
+  const auto predictor = TrainPredictor(workload, setup.seed);
+
+  for (const double capacity : {36.0, 32.0, 16.0}) {
+    setup.capacity = capacity;
+    std::printf("\n-- %.0f total replicas --\n", capacity);
+    std::printf("%-24s %-22s %-26s\n", "policy", "lost utility (SD)",
+                "lost effective utility (SD)");
+    for (const std::string& name : AllPolicyNames()) {
+      const TrialAggregate agg = RunTrials(setup, workload, name, predictor);
+      std::printf("%-24s %6.2f (%.2f)         %6.2f (%.2f)\n", name.c_str(),
+                  agg.lost_utility_mean, agg.lost_utility_sd,
+                  agg.lost_effective_utility_mean, agg.lost_effective_utility_sd);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace faro
+
+int main() {
+  faro::Run();
+  return 0;
+}

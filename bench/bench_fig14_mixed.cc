@@ -1,0 +1,38 @@
+// Figure 14: mixed workloads -- half the jobs serve ResNet34 (p = 180 ms,
+// SLO 720 ms) and half ResNet18 (p = 100 ms, SLO 400 ms), in a right-sized
+// cluster. Faro's advantage persists across heterogeneous model mixes.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/sim/harness.h"
+
+namespace faro {
+namespace {
+
+void Run() {
+  PrintHeader("Figure 14: mixed ResNet18 + ResNet34 jobs, right-sized cluster");
+  ExperimentSetup setup;
+  setup.mixed_models = true;
+  setup.capacity = 36.0;
+  setup.trials = BenchTrials(3);
+  const PreparedWorkload workload = PrepareWorkload(setup);
+  const auto predictor = TrainPredictor(workload, setup.seed);
+
+  std::printf("%-24s %-20s %-24s\n", "policy", "lost utility (SD)",
+              "SLO violation rate (SD)");
+  for (const char* name : {"FairShare", "Oneshot", "AIAD", "MArk/Cocktail/Barista",
+                           "Faro-FairSum"}) {
+    const TrialAggregate agg = RunTrials(setup, workload, name, predictor);
+    std::printf("%-24s %6.2f (%.2f)       %6.3f (%.3f)\n", name, agg.lost_utility_mean,
+                agg.lost_utility_sd, agg.violation_rate_mean, agg.violation_rate_sd);
+  }
+}
+
+}  // namespace
+}  // namespace faro
+
+int main() {
+  faro::Run();
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Figure 15: matched-simulation sweep from heavily oversubscribed (16
+// replicas) to undersubscribed (44) clusters. At and above the right size
+// (36), Faro and MArk approach the maximum cluster utility (10); under
+// constraint Faro degrades most gracefully, and the Sum variants beat the
+// Fair variants in small clusters.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/sim/harness.h"
+
+namespace faro {
+namespace {
+
+void Run() {
+  PrintHeader("Figure 15: cluster utility from over- to under-subscribed");
+  ExperimentSetup setup;
+  setup.trials = BenchTrials(1);
+  setup.processing_jitter = 0.0;  // simulation mode, as in the paper's figure
+  setup.cold_start_jitter_s = 0.0;
+  const PreparedWorkload workload = PrepareWorkload(setup);
+  const auto predictor = TrainPredictor(workload, setup.seed);
+
+  const std::vector<std::string> names{"FairShare",    "Oneshot",      "AIAD",
+                                       "MArk/Cocktail/Barista", "Faro-Sum", "Faro-FairSum"};
+  std::printf("%-10s", "replicas");
+  for (const std::string& name : names) {
+    std::printf("%-12.10s", name.c_str());
+  }
+  std::printf("\n");
+  for (const double capacity : {16.0, 20.0, 24.0, 28.0, 32.0, 36.0, 40.0, 44.0}) {
+    setup.capacity = capacity;
+    std::printf("%-10.0f", capacity);
+    for (const std::string& name : names) {
+      const TrialAggregate agg = RunTrials(setup, workload, name, predictor);
+      std::printf("%-12.2f", 10.0 - agg.lost_utility_mean);  // cluster utility
+    }
+    std::printf("\n");
+  }
+  std::printf("\n(values are average cluster utility; maximum is 10)\n");
+}
+
+}  // namespace
+}  // namespace faro
+
+int main() {
+  faro::Run();
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Figure 16: ablation study on Faro-FairSum. Each arm disables one component:
+//   - Relaxation (precise step objective + hard M/D/c inside the solver)
+//   - M/D/c latency estimation (pessimistic upper-bound model instead)
+//   - Time-series prediction (reactive sizing at the current rate)
+//   - Probabilistic prediction (point median forecast instead of quantile)
+//   - Hybrid short-term autoscaler
+//   - Shrinking (also run: shrinking *without* probabilistic prediction,
+//     the interaction the paper highlights)
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/sim/harness.h"
+
+namespace faro {
+namespace {
+
+void Run() {
+  PrintHeader("Figure 16: ablation of Faro components (lost cluster utility)");
+  ExperimentSetup setup;
+  setup.trials = BenchTrials(2);
+  const PreparedWorkload workload = PrepareWorkload(setup);
+  const auto predictor = TrainPredictor(workload, setup.seed);
+
+  struct Arm {
+    const char* label;
+    FaroConfig config;
+  };
+  std::vector<Arm> arms;
+  {
+    Arm arm{"Faro (full)", {}};
+    arms.push_back(arm);
+  }
+  {
+    Arm arm{"- relaxation", {}};
+    arm.config.relaxed = false;
+    arm.config.latency_model = LatencyModelKind::kMdcPrecise;
+    arms.push_back(arm);
+  }
+  {
+    Arm arm{"- M/D/c (upper bound)", {}};
+    arm.config.latency_model = LatencyModelKind::kUpperBound;
+    arms.push_back(arm);
+  }
+  {
+    Arm arm{"- prediction", {}};
+    arm.config.enable_prediction = false;
+    arms.push_back(arm);
+  }
+  {
+    Arm arm{"- probabilistic (point)", {}};
+    arm.config.probabilistic = false;
+    arms.push_back(arm);
+  }
+  {
+    Arm arm{"- hybrid autoscaler", {}};
+    arm.config.enable_hybrid = false;
+    arms.push_back(arm);
+  }
+  {
+    Arm arm{"- shrinking", {}};
+    arm.config.enable_shrinking = false;
+    arms.push_back(arm);
+  }
+  {
+    Arm arm{"- shrinking - prob.", {}};
+    arm.config.enable_shrinking = false;
+    arm.config.probabilistic = false;
+    arms.push_back(arm);
+  }
+
+  for (const double capacity : {36.0, 32.0}) {
+    setup.capacity = capacity;
+    std::printf("\n-- %.0f total replicas --\n", capacity);
+    std::printf("%-26s %-22s %-12s\n", "configuration", "lost utility (SD)", "vs full");
+    double full = 0.0;
+    for (const Arm& arm : arms) {
+      FaroConfig config = arm.config;
+      config.objective = ObjectiveKind::kFairSum;
+      const TrialAggregate agg =
+          RunTrials(setup, workload, "Faro-FairSum", predictor, &config);
+      if (std::string(arm.label) == "Faro (full)") {
+        full = agg.lost_utility_mean;
+      }
+      std::printf("%-26s %6.2f (%.2f)         %5.2fx\n", arm.label, agg.lost_utility_mean,
+                  agg.lost_utility_sd, full > 0.0 ? agg.lost_utility_mean / full : 1.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace faro
+
+int main() {
+  faro::Run();
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Google-benchmark microbenchmarks for the hot kernels the autoscaler leans
+// on: the M/D/c latency estimate (evaluated thousands of times per solve),
+// the relaxed cluster objective, one COBYLA solve of the standard 10-job
+// stage-2 problem, and one N-HiTS inference. The paper's performance claims
+// hinge on the relaxed solve finishing "within a sub-second" (§3.4) and
+// predictor inference being negligible next to the 5-minute decision period.
+
+#include <benchmark/benchmark.h>
+
+#include "src/core/objectives.h"
+#include "src/forecast/nhits.h"
+#include "src/optim/cobyla.h"
+#include "src/queueing/mdc.h"
+#include "src/workload/synthetic.h"
+
+namespace faro {
+namespace {
+
+void BM_MdcLatencyPercentile(benchmark::State& state) {
+  double lambda = 10.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MdcLatencyPercentile(8, lambda, 0.18, 0.99));
+    lambda = lambda < 40.0 ? lambda + 0.1 : 10.0;
+  }
+}
+BENCHMARK(BM_MdcLatencyPercentile);
+
+void BM_RelaxedMdcLatency(benchmark::State& state) {
+  double servers = 1.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RelaxedMdcLatency(servers, 30.0, 0.18, 0.99));
+    servers = servers < 20.0 ? servers + 0.13 : 1.0;
+  }
+}
+BENCHMARK(BM_RelaxedMdcLatency);
+
+ClusterObjective MakeStandardObjective(size_t jobs) {
+  std::vector<JobContext> contexts(jobs);
+  for (size_t i = 0; i < jobs; ++i) {
+    contexts[i].spec.processing_time = 0.18;
+    contexts[i].spec.slo = 0.72;
+    contexts[i].predicted_load.assign(6, 10.0 + 3.0 * static_cast<double>(i));
+  }
+  ClusterObjectiveConfig config;
+  config.kind = ObjectiveKind::kFairSum;
+  return ClusterObjective(std::move(contexts), ClusterResources{36.0, 36.0}, config);
+}
+
+void BM_RelaxedObjectiveEvaluate(benchmark::State& state) {
+  const auto objective = MakeStandardObjective(10);
+  std::vector<double> v(10, 3.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(objective.Evaluate(v));
+    v[0] = v[0] < 10.0 ? v[0] + 0.1 : 1.0;
+  }
+}
+BENCHMARK(BM_RelaxedObjectiveEvaluate);
+
+void BM_CobylaStage2Solve(benchmark::State& state) {
+  const auto objective = MakeStandardObjective(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    Problem problem = objective.BuildProblem();
+    CobylaConfig config;
+    config.rho_begin = 2.0;
+    config.rho_end = 1e-3;
+    benchmark::DoNotOptimize(Cobyla(problem, objective.InitialPoint(), config));
+  }
+}
+BENCHMARK(BM_CobylaStage2Solve)->Arg(5)->Arg(10)->Arg(20);
+
+void BM_NHitsInference(benchmark::State& state) {
+  NHitsModel model(NHitsConfig{});
+  SyntheticTraceConfig trace_config;
+  trace_config.days = 2;
+  const Series trace = GenerateSyntheticTrace(trace_config);
+  TrainConfig tc;
+  tc.epochs = 1;
+  model.TrainOnSeries(trace, tc);
+  std::vector<double> history(15, 10.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.PredictQuantileRaw(history, 0.75));
+  }
+}
+BENCHMARK(BM_NHitsInference);
+
+}  // namespace
+}  // namespace faro
+
+BENCHMARK_MAIN();

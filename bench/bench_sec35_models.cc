@@ -1,0 +1,171 @@
+// §3.5.1: prediction-model comparison. The paper reports that N-HiTS beats
+// LSTM and DeepAR on RMSE (116.24 vs 123.95 / 122.38 in their units) and has
+// 2-3x lower inference latency. This bench regenerates the comparison on the
+// synthetic mix: rolling-origin forecasts over each job's evaluation day.
+
+#include <chrono>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/common/stats.h"
+#include "src/forecast/deepar.h"
+#include "src/forecast/lstm.h"
+#include "src/forecast/arma.h"
+#include "src/forecast/nhits.h"
+#include "src/forecast/prophet_adapter.h"
+#include "src/sim/harness.h"
+
+namespace faro {
+namespace {
+
+struct ModelScore {
+  double rmse = 0.0;
+  double inference_us = 0.0;
+};
+
+template <typename PredictFn>
+ModelScore Score(const Series& eval, PredictFn&& predict) {
+  std::vector<double> predictions;
+  std::vector<double> truth;
+  double inference_s = 0.0;
+  int calls = 0;
+  for (size_t t = 15; t + 7 < eval.size(); t += 7) {
+    std::vector<double> history;
+    for (size_t k = t - 15; k < t; ++k) {
+      history.push_back(eval[k]);
+    }
+    const auto start = std::chrono::steady_clock::now();
+    const std::vector<double> forecast = predict(history);
+    inference_s += std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+    ++calls;
+    for (size_t k = 0; k < 7; ++k) {
+      predictions.push_back(forecast[k]);
+      truth.push_back(eval[t + k]);
+    }
+  }
+  ModelScore score;
+  score.rmse = Rmse(predictions, truth);
+  score.inference_us = 1e6 * inference_s / calls;
+  return score;
+}
+
+void Run() {
+  PrintHeader("Sec 3.5.1: N-HiTS vs LSTM vs DeepAR (rolling forecasts, eval day)");
+  ExperimentSetup setup;
+  const PreparedWorkload workload = PrepareWorkload(setup);
+  TrainConfig tc;
+  tc.epochs = FastBench() ? 3 : 8;
+
+  const size_t jobs_to_score = FastBench() ? 2 : 4;
+  RunningStats nhits_rmse;
+  RunningStats lstm_rmse;
+  RunningStats deepar_rmse;
+  RunningStats prophet_rmse;
+  RunningStats arma_rmse;
+  RunningStats nhits_train;
+  RunningStats lstm_train;
+  RunningStats deepar_train;
+  RunningStats nhits_lat;
+  RunningStats lstm_lat;
+  RunningStats deepar_lat;
+  RunningStats prophet_lat;
+  RunningStats arma_lat;
+  for (size_t job = 0; job < jobs_to_score; ++job) {
+    const Series& train = workload.train_rates_per_s[job];
+    Series eval(std::vector<double>(workload.jobs[job].arrival_rate_per_min.values().begin(),
+                                    workload.jobs[job].arrival_rate_per_min.values().end()));
+    for (double& v : eval.mutable_values()) {
+      v /= 60.0;  // req/s, the predictors' training unit
+    }
+
+    // The paper's RMSE comparison trains N-HiTS with the RMSE loss (§3.5.2
+    // notes the probabilistic variant is trained separately with NLL). The
+    // comparison is at equal *training wall-clock*: one N-HiTS epoch costs
+    // ~5x less than one BPTT epoch of the recurrent models, so it gets 3x
+    // the epochs and still trains faster (times printed below).
+    NHitsConfig nh_config;
+    nh_config.gaussian = false;
+    NHitsModel nhits(nh_config);
+    TrainConfig nh_tc = tc;
+    nh_tc.epochs = 3 * tc.epochs;
+    const auto t0 = std::chrono::steady_clock::now();
+    nhits.TrainOnSeries(train, nh_tc);
+    const auto t1 = std::chrono::steady_clock::now();
+    LstmConfig lstm_config;
+    LstmModel lstm(lstm_config);
+    lstm.TrainOnSeries(train, tc);
+    const auto t2 = std::chrono::steady_clock::now();
+    DeepArConfig da_config;
+    DeepArModel deepar(da_config);
+    deepar.TrainOnSeries(train, tc);
+    const auto t3 = std::chrono::steady_clock::now();
+    nhits_train.Add(std::chrono::duration<double>(t1 - t0).count());
+    lstm_train.Add(std::chrono::duration<double>(t2 - t1).count());
+    deepar_train.Add(std::chrono::duration<double>(t3 - t2).count());
+    ProphetConfig prophet_config;
+    prophet_config.period = 360;  // one compressed day
+    ProphetWorkloadPredictor prophet(prophet_config);
+    prophet.TrainJob(job, train);
+    ArmaModel arma(2, 1);
+
+    Rng rng(123 + job);
+    const ModelScore nh = Score(eval, [&](const std::vector<double>& h) {
+      return nhits.PredictRaw(h).mu;
+    });
+    const ModelScore ls =
+        Score(eval, [&](const std::vector<double>& h) { return lstm.PredictRaw(h); });
+    const ModelScore da = Score(eval, [&](const std::vector<double>& h) {
+      return deepar.PredictRaw(h, 50, rng);
+    });
+    size_t prophet_step = 15;
+    const ModelScore pr = Score(eval, [&](const std::vector<double>& h) {
+      prophet.SetCurrentStep(prophet_step);
+      prophet_step += 7;
+      return prophet.PredictQuantile(job, h, 7, 0.5);
+    });
+    size_t arma_step = 15;
+    const ModelScore ar = Score(eval, [&](const std::vector<double>& h) {
+      // Cilantro-style: refit on a fixed-size window of the latest arrivals.
+      // A 15-point window is too short for a stable ARMA fit; use the
+      // trailing 120 observations of the evaluation stream.
+      const size_t begin = arma_step > 120 ? arma_step - 120 : 0;
+      std::vector<double> window(eval.values().begin() + static_cast<ptrdiff_t>(begin),
+                                 eval.values().begin() + static_cast<ptrdiff_t>(arma_step));
+      arma_step += 7;
+      arma.Fit(window);
+      return arma.Forecast(7);
+    });
+    nhits_rmse.Add(nh.rmse);
+    lstm_rmse.Add(ls.rmse);
+    deepar_rmse.Add(da.rmse);
+    prophet_rmse.Add(pr.rmse);
+    arma_rmse.Add(ar.rmse);
+    nhits_lat.Add(nh.inference_us);
+    lstm_lat.Add(ls.inference_us);
+    deepar_lat.Add(da.inference_us);
+    prophet_lat.Add(pr.inference_us);
+    arma_lat.Add(ar.inference_us);
+    std::printf("job%zu  RMSE: N-HiTS %.2f  LSTM %.2f  DeepAR %.2f  Prophet %.2f  ARMA %.2f\n",
+                job, nh.rmse, ls.rmse, da.rmse, pr.rmse, ar.rmse);
+  }
+  std::printf("\n%-10s %-18s %-24s %-16s\n", "model", "mean RMSE (req/s)",
+              "inference latency (us)", "train time (s)");
+  std::printf("%-10s %-18.2f %-24.1f %-16.1f\n", "N-HiTS", nhits_rmse.mean(),
+              nhits_lat.mean(), nhits_train.mean());
+  std::printf("%-10s %-18.2f %-24.1f %-16.1f\n", "LSTM", lstm_rmse.mean(), lstm_lat.mean(),
+              lstm_train.mean());
+  std::printf("%-10s %-18.2f %-24.1f %-16.1f\n", "DeepAR", deepar_rmse.mean(),
+              deepar_lat.mean(), deepar_train.mean());
+  std::printf("%-10s %-18.2f %-24.1f %-16s\n", "Prophet", prophet_rmse.mean(),
+              prophet_lat.mean(), "(closed form)");
+  std::printf("%-10s %-18.2f %-24.1f %-16s\n", "ARMA", arma_rmse.mean(), arma_lat.mean(),
+              "(refit online)");
+}
+
+}  // namespace
+}  // namespace faro
+
+int main() {
+  faro::Run();
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Table 3: average lost cluster utility of the baseline policy classes vs
+// Faro at 32 total replicas (the slightly-oversubscribed cluster).
+// Paper values: FairShare 2.42, Oneshot 4.83, AIAD 1.96, MArk 2.02, Faro 0.79.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/sim/harness.h"
+
+namespace faro {
+namespace {
+
+void Run() {
+  PrintHeader("Table 3: average lost cluster utility, 32 total replicas");
+  ExperimentSetup setup;
+  setup.capacity = 32.0;
+  setup.trials = BenchTrials(3);
+  const PreparedWorkload workload = PrepareWorkload(setup);
+  const auto predictor = TrainPredictor(workload, setup.seed);
+
+  std::printf("%-24s %-16s %-14s\n", "policy", "lost utility", "(SD)");
+  for (const char* name :
+       {"FairShare", "Oneshot", "AIAD", "MArk/Cocktail/Barista", "Faro-FairSum"}) {
+    const TrialAggregate agg = RunTrials(setup, workload, name, predictor);
+    std::printf("%-24s %-16.2f %-14.2f\n", name, agg.lost_utility_mean, agg.lost_utility_sd);
+  }
+}
+
+}  // namespace
+}  // namespace faro
+
+int main() {
+  faro::Run();
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Table 8: large-scale workloads. 20 jobs over 70 replicas in "cluster"
+// (noisy) mode, and 100 jobs over 320 replicas in simulation mode (where
+// Faro's hierarchical optimisation with G = 10 carries the solve).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/sim/harness.h"
+
+namespace faro {
+namespace {
+
+void RunScale(size_t num_jobs, double capacity, bool noisy, size_t epochs) {
+  ExperimentSetup setup;
+  setup.num_jobs = num_jobs;
+  setup.capacity = capacity;
+  setup.right_size_replicas = capacity;
+  setup.trials = BenchTrials(noisy ? 2 : 1);
+  if (!noisy) {
+    setup.processing_jitter = 0.0;
+    setup.cold_start_jitter_s = 0.0;
+  }
+  const PreparedWorkload workload = PrepareWorkload(setup);
+  const auto predictor = TrainPredictor(workload, setup.seed, epochs);
+
+  std::printf("\n-- %zu jobs, %.0f replicas (%s mode) --\n", num_jobs, capacity,
+              noisy ? "cluster" : "simulation");
+  std::printf("%-24s %-22s %-24s\n", "policy", "lost utility (SD)",
+              "SLO violation rate (SD)");
+  for (const char* name :
+       {"FairShare", "Oneshot", "AIAD", "MArk/Cocktail/Barista", "Faro-FairSum"}) {
+    const TrialAggregate agg = RunTrials(setup, workload, name, predictor);
+    std::printf("%-24s %6.2f (%.2f)         %6.3f (%.3f)\n", name, agg.lost_utility_mean,
+                agg.lost_utility_sd, agg.violation_rate_mean, agg.violation_rate_sd);
+  }
+}
+
+}  // namespace
+}  // namespace faro
+
+int main() {
+  faro::PrintHeader("Table 8: large-scale workloads");
+  faro::RunScale(20, 70.0, /*noisy=*/true, /*epochs=*/faro::FastBench() ? 3 : 8);
+  faro::RunScale(faro::FastBench() ? 40 : 100, faro::FastBench() ? 130.0 : 320.0,
+                 /*noisy=*/false, /*epochs=*/faro::FastBench() ? 2 : 5);
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Shared helpers for the reproduction benches: a fixed-allocation policy, a
+// fast/normal mode switch, and row printers for the paper-style tables.
+//
+// Every bench regenerates one table or figure from the paper's evaluation
+// (see DESIGN.md's per-experiment index) and prints the same rows/series the
+// paper reports. Set FARO_BENCH_FAST=1 to cut trials for a quick smoke pass.
+
+#ifndef BENCH_BENCH_UTIL_H_
+#define BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "src/core/policy.h"
+
+namespace faro {
+
+// Pins every job at a fixed replica count (Fig. 1's "no autoscaler" and the
+// utility-vs-satisfaction sweep of Fig. 4b).
+class FixedPolicy : public AutoscalingPolicy {
+ public:
+  explicit FixedPolicy(std::vector<uint32_t> replicas) : replicas_(std::move(replicas)) {}
+  std::string name() const override { return "Fixed"; }
+  ScalingAction Decide(double now_s, const std::vector<JobSpec>& job_specs,
+                       const std::vector<JobMetrics>& metrics,
+                       const ClusterResources& resources) override {
+    ScalingAction action;
+    action.replicas = replicas_;
+    return action;
+  }
+
+ private:
+  std::vector<uint32_t> replicas_;
+};
+
+inline bool FastBench() {
+  const char* fast = std::getenv("FARO_BENCH_FAST");
+  return fast != nullptr && fast[0] == '1';
+}
+
+inline size_t BenchTrials(size_t normal) { return FastBench() ? 1 : normal; }
+
+inline void PrintRule(int width = 78) {
+  for (int i = 0; i < width; ++i) {
+    std::putchar('-');
+  }
+  std::putchar('\n');
+}
+
+inline void PrintHeader(const char* title) {
+  PrintRule();
+  std::printf("%s\n", title);
+  PrintRule();
+}
+
+}  // namespace faro
+
+#endif  // BENCH_BENCH_UTIL_H_

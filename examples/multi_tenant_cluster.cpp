@@ -1,0 +1,49 @@
+// Consolidated on-premises cluster (the paper's motivating scenario): ten
+// teams share one fixed 32-replica cluster instead of ten over-provisioned
+// silos. This example trains the probabilistic N-HiTS predictor on ten days
+// of history, then compares Faro-FairSum with the static FairShare split a
+// siloed deployment amounts to.
+//
+// Build & run:  cmake --build build && ./build/examples/multi_tenant_cluster
+
+#include <cstdio>
+
+#include "src/baselines/baselines.h"
+#include "src/sim/harness.h"
+
+int main() {
+  using namespace faro;
+
+  ExperimentSetup setup;
+  setup.num_jobs = 10;
+  setup.capacity = 32.0;
+  const PreparedWorkload workload = PrepareWorkload(setup);
+
+  std::printf("training the probabilistic N-HiTS predictor (10 jobs x 10 days)...\n");
+  const auto predictor = TrainPredictor(workload, setup.seed, /*epochs=*/6);
+
+  FaroConfig config;
+  config.objective = ObjectiveKind::kFairSum;
+  FaroAutoscaler faro(config, predictor);
+  FairSharePolicy fair_share;
+
+  std::printf("running the shared 32-replica cluster for one trace day...\n\n");
+  const RunResult with_faro = RunPolicy(setup, workload, faro, 1);
+  const RunResult with_static = RunPolicy(setup, workload, fair_share, 1);
+
+  std::printf("%-10s %-26s %-26s\n", "", "FairShare (static split)", "Faro-FairSum");
+  std::printf("%-10s %-26.2f %-26.2f\n", "lost util", with_static.cluster_lost_utility,
+              with_faro.cluster_lost_utility);
+  std::printf("%-10s %-26.3f %-26.3f\n", "violations", with_static.cluster_slo_violation_rate,
+              with_faro.cluster_slo_violation_rate);
+
+  std::printf("\nper-team SLO violation rates:\n");
+  std::printf("%-8s %-14s %-14s %-30s\n", "team", "static", "Faro", "Faro avg replicas");
+  for (size_t i = 0; i < with_faro.jobs.size(); ++i) {
+    std::printf("%-8zu %-14.3f %-14.3f %.1f\n", i, with_static.jobs[i].slo_violation_rate,
+                with_faro.jobs[i].slo_violation_rate, with_faro.jobs[i].avg_replicas);
+  }
+  std::printf("\nFaro moves replicas between teams as their diurnal peaks shift,\n"
+              "which a static split cannot do.\n");
+  return 0;
+}

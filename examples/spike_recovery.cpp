@@ -1,0 +1,72 @@
+// Flash-crowd recovery with the hybrid autoscaler (§4.4). A content-
+// moderation job runs at a calm 120 req/min, then a viral event multiplies
+// traffic 8x within two minutes -- something no predictor trained on calm
+// history anticipates. Faro's long-term predictive loop alone reacts only at
+// the next 5-minute decision; the 10-second short-term reactive loop starts
+// adding replicas 30 s after violations appear.
+//
+// Build & run:  cmake --build build && ./build/examples/spike_recovery
+
+#include <cstdio>
+#include <vector>
+
+#include "src/core/autoscaler.h"
+#include "src/sim/simulator.h"
+
+namespace {
+
+faro::Series SpikeTrace() {
+  // 90 minutes: calm, an 8x flash crowd at t = 30 lasting 20 minutes, calm.
+  std::vector<double> trace(90, 120.0);
+  for (size_t t = 30; t < 50; ++t) {
+    trace[t] = 960.0;
+  }
+  // Two-minute ramps at both edges.
+  trace[29] = 400.0;
+  trace[50] = 500.0;
+  trace[51] = 250.0;
+  return faro::Series(std::move(trace));
+}
+
+faro::RunResult RunWithHybrid(bool hybrid) {
+  using namespace faro;
+  SimJobConfig job;
+  job.spec.name = "content-moderation";
+  job.spec.slo = 0.400;
+  job.spec.processing_time = 0.100;
+  job.arrival_rate_per_min = SpikeTrace();
+  job.initial_replicas = 2;
+
+  FaroConfig config;
+  config.objective = ObjectiveKind::kSum;
+  config.enable_hybrid = hybrid;
+  FaroAutoscaler faro(config);
+
+  SimConfig cluster;
+  cluster.resources = ClusterResources{16.0, 16.0};
+  cluster.seed = 99;
+  return RunSimulation(cluster, {job}, faro);
+}
+
+}  // namespace
+
+int main() {
+  const auto with_hybrid = RunWithHybrid(true);
+  const auto without_hybrid = RunWithHybrid(false);
+
+  std::printf("flash crowd at t=30..50 (8x traffic), SLO 400 ms, 16-replica cap\n\n");
+  std::printf("%-8s %-12s %-22s %-22s\n", "t(min)", "arrivals", "replicas (hybrid on/off)",
+              "p99 s (hybrid on/off)");
+  const auto& on = with_hybrid.jobs[0];
+  const auto& off = without_hybrid.jobs[0];
+  for (size_t t = 24; t < 60; t += 3) {
+    std::printf("%-8zu %-12.0f %5.0f / %-16.0f %6.2f / %-6.2f\n", t, on.minute_arrivals[t],
+                on.minute_replicas[t], off.minute_replicas[t], on.minute_p99[t],
+                off.minute_p99[t]);
+  }
+  std::printf("\nSLO violation rate: hybrid on %.3f, hybrid off %.3f\n",
+              on.slo_violation_rate, off.slo_violation_rate);
+  std::printf("The reactive loop cuts the violation window to roughly the cold-start\n"
+              "time; without it the job waits for the next 5-minute decision.\n");
+  return 0;
+}

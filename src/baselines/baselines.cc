@@ -1,0 +1,188 @@
+#include "src/baselines/baselines.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace faro {
+namespace {
+
+double UsedCpu(const std::vector<JobSpec>& job_specs, const std::vector<JobMetrics>& metrics) {
+  double used = 0.0;
+  for (size_t i = 0; i < metrics.size(); ++i) {
+    used += job_specs[i].cpu_per_replica * (metrics[i].ready_replicas +
+                                            metrics[i].starting_replicas);
+  }
+  return used;
+}
+
+}  // namespace
+
+ScalingAction CurrentAllocation(const std::vector<JobMetrics>& metrics) {
+  ScalingAction action;
+  action.replicas.resize(metrics.size());
+  for (size_t i = 0; i < metrics.size(); ++i) {
+    action.replicas[i] = metrics[i].ready_replicas + metrics[i].starting_replicas;
+  }
+  return action;
+}
+
+// --- FairShare --------------------------------------------------------------
+
+ScalingAction FairSharePolicy::Decide(double now_s, const std::vector<JobSpec>& job_specs,
+                                      const std::vector<JobMetrics>& metrics,
+                                      const ClusterResources& resources) {
+  ScalingAction action;
+  const auto share = static_cast<uint32_t>(
+      std::max(1.0, std::floor(resources.cpu / std::max<size_t>(1, job_specs.size()))));
+  action.replicas.assign(job_specs.size(), share);
+  return action;
+}
+
+// --- Oneshot ----------------------------------------------------------------
+
+ScalingAction OneshotPolicy::Decide(double now_s, const std::vector<JobSpec>& job_specs,
+                                    const std::vector<JobMetrics>& metrics,
+                                    const ClusterResources& resources) {
+  return CurrentAllocation(metrics);
+}
+
+std::optional<ScalingAction> OneshotPolicy::FastReact(double now_s,
+                                                      const std::vector<JobSpec>& job_specs,
+                                                      const std::vector<JobMetrics>& metrics,
+                                                      const ClusterResources& resources) {
+  if (last_up_.size() != metrics.size()) {
+    last_up_.assign(metrics.size(), -1e18);
+    last_down_.assign(metrics.size(), -1e18);
+  }
+  ScalingAction action = CurrentAllocation(metrics);
+  double used = UsedCpu(job_specs, metrics);
+  bool changed = false;
+  for (size_t i = 0; i < metrics.size(); ++i) {
+    const uint32_t current = action.replicas[i];
+    // The scaling signal is how far the observed tail latency is from the
+    // target: allocate latency/SLO times the current replicas in one shot.
+    const double ratio =
+        std::clamp(metrics[i].p99_latency / std::max(job_specs[i].slo, 1e-6), 0.05, 20.0);
+    if (metrics[i].overloaded_for >= kUpscaleTriggerS &&
+        now_s - last_up_[i] >= kUpscaleTriggerS) {
+      auto target = static_cast<uint32_t>(std::ceil(current * ratio - 1e-9));
+      target = std::max(target, current + 1);
+      // Greedy: take as much of the free capacity as the jump wants. This is
+      // exactly the resource-hogging behaviour §6.1 attributes to Oneshot.
+      const double free = resources.cpu - used;
+      const auto affordable = static_cast<uint32_t>(
+          std::floor(free / std::max(job_specs[i].cpu_per_replica, 1e-9)));
+      target = std::min(target, current + affordable);
+      if (target != current) {
+        used += (target - current) * job_specs[i].cpu_per_replica;
+        action.replicas[i] = target;
+        last_up_[i] = now_s;
+        changed = true;
+      }
+    } else if (metrics[i].underloaded_for >= kDownscaleTriggerS && current > 1 &&
+               now_s - last_down_[i] >= kDownscaleTriggerS) {
+      auto target =
+          static_cast<uint32_t>(std::max(1.0, std::ceil(current * std::max(ratio, 0.05))));
+      target = std::min(target, current - 1);
+      target = std::max<uint32_t>(target, 1);
+      used -= (current - target) * job_specs[i].cpu_per_replica;
+      action.replicas[i] = target;
+      last_down_[i] = now_s;
+      changed = true;
+    }
+  }
+  if (!changed) {
+    return std::nullopt;
+  }
+  return action;
+}
+
+// --- AIAD -------------------------------------------------------------------
+
+ScalingAction AiadPolicy::Decide(double now_s, const std::vector<JobSpec>& job_specs,
+                                 const std::vector<JobMetrics>& metrics,
+                                 const ClusterResources& resources) {
+  return CurrentAllocation(metrics);
+}
+
+std::optional<ScalingAction> AiadPolicy::FastReact(double now_s,
+                                                   const std::vector<JobSpec>& job_specs,
+                                                   const std::vector<JobMetrics>& metrics,
+                                                   const ClusterResources& resources) {
+  if (last_up_.size() != metrics.size()) {
+    last_up_.assign(metrics.size(), -1e18);
+    last_down_.assign(metrics.size(), -1e18);
+  }
+  ScalingAction action = CurrentAllocation(metrics);
+  double used = UsedCpu(job_specs, metrics);
+  bool changed = false;
+  for (size_t i = 0; i < metrics.size(); ++i) {
+    if (metrics[i].overloaded_for >= kUpscaleTriggerS &&
+        now_s - last_up_[i] >= kUpscaleTriggerS &&
+        used + job_specs[i].cpu_per_replica <= resources.cpu + 1e-9) {
+      ++action.replicas[i];
+      used += job_specs[i].cpu_per_replica;
+      last_up_[i] = now_s;
+      changed = true;
+    } else if (allow_downscale_ && metrics[i].underloaded_for >= kDownscaleTriggerS &&
+               action.replicas[i] > 1 && now_s - last_down_[i] >= kDownscaleTriggerS) {
+      --action.replicas[i];
+      used -= job_specs[i].cpu_per_replica;
+      last_down_[i] = now_s;
+      changed = true;
+    }
+  }
+  if (!changed) {
+    return std::nullopt;
+  }
+  return action;
+}
+
+// --- MArk / Cocktail / Barista ------------------------------------------------
+
+MarkPolicy::MarkPolicy(std::shared_ptr<WorkloadPredictor> predictor, double utilization_target,
+                       bool allow_downscale)
+    : predictor_(std::move(predictor)),
+      utilization_target_(utilization_target),
+      allow_downscale_(allow_downscale) {
+  if (predictor_ == nullptr) {
+    predictor_ = std::make_shared<DampedAveragePredictor>();
+  }
+}
+
+ScalingAction MarkPolicy::Decide(double now_s, const std::vector<JobSpec>& job_specs,
+                                 const std::vector<JobMetrics>& metrics,
+                                 const ClusterResources& resources) {
+  ScalingAction action;
+  action.replicas.resize(job_specs.size());
+  double used = 0.0;
+  for (size_t i = 0; i < job_specs.size(); ++i) {
+    const std::vector<double> window =
+        predictor_->PredictQuantile(i, metrics[i].arrival_history, 7, 0.5);
+    double peak = metrics[i].arrival_rate;
+    for (const double v : window) {
+      peak = std::max(peak, v);
+    }
+    const double p = metrics[i].processing_time > 0.0 ? metrics[i].processing_time
+                                                      : job_specs[i].processing_time;
+    // Max throughput of one replica is 1/p req/s; run it at the utilisation
+    // target to leave queueing headroom. Each job is sized independently.
+    const double needed = peak * p / utilization_target_;
+    auto target = static_cast<uint32_t>(std::max(1.0, std::ceil(needed)));
+    // First-come capacity clipping: no cross-job coordination.
+    const double free = resources.cpu - used;
+    const auto affordable = static_cast<uint32_t>(
+        std::max(1.0, std::floor(free / std::max(job_specs[i].cpu_per_replica, 1e-9))));
+    target = std::min(target, affordable);
+    if (!allow_downscale_) {
+      // Cocktail: an upscaled job never gives its replicas back.
+      target = std::max<uint32_t>(
+          target, metrics[i].ready_replicas + metrics[i].starting_replicas);
+    }
+    action.replicas[i] = std::max<uint32_t>(target, 1);
+    used += action.replicas[i] * job_specs[i].cpu_per_replica;
+  }
+  return action;
+}
+
+}  // namespace faro

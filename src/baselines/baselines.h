@@ -1,0 +1,105 @@
+// Baseline autoscaling policies (§6, Table 6).
+//
+//   FairShare  no autoscaling: the cluster is split evenly across jobs
+//              (Clipper, TensorFlow-Serving deployments).
+//   Oneshot    reactive: jumps straight to a replica count proportional to
+//              latency/SLO (K8s HPA, Henge, Ray Serve autoscaler). Aggressive
+//              upscale after 30 s of violations, conservative downscale after
+//              5 min of headroom.
+//   AIAD       additive-increase / additive-decrease, +-1 replica on the same
+//              triggers (INFaaS; no downscale in the original, both here per
+//              the paper's baseline).
+//   MArk/Cocktail/Barista  proactive per-job policy: predicts the load and
+//              sizes each job independently from the replica's maximum
+//              throughput (1/p), with no cross-job coordination.
+//
+// All reactive baselines share Faro's trigger thresholds (30 s overload /
+// 5 min underload) for a fair comparison, as in §6.
+
+#ifndef SRC_BASELINES_BASELINES_H_
+#define SRC_BASELINES_BASELINES_H_
+
+#include <memory>
+
+#include "src/core/policy.h"
+#include "src/core/predictor.h"
+
+namespace faro {
+
+inline constexpr double kUpscaleTriggerS = 30.0;
+inline constexpr double kDownscaleTriggerS = 300.0;
+
+class FairSharePolicy : public AutoscalingPolicy {
+ public:
+  std::string name() const override { return "FairShare"; }
+  ScalingAction Decide(double now_s, const std::vector<JobSpec>& job_specs,
+                       const std::vector<JobMetrics>& metrics,
+                       const ClusterResources& resources) override;
+};
+
+class OneshotPolicy : public AutoscalingPolicy {
+ public:
+  std::string name() const override { return "Oneshot"; }
+  // The long-term tick leaves the allocation alone; all action is reactive.
+  ScalingAction Decide(double now_s, const std::vector<JobSpec>& job_specs,
+                       const std::vector<JobMetrics>& metrics,
+                       const ClusterResources& resources) override;
+  std::optional<ScalingAction> FastReact(double now_s, const std::vector<JobSpec>& job_specs,
+                                         const std::vector<JobMetrics>& metrics,
+                                         const ClusterResources& resources) override;
+
+ private:
+  // One action per trigger period per job: a job "marked for scale-up/down"
+  // acts once, then must re-arm (otherwise the 10 s reactive tick would fire
+  // continuously through the whole overload window and oscillate).
+  std::vector<double> last_up_;
+  std::vector<double> last_down_;
+};
+
+class AiadPolicy : public AutoscalingPolicy {
+ public:
+  // INFaaS never downscales (Table 6's asterisk); pass false to model it.
+  explicit AiadPolicy(bool allow_downscale = true) : allow_downscale_(allow_downscale) {}
+  std::string name() const override { return allow_downscale_ ? "AIAD" : "AIAD-NoDown"; }
+  ScalingAction Decide(double now_s, const std::vector<JobSpec>& job_specs,
+                       const std::vector<JobMetrics>& metrics,
+                       const ClusterResources& resources) override;
+  std::optional<ScalingAction> FastReact(double now_s, const std::vector<JobSpec>& job_specs,
+                                         const std::vector<JobMetrics>& metrics,
+                                         const ClusterResources& resources) override;
+
+ private:
+  bool allow_downscale_;
+  std::vector<double> last_up_;
+  std::vector<double> last_down_;
+};
+
+class MarkPolicy : public AutoscalingPolicy {
+ public:
+  // Sizes for the peak of the predicted window at `utilization_target`
+  // fraction of each replica's maximum throughput.
+  // Cocktail upscales proactively but never relinquishes replicas (Table 6's
+  // asterisk); pass allow_downscale = false to model it.
+  explicit MarkPolicy(std::shared_ptr<WorkloadPredictor> predictor = nullptr,
+                      double utilization_target = 0.8, bool allow_downscale = true);
+  std::string name() const override {
+    return allow_downscale_ ? "MArk/Cocktail/Barista" : "Cocktail-NoDown";
+  }
+  double decision_interval_s() const override { return 60.0; }
+  ScalingAction Decide(double now_s, const std::vector<JobSpec>& job_specs,
+                       const std::vector<JobMetrics>& metrics,
+                       const ClusterResources& resources) override;
+
+ private:
+  std::shared_ptr<WorkloadPredictor> predictor_;
+  double utilization_target_;
+  bool allow_downscale_;
+};
+
+// Helper shared by the reactive baselines: current allocation as the default
+// action.
+ScalingAction CurrentAllocation(const std::vector<JobMetrics>& metrics);
+
+}  // namespace faro
+
+#endif  // SRC_BASELINES_BASELINES_H_

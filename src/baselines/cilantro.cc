@@ -1,0 +1,159 @@
+#include "src/baselines/cilantro.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/core/utility.h"
+
+namespace faro {
+
+BinnedLatencyEstimator::BinnedLatencyEstimator(double max_load_per_replica, size_t bins)
+    : max_load_(max_load_per_replica), sums_(bins, 0.0), counts_(bins, 0) {}
+
+size_t BinnedLatencyEstimator::BinIndex(double load_per_replica) const {
+  const double clamped = std::clamp(load_per_replica, 0.0, max_load_ - 1e-9);
+  return static_cast<size_t>(clamped / max_load_ * static_cast<double>(sums_.size()));
+}
+
+void BinnedLatencyEstimator::Observe(double load_per_replica, double p99_latency) {
+  if (!std::isfinite(p99_latency)) {
+    // A window with drops observed "infinite" latency; record a large finite
+    // surrogate so the bin is marked expensive without poisoning the mean.
+    p99_latency = 60.0;
+  }
+  const size_t bin = BinIndex(load_per_replica);
+  sums_[bin] += p99_latency;
+  ++counts_[bin];
+}
+
+double BinnedLatencyEstimator::Estimate(double load_per_replica) const {
+  const size_t bin = BinIndex(load_per_replica);
+  // Exact bin if populated; otherwise the nearest populated bin *below*
+  // (optimistic extrapolation -- the learner has never seen this load level
+  // hurt, so it assumes it will not).
+  for (size_t b = bin + 1; b-- > 0;) {
+    if (counts_[b] > 0) {
+      return sums_[b] / static_cast<double>(counts_[b]);
+    }
+  }
+  return 0.0;  // nothing observed at or below this load: assume free
+}
+
+size_t BinnedLatencyEstimator::populated_bins() const {
+  size_t populated = 0;
+  for (const uint64_t c : counts_) {
+    if (c > 0) {
+      ++populated;
+    }
+  }
+  return populated;
+}
+
+CilantroPolicy::CilantroPolicy(uint64_t seed) {}
+
+double CilantroPolicy::ForecastLoad(const std::vector<double>& history) {
+  const size_t n = history.size();
+  if (n == 0) {
+    return 0.0;
+  }
+  if (n < 4) {
+    return history.back();
+  }
+  // Conditional least squares AR(2) fit: y_t = a y_{t-1} + b y_{t-2} + c.
+  double sxx[3][3] = {{0.0}};
+  double sxy[3] = {0.0};
+  for (size_t t = 2; t < n; ++t) {
+    const double x0 = history[t - 1];
+    const double x1 = history[t - 2];
+    const double x[3] = {x0, x1, 1.0};
+    for (int r = 0; r < 3; ++r) {
+      for (int c = 0; c < 3; ++c) {
+        sxx[r][c] += x[r] * x[c];
+      }
+      sxy[r] += x[r] * history[t];
+    }
+  }
+  // Solve the 3x3 normal equations by Cramer's rule with a ridge term.
+  for (int r = 0; r < 3; ++r) {
+    sxx[r][r] += 1e-6;
+  }
+  const double det = sxx[0][0] * (sxx[1][1] * sxx[2][2] - sxx[1][2] * sxx[2][1]) -
+                     sxx[0][1] * (sxx[1][0] * sxx[2][2] - sxx[1][2] * sxx[2][0]) +
+                     sxx[0][2] * (sxx[1][0] * sxx[2][1] - sxx[1][1] * sxx[2][0]);
+  if (std::abs(det) < 1e-12) {
+    return history.back();
+  }
+  auto det3 = [&](int col) {
+    double m[3][3];
+    for (int r = 0; r < 3; ++r) {
+      for (int c = 0; c < 3; ++c) {
+        m[r][c] = c == col ? sxy[r] : sxx[r][c];
+      }
+    }
+    return m[0][0] * (m[1][1] * m[2][2] - m[1][2] * m[2][1]) -
+           m[0][1] * (m[1][0] * m[2][2] - m[1][2] * m[2][0]) +
+           m[0][2] * (m[1][0] * m[2][1] - m[1][1] * m[2][0]);
+  };
+  const double a = det3(0) / det;
+  const double b = det3(1) / det;
+  const double c = det3(2) / det;
+  const double forecast = a * history[n - 1] + b * history[n - 2] + c;
+  return std::max(0.0, forecast);
+}
+
+ScalingAction CilantroPolicy::Decide(double now_s, const std::vector<JobSpec>& job_specs,
+                                     const std::vector<JobMetrics>& metrics,
+                                     const ClusterResources& resources) {
+  const size_t j = job_specs.size();
+  if (estimators_.size() != j) {
+    estimators_.assign(j, BinnedLatencyEstimator());
+  }
+  // Feed the learners with the latest observation.
+  std::vector<double> forecast(j, 0.0);
+  for (size_t i = 0; i < j; ++i) {
+    const double replicas =
+        std::max<double>(1.0, metrics[i].ready_replicas);
+    if (metrics[i].arrival_rate > 0.0) {
+      estimators_[i].Observe(metrics[i].arrival_rate / replicas, metrics[i].p99_latency);
+    }
+    forecast[i] = ForecastLoad(metrics[i].arrival_history);
+    if (forecast[i] <= 0.0) {
+      forecast[i] = metrics[i].arrival_rate;
+    }
+  }
+
+  // Greedy social-welfare allocation using the learned latency estimates.
+  ScalingAction action;
+  action.replicas.assign(j, 1);
+  double used = 0.0;
+  for (size_t i = 0; i < j; ++i) {
+    used += job_specs[i].cpu_per_replica;
+  }
+  auto estimated_utility = [&](size_t i, uint32_t replicas) {
+    const double latency = estimators_[i].Estimate(forecast[i] / replicas);
+    return RelaxedUtility(latency, job_specs[i].slo);
+  };
+  for (;;) {
+    size_t best = j;
+    double best_gain = 1e-9;
+    for (size_t i = 0; i < j; ++i) {
+      if (used + job_specs[i].cpu_per_replica > resources.cpu + 1e-9) {
+        continue;
+      }
+      const double gain = job_specs[i].priority * (estimated_utility(i, action.replicas[i] + 1) -
+                                                   estimated_utility(i, action.replicas[i]));
+      if (gain > best_gain) {
+        best_gain = gain;
+        best = i;
+      }
+    }
+    if (best == j) {
+      break;
+    }
+    ++action.replicas[best];
+    used += job_specs[best].cpu_per_replica;
+  }
+  return action;
+}
+
+}  // namespace faro

@@ -1,0 +1,69 @@
+// Cilantro-like baseline (§2, Fig. 2): a utility-driven multi-tenant
+// allocator whose performance model is *learned online* rather than derived
+// analytically.
+//
+// Structure mirrors the paper's characterisation of Cilantro:
+//  - a tree-binning performance estimator: observed (load-per-replica -> tail
+//    latency) pairs populate bins; unseen bins are estimated optimistically
+//    from neighbours (this is what converges slowly);
+//  - an ARMA-style load forecaster refit on a fixed window of recent arrival
+//    rates;
+//  - a greedy social-welfare allocation: each replica goes to the job with
+//    the largest estimated marginal utility gain.
+//
+// The point of this baseline is the phenomenon in Fig. 2: online-learned
+// estimators adapt too slowly for spiky ML inference workloads, so SLO
+// violations stay high even though the allocator is SLO-aware.
+
+#ifndef SRC_BASELINES_CILANTRO_H_
+#define SRC_BASELINES_CILANTRO_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/policy.h"
+
+namespace faro {
+
+// Online estimator of tail latency as a function of per-replica load.
+// Bins are uniform in load-per-replica; each stores a running mean of
+// observed p99 latencies. Queries on empty bins fall back to the nearest
+// populated bin below (optimistic: assumes more load costs nothing until
+// observed otherwise).
+class BinnedLatencyEstimator {
+ public:
+  BinnedLatencyEstimator(double max_load_per_replica = 20.0, size_t bins = 24);
+
+  void Observe(double load_per_replica, double p99_latency);
+  double Estimate(double load_per_replica) const;
+  size_t populated_bins() const;
+
+ private:
+  size_t BinIndex(double load_per_replica) const;
+
+  double max_load_;
+  std::vector<double> sums_;
+  std::vector<uint64_t> counts_;
+};
+
+class CilantroPolicy : public AutoscalingPolicy {
+ public:
+  explicit CilantroPolicy(uint64_t seed = 1);
+
+  std::string name() const override { return "Cilantro"; }
+  double decision_interval_s() const override { return 60.0; }
+
+  ScalingAction Decide(double now_s, const std::vector<JobSpec>& job_specs,
+                       const std::vector<JobMetrics>& metrics,
+                       const ClusterResources& resources) override;
+
+ private:
+  // AR(2) one-step-ahead forecast refit on the trailing history window.
+  static double ForecastLoad(const std::vector<double>& history);
+
+  std::vector<BinnedLatencyEstimator> estimators_;
+};
+
+}  // namespace faro
+
+#endif  // SRC_BASELINES_CILANTRO_H_

@@ -1,0 +1,125 @@
+#include "src/common/rng.h"
+
+#include <numbers>
+
+namespace faro {
+namespace {
+
+uint64_t SplitMix64(uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ull;
+  uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+void Rng::Seed(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : s_) {
+    s = SplitMix64(sm);
+  }
+  has_cached_normal_ = false;
+}
+
+uint64_t Rng::NextU64() {
+  const uint64_t result = Rotl(s_[0] + s_[3], 23) + s_[0];
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::Uniform() {
+  // 53 random bits into the mantissa; result is in [0, 1).
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::Uniform(double lo, double hi) { return lo + (hi - lo) * Uniform(); }
+
+uint64_t Rng::UniformInt(uint64_t n) {
+  // Rejection sampling to remove modulo bias.
+  const uint64_t threshold = (0 - n) % n;
+  for (;;) {
+    const uint64_t r = NextU64();
+    if (r >= threshold) {
+      return r % n;
+    }
+  }
+}
+
+double Rng::Normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  // Box-Muller; u1 is bounded away from zero to keep log finite.
+  double u1 = 0.0;
+  do {
+    u1 = Uniform();
+  } while (u1 <= 1e-300);
+  const double u2 = Uniform();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  const double angle = 2.0 * std::numbers::pi * u2;
+  cached_normal_ = radius * std::sin(angle);
+  has_cached_normal_ = true;
+  return radius * std::cos(angle);
+}
+
+double Rng::Exponential(double rate) {
+  double u = 0.0;
+  do {
+    u = Uniform();
+  } while (u <= 1e-300);
+  return -std::log(u) / rate;
+}
+
+uint64_t Rng::Poisson(double mean) {
+  if (mean <= 0.0) {
+    return 0;
+  }
+  if (mean < 30.0) {
+    const double limit = std::exp(-mean);
+    uint64_t count = 0;
+    double product = Uniform();
+    while (product > limit) {
+      ++count;
+      product *= Uniform();
+    }
+    return count;
+  }
+  // Normal approximation with continuity correction is ample for workload
+  // synthesis at the rates used here (hundreds per minute).
+  const double sample = Normal(mean, std::sqrt(mean));
+  if (sample < 0.5) {
+    return 0;
+  }
+  return static_cast<uint64_t>(sample + 0.5);
+}
+
+Rng Rng::Split() {
+  Rng child;
+  child.Seed(NextU64());
+  return child;
+}
+
+std::vector<size_t> ShuffledIndices(size_t n, Rng& rng) {
+  std::vector<size_t> indices(n);
+  for (size_t i = 0; i < n; ++i) {
+    indices[i] = i;
+  }
+  for (size_t i = n; i > 1; --i) {
+    const size_t j = rng.UniformInt(i);
+    std::swap(indices[i - 1], indices[j]);
+  }
+  return indices;
+}
+
+}  // namespace faro

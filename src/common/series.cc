@@ -1,0 +1,78 @@
+#include "src/common/series.h"
+
+#include <algorithm>
+
+namespace faro {
+
+double Series::MinValue() const {
+  if (values_.empty()) {
+    return 0.0;
+  }
+  return *std::min_element(values_.begin(), values_.end());
+}
+
+double Series::MaxValue() const {
+  if (values_.empty()) {
+    return 0.0;
+  }
+  return *std::max_element(values_.begin(), values_.end());
+}
+
+double Series::MeanValue() const {
+  if (values_.empty()) {
+    return 0.0;
+  }
+  double sum = 0.0;
+  for (const double v : values_) {
+    sum += v;
+  }
+  return sum / static_cast<double>(values_.size());
+}
+
+Series Series::RescaledTo(double lo, double hi) const {
+  const double old_lo = MinValue();
+  const double old_hi = MaxValue();
+  std::vector<double> out(values_.size());
+  if (old_hi - old_lo <= 0.0) {
+    std::fill(out.begin(), out.end(), lo);
+    return Series(std::move(out));
+  }
+  const double scale = (hi - lo) / (old_hi - old_lo);
+  for (size_t i = 0; i < values_.size(); ++i) {
+    out[i] = lo + (values_[i] - old_lo) * scale;
+  }
+  return Series(std::move(out));
+}
+
+Series Series::WindowAveraged(size_t window) const {
+  if (window <= 1) {
+    return *this;
+  }
+  const size_t n = values_.size() / window;
+  std::vector<double> out(n);
+  for (size_t i = 0; i < n; ++i) {
+    double sum = 0.0;
+    for (size_t j = 0; j < window; ++j) {
+      sum += values_[i * window + j];
+    }
+    out[i] = sum / static_cast<double>(window);
+  }
+  return Series(std::move(out));
+}
+
+Series Series::Slice(size_t begin, size_t end) const {
+  begin = std::min(begin, values_.size());
+  end = std::clamp(end, begin, values_.size());
+  return Series(std::vector<double>(values_.begin() + static_cast<ptrdiff_t>(begin),
+                                    values_.begin() + static_cast<ptrdiff_t>(end)));
+}
+
+Series Series::ClampedMin(double floor) const {
+  std::vector<double> out(values_);
+  for (double& v : out) {
+    v = std::max(v, floor);
+  }
+  return Series(std::move(out));
+}
+
+}  // namespace faro

@@ -1,0 +1,51 @@
+// A uniformly-sampled time series (one value per fixed time step) plus the
+// transformations the evaluation pipeline applies to workload traces:
+// rescaling into a target rate range, window averaging (the paper averages
+// 4-minute windows to shorten cluster experiments), and train/eval splits.
+
+#ifndef SRC_COMMON_SERIES_H_
+#define SRC_COMMON_SERIES_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace faro {
+
+class Series {
+ public:
+  Series() = default;
+  explicit Series(std::vector<double> values) : values_(std::move(values)) {}
+
+  size_t size() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+  double operator[](size_t i) const { return values_[i]; }
+  double& operator[](size_t i) { return values_[i]; }
+  std::span<const double> values() const { return values_; }
+  std::vector<double>& mutable_values() { return values_; }
+
+  double MinValue() const;
+  double MaxValue() const;
+  double MeanValue() const;
+
+  // Linearly rescales values so the series spans [lo, hi]. A constant series
+  // maps to lo. Used to inject "between 1-1600 requests per minute" (§6).
+  Series RescaledTo(double lo, double hi) const;
+
+  // Averages consecutive windows of `window` samples (truncating a ragged
+  // tail), compressing the timeline while retaining temporal patterns (§6).
+  Series WindowAveraged(size_t window) const;
+
+  // Sub-series [begin, end).
+  Series Slice(size_t begin, size_t end) const;
+
+  // Clamps every value to at least `floor` (rates may not be negative).
+  Series ClampedMin(double floor) const;
+
+ private:
+  std::vector<double> values_;
+};
+
+}  // namespace faro
+
+#endif  // SRC_COMMON_SERIES_H_

@@ -1,0 +1,127 @@
+#include "src/common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace faro {
+
+void RunningStats::Add(double x) {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  if (count_ < 2) {
+    return 0.0;
+  }
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double PercentileSorted(std::span<const double> sorted, double q) {
+  if (sorted.empty()) {
+    return 0.0;
+  }
+  if (sorted.size() == 1) {
+    return sorted[0];
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  // Infinite samples (dropped requests carry infinite latency) would turn
+  // inf * 0 into NaN; resolve the interpolation without arithmetic on them.
+  if (!std::isfinite(sorted[lo]) || !std::isfinite(sorted[hi])) {
+    return frac > 0.0 ? sorted[hi] : sorted[lo];
+  }
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double Percentile(std::span<const double> values, double q) {
+  std::vector<double> copy(values.begin(), values.end());
+  std::sort(copy.begin(), copy.end());
+  return PercentileSorted(copy, q);
+}
+
+double Rmse(std::span<const double> a, std::span<const double> b) {
+  if (a.empty() || a.size() != b.size()) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    sum += d * d;
+  }
+  return std::sqrt(sum / static_cast<double>(a.size()));
+}
+
+double Mae(std::span<const double> a, std::span<const double> b) {
+  if (a.empty() || a.size() != b.size()) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    sum += std::abs(a[i] - b[i]);
+  }
+  return sum / static_cast<double>(a.size());
+}
+
+double KendallTauDistance(std::span<const double> a, std::span<const double> b) {
+  const size_t n = a.size();
+  if (n < 2 || b.size() != n) {
+    return 0.0;
+  }
+  double discordant = 0.0;
+  size_t pairs = 0;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      ++pairs;
+      const double da = a[i] - a[j];
+      const double db = b[i] - b[j];
+      const double product = da * db;
+      if (product < 0.0) {
+        discordant += 1.0;
+      } else if (product == 0.0 && (da != 0.0 || db != 0.0)) {
+        discordant += 0.5;
+      }
+    }
+  }
+  return discordant / static_cast<double>(pairs);
+}
+
+double Mean(std::span<const double> values) {
+  if (values.empty()) {
+    return 0.0;
+  }
+  double sum = 0.0;
+  for (const double v : values) {
+    sum += v;
+  }
+  return sum / static_cast<double>(values.size());
+}
+
+double StdDev(std::span<const double> values) {
+  if (values.size() < 2) {
+    return 0.0;
+  }
+  const double mu = Mean(values);
+  double sum = 0.0;
+  for (const double v : values) {
+    sum += (v - mu) * (v - mu);
+  }
+  return std::sqrt(sum / static_cast<double>(values.size() - 1));
+}
+
+}  // namespace faro

@@ -1,0 +1,63 @@
+// Summary statistics used throughout the simulator, forecaster, and benches.
+
+#ifndef SRC_COMMON_STATS_H_
+#define SRC_COMMON_STATS_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace faro {
+
+// Streaming mean / variance (Welford) with min/max tracking.
+class RunningStats {
+ public:
+  void Add(double x);
+
+  size_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  // Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const { return mean_ * static_cast<double>(count_); }
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Exact percentile of a sample using the nearest-rank-with-interpolation
+// definition (linear interpolation between closest ranks, as numpy's default).
+// `q` is in [0, 1]. Returns 0 for an empty sample. Does not require the input
+// to be sorted; works on a copy.
+double Percentile(std::span<const double> values, double q);
+
+// Percentile assuming `sorted` is already ascending (no copy).
+double PercentileSorted(std::span<const double> sorted, double q);
+
+// Root-mean-square error between two equal-length series.
+double Rmse(std::span<const double> a, std::span<const double> b);
+
+// Mean absolute error between two equal-length series.
+double Mae(std::span<const double> a, std::span<const double> b);
+
+// Kendall rank-correlation *distance* in [0, 1]: 0 = identical rankings,
+// 1 = completely reversed. Matches the paper's Table 7 usage ("0 indicates
+// identical, 1 indicates complete divergence"). Inputs are two scorings of the
+// same items; ties contribute half a discordance.
+double KendallTauDistance(std::span<const double> a, std::span<const double> b);
+
+// Arithmetic mean; 0 for empty input.
+double Mean(std::span<const double> values);
+
+// Sample standard deviation; 0 for fewer than two values.
+double StdDev(std::span<const double> values);
+
+}  // namespace faro
+
+#endif  // SRC_COMMON_STATS_H_

@@ -1,0 +1,63 @@
+#include "src/core/admission.h"
+
+#include <algorithm>
+
+#include "src/queueing/mdc.h"
+
+namespace faro {
+
+uint32_t AdmissionController::PeakReplicas(const AdmissionRequest& request) {
+  return RequiredReplicasMdc(request.peak_arrival_rate, request.spec.processing_time,
+                             request.spec.slo, request.spec.percentile);
+}
+
+AdmissionDecision AdmissionController::Check(const AdmissionRequest& candidate) const {
+  AdmissionDecision decision;
+  if (candidate.spec.slo < candidate.spec.processing_time) {
+    decision.reason = "SLO below one service time: unsatisfiable at any scale";
+    return decision;
+  }
+  double cpu = 0.0;
+  double mem = 0.0;
+  for (const AdmissionRequest& job : admitted_) {
+    const double replicas = PeakReplicas(job);
+    cpu += replicas * job.spec.cpu_per_replica;
+    mem += replicas * job.spec.mem_per_replica;
+  }
+  const double candidate_replicas = PeakReplicas(candidate);
+  cpu += candidate_replicas * candidate.spec.cpu_per_replica;
+  mem += candidate_replicas * candidate.spec.mem_per_replica;
+  decision.peak_demand_cpu = cpu;
+  decision.peak_demand_mem = mem;
+  if (cpu > resources_.cpu + 1e-9) {
+    decision.reason = "peak vCPU demand exceeds cluster capacity";
+    return decision;
+  }
+  if (mem > resources_.mem + 1e-9) {
+    decision.reason = "peak memory demand exceeds cluster capacity";
+    return decision;
+  }
+  decision.admitted = true;
+  decision.reason = "fits at simultaneous peak";
+  return decision;
+}
+
+AdmissionDecision AdmissionController::Admit(const AdmissionRequest& candidate) {
+  AdmissionDecision decision = Check(candidate);
+  if (decision.admitted) {
+    admitted_.push_back(candidate);
+  }
+  return decision;
+}
+
+bool AdmissionController::Release(const std::string& name) {
+  const auto it = std::find_if(admitted_.begin(), admitted_.end(),
+                               [&](const AdmissionRequest& r) { return r.spec.name == name; });
+  if (it == admitted_.end()) {
+    return false;
+  }
+  admitted_.erase(it);
+  return true;
+}
+
+}  // namespace faro

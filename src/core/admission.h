@@ -1,0 +1,64 @@
+// Admission control (§7): "it remains an open question whether admission
+// control decisions can be designed to guarantee SLO satisfaction, perhaps
+// with some workload assumptions." This module implements the natural
+// first-cut answer under the paper's own modelling assumptions (Poisson
+// arrivals, near-deterministic service, M/D/c sizing): admit a new job only
+// if the peak total M/D/c replica demand of existing + new jobs fits the
+// cluster.
+
+#ifndef SRC_CORE_ADMISSION_H_
+#define SRC_CORE_ADMISSION_H_
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/core/objectives.h"
+
+namespace faro {
+
+// A job's declared envelope for admission: its spec plus the peak arrival
+// rate (req/s) it is allowed to submit. Jobs exceeding their declared peak
+// void the guarantee (they can still be throttled by Faro-Penalty variants).
+struct AdmissionRequest {
+  JobSpec spec;
+  double peak_arrival_rate = 0.0;
+};
+
+struct AdmissionDecision {
+  bool admitted = false;
+  // Replicas the admitted set needs at simultaneous peak (pessimistic: peaks
+  // are assumed to coincide).
+  double peak_demand_cpu = 0.0;
+  double peak_demand_mem = 0.0;
+  std::string reason;
+};
+
+class AdmissionController {
+ public:
+  explicit AdmissionController(ClusterResources resources) : resources_(resources) {}
+
+  // Jobs currently admitted.
+  std::span<const AdmissionRequest> admitted() const { return admitted_; }
+
+  // Peak replica requirement of one request (M/D/c sizing at its SLO).
+  static uint32_t PeakReplicas(const AdmissionRequest& request);
+
+  // Checks whether `candidate` fits alongside the admitted set; does not
+  // mutate state.
+  AdmissionDecision Check(const AdmissionRequest& candidate) const;
+
+  // Check and, if admitted, record the job.
+  AdmissionDecision Admit(const AdmissionRequest& candidate);
+
+  // Removes an admitted job by name; returns false if unknown.
+  bool Release(const std::string& name);
+
+ private:
+  ClusterResources resources_;
+  std::vector<AdmissionRequest> admitted_;
+};
+
+}  // namespace faro
+
+#endif  // SRC_CORE_ADMISSION_H_

@@ -1,0 +1,570 @@
+#include "src/core/autoscaler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "src/optim/cobyla.h"
+
+namespace faro {
+namespace {
+
+// Shrinking treats a job as "at utility 1" when its predicted utility is
+// within this tolerance of the maximum.
+constexpr double kFullUtilityTolerance = 1e-3;
+
+double MinCpuPerReplica(const std::vector<JobSpec>& job_specs) {
+  double min_cpu = 1.0;
+  for (const JobSpec& spec : job_specs) {
+    min_cpu = std::min(min_cpu, std::max(spec.cpu_per_replica, 1e-6));
+  }
+  return min_cpu;
+}
+
+}  // namespace
+
+FaroAutoscaler::FaroAutoscaler(FaroConfig config, std::shared_ptr<WorkloadPredictor> predictor)
+    : config_(config), predictor_(std::move(predictor)), rng_(config.seed) {
+  if (predictor_ == nullptr) {
+    predictor_ = std::make_shared<DampedAveragePredictor>();
+  }
+}
+
+std::string FaroAutoscaler::name() const { return ObjectiveKindName(config_.objective); }
+
+ClusterObjectiveConfig FaroAutoscaler::MakeObjectiveConfig() const {
+  ClusterObjectiveConfig config;
+  config.kind = config_.objective;
+  config.relaxed = config_.relaxed;
+  config.latency_model = config_.latency_model;
+  config.utility_alpha = config_.utility_alpha;
+  config.rho_max = config_.rho_max;
+  config.gamma = config_.gamma;
+  return config;
+}
+
+std::vector<std::vector<double>> FaroAutoscaler::PredictLoads(
+    const std::vector<JobSpec>& job_specs, const std::vector<JobMetrics>& metrics) {
+  std::vector<std::vector<double>> loads(metrics.size());
+  // Stage 1 plans for replicas that become useful only after cold start: the
+  // first cold_start seconds of the window are outside this decision's
+  // control, so they are skipped.
+  const size_t skip = std::min(
+      config_.prediction_window_steps > 0 ? config_.prediction_window_steps - 1 : size_t{0},
+      static_cast<size_t>(std::ceil(config_.cold_start_s / config_.step_seconds)));
+  for (size_t i = 0; i < metrics.size(); ++i) {
+    if (!config_.enable_prediction) {
+      loads[i] = {std::max(0.0, metrics[i].arrival_rate)};
+      continue;
+    }
+    const double quantile = config_.probabilistic ? config_.prediction_quantile : 0.5;
+    std::vector<double> predicted = predictor_->PredictQuantile(
+        i, metrics[i].arrival_history, config_.prediction_window_steps, quantile);
+    if (predicted.empty()) {
+      loads[i] = {std::max(0.0, metrics[i].arrival_rate)};
+      continue;
+    }
+    std::vector<double> window;
+    for (size_t k = skip; k < predicted.size(); ++k) {
+      window.push_back(std::max(0.0, predicted[k]));
+    }
+    if (window.empty()) {
+      window.push_back(std::max(0.0, predicted.back()));
+    }
+    loads[i] = std::move(window);
+  }
+  return loads;
+}
+
+std::vector<uint32_t> FaroAutoscaler::Integerize(const ClusterObjective& objective,
+                                                 std::span<const double> solution,
+                                                 const ClusterResources& resources) const {
+  const size_t j = objective.num_jobs();
+  const bool drops = UsesDropRates(objective.config().kind);
+  std::vector<uint32_t> replicas(j);
+  for (size_t i = 0; i < j; ++i) {
+    replicas[i] = static_cast<uint32_t>(std::max(1.0, std::round(solution[i])));
+  }
+  auto drop_of = [&](size_t i) {
+    return drops ? std::clamp(solution[j + i], 0.0, 1.0) : 0.0;
+  };
+  auto cpu_total = [&]() {
+    double total = 0.0;
+    for (size_t i = 0; i < j; ++i) {
+      total += objective.jobs()[i].spec.cpu_per_replica * replicas[i];
+    }
+    return total;
+  };
+  auto mem_total = [&]() {
+    double total = 0.0;
+    for (size_t i = 0; i < j; ++i) {
+      total += objective.jobs()[i].spec.mem_per_replica * replicas[i];
+    }
+    return total;
+  };
+  // Greedy repair: while over capacity, give back the replica whose removal
+  // costs the least (priority-weighted) predicted utility.
+  while (cpu_total() > resources.cpu + 1e-9 || mem_total() > resources.mem + 1e-9) {
+    size_t victim = j;  // sentinel: none found
+    double least_loss = std::numeric_limits<double>::infinity();
+    for (size_t i = 0; i < j; ++i) {
+      if (replicas[i] <= 1) {
+        continue;
+      }
+      const double pi = objective.jobs()[i].spec.priority;
+      const double before = objective.JobUtility(i, replicas[i], drop_of(i));
+      const double after = objective.JobUtility(i, replicas[i] - 1, drop_of(i));
+      const double loss = pi * (before - after);
+      if (loss < least_loss) {
+        least_loss = loss;
+        victim = i;
+      }
+    }
+    if (victim == j) {
+      break;  // every job is already at its 1-replica minimum
+    }
+    --replicas[victim];
+  }
+  return replicas;
+}
+
+void FaroAutoscaler::ExchangePolish(const ClusterObjective& objective,
+                                    std::vector<uint32_t>& replicas,
+                                    std::span<const double> drop_rates,
+                                    const ClusterResources& resources) const {
+  const size_t j = objective.num_jobs();
+  const bool drops = UsesDropRates(objective.config().kind);
+  std::vector<double> v(objective.dimension(), 0.0);
+  auto sync = [&]() {
+    for (size_t i = 0; i < j; ++i) {
+      v[i] = static_cast<double>(replicas[i]);
+      if (drops) {
+        v[j + i] = i < drop_rates.size() ? drop_rates[i] : 0.0;
+      }
+    }
+  };
+  auto cpu_total = [&]() {
+    double total = 0.0;
+    for (size_t i = 0; i < j; ++i) {
+      total += objective.jobs()[i].spec.cpu_per_replica * replicas[i];
+    }
+    return total;
+  };
+  auto mem_total = [&]() {
+    double total = 0.0;
+    for (size_t i = 0; i < j; ++i) {
+      total += objective.jobs()[i].spec.mem_per_replica * replicas[i];
+    }
+    return total;
+  };
+
+  sync();
+  double value = objective.Evaluate(v);
+  for (int round = 0; round < 200; ++round) {
+    bool improved = false;
+    // Grow into free capacity first.
+    for (size_t i = 0; i < j; ++i) {
+      const JobSpec& spec = objective.jobs()[i].spec;
+      if (cpu_total() + spec.cpu_per_replica > resources.cpu + 1e-9 ||
+          mem_total() + spec.mem_per_replica > resources.mem + 1e-9) {
+        continue;
+      }
+      ++replicas[i];
+      sync();
+      const double grown = objective.Evaluate(v);
+      if (grown > value + 1e-9) {
+        value = grown;
+        improved = true;
+      } else {
+        --replicas[i];
+        sync();
+      }
+    }
+    // Replica moves between jobs. Multi-replica moves matter: the utility of
+    // a job is S-shaped in its replica count, so in an oversubscribed cluster
+    // the best step can be taking several replicas from a job that cannot be
+    // saved to make another job whole -- a valley single-replica moves never
+    // cross.
+    size_t best_from = j;
+    size_t best_to = j;
+    uint32_t best_count = 0;
+    double best_value = value;
+    for (size_t from = 0; from < j; ++from) {
+      for (const uint32_t count : {1u, 2u, 4u, 8u}) {
+        if (replicas[from] <= count) {
+          continue;
+        }
+        replicas[from] -= count;
+        for (size_t to = 0; to < j; ++to) {
+          if (to == from) {
+            continue;
+          }
+          replicas[to] += count;
+          sync();
+          if (cpu_total() <= resources.cpu + 1e-9 && mem_total() <= resources.mem + 1e-9) {
+            const double moved = objective.Evaluate(v);
+            if (moved > best_value + 1e-9) {
+              best_value = moved;
+              best_from = from;
+              best_to = to;
+              best_count = count;
+            }
+          }
+          replicas[to] -= count;
+        }
+        replicas[from] += count;
+      }
+    }
+    sync();
+    if (best_from != j) {
+      replicas[best_from] -= best_count;
+      replicas[best_to] += best_count;
+      sync();
+      value = best_value;
+      improved = true;
+    }
+    if (!improved) {
+      break;
+    }
+  }
+}
+
+void FaroAutoscaler::Shrink(const ClusterObjective& objective, std::vector<uint32_t>& replicas,
+                            std::span<const double> drop_rates) const {
+  const size_t j = objective.num_jobs();
+  const bool drops = UsesDropRates(objective.config().kind);
+  std::vector<double> v(objective.dimension(), 0.0);
+  auto sync = [&]() {
+    for (size_t i = 0; i < j; ++i) {
+      v[i] = static_cast<double>(replicas[i]);
+      if (drops) {
+        v[j + i] = i < drop_rates.size() ? drop_rates[i] : 0.0;
+      }
+    }
+  };
+  sync();
+  double cluster_value = objective.Evaluate(v);
+  for (size_t i = 0; i < j; ++i) {
+    const double drop = drops && i < drop_rates.size() ? drop_rates[i] : 0.0;
+    // Only jobs whose predicted utility is already 1 are candidates (§4.3).
+    while (replicas[i] > 1 &&
+           objective.JobUtility(i, replicas[i], drop) >= 1.0 - kFullUtilityTolerance) {
+      --replicas[i];
+      sync();
+      const double shrunk_value = objective.Evaluate(v);
+      if (shrunk_value < cluster_value - 1e-9) {
+        // The cluster objective moved: undo and stop shrinking this job.
+        ++replicas[i];
+        sync();
+        break;
+      }
+      cluster_value = shrunk_value;
+    }
+  }
+}
+
+ScalingAction FaroAutoscaler::SolveFlat(const std::vector<JobSpec>& job_specs,
+                                        const std::vector<JobMetrics>& metrics,
+                                        const std::vector<std::vector<double>>& loads,
+                                        const ClusterResources& resources) {
+  std::vector<JobContext> contexts(job_specs.size());
+  for (size_t i = 0; i < job_specs.size(); ++i) {
+    contexts[i].spec = job_specs[i];
+    // Prefer the measured processing time when the router has observed one;
+    // the spec's value seeds the very first decisions.
+    if (metrics[i].processing_time > 0.0) {
+      contexts[i].spec.processing_time = metrics[i].processing_time;
+    }
+    contexts[i].predicted_load = loads[i];
+  }
+  ClusterObjectiveConfig obj_config = MakeObjectiveConfig();
+  obj_config.max_replicas_per_job =
+      std::max(1.0, resources.cpu / MinCpuPerReplica(job_specs));
+  ClusterObjective objective(std::move(contexts), resources, obj_config);
+
+  // Warm start from the current allocation; COBYLA explores around it with
+  // an initial variable change of 2 (§5), and the integer exchange polish
+  // cleans up whatever the solver leaves on the table.
+  std::vector<double> x0 = objective.InitialPoint();
+  for (size_t i = 0; i < job_specs.size(); ++i) {
+    x0[i] = std::max<double>(1.0, metrics[i].ready_replicas + metrics[i].starting_replicas);
+    x0[i] = std::min(x0[i], obj_config.max_replicas_per_job);
+  }
+  CobylaConfig solver;
+  solver.rho_begin = config_.solver_rho_begin;
+  solver.rho_end = config_.solver_rho_end;
+  solver.max_evaluations = config_.solver_max_evaluations;
+
+  // Fairness terms gamma * (max U - min U) put a ridge along the symmetric
+  // direction: from an allocation with equal utilities, improving any single
+  // job is penalised more than the sum gains, which stalls local solvers.
+  // Pre-solving the ridge-free Sum variant of the same contexts gives the
+  // fairness objective a warm start on the right utility frontier.
+  const bool has_fairness = config_.objective == ObjectiveKind::kFair ||
+                            config_.objective == ObjectiveKind::kFairSum ||
+                            config_.objective == ObjectiveKind::kPenaltyFairSum;
+  if (has_fairness) {
+    ClusterObjectiveConfig pre_config = obj_config;
+    pre_config.kind = UsesDropRates(config_.objective) ? ObjectiveKind::kPenaltySum
+                                                       : ObjectiveKind::kSum;
+    ClusterObjective pre_objective(objective.jobs(), resources, pre_config);
+    Problem pre_problem = pre_objective.BuildProblem();
+    const OptimResult pre_solution = Cobyla(pre_problem, x0, solver);
+    if (pre_solution.max_violation <= 1e-3) {
+      x0 = pre_solution.x;
+    }
+  }
+
+  Problem problem = objective.BuildProblem();
+  const OptimResult solution = Cobyla(problem, x0, solver);
+
+  ScalingAction action;
+  action.replicas = Integerize(objective, solution.x, resources);
+  action.drop_rates.assign(job_specs.size(), 0.0);
+  if (UsesDropRates(config_.objective)) {
+    for (size_t i = 0; i < job_specs.size(); ++i) {
+      double drop = std::clamp(solution.x[job_specs.size() + i], 0.0, 1.0);
+      if (drop < 0.01) {
+        drop = 0.0;  // ignore solver noise
+      }
+      action.drop_rates[i] = drop;
+    }
+  }
+  ExchangePolish(objective, action.replicas, action.drop_rates, resources);
+
+  // Cold-start-aware hysteresis: keep the standing allocation when the new
+  // one is not predicted to be materially better (see FaroConfig).
+  if (config_.switch_margin > 0.0) {
+    std::vector<uint32_t> current(job_specs.size());
+    bool differs = false;
+    double current_cpu = 0.0;
+    double current_mem = 0.0;
+    for (size_t i = 0; i < job_specs.size(); ++i) {
+      current[i] = std::max<uint32_t>(1, metrics[i].ready_replicas + metrics[i].starting_replicas);
+      current_cpu += job_specs[i].cpu_per_replica * current[i];
+      current_mem += job_specs[i].mem_per_replica * current[i];
+      differs = differs || current[i] != action.replicas[i];
+    }
+    if (differs && current_cpu <= resources.cpu + 1e-9 && current_mem <= resources.mem + 1e-9) {
+      std::vector<double> v_new(objective.dimension(), 0.0);
+      std::vector<double> v_cur(objective.dimension(), 0.0);
+      for (size_t i = 0; i < job_specs.size(); ++i) {
+        v_new[i] = static_cast<double>(action.replicas[i]);
+        v_cur[i] = static_cast<double>(current[i]);
+        if (UsesDropRates(config_.objective)) {
+          v_new[job_specs.size() + i] = action.drop_rates[i];
+          v_cur[job_specs.size() + i] = action.drop_rates[i];
+        }
+      }
+      if (objective.Evaluate(v_new) < objective.Evaluate(v_cur) + config_.switch_margin) {
+        action.replicas = current;
+      }
+    }
+  }
+
+  if (config_.enable_shrinking) {
+    Shrink(objective, action.replicas, action.drop_rates);
+  }
+  return action;
+}
+
+ScalingAction FaroAutoscaler::SolveHierarchical(const std::vector<JobSpec>& job_specs,
+                                                const std::vector<JobMetrics>& metrics,
+                                                const std::vector<std::vector<double>>& loads,
+                                                const ClusterResources& resources) {
+  const size_t j = job_specs.size();
+  const size_t groups = std::min(config_.hierarchical_groups, j);
+  // Random assignment of jobs to groups (§3.4: "assigning each job to a
+  // random group").
+  const std::vector<size_t> order = ShuffledIndices(j, rng_);
+  std::vector<std::vector<size_t>> members(groups);
+  for (size_t k = 0; k < j; ++k) {
+    members[k % groups].push_back(order[k]);
+  }
+
+  // Aggregate each group: lambda_g = sum of member loads per step, p_g = mean
+  // processing time; resource cost per group replica is the member mean.
+  size_t window = std::numeric_limits<size_t>::max();
+  for (const auto& load : loads) {
+    window = std::min(window, load.size());
+  }
+  std::vector<JobSpec> group_specs(groups);
+  std::vector<JobMetrics> group_metrics(groups);
+  std::vector<std::vector<double>> group_loads(groups, std::vector<double>(window, 0.0));
+  for (size_t g = 0; g < groups; ++g) {
+    JobSpec& spec = group_specs[g];
+    spec.name = "group-" + std::to_string(g);
+    double p_sum = 0.0;
+    double cpu_sum = 0.0;
+    double mem_sum = 0.0;
+    double priority_sum = 0.0;
+    double slo = std::numeric_limits<double>::infinity();
+    double percentile = 0.0;
+    uint32_t current = 0;
+    for (const size_t i : members[g]) {
+      for (size_t k = 0; k < window; ++k) {
+        group_loads[g][k] += loads[i][k];
+      }
+      const double p = metrics[i].processing_time > 0.0 ? metrics[i].processing_time
+                                                        : job_specs[i].processing_time;
+      p_sum += p;
+      cpu_sum += job_specs[i].cpu_per_replica;
+      mem_sum += job_specs[i].mem_per_replica;
+      priority_sum += job_specs[i].priority;
+      slo = std::min(slo, job_specs[i].slo);
+      percentile = std::max(percentile, job_specs[i].percentile);
+      current += metrics[i].ready_replicas + metrics[i].starting_replicas;
+    }
+    const double count = static_cast<double>(members[g].size());
+    spec.processing_time = p_sum / count;
+    spec.cpu_per_replica = cpu_sum / count;
+    spec.mem_per_replica = mem_sum / count;
+    spec.priority = priority_sum / count;
+    spec.slo = slo;
+    spec.percentile = percentile;
+    spec.parallel_queues = count;  // no pooling across the member routers
+    group_metrics[g].ready_replicas = std::max<uint32_t>(current, 1);
+    group_metrics[g].processing_time = spec.processing_time;
+  }
+
+  const ScalingAction group_action =
+      SolveFlat(group_specs, group_metrics, group_loads, resources);
+
+  // Distribute each group's replicas to members in proportion to their
+  // capacity demand (peak predicted load x processing time), one minimum.
+  ScalingAction action;
+  action.replicas.assign(j, 1);
+  action.drop_rates.assign(j, 0.0);
+  for (size_t g = 0; g < groups; ++g) {
+    const uint32_t budget = group_action.replicas[g];
+    std::vector<double> weight(members[g].size());
+    double weight_sum = 0.0;
+    for (size_t k = 0; k < members[g].size(); ++k) {
+      const size_t i = members[g][k];
+      double peak = 0.0;
+      for (const double v : loads[i]) {
+        peak = std::max(peak, v);
+      }
+      weight[k] = peak * job_specs[i].processing_time + 1e-6;
+      weight_sum += weight[k];
+    }
+    uint32_t assigned = 0;
+    std::vector<double> remainder(members[g].size());
+    for (size_t k = 0; k < members[g].size(); ++k) {
+      const double share = budget * weight[k] / weight_sum;
+      const auto whole = static_cast<uint32_t>(std::max(1.0, std::floor(share)));
+      action.replicas[members[g][k]] = whole;
+      remainder[k] = share - std::floor(share);
+      assigned += whole;
+      if (!group_action.drop_rates.empty()) {
+        action.drop_rates[members[g][k]] = group_action.drop_rates[g];
+      }
+    }
+    // Hand out any leftover replicas by largest fractional share.
+    while (assigned < budget) {
+      size_t best = 0;
+      for (size_t k = 1; k < remainder.size(); ++k) {
+        if (remainder[k] > remainder[best]) {
+          best = k;
+        }
+      }
+      ++action.replicas[members[g][best]];
+      remainder[best] = -1.0;
+      ++assigned;
+    }
+
+    // Refine the proportional split with the integer exchange on the group's
+    // own sub-problem (a few members, so this is cheap) -- proportional-to-
+    // load splitting ignores the nonlinear queueing economies the exchange
+    // sees.
+    std::vector<JobContext> member_contexts;
+    double group_cpu = 0.0;
+    double group_mem = 0.0;
+    for (const size_t i : members[g]) {
+      JobContext context;
+      context.spec = job_specs[i];
+      if (metrics[i].processing_time > 0.0) {
+        context.spec.processing_time = metrics[i].processing_time;
+      }
+      context.predicted_load = loads[i];
+      member_contexts.push_back(std::move(context));
+      group_cpu += job_specs[i].cpu_per_replica * action.replicas[i];
+      group_mem += job_specs[i].mem_per_replica * action.replicas[i];
+    }
+    ClusterObjectiveConfig member_config = MakeObjectiveConfig();
+    member_config.max_replicas_per_job = static_cast<double>(budget);
+    ClusterObjective member_objective(std::move(member_contexts),
+                                      ClusterResources{group_cpu, group_mem}, member_config);
+    std::vector<uint32_t> member_replicas;
+    for (const size_t i : members[g]) {
+      member_replicas.push_back(action.replicas[i]);
+    }
+    const std::vector<double> no_drops(members[g].size(), 0.0);
+    ExchangePolish(member_objective, member_replicas, no_drops,
+                   ClusterResources{group_cpu, group_mem});
+    for (size_t k = 0; k < members[g].size(); ++k) {
+      action.replicas[members[g][k]] = member_replicas[k];
+    }
+  }
+  return action;
+}
+
+ScalingAction FaroAutoscaler::Decide(double now_s, const std::vector<JobSpec>& job_specs,
+                                     const std::vector<JobMetrics>& metrics,
+                                     const ClusterResources& resources) {
+  const std::vector<std::vector<double>> loads = PredictLoads(job_specs, metrics);
+  if (config_.hierarchical_groups > 1 && job_specs.size() > config_.hierarchical_groups &&
+      job_specs.size() > config_.hierarchical_threshold) {
+    return SolveHierarchical(job_specs, metrics, loads, resources);
+  }
+  return SolveFlat(job_specs, metrics, loads, resources);
+}
+
+std::optional<ScalingAction> FaroAutoscaler::FastReact(double now_s,
+                                                       const std::vector<JobSpec>& job_specs,
+                                                       const std::vector<JobMetrics>& metrics,
+                                                       const ClusterResources& resources) {
+  if (!config_.enable_hybrid) {
+    return std::nullopt;
+  }
+  if (last_reactive_up_.size() != metrics.size()) {
+    last_reactive_up_.assign(metrics.size(), -1e18);
+  }
+  double used_cpu = 0.0;
+  for (size_t i = 0; i < metrics.size(); ++i) {
+    used_cpu +=
+        job_specs[i].cpu_per_replica * (metrics[i].ready_replicas + metrics[i].starting_replicas);
+  }
+  ScalingAction action;
+  action.replicas.resize(metrics.size());
+  bool changed = false;
+  // Most-overloaded jobs get first claim on the free capacity.
+  std::vector<size_t> order(metrics.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return metrics[a].overloaded_for > metrics[b].overloaded_for;
+  });
+  for (size_t i = 0; i < metrics.size(); ++i) {
+    action.replicas[i] = metrics[i].ready_replicas + metrics[i].starting_replicas;
+  }
+  for (const size_t i : order) {
+    if (metrics[i].overloaded_for < config_.overload_trigger_s ||
+        now_s - last_reactive_up_[i] < config_.overload_trigger_s) {
+      continue;
+    }
+    if (used_cpu + job_specs[i].cpu_per_replica > resources.cpu + 1e-9) {
+      continue;
+    }
+    ++action.replicas[i];
+    used_cpu += job_specs[i].cpu_per_replica;
+    last_reactive_up_[i] = now_s;
+    changed = true;
+  }
+  if (!changed) {
+    return std::nullopt;
+  }
+  return action;
+}
+
+}  // namespace faro

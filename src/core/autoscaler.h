@@ -1,0 +1,160 @@
+// The Faro multi-tenant autoscaler (§4).
+//
+// Every decision interval the autoscaler executes three stages:
+//   Stage 1  Per-job formulation: fetch each job's processing time and
+//            arrival history, predict the load over the upcoming window
+//            (probabilistic N-HiTS in production; pluggable here), and plan
+//            for replica availability only after the cold-start delay.
+//   Stage 2  Multi-tenant solve: combine the per-job objectives into the
+//            configured cluster objective (relaxed by default) and solve it
+//            with COBYLA under the cluster's vCPU/memory capacity, then
+//            integerise the solution within capacity.
+//   Stage 3  Shrinking: iteratively return replicas from jobs already at
+//            utility 1 while the cluster objective is unchanged, right-sizing
+//            the allocation.
+//
+// Between long-term decisions a short-term reactive loop (§4.4) upscales a
+// job additively when it has violated its SLO for a sustained period; it
+// never downscales (the long-term stage owns the baseline allocation).
+
+#ifndef SRC_CORE_AUTOSCALER_H_
+#define SRC_CORE_AUTOSCALER_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "src/common/rng.h"
+#include "src/core/objectives.h"
+#include "src/core/policy.h"
+#include "src/core/predictor.h"
+
+namespace faro {
+
+struct FaroConfig {
+  ObjectiveKind objective = ObjectiveKind::kFairSum;
+
+  // --- Ablation switches (Fig. 16) ---------------------------------------
+  // Relaxed (sloppified) objective vs the precise step formulation.
+  bool relaxed = true;
+  // M/D/c latency model vs the pessimistic upper bound.
+  LatencyModelKind latency_model = LatencyModelKind::kMdcRelaxed;
+  // Time-series prediction on/off (off = size for the current rate only).
+  bool enable_prediction = true;
+  // Probabilistic prediction (pessimistic quantile of sampled trajectories)
+  // vs the point (median) forecast.
+  bool probabilistic = true;
+  // Short-term reactive autoscaler on/off.
+  bool enable_hybrid = true;
+  // Stage-3 shrinking on/off.
+  bool enable_shrinking = true;
+
+  // Quantile of the predictive distribution used for sizing when
+  // `probabilistic` is set (the pessimistic envelope of Fig. 8c; high enough
+  // to absorb fluctuation, low enough not to saturate a constrained cluster).
+  double prediction_quantile = 0.75;
+  // Prediction window (steps of `step_seconds`); 7 min overlaps the next
+  // decision cycle and covers cold start (§5).
+  size_t prediction_window_steps = 7;
+  double step_seconds = 60.0;
+  // Replica cold-start delay planned around by Stage 1.
+  double cold_start_s = 60.0;
+
+  // Long-term decision cadence and reactive trigger (§4.4, §6).
+  double decision_interval_s = 300.0;
+  double overload_trigger_s = 30.0;
+
+  // Hierarchical optimisation: number of random job groups G (§3.4). The
+  // paper uses G = 10; since Fig. 7 shows aggregation degrades the objective
+  // below ~50 jobs while the flat solve is still fast there, grouping only
+  // activates above `hierarchical_threshold` jobs.
+  size_t hierarchical_groups = 10;
+  size_t hierarchical_threshold = 50;
+
+  double utility_alpha = kDefaultUtilityAlpha;
+  double rho_max = kDefaultRhoMax;
+  double gamma = -1.0;  // fairness weight; <=0 -> job count
+
+  // Cold-start-aware hysteresis: a re-solve's allocation is adopted only if
+  // its predicted cluster-objective value beats the current allocation's by
+  // this margin. Replica moves are not free -- the receiving job waits out a
+  // cold start while the losing job degrades immediately -- so near-tie
+  // reshuffles (common under saturation, where predictions fluctuate but no
+  // allocation is good) are suppressed.
+  double switch_margin = 0.05;
+
+  // COBYLA settings ("initial variable change of 2", §5).
+  double solver_rho_begin = 2.0;
+  double solver_rho_end = 1e-3;
+  int solver_max_evaluations = 4000;
+
+  uint64_t seed = 7;
+};
+
+class FaroAutoscaler : public AutoscalingPolicy {
+ public:
+  // The predictor is shared across jobs (histories are passed per call); it
+  // must outlive the autoscaler. Pass nullptr to use a built-in damped
+  // average (prediction still "on", just weaker -- ablation arms use
+  // enable_prediction=false instead).
+  FaroAutoscaler(FaroConfig config, std::shared_ptr<WorkloadPredictor> predictor = nullptr);
+
+  std::string name() const override;
+  double decision_interval_s() const override { return config_.decision_interval_s; }
+
+  ScalingAction Decide(double now_s, const std::vector<JobSpec>& job_specs,
+                       const std::vector<JobMetrics>& metrics,
+                       const ClusterResources& resources) override;
+
+  std::optional<ScalingAction> FastReact(double now_s, const std::vector<JobSpec>& job_specs,
+                                         const std::vector<JobMetrics>& metrics,
+                                         const ClusterResources& resources) override;
+
+  const FaroConfig& config() const { return config_; }
+
+ private:
+  // Stage 1: per-job predicted loads over the post-cold-start window (req/s).
+  std::vector<std::vector<double>> PredictLoads(const std::vector<JobSpec>& job_specs,
+                                                const std::vector<JobMetrics>& metrics);
+
+  // Stage 2 helpers.
+  ScalingAction SolveFlat(const std::vector<JobSpec>& job_specs,
+                          const std::vector<JobMetrics>& metrics,
+                          const std::vector<std::vector<double>>& loads,
+                          const ClusterResources& resources);
+  ScalingAction SolveHierarchical(const std::vector<JobSpec>& job_specs,
+                                  const std::vector<JobMetrics>& metrics,
+                                  const std::vector<std::vector<double>>& loads,
+                                  const ClusterResources& resources);
+
+  // Rounds the continuous solution to integers >= 1 within capacity, greedily
+  // trimming the replicas whose removal costs the least predicted utility.
+  std::vector<uint32_t> Integerize(const ClusterObjective& objective,
+                                   std::span<const double> solution,
+                                   const ClusterResources& resources) const;
+
+  // Integer polish after rounding: greedily adds replicas into free capacity
+  // and moves single replicas between jobs while either improves the
+  // (relaxed) cluster objective. Repairs solver sloppiness at integer
+  // granularity; on the precise plateau objective it is as blind as the
+  // solver, so the relaxation ablation is unaffected.
+  void ExchangePolish(const ClusterObjective& objective, std::vector<uint32_t>& replicas,
+                      std::span<const double> drop_rates,
+                      const ClusterResources& resources) const;
+
+  // Stage 3: shrink utility-1 jobs while the cluster objective is unchanged.
+  void Shrink(const ClusterObjective& objective, std::vector<uint32_t>& replicas,
+              std::span<const double> drop_rates) const;
+
+  ClusterObjectiveConfig MakeObjectiveConfig() const;
+
+  FaroConfig config_;
+  std::shared_ptr<WorkloadPredictor> predictor_;
+  Rng rng_;
+  // Per-job time of the last reactive upscale: one additive step per trigger
+  // period, so the 10 s tick does not fire continuously through a cold start.
+  std::vector<double> last_reactive_up_;
+};
+
+}  // namespace faro
+
+#endif  // SRC_CORE_AUTOSCALER_H_

@@ -1,0 +1,42 @@
+#include "src/core/budget.h"
+
+#include <cmath>
+#include <limits>
+
+namespace faro {
+
+uint32_t InstancesForBudget(double dollars_per_hour, const InstanceType& instance) {
+  if (instance.dollars_per_hour <= 0.0 || dollars_per_hour <= 0.0) {
+    return 0;
+  }
+  return static_cast<uint32_t>(std::floor(dollars_per_hour / instance.dollars_per_hour));
+}
+
+ClusterResources CapacityForBudget(double dollars_per_hour, const InstanceType& instance) {
+  const double count = InstancesForBudget(dollars_per_hour, instance);
+  return ClusterResources{count * instance.vcpus, count * instance.mem_gb};
+}
+
+const InstanceType* CheapestFeasible(std::span<const InstanceType> catalog,
+                                     double dollars_per_hour, double required_cpu,
+                                     double required_mem) {
+  const InstanceType* best = nullptr;
+  double best_rate = std::numeric_limits<double>::infinity();
+  for (const InstanceType& instance : catalog) {
+    if (instance.vcpus <= 0.0) {
+      continue;
+    }
+    const ClusterResources capacity = CapacityForBudget(dollars_per_hour, instance);
+    if (capacity.cpu + 1e-9 < required_cpu || capacity.mem + 1e-9 < required_mem) {
+      continue;
+    }
+    const double rate = instance.dollars_per_hour / instance.vcpus;
+    if (rate < best_rate) {
+      best_rate = rate;
+      best = &instance;
+    }
+  }
+  return best;
+}
+
+}  // namespace faro

@@ -1,0 +1,39 @@
+// Budget-limited capacity (§7 "Beyond On-Premises Clusters"): "a common
+// example is deployment on a public cloud wherein developers prefer a VM
+// instance type but have a budget limit ($ per hour) ... Faro is also
+// applicable in these scenarios." The constrained-cluster abstraction stays
+// the same; only where ResMax comes from changes.
+
+#ifndef SRC_CORE_BUDGET_H_
+#define SRC_CORE_BUDGET_H_
+
+#include <span>
+#include <string>
+
+#include "src/core/objectives.h"
+
+namespace faro {
+
+// A cloud VM shape.
+struct InstanceType {
+  std::string name;
+  double vcpus = 0.0;
+  double mem_gb = 0.0;
+  double dollars_per_hour = 0.0;
+};
+
+// Capacity a budget buys with a single instance type (whole instances).
+ClusterResources CapacityForBudget(double dollars_per_hour, const InstanceType& instance);
+
+// Number of instances the budget buys.
+uint32_t InstancesForBudget(double dollars_per_hour, const InstanceType& instance);
+
+// The cheapest instance type (by $/vCPU-hour) that can reach at least the
+// required vCPU and memory within the budget; returns nullptr if none fits.
+const InstanceType* CheapestFeasible(std::span<const InstanceType> catalog,
+                                     double dollars_per_hour, double required_cpu,
+                                     double required_mem);
+
+}  // namespace faro
+
+#endif  // SRC_CORE_BUDGET_H_

@@ -1,0 +1,168 @@
+#include "src/core/objectives.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/core/penalty.h"
+#include "src/queueing/mmc.h"
+
+namespace faro {
+
+bool UsesDropRates(ObjectiveKind kind) {
+  return kind == ObjectiveKind::kPenaltySum || kind == ObjectiveKind::kPenaltyFairSum;
+}
+
+std::string ObjectiveKindName(ObjectiveKind kind) {
+  switch (kind) {
+    case ObjectiveKind::kSum:
+      return "Faro-Sum";
+    case ObjectiveKind::kFair:
+      return "Faro-Fair";
+    case ObjectiveKind::kFairSum:
+      return "Faro-FairSum";
+    case ObjectiveKind::kPenaltySum:
+      return "Faro-PenaltySum";
+    case ObjectiveKind::kPenaltyFairSum:
+      return "Faro-PenaltyFairSum";
+  }
+  return "Faro-?";
+}
+
+ClusterObjective::ClusterObjective(std::vector<JobContext> jobs, ClusterResources resources,
+                                   ClusterObjectiveConfig config)
+    : jobs_(std::move(jobs)), resources_(resources), config_(config) {
+  if (config_.gamma <= 0.0) {
+    config_.gamma = static_cast<double>(jobs_.size());
+  }
+}
+
+size_t ClusterObjective::dimension() const {
+  return UsesDropRates(config_.kind) ? 2 * jobs_.size() : jobs_.size();
+}
+
+double ClusterObjective::LatencyEstimate(size_t i, double lambda, double replicas) const {
+  const JobSpec& spec = jobs_[i].spec;
+  // Aggregated jobs are modelled as parallel_queues independent queues each
+  // receiving an equal share of the load and the replicas.
+  const double pq = std::max(1.0, spec.parallel_queues);
+  lambda /= pq;
+  replicas /= pq;
+  switch (config_.latency_model) {
+    case LatencyModelKind::kMdcRelaxed:
+      return RelaxedMdcLatency(replicas, lambda, spec.processing_time, spec.percentile,
+                               config_.rho_max);
+    case LatencyModelKind::kMdcPrecise: {
+      // Integer server counts only: the fractional part of the solver's probe
+      // is discarded, which is precisely what creates the plateaus the
+      // precise formulation suffers from (Fig. 5, Fig. 6-middle).
+      const auto servers = static_cast<uint32_t>(std::max(1.0, std::floor(replicas)));
+      return MdcLatencyPercentile(servers, lambda, spec.processing_time, spec.percentile);
+    }
+    case LatencyModelKind::kUpperBound:
+      return UpperBoundLatency(lambda, spec.processing_time, std::max(replicas, 1e-3));
+  }
+  return std::numeric_limits<double>::infinity();
+}
+
+double ClusterObjective::JobUtility(size_t i, double replicas, double drop_rate) const {
+  const JobContext& job = jobs_[i];
+  drop_rate = std::clamp(drop_rate, 0.0, 1.0);
+  if (job.predicted_load.empty()) {
+    return 1.0;
+  }
+  double total = 0.0;
+  for (const double lambda : job.predicted_load) {
+    const double served = lambda * (1.0 - drop_rate);
+    const double latency = LatencyEstimate(i, served, replicas);
+    total += config_.relaxed ? RelaxedUtility(latency, job.spec.slo, config_.utility_alpha)
+                             : StepUtility(latency, job.spec.slo);
+  }
+  return total / static_cast<double>(job.predicted_load.size());
+}
+
+double ClusterObjective::JobEffectiveUtility(size_t i, double replicas, double drop_rate) const {
+  drop_rate = std::clamp(drop_rate, 0.0, 1.0);
+  const double utility = JobUtility(i, replicas, drop_rate);
+  const double phi = config_.relaxed ? RelaxedPenaltyMultiplier(drop_rate)
+                                     : StepPenaltyMultiplier(drop_rate);
+  return phi * utility;
+}
+
+double ClusterObjective::Evaluate(std::span<const double> v) const {
+  const size_t j = jobs_.size();
+  const bool drops = UsesDropRates(config_.kind);
+  double weighted_sum = 0.0;
+  double min_u = std::numeric_limits<double>::infinity();
+  double max_u = -std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < j; ++i) {
+    const double drop = drops ? std::clamp(v[j + i], 0.0, 1.0) : 0.0;
+    const double u = drops ? JobEffectiveUtility(i, v[i], drop) : JobUtility(i, v[i], drop);
+    weighted_sum += jobs_[i].spec.priority * u;
+    min_u = std::min(min_u, u);
+    max_u = std::max(max_u, u);
+  }
+  const double unfairness = j > 0 ? max_u - min_u : 0.0;
+  switch (config_.kind) {
+    case ObjectiveKind::kSum:
+    case ObjectiveKind::kPenaltySum:
+      return weighted_sum;
+    case ObjectiveKind::kFair:
+      return -unfairness;
+    case ObjectiveKind::kFairSum:
+    case ObjectiveKind::kPenaltyFairSum:
+      return weighted_sum - config_.gamma * unfairness;
+  }
+  return weighted_sum;
+}
+
+Problem ClusterObjective::BuildProblem() const {
+  const size_t j = jobs_.size();
+  const size_t dim = dimension();
+  // The lambda captures *this; the ClusterObjective must outlive the Problem.
+  Problem problem(dim, [this](std::span<const double> v) { return -Evaluate(v); });
+
+  std::vector<double> lo(dim);
+  std::vector<double> hi(dim);
+  for (size_t i = 0; i < j; ++i) {
+    lo[i] = 1.0;  // x_i >= 1 (Eq. 3: minimum one replica per job)
+    hi[i] = config_.max_replicas_per_job;
+  }
+  for (size_t i = j; i < dim; ++i) {
+    lo[i] = 0.0;  // 0 <= d_i <= 1
+    hi[i] = 1.0;
+  }
+  problem.SetBounds(std::move(lo), std::move(hi));
+
+  problem.AddConstraint(
+      [this](std::span<const double> v) { return resources_.cpu - CpuUsage(v); });
+  problem.AddConstraint(
+      [this](std::span<const double> v) { return resources_.mem - MemUsage(v); });
+  return problem;
+}
+
+std::vector<double> ClusterObjective::InitialPoint() const {
+  std::vector<double> v(dimension(), 0.0);
+  for (size_t i = 0; i < jobs_.size(); ++i) {
+    v[i] = 1.0;
+  }
+  return v;
+}
+
+double ClusterObjective::CpuUsage(std::span<const double> v) const {
+  double total = 0.0;
+  for (size_t i = 0; i < jobs_.size(); ++i) {
+    total += jobs_[i].spec.cpu_per_replica * v[i];
+  }
+  return total;
+}
+
+double ClusterObjective::MemUsage(std::span<const double> v) const {
+  double total = 0.0;
+  for (size_t i = 0; i < jobs_.size(); ++i) {
+    total += jobs_[i].spec.mem_per_replica * v[i];
+  }
+  return total;
+}
+
+}  // namespace faro

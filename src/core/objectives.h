@@ -1,0 +1,146 @@
+// Cluster objective functions (§3.2) and their precise / relaxed optimisation
+// forms (§3.4).
+//
+// Given per-job predicted loads, processing times, SLOs and priorities, this
+// module builds the nonlinear program the autoscaler solves: decision
+// variables are continuous replica counts x_i (and, for the Penalty*
+// variants, drop rates d_i), the objective is one of
+//
+//   Faro-Sum            maximize sum_i pi_i U_i
+//   Faro-Fair           minimize (max_i U_i - min_i U_i)
+//   Faro-FairSum        maximize sum_i pi_i U_i - gamma (max U - min U)
+//   Faro-PenaltySum     maximize sum_i pi_i EU_i
+//   Faro-PenaltyFairSum maximize sum_i pi_i EU_i - gamma (max EU - min EU)
+//
+// subject to per-job minimums and cluster vCPU / memory capacity (Eq. 3).
+// In *precise* mode job utility uses the step function and the hard M/D/c
+// estimate (infinite latency past saturation) -- the plateau-ridden surface
+// of Fig. 5. In *relaxed* mode it uses the inverse utility (Eq. 1), the
+// rho_max-capped M/D/c latency, and the piecewise-linear penalty multiplier,
+// which is what Faro actually solves.
+
+#ifndef SRC_CORE_OBJECTIVES_H_
+#define SRC_CORE_OBJECTIVES_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/core/utility.h"
+#include "src/optim/problem.h"
+#include "src/queueing/mdc.h"
+
+namespace faro {
+
+// Static description of one inference job (one pre-trained model).
+struct JobSpec {
+  std::string name;
+  double slo = 0.720;             // latency target, seconds
+  double percentile = 0.99;       // SLO percentile k
+  double processing_time = 0.180; // per-request service time p, seconds
+  double priority = 1.0;          // pi_i
+  double cpu_per_replica = 1.0;   // vCPUs per replica
+  double mem_per_replica = 1.0;   // GB per replica
+  // When this spec describes an *aggregate* of several jobs (hierarchical
+  // optimisation, §3.4), the aggregate runs as this many independent router
+  // queues: the latency model divides both the arrival rate and the replica
+  // count by it, so the solve does not credit pooling efficiency the split
+  // allocation cannot realise.
+  double parallel_queues = 1.0;
+};
+
+// Total cluster capacity (ResMax in Table 4).
+struct ClusterResources {
+  double cpu = 0.0;
+  double mem = 0.0;
+};
+
+enum class ObjectiveKind : uint8_t {
+  kSum,
+  kFair,
+  kFairSum,
+  kPenaltySum,
+  kPenaltyFairSum,
+};
+
+// True for the variants whose optimisation includes drop-rate variables.
+bool UsesDropRates(ObjectiveKind kind);
+
+// Human-readable name ("Faro-FairSum" etc.) for reports.
+std::string ObjectiveKindName(ObjectiveKind kind);
+
+enum class LatencyModelKind : uint8_t {
+  kMdcRelaxed,   // rho_max-capped M/D/c (the Faro default)
+  kMdcPrecise,   // hard M/D/c, infinite past saturation (precise mode)
+  kUpperBound,   // pessimistic burst estimator (ablation)
+};
+
+struct ClusterObjectiveConfig {
+  ObjectiveKind kind = ObjectiveKind::kSum;
+  // Relaxed utility / latency / penalty vs the precise step formulation.
+  bool relaxed = true;
+  LatencyModelKind latency_model = LatencyModelKind::kMdcRelaxed;
+  double utility_alpha = kDefaultUtilityAlpha;
+  double rho_max = kDefaultRhoMax;
+  // Fairness weight gamma; <= 0 means "auto": the job count, which normalises
+  // the sum and fairness terms against each other (§3.2 recommendation).
+  double gamma = -1.0;
+  // Upper bound on any single job's replica count (solver box bound).
+  double max_replicas_per_job = 1e4;
+};
+
+// One job's optimisation context: its spec plus the predicted arrival rates
+// (req/s) over the upcoming decision window (§4.1).
+struct JobContext {
+  JobSpec spec;
+  std::vector<double> predicted_load;
+};
+
+// Builds and evaluates cluster objectives. The decision vector layout is
+//   v[0 .. J-1]     replica counts (continuous, >= 1)
+//   v[J .. 2J-1]    drop rates in [0, 1]   (only for Penalty* objectives)
+class ClusterObjective {
+ public:
+  ClusterObjective(std::vector<JobContext> jobs, ClusterResources resources,
+                   ClusterObjectiveConfig config);
+
+  size_t num_jobs() const { return jobs_.size(); }
+  size_t dimension() const;
+  const ClusterObjectiveConfig& config() const { return config_; }
+  const std::vector<JobContext>& jobs() const { return jobs_; }
+
+  // Average utility of job i over its prediction window at `replicas`
+  // (continuous) with fraction `drop_rate` of load shed. Uses the configured
+  // precision mode.
+  double JobUtility(size_t i, double replicas, double drop_rate = 0.0) const;
+
+  // Effective utility EU_i = phi(d_i) * U_i (Eq. 2).
+  double JobEffectiveUtility(size_t i, double replicas, double drop_rate) const;
+
+  // Cluster objective value (higher is better) at the decision vector.
+  double Evaluate(std::span<const double> v) const;
+
+  // The same surface packaged for the minimising solvers: objective is
+  // -Evaluate, constraints are capacity (Eq. 3) and box bounds.
+  Problem BuildProblem() const;
+
+  // A feasible, informative starting point: every job at 1 replica, zero
+  // drops (the paper starts deployments at 1 replica per job).
+  std::vector<double> InitialPoint() const;
+
+  // Total vCPU / memory consumed by the replica allocation in `v`.
+  double CpuUsage(std::span<const double> v) const;
+  double MemUsage(std::span<const double> v) const;
+
+ private:
+  double LatencyEstimate(size_t i, double lambda, double replicas) const;
+
+  std::vector<JobContext> jobs_;
+  ClusterResources resources_;
+  ClusterObjectiveConfig config_;
+};
+
+}  // namespace faro
+
+#endif  // SRC_CORE_OBJECTIVES_H_

@@ -1,0 +1,53 @@
+#include "src/core/penalty.h"
+
+#include <algorithm>
+#include <iterator>
+
+namespace faro {
+
+double StepPenalty(double availability) {
+  if (availability >= 0.99) {
+    return 0.0;
+  }
+  if (availability >= 0.95) {
+    return 0.25;
+  }
+  if (availability >= 0.90) {
+    return 0.50;
+  }
+  return 1.0;
+}
+
+double RelaxedPenalty(double availability) {
+  availability = std::clamp(availability, 0.0, 1.0);
+  struct Knot {
+    double availability;
+    double penalty;
+  };
+  // Descending availability; the final segment continues to (0, 1) linearly.
+  static constexpr Knot kKnots[] = {
+      {1.00, 0.00}, {0.99, 0.00}, {0.95, 0.25}, {0.90, 0.50}, {0.00, 1.00}};
+  for (size_t i = 0; i + 1 < std::size(kKnots); ++i) {
+    const Knot& hi = kKnots[i];
+    const Knot& lo = kKnots[i + 1];
+    if (availability <= hi.availability && availability >= lo.availability) {
+      const double span = hi.availability - lo.availability;
+      if (span <= 0.0) {
+        return lo.penalty;
+      }
+      const double frac = (availability - lo.availability) / span;
+      return lo.penalty + frac * (hi.penalty - lo.penalty);
+    }
+  }
+  return 1.0;
+}
+
+double StepPenaltyMultiplier(double drop_rate) {
+  return 1.0 - StepPenalty(1.0 - std::clamp(drop_rate, 0.0, 1.0));
+}
+
+double RelaxedPenaltyMultiplier(double drop_rate) {
+  return 1.0 - RelaxedPenalty(1.0 - std::clamp(drop_rate, 0.0, 1.0));
+}
+
+}  // namespace faro

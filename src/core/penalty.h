@@ -1,0 +1,36 @@
+// Drop-request penalty multiplier (§3.2, Table 5).
+//
+// When a constrained cluster is overloaded, Faro may explicitly drop requests
+// to protect the SLO of the remainder and avoid OOM. Dropping incurs a
+// penalty structured like the service-credit schedules cloud providers attach
+// to their SLAs (the table below is AWS's): availability >= 99% costs
+// nothing, then 25% / 50% / 100% credit bands. The *effective utility* of a
+// job is EU = phi(d) * U where phi(d) = 1 - penalty(1 - d) (Eq. 2).
+//
+// The step-shaped credit schedule is itself a plateau, so §3.4 also relaxes
+// it into a piecewise-linear function for use inside the solver.
+
+#ifndef SRC_CORE_PENALTY_H_
+#define SRC_CORE_PENALTY_H_
+
+namespace faro {
+
+// Service-credit fraction for a given availability in [0, 1] (Table 5):
+//   availability >= 0.99          -> 0.00
+//   0.95 <= availability < 0.99   -> 0.25
+//   0.90 <= availability < 0.95   -> 0.50
+//   availability < 0.90           -> 1.00
+double StepPenalty(double availability);
+
+// Piecewise-linear relaxation of the credit schedule: interpolates through
+// (1.00, 0), (0.99, 0), (0.95, 0.25), (0.90, 0.50) and reaches 1.0 at zero
+// availability with a constant slope, so the solver always sees a gradient.
+double RelaxedPenalty(double availability);
+
+// Effective-utility multiplier phi(d) = 1 - penalty(1 - d) for drop rate d.
+double StepPenaltyMultiplier(double drop_rate);
+double RelaxedPenaltyMultiplier(double drop_rate);
+
+}  // namespace faro
+
+#endif  // SRC_CORE_PENALTY_H_

@@ -1,0 +1,73 @@
+#include "src/core/pipeline.h"
+
+#include <cmath>
+
+#include "src/queueing/mdc.h"
+
+namespace faro {
+namespace {
+
+double TotalProcessingTime(const PipelineSpec& pipeline) {
+  double total = 0.0;
+  for (const PipelineStage& stage : pipeline.stages) {
+    total += stage.processing_time;
+  }
+  return total;
+}
+
+}  // namespace
+
+std::vector<JobSpec> SplitPipelineSlo(const PipelineSpec& pipeline) {
+  std::vector<JobSpec> specs;
+  const double total = TotalProcessingTime(pipeline);
+  for (const PipelineStage& stage : pipeline.stages) {
+    JobSpec spec;
+    spec.name = pipeline.name + "/" + stage.name;
+    spec.slo = total > 0.0 ? pipeline.slo * stage.processing_time / total
+                           : pipeline.slo / static_cast<double>(pipeline.stages.size());
+    spec.percentile = pipeline.percentile;
+    spec.processing_time = stage.processing_time;
+    spec.priority = pipeline.priority;
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
+std::vector<double> StageArrivalRates(const PipelineSpec& pipeline, double lambda) {
+  std::vector<double> rates;
+  double rate = lambda;
+  for (const PipelineStage& stage : pipeline.stages) {
+    rate *= stage.fanout;
+    rates.push_back(rate);
+  }
+  return rates;
+}
+
+double PipelineLatencyEstimate(const PipelineSpec& pipeline,
+                               std::span<const double> stage_replicas, double lambda,
+                               double rho_max) {
+  const std::vector<double> rates = StageArrivalRates(pipeline, lambda);
+  double total = 0.0;
+  for (size_t i = 0; i < pipeline.stages.size() && i < stage_replicas.size(); ++i) {
+    total += RelaxedMdcLatency(stage_replicas[i], rates[i],
+                               pipeline.stages[i].processing_time, pipeline.percentile,
+                               rho_max);
+  }
+  return total;
+}
+
+bool PipelineSloFeasible(const PipelineSpec& pipeline) {
+  const double total = TotalProcessingTime(pipeline);
+  if (total <= 0.0 || pipeline.stages.empty()) {
+    return false;
+  }
+  for (const PipelineStage& stage : pipeline.stages) {
+    const double sub_slo = pipeline.slo * stage.processing_time / total;
+    if (sub_slo < stage.processing_time) {
+      return false;  // equivalent to pipeline.slo < total, per stage
+    }
+  }
+  return true;
+}
+
+}  // namespace faro

@@ -1,0 +1,64 @@
+// SLO splitting for chained ML pipelines (§7): "Faro is applicable to ML
+// pipelines that make chained calls to multiple ML jobs, if the application
+// SLO can be split into sub-SLOs for each called model, e.g., proportionally:
+// for a chain with two model calls, if one model takes 2x [the] other, ...
+// the SLO is split as 66%-33%."
+//
+// This module turns a pipeline-level latency SLO into per-stage JobSpecs the
+// autoscaler treats as ordinary jobs, and estimates end-to-end pipeline
+// latency from per-stage allocations.
+
+#ifndef SRC_CORE_PIPELINE_H_
+#define SRC_CORE_PIPELINE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/objectives.h"
+
+namespace faro {
+
+// One stage of a chained pipeline: a model with a measured per-request
+// processing time. `fanout` calls per pipeline request (e.g. a detector that
+// invokes a classifier on average 2.5 times scales that stage's load).
+struct PipelineStage {
+  std::string name;
+  double processing_time = 0.1;
+  double fanout = 1.0;
+};
+
+struct PipelineSpec {
+  std::string name;
+  double slo = 1.0;         // end-to-end latency target (s)
+  double percentile = 0.99;
+  double priority = 1.0;
+  std::vector<PipelineStage> stages;
+};
+
+// Splits the pipeline SLO across stages proportionally to their processing
+// times (the §7 rule) and returns one JobSpec per stage. Stage i's sub-SLO is
+//   slo * p_i / sum_j p_j
+// and its name is "<pipeline>/<stage>". Fanout scales neither the SLO nor the
+// processing time -- callers scale the *arrival rate* of downstream stages by
+// the fanout (see StageArrivalRates).
+std::vector<JobSpec> SplitPipelineSlo(const PipelineSpec& pipeline);
+
+// Arrival rate each stage sees for a pipeline-level arrival rate `lambda`
+// (req/s): stage i receives lambda * prod_{j<=i} fanout_j.
+std::vector<double> StageArrivalRates(const PipelineSpec& pipeline, double lambda);
+
+// Estimated end-to-end q-th percentile latency of the pipeline given each
+// stage's replica allocation, using the relaxed M/D/c model per stage and
+// summing stage latencies (tail independence: a pessimistic-but-simple
+// composition, consistent with the per-stage sub-SLO split).
+double PipelineLatencyEstimate(const PipelineSpec& pipeline,
+                               std::span<const double> stage_replicas, double lambda,
+                               double rho_max = kDefaultRhoMax);
+
+// True when the proportional split is achievable: every stage's sub-SLO is at
+// least its own processing time (otherwise no allocation can meet it).
+bool PipelineSloFeasible(const PipelineSpec& pipeline);
+
+}  // namespace faro
+
+#endif  // SRC_CORE_PIPELINE_H_

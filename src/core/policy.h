@@ -1,0 +1,81 @@
+// Autoscaling-policy interface: the contract between the cluster substrate
+// (deployment or matched simulator) and any autoscaler (Faro or a baseline).
+//
+// The substrate collects per-job metrics continually (the modified Ray Router
+// of §5) and invokes the policy on two cadences: the long-term decision
+// interval (Decide, default every 5 minutes) and a fast reactive tick
+// (FastReact, default every 10 seconds) used by hybrid policies (§4.4) and
+// reactive baselines.
+
+#ifndef SRC_CORE_POLICY_H_
+#define SRC_CORE_POLICY_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/core/objectives.h"
+
+namespace faro {
+
+// Rolling metrics for one job, as exported by its router.
+struct JobMetrics {
+  // Smoothed arrival rate over the last metrics window (req/s), including
+  // requests that were later dropped.
+  double arrival_rate = 0.0;
+  // Average per-request replica processing time (s) observed recently.
+  double processing_time = 0.0;
+  // Tail and mean latency over the last window (s); dropped requests count as
+  // +infinity, mirroring §6's metric definition.
+  double p99_latency = 0.0;
+  double mean_latency = 0.0;
+  // Fraction of the window's arrivals that were dropped (tail drop or
+  // explicit drop).
+  double drop_rate = 0.0;
+  // Replicas currently serving (ready), plus replicas still cold-starting.
+  uint32_t ready_replicas = 1;
+  uint32_t starting_replicas = 0;
+  // Per-minute arrival-rate history (req/s, oldest first) for predictors.
+  std::vector<double> arrival_history;
+  // Seconds the job has continuously violated / met its SLO (for the 30 s /
+  // 5 min up/down triggers shared by Faro's reactive stage and baselines).
+  double overloaded_for = 0.0;
+  double underloaded_for = 0.0;
+};
+
+// A scaling decision covering every job. `replicas` are absolute targets;
+// `drop_rates` (optional, same length) instruct routers to shed a fraction of
+// incoming load (only Faro-Penalty* sets this).
+struct ScalingAction {
+  std::vector<uint32_t> replicas;
+  std::vector<double> drop_rates;
+};
+
+class AutoscalingPolicy {
+ public:
+  virtual ~AutoscalingPolicy() = default;
+
+  virtual std::string name() const = 0;
+
+  // Long-term decision. `job_specs` and `metrics` are index-aligned.
+  virtual ScalingAction Decide(double now_s, const std::vector<JobSpec>& job_specs,
+                               const std::vector<JobMetrics>& metrics,
+                               const ClusterResources& resources) = 0;
+
+  // Seconds between Decide() calls.
+  virtual double decision_interval_s() const { return 300.0; }
+
+  // Fast-path reaction between long-term decisions; return std::nullopt to
+  // leave the allocation untouched.
+  virtual std::optional<ScalingAction> FastReact(double now_s,
+                                                 const std::vector<JobSpec>& job_specs,
+                                                 const std::vector<JobMetrics>& metrics,
+                                                 const ClusterResources& resources) {
+    return std::nullopt;
+  }
+};
+
+}  // namespace faro
+
+#endif  // SRC_CORE_POLICY_H_

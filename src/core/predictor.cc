@@ -1,0 +1,76 @@
+#include "src/core/predictor.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace faro {
+
+std::vector<double> LastValuePredictor::PredictQuantile(size_t job,
+                                                        std::span<const double> history,
+                                                        size_t horizon, double quantile) {
+  const double last = history.empty() ? 0.0 : history.back();
+  return std::vector<double>(horizon, last);
+}
+
+std::vector<double> DampedAveragePredictor::PredictQuantile(size_t job,
+                                                             std::span<const double> history,
+                                                             size_t horizon, double quantile) {
+  double level = 0.0;
+  bool first = true;
+  for (const double v : history) {
+    if (first) {
+      level = v;
+      first = false;
+    } else {
+      level = damping_ * level + (1.0 - damping_) * v;
+    }
+  }
+  return std::vector<double>(horizon, level);
+}
+
+std::vector<double> LinearTrendPredictor::PredictQuantile(size_t job,
+                                                          std::span<const double> history,
+                                                          size_t horizon, double quantile) {
+  const size_t n = window_ > 0 ? std::min(window_, history.size()) : history.size();
+  if (n < 3) {
+    const double last = history.empty() ? 0.0 : history.back();
+    return std::vector<double>(horizon, last);
+  }
+  const std::span<const double> recent = history.subspan(history.size() - n, n);
+  // Least-squares line y = a + b t over t = 0..n-1.
+  double st = 0.0;
+  double sy = 0.0;
+  double stt = 0.0;
+  double sty = 0.0;
+  for (size_t t = 0; t < n; ++t) {
+    const double td = static_cast<double>(t);
+    st += td;
+    sy += recent[t];
+    stt += td * td;
+    sty += td * recent[t];
+  }
+  const double count = static_cast<double>(n);
+  const double denom = count * stt - st * st;
+  const double b = denom != 0.0 ? (count * sty - st * sy) / denom : 0.0;
+  const double a = (sy - b * st) / count;
+  // Residual spread for the quantile envelope.
+  double ss = 0.0;
+  for (size_t t = 0; t < n; ++t) {
+    const double fitted = a + b * static_cast<double>(t);
+    ss += (recent[t] - fitted) * (recent[t] - fitted);
+  }
+  const double sigma = n > 2 ? std::sqrt(ss / static_cast<double>(n - 2)) : 0.0;
+  // Crude z for the quantile (exact inverse CDF lives in the forecast lib;
+  // a two-term approximation is ample for an envelope).
+  const double q = std::clamp(quantile, 0.01, 0.99);
+  const double z = q >= 0.5 ? std::sqrt(-2.0 * std::log(2.0 * (1.0 - q))) - 0.34
+                            : -(std::sqrt(-2.0 * std::log(2.0 * q)) - 0.34);
+  std::vector<double> out(horizon);
+  for (size_t h = 0; h < horizon; ++h) {
+    const double t = static_cast<double>(n - 1 + (h + 1));
+    out[h] = std::max(0.0, a + b * t + z * sigma);
+  }
+  return out;
+}
+
+}  // namespace faro

@@ -1,0 +1,66 @@
+// Workload-predictor interface (§3.5) plus simple reference predictors.
+//
+// Faro's production predictor is the probabilistic N-HiTS model in
+// src/forecast/ (which implements this interface); the simple predictors
+// here serve as ablation arms ("no prediction" uses the last observed rate)
+// and as dependency-light defaults.
+
+#ifndef SRC_CORE_PREDICTOR_H_
+#define SRC_CORE_PREDICTOR_H_
+
+#include <span>
+#include <vector>
+
+namespace faro {
+
+class WorkloadPredictor {
+ public:
+  virtual ~WorkloadPredictor() = default;
+
+  // Predicts job `job`'s next `horizon` per-step arrival rates given its
+  // trailing `history` (req/s per step, oldest first). `quantile` selects the
+  // level of the predictive distribution: 0.5 is the median trajectory;
+  // higher values give the pessimistic envelopes probabilistic prediction
+  // exists to supply (§3.5.2). Point predictors ignore `quantile`; stateless
+  // predictors ignore `job` (stateful ones keep one trained model per job).
+  virtual std::vector<double> PredictQuantile(size_t job, std::span<const double> history,
+                                              size_t horizon, double quantile) = 0;
+};
+
+// Flat-lines the most recent observation across the horizon. This is what a
+// purely reactive autoscaler implicitly assumes.
+class LastValuePredictor : public WorkloadPredictor {
+ public:
+  std::vector<double> PredictQuantile(size_t job, std::span<const double> history,
+                                      size_t horizon, double quantile) override;
+};
+
+// Exponentially damped average of the history, flat-lined over the horizon;
+// the classic "smoothed" point predictor (cf. the damped average in Fig. 8b).
+class DampedAveragePredictor : public WorkloadPredictor {
+ public:
+  explicit DampedAveragePredictor(double damping = 0.6) : damping_(damping) {}
+  std::vector<double> PredictQuantile(size_t job, std::span<const double> history,
+                                      size_t horizon, double quantile) override;
+
+ private:
+  double damping_;
+};
+
+// Linear regression over the recent history, extrapolated across the horizon
+// -- the predictor class Swayam uses. The quantile is served from the
+// regression's residual spread (a cheap, honest probabilistic envelope).
+class LinearTrendPredictor : public WorkloadPredictor {
+ public:
+  // `window`: how many trailing observations the regression fits (0 = all).
+  explicit LinearTrendPredictor(size_t window = 15) : window_(window) {}
+  std::vector<double> PredictQuantile(size_t job, std::span<const double> history,
+                                      size_t horizon, double quantile) override;
+
+ private:
+  size_t window_;
+};
+
+}  // namespace faro
+
+#endif  // SRC_CORE_PREDICTOR_H_

@@ -1,0 +1,49 @@
+// Per-job utility functions (§3.1).
+//
+// Faro distills a developer-facing SLO -- a latency target s at percentile k
+// -- into a utility in [0, 1]. The *original* utility is a step function
+// (1 when the k-th percentile latency meets the target, else 0); because its
+// plateaus defeat optimisation solvers, Faro also derives the *relaxed*
+// utility U(l, s) = min((s/l)^alpha, 1), which approaches the step function
+// as alpha grows (Fig. 4a) and lower-bounds the SLO satisfaction rate
+// (Fig. 4b), making it a safe pessimistic proxy.
+
+#ifndef SRC_CORE_UTILITY_H_
+#define SRC_CORE_UTILITY_H_
+
+#include <algorithm>
+#include <cmath>
+
+namespace faro {
+
+// Sharpness of the relaxed utility. Larger values hug the step function more
+// closely but flatten the gradient far from the target; 4 keeps a useful
+// slope across the whole overload range while staying within a few percent of
+// the step below the target.
+inline constexpr double kDefaultUtilityAlpha = 4.0;
+
+// U_original: 1 if the latency meets the SLO target, else 0.
+inline double StepUtility(double latency, double slo) {
+  return latency <= slo ? 1.0 : 0.0;
+}
+
+// Relaxed utility U(l, s) = min((s/l)^alpha, 1) (Eq. 1). Nonpositive latency
+// means "no requests observed" and maps to full utility; infinite latency
+// maps to 0.
+inline double RelaxedUtility(double latency, double slo, double alpha = kDefaultUtilityAlpha) {
+  if (latency <= 0.0) {
+    return 1.0;
+  }
+  if (std::isinf(latency)) {
+    return 0.0;
+  }
+  const double ratio = slo / latency;
+  if (ratio >= 1.0) {
+    return 1.0;
+  }
+  return std::pow(ratio, alpha);
+}
+
+}  // namespace faro
+
+#endif  // SRC_CORE_UTILITY_H_

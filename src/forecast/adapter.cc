@@ -1,0 +1,40 @@
+#include "src/forecast/adapter.h"
+
+#include <algorithm>
+
+namespace faro {
+
+double NHitsWorkloadPredictor::TrainJob(size_t job, const Series& train) {
+  NHitsConfig config = model_config_;
+  config.seed = model_config_.seed + job * 7919;
+  auto model = std::make_unique<NHitsModel>(config);
+  TrainConfig tc = train_config_;
+  tc.seed = train_config_.seed + job * 104729;
+  const double loss = model->TrainOnSeries(train, tc);
+  models_[job] = std::move(model);
+  return loss;
+}
+
+NHitsModel* NHitsWorkloadPredictor::model(size_t job) {
+  auto it = models_.find(job);
+  return it == models_.end() ? nullptr : it->second.get();
+}
+
+std::vector<double> NHitsWorkloadPredictor::PredictQuantile(size_t job,
+                                                            std::span<const double> history,
+                                                            size_t horizon, double quantile) {
+  NHitsModel* model = this->model(job);
+  if (model == nullptr || !model->trained()) {
+    return fallback_.PredictQuantile(job, history, horizon, quantile);
+  }
+  std::vector<double> trajectory = model->PredictQuantileRaw(history, quantile);
+  if (trajectory.size() > horizon) {
+    trajectory.resize(horizon);
+  }
+  while (trajectory.size() < horizon) {
+    trajectory.push_back(trajectory.empty() ? 0.0 : trajectory.back());
+  }
+  return trajectory;
+}
+
+}  // namespace faro

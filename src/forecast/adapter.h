@@ -1,0 +1,46 @@
+// Glue between the forecasting library and the Faro autoscaler: one trained
+// probabilistic N-HiTS model per job, exposed through the core
+// WorkloadPredictor interface.
+
+#ifndef SRC_FORECAST_ADAPTER_H_
+#define SRC_FORECAST_ADAPTER_H_
+
+#include <memory>
+#include <unordered_map>
+
+#include "src/common/series.h"
+#include "src/core/predictor.h"
+#include "src/forecast/nhits.h"
+
+namespace faro {
+
+class NHitsWorkloadPredictor : public WorkloadPredictor {
+ public:
+  NHitsWorkloadPredictor(NHitsConfig model_config, TrainConfig train_config)
+      : model_config_(model_config), train_config_(train_config) {}
+
+  // Trains (replacing any previous model for) `job` on its training trace
+  // (per-minute rates in the same units histories arrive in at runtime).
+  // Returns the final training loss.
+  double TrainJob(size_t job, const Series& train);
+
+  // Number of jobs with a trained model.
+  size_t trained_jobs() const { return models_.size(); }
+
+  NHitsModel* model(size_t job);
+
+  // WorkloadPredictor. Jobs without a trained model fall back to a damped
+  // average (so cold deployments still autoscale).
+  std::vector<double> PredictQuantile(size_t job, std::span<const double> history,
+                                      size_t horizon, double quantile) override;
+
+ private:
+  NHitsConfig model_config_;
+  TrainConfig train_config_;
+  std::unordered_map<size_t, std::unique_ptr<NHitsModel>> models_;
+  DampedAveragePredictor fallback_;
+};
+
+}  // namespace faro
+
+#endif  // SRC_FORECAST_ADAPTER_H_

@@ -1,0 +1,141 @@
+#include "src/forecast/arma.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/optim/linalg.h"
+
+namespace faro {
+namespace {
+
+// Ordinary least squares via ridge-stabilised normal equations.
+bool SolveLeastSquares(const std::vector<std::vector<double>>& rows,
+                       const std::vector<double>& y, std::vector<double>& beta) {
+  if (rows.empty()) {
+    return false;
+  }
+  const size_t k = rows[0].size();
+  Matrix xtx(k, k);
+  std::vector<double> xty(k, 0.0);
+  for (size_t r = 0; r < rows.size(); ++r) {
+    for (size_t i = 0; i < k; ++i) {
+      xty[i] += rows[r][i] * y[r];
+      for (size_t j = 0; j < k; ++j) {
+        xtx(i, j) += rows[r][i] * rows[r][j];
+      }
+    }
+  }
+  for (size_t i = 0; i < k; ++i) {
+    xtx(i, i) += 1e-8;
+  }
+  return LuSolve(xtx, xty, beta);
+}
+
+}  // namespace
+
+bool ArmaModel::Fit(std::span<const double> values) {
+  fitted_ = false;
+  fallback_ = values.empty() ? 0.0 : values.back();
+  const size_t n = values.size();
+  const size_t m = p_ + q_ + 3;  // stage-1 long-AR order
+  if (n < m + p_ + q_ + 5) {
+    return false;
+  }
+
+  // Stage 1: long autoregression to estimate the innovation sequence.
+  std::vector<std::vector<double>> rows;
+  std::vector<double> targets;
+  for (size_t t = m; t < n; ++t) {
+    std::vector<double> row(m + 1);
+    for (size_t lag = 0; lag < m; ++lag) {
+      row[lag] = values[t - 1 - lag];
+    }
+    row[m] = 1.0;
+    rows.push_back(std::move(row));
+    targets.push_back(values[t]);
+  }
+  std::vector<double> phi;
+  if (!SolveLeastSquares(rows, targets, phi)) {
+    return false;
+  }
+  std::vector<double> residuals(n, 0.0);
+  for (size_t t = m; t < n; ++t) {
+    double fitted = phi[m];
+    for (size_t lag = 0; lag < m; ++lag) {
+      fitted += phi[lag] * values[t - 1 - lag];
+    }
+    residuals[t] = values[t] - fitted;
+  }
+
+  // Stage 2: regress y_t on its own lags and lagged residuals.
+  rows.clear();
+  targets.clear();
+  const size_t start = m + std::max(p_, q_);
+  for (size_t t = start; t < n; ++t) {
+    std::vector<double> row(p_ + q_ + 1);
+    for (size_t lag = 0; lag < p_; ++lag) {
+      row[lag] = values[t - 1 - lag];
+    }
+    for (size_t lag = 0; lag < q_; ++lag) {
+      row[p_ + lag] = residuals[t - 1 - lag];
+    }
+    row[p_ + q_] = 1.0;
+    rows.push_back(std::move(row));
+    targets.push_back(values[t]);
+  }
+  std::vector<double> beta;
+  if (!SolveLeastSquares(rows, targets, beta)) {
+    return false;
+  }
+  ar_.assign(beta.begin(), beta.begin() + static_cast<ptrdiff_t>(p_));
+  ma_.assign(beta.begin() + static_cast<ptrdiff_t>(p_),
+             beta.begin() + static_cast<ptrdiff_t>(p_ + q_));
+  intercept_ = beta[p_ + q_];
+
+  tail_values_.assign(p_, 0.0);
+  for (size_t lag = 0; lag < p_ && lag < n; ++lag) {
+    tail_values_[lag] = values[n - 1 - lag];
+  }
+  tail_residuals_.assign(q_, 0.0);
+  for (size_t lag = 0; lag < q_ && lag < n; ++lag) {
+    tail_residuals_[lag] = residuals[n - 1 - lag];
+  }
+  fitted_ = true;
+  return true;
+}
+
+std::vector<double> ArmaModel::Forecast(size_t horizon) const {
+  std::vector<double> out(horizon, fallback_);
+  if (!fitted_) {
+    return out;
+  }
+  std::vector<double> recent = tail_values_;      // recent[0] is the newest
+  std::vector<double> innovations = tail_residuals_;
+  for (size_t h = 0; h < horizon; ++h) {
+    double value = intercept_;
+    for (size_t lag = 0; lag < p_; ++lag) {
+      value += ar_[lag] * recent[lag];
+    }
+    for (size_t lag = 0; lag < q_; ++lag) {
+      value += ma_[lag] * innovations[lag];
+    }
+    out[h] = value;
+    // Shift: the forecast becomes the newest "observation"; future
+    // innovations are zero in expectation.
+    for (size_t lag = p_; lag-- > 1;) {
+      recent[lag] = recent[lag - 1];
+    }
+    if (p_ > 0) {
+      recent[0] = value;
+    }
+    for (size_t lag = q_; lag-- > 1;) {
+      innovations[lag] = innovations[lag - 1];
+    }
+    if (q_ > 0) {
+      innovations[0] = 0.0;
+    }
+  }
+  return out;
+}
+
+}  // namespace faro

@@ -1,0 +1,48 @@
+// ARMA(p, q) fitted by the Hannan-Rissanen two-stage regression -- the class
+// of model Cilantro's forecaster uses (§2) and the classical yardstick the
+// paper cites deep models beating. Used by tests and the Cilantro-comparison
+// bench.
+
+#ifndef SRC_FORECAST_ARMA_H_
+#define SRC_FORECAST_ARMA_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace faro {
+
+class ArmaModel {
+ public:
+  ArmaModel(size_t p = 2, size_t q = 1) : p_(p), q_(q) {}
+
+  size_t p() const { return p_; }
+  size_t q() const { return q_; }
+
+  // Fits on the series; returns false when there is too little data (the
+  // model then forecasts the last value).
+  bool Fit(std::span<const double> values);
+
+  // Multi-step forecast continuing from the end of the fitted series (future
+  // innovations are zero, as usual).
+  std::vector<double> Forecast(size_t horizon) const;
+
+  std::span<const double> ar_coefficients() const { return ar_; }
+  std::span<const double> ma_coefficients() const { return ma_; }
+  double intercept() const { return intercept_; }
+
+ private:
+  size_t p_;
+  size_t q_;
+  std::vector<double> ar_;
+  std::vector<double> ma_;
+  double intercept_ = 0.0;
+  std::vector<double> tail_values_;     // last p values of the fitted series
+  std::vector<double> tail_residuals_;  // last q residuals
+  bool fitted_ = false;
+  double fallback_ = 0.0;
+};
+
+}  // namespace faro
+
+#endif  // SRC_FORECAST_ARMA_H_

@@ -1,0 +1,56 @@
+// DeepAR-style probabilistic forecaster (the Cocktail baseline's predictor,
+// compared against in §3.5.1): an autoregressive LSTM that emits a Gaussian
+// (mu, sigma) for the *next* value at every step, trained with negative
+// log-likelihood, and forecasts by sampling trajectories forward.
+
+#ifndef SRC_FORECAST_DEEPAR_H_
+#define SRC_FORECAST_DEEPAR_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/series.h"
+#include "src/forecast/dataset.h"
+#include "src/forecast/lstm.h"
+
+namespace faro {
+
+struct DeepArConfig {
+  size_t input_size = 15;
+  size_t horizon = 7;
+  size_t hidden = 32;
+  uint64_t seed = 3;
+};
+
+class DeepArModel {
+ public:
+  explicit DeepArModel(const DeepArConfig& config);
+
+  const DeepArConfig& config() const { return config_; }
+
+  double TrainOnSeries(const Series& train, const TrainConfig& train_config);
+
+  // Monte-Carlo forecast trajectories in raw space.
+  std::vector<std::vector<double>> SampleTrajectories(std::span<const double> history,
+                                                      size_t num_samples, Rng& rng);
+
+  // Per-step mean across `num_samples` sampled trajectories (point forecast).
+  std::vector<double> PredictRaw(std::span<const double> history, size_t num_samples, Rng& rng);
+
+ private:
+  // Runs the cell over a standardised sequence, caching every step; returns
+  // final (h, c) through the out-params.
+  void Consume(std::span<const double> sequence, Vec& h, Vec& c,
+               std::vector<LstmCell::StepCache>* caches) const;
+
+  DeepArConfig config_;
+  LstmCell cell_;
+  Linear head_;  // hidden -> (mu, sigma_raw) of the next value
+  Standardizer standardizer_;
+};
+
+}  // namespace faro
+
+#endif  // SRC_FORECAST_DEEPAR_H_

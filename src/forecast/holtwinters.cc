@@ -1,0 +1,66 @@
+#include "src/forecast/holtwinters.h"
+
+#include <algorithm>
+
+namespace faro {
+
+bool HoltWintersModel::Fit(std::span<const double> values) {
+  fitted_ = false;
+  fallback_ = values.empty() ? 0.0 : values.back();
+  const size_t m = std::max<size_t>(config_.period, 1);
+  if (values.size() < 2 * m) {
+    return false;
+  }
+  // Initial level: mean of the first period. Initial trend: average per-step
+  // change between the first two periods. Initial seasonal: first-period
+  // deviations from its mean.
+  double first_mean = 0.0;
+  double second_mean = 0.0;
+  for (size_t t = 0; t < m; ++t) {
+    first_mean += values[t] / static_cast<double>(m);
+    second_mean += values[m + t] / static_cast<double>(m);
+  }
+  level_ = first_mean;
+  trend_ = (second_mean - first_mean) / static_cast<double>(m);
+  seasonal_.assign(m, 0.0);
+  for (size_t t = 0; t < m; ++t) {
+    seasonal_[t] = values[t] - first_mean;
+  }
+  phase_ = 0;
+  fitted_ = true;
+  // Smooth through the whole series.
+  for (const double v : values) {
+    Observe(v);
+  }
+  return true;
+}
+
+void HoltWintersModel::Observe(double value) {
+  if (!fitted_) {
+    fallback_ = value;
+    return;
+  }
+  const size_t m = seasonal_.size();
+  const double season = seasonal_[phase_ % m];
+  const double previous_level = level_;
+  level_ = config_.alpha * (value - season) + (1.0 - config_.alpha) * (level_ + trend_);
+  trend_ = config_.beta * (level_ - previous_level) + (1.0 - config_.beta) * trend_;
+  seasonal_[phase_ % m] =
+      config_.gamma * (value - level_) + (1.0 - config_.gamma) * season;
+  ++phase_;
+}
+
+std::vector<double> HoltWintersModel::Forecast(size_t horizon) const {
+  std::vector<double> out(horizon, fallback_);
+  if (!fitted_) {
+    return out;
+  }
+  const size_t m = seasonal_.size();
+  for (size_t h = 0; h < horizon; ++h) {
+    const double season = seasonal_[(phase_ + h) % m];
+    out[h] = std::max(0.0, level_ + trend_ * static_cast<double>(h + 1) + season);
+  }
+  return out;
+}
+
+}  // namespace faro

@@ -1,0 +1,53 @@
+// Holt-Winters triple exponential smoothing (additive seasonality): the
+// classical decomposition forecaster, one more arm for the §3.5 predictor
+// comparison and a cheap online-updatable predictor (level/trend/seasonal
+// states update in O(1) per observation).
+
+#ifndef SRC_FORECAST_HOLTWINTERS_H_
+#define SRC_FORECAST_HOLTWINTERS_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace faro {
+
+struct HoltWintersConfig {
+  size_t period = 360;   // seasonal period in steps
+  double alpha = 0.3;    // level smoothing
+  double beta = 0.05;    // trend smoothing
+  double gamma = 0.2;    // seasonal smoothing
+};
+
+class HoltWintersModel {
+ public:
+  explicit HoltWintersModel(const HoltWintersConfig& config = {}) : config_(config) {}
+
+  // Initialises the states from the first two periods and smooths through the
+  // rest. Returns false with fallback behaviour when the series is shorter
+  // than two periods.
+  bool Fit(std::span<const double> values);
+
+  // Continues smoothing with one new observation (online update).
+  void Observe(double value);
+
+  // Forecast h steps ahead from the current state.
+  std::vector<double> Forecast(size_t horizon) const;
+
+  bool fitted() const { return fitted_; }
+  double level() const { return level_; }
+  double trend() const { return trend_; }
+
+ private:
+  HoltWintersConfig config_;
+  double level_ = 0.0;
+  double trend_ = 0.0;
+  std::vector<double> seasonal_;
+  size_t phase_ = 0;  // index into seasonal_ of the *next* observation
+  double fallback_ = 0.0;
+  bool fitted_ = false;
+};
+
+}  // namespace faro
+
+#endif  // SRC_FORECAST_HOLTWINTERS_H_

@@ -1,0 +1,94 @@
+// LSTM forecaster: the neural baseline MArk-style systems use (§3.5.1 reports
+// Faro's N-HiTS beats LSTM and DeepAR on RMSE and inference latency; the
+// bench bench_sec35_models regenerates that comparison).
+//
+// A single-layer LSTM consumes the input window one value per step; a linear
+// head maps the final hidden state to the full forecast horizon. Training is
+// MSE with truncated BPTT over the window, hand-written and gradient-checked.
+
+#ifndef SRC_FORECAST_LSTM_H_
+#define SRC_FORECAST_LSTM_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/common/series.h"
+#include "src/forecast/dataset.h"
+#include "src/forecast/nhits.h"  // TrainConfig
+#include "src/forecast/nn.h"
+
+namespace faro {
+
+// One LSTM step with cached activations for backprop.
+class LstmCell {
+ public:
+  LstmCell() = default;
+  LstmCell(size_t input_dim, size_t hidden, Rng& rng);
+
+  size_t hidden() const { return hidden_; }
+  size_t input_dim() const { return input_dim_; }
+
+  struct StepCache {
+    Vec xin;     // [x_t, h_{t-1}]
+    Vec i, f, g, o;
+    Vec c, h, tanh_c;
+    Vec c_prev;
+  };
+
+  // h_prev/c_prev of length hidden(); writes cache.h / cache.c.
+  void Forward(std::span<const double> x, const Vec& h_prev, const Vec& c_prev,
+               StepCache& cache) const;
+
+  // dh/dc are dL/dh_t and dL/dc_t on entry; on return dh_prev/dc_prev hold
+  // the gradients flowing to the previous step and dx (optional) the gradient
+  // w.r.t. the step input.
+  void Backward(const StepCache& cache, const Vec& dh, const Vec& dc, Vec* dx, Vec& dh_prev,
+                Vec& dc_prev);
+
+  void ZeroGrad() { gates_.ZeroGrad(); }
+  void CollectParams(std::vector<Vec*>& params, std::vector<Vec*>& grads);
+
+ private:
+  size_t input_dim_ = 0;
+  size_t hidden_ = 0;
+  Linear gates_;  // (input_dim + hidden) -> 4*hidden, gate order [i, f, g, o]
+};
+
+struct LstmConfig {
+  size_t input_size = 15;
+  size_t horizon = 7;
+  size_t hidden = 32;
+  uint64_t seed = 2;
+};
+
+// Direct multi-horizon point forecaster.
+class LstmModel {
+ public:
+  explicit LstmModel(const LstmConfig& config);
+
+  const LstmConfig& config() const { return config_; }
+
+  // Forecast in standardised space from a standardised window.
+  Vec Forward(std::span<const double> x);
+  void Backward(std::span<const double> dy);
+  void ZeroGrad();
+  void CollectParams(std::vector<Vec*>& params, std::vector<Vec*>& grads);
+
+  double TrainOnSeries(const Series& train, const TrainConfig& train_config);
+
+  // Raw-space mean forecast from raw history (left-padded like N-HiTS).
+  std::vector<double> PredictRaw(std::span<const double> history);
+
+ private:
+  LstmConfig config_;
+  LstmCell cell_;
+  Linear head_;
+  std::vector<LstmCell::StepCache> steps_;
+  Vec final_h_;
+  Standardizer standardizer_;
+};
+
+}  // namespace faro
+
+#endif  // SRC_FORECAST_LSTM_H_

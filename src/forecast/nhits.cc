@@ -1,0 +1,296 @@
+#include "src/forecast/nhits.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace faro {
+namespace {
+
+constexpr double kSigmaFloor = 1e-3;
+
+size_t CeilDiv(size_t a, size_t b) { return (a + b - 1) / std::max<size_t>(b, 1); }
+
+}  // namespace
+
+size_t NHitsModel::ThetaBackcastLen(size_t block) const {
+  return CeilDiv(config_.input_size, config_.downsample[StackOf(block)]);
+}
+
+size_t NHitsModel::ThetaForecastLen(size_t block) const {
+  return CeilDiv(config_.horizon, config_.downsample[StackOf(block)]);
+}
+
+NHitsModel::NHitsModel(const NHitsConfig& config) : config_(config) {
+  Rng rng(config_.seed);
+  // Blocks are stored stack-major: stack s contributes blocks
+  // [s*bps, (s+1)*bps), all sharing the stack's pool kernel and downsample.
+  const size_t bps = std::max<size_t>(config_.blocks_per_stack, 1);
+  const size_t num_blocks = config_.pool_kernels.size() * bps;
+  stacks_.resize(num_blocks);
+  cache_.resize(num_blocks);
+  for (size_t b = 0; b < num_blocks; ++b) {
+    const size_t pooled_len = CeilDiv(config_.input_size, config_.pool_kernels[StackOf(b)]);
+    const size_t theta_len = ThetaBackcastLen(b) + num_channels() * ThetaForecastLen(b);
+    std::vector<Linear>& mlp = stacks_[b];
+    mlp.emplace_back(pooled_len, config_.hidden, rng);
+    for (size_t h = 1; h < config_.hidden_layers; ++h) {
+      mlp.emplace_back(config_.hidden, config_.hidden, rng);
+    }
+    mlp.emplace_back(config_.hidden, theta_len, rng);
+  }
+}
+
+NHitsModel::Output NHitsModel::Forward(std::span<const double> x) {
+  const size_t horizon = config_.horizon;
+  Output out;
+  out.mu.assign(horizon, 0.0);
+  sigma_raw_.assign(horizon, 0.0);
+
+  Vec residual(x.begin(), x.end());
+  Vec interp;
+  for (size_t s = 0; s < stacks_.size(); ++s) {
+    StackCache& c = cache_[s];
+    c.input = residual;
+    MaxPoolForward(c.input, config_.pool_kernels[StackOf(s)], c.pooled, c.argmax);
+
+    // MLP: hidden layers ReLU-activated; the theta head is linear.
+    std::vector<Linear>& mlp = stacks_[s];
+    c.layer_in.assign(mlp.size(), {});
+    c.layer_out.assign(mlp.size(), {});
+    Vec activation = c.pooled;
+    for (size_t l = 0; l < mlp.size(); ++l) {
+      c.layer_in[l] = activation;
+      mlp[l].Forward(c.layer_in[l], activation);
+      if (l + 1 < mlp.size()) {
+        ReluForward(activation);
+      }
+      c.layer_out[l] = activation;
+    }
+    c.theta = activation;
+
+    // Hierarchical interpolation: backcast + per-channel forecast.
+    const size_t bc = ThetaBackcastLen(s);
+    const size_t fc = ThetaForecastLen(s);
+    InterpolateForward({c.theta.data(), bc}, config_.input_size, interp);
+    for (size_t i = 0; i < config_.input_size; ++i) {
+      residual[i] -= interp[i];
+    }
+    InterpolateForward({c.theta.data() + bc, fc}, horizon, interp);
+    for (size_t i = 0; i < horizon; ++i) {
+      out.mu[i] += interp[i];
+    }
+    if (config_.gaussian) {
+      InterpolateForward({c.theta.data() + bc + fc, fc}, horizon, interp);
+      for (size_t i = 0; i < horizon; ++i) {
+        sigma_raw_[i] += interp[i];
+      }
+    }
+  }
+  if (config_.gaussian) {
+    out.sigma.resize(horizon);
+    for (size_t i = 0; i < horizon; ++i) {
+      out.sigma[i] = Softplus(sigma_raw_[i]) + kSigmaFloor;
+    }
+  }
+  return out;
+}
+
+void NHitsModel::Backward(std::span<const double> dmu, std::span<const double> dsigma) {
+  const size_t horizon = config_.horizon;
+  Vec dsigma_raw(horizon, 0.0);
+  if (config_.gaussian && !dsigma.empty()) {
+    for (size_t i = 0; i < horizon; ++i) {
+      dsigma_raw[i] = dsigma[i] * SoftplusPrime(sigma_raw_[i]);
+    }
+  }
+
+  Vec g_residual(config_.input_size, 0.0);  // dL/dx_{s+1}, zero past last stack
+  Vec dtheta;
+  Vec part;
+  Vec dlayer;
+  Vec dx;
+  for (size_t s = stacks_.size(); s-- > 0;) {
+    StackCache& c = cache_[s];
+    const size_t bc = ThetaBackcastLen(s);
+    const size_t fc = ThetaForecastLen(s);
+    dtheta.assign(c.theta.size(), 0.0);
+
+    // backcast contributes -g_residual through the interpolation transpose.
+    InterpolateBackward(g_residual, bc, part);
+    for (size_t i = 0; i < bc; ++i) {
+      dtheta[i] = -part[i];
+    }
+    InterpolateBackward(dmu, fc, part);
+    for (size_t i = 0; i < fc; ++i) {
+      dtheta[bc + i] = part[i];
+    }
+    if (config_.gaussian) {
+      InterpolateBackward(dsigma_raw, fc, part);
+      for (size_t i = 0; i < fc; ++i) {
+        dtheta[bc + fc + i] = part[i];
+      }
+    }
+
+    // MLP backward.
+    std::vector<Linear>& mlp = stacks_[s];
+    dlayer = dtheta;
+    for (size_t l = mlp.size(); l-- > 0;) {
+      if (l + 1 < mlp.size()) {
+        ReluBackward(c.layer_out[l], dlayer);
+      }
+      mlp[l].Backward(c.layer_in[l], dlayer, &dx);
+      dlayer = dx;
+    }
+    // dlayer is now dL/dpooled.
+    MaxPoolBackward(dlayer, c.argmax, config_.input_size, dx);
+    for (size_t i = 0; i < config_.input_size; ++i) {
+      g_residual[i] += dx[i];
+    }
+  }
+}
+
+void NHitsModel::ZeroGrad() {
+  for (auto& mlp : stacks_) {
+    for (Linear& layer : mlp) {
+      layer.ZeroGrad();
+    }
+  }
+}
+
+void NHitsModel::CollectParams(std::vector<Vec*>& params, std::vector<Vec*>& grads) {
+  for (auto& mlp : stacks_) {
+    for (Linear& layer : mlp) {
+      params.push_back(&layer.weights());
+      grads.push_back(&layer.weight_grads());
+      params.push_back(&layer.bias());
+      grads.push_back(&layer.bias_grads());
+    }
+  }
+}
+
+double NHitsModel::TrainOnSeries(const Series& train, const TrainConfig& train_config) {
+  standardizer_ = Standardizer::Fit(train.values());
+  WindowDataset dataset(train, config_.input_size, config_.horizon, standardizer_);
+  if (dataset.size() == 0) {
+    trained_ = true;
+    return 0.0;
+  }
+  Rng rng(train_config.seed);
+  AdamOptimizer adam(train_config.learning_rate);
+  std::vector<Vec*> params;
+  std::vector<Vec*> grads;
+  CollectParams(params, grads);
+
+  const size_t horizon = config_.horizon;
+  Vec dmu(horizon);
+  Vec dsigma(horizon);
+  double epoch_loss = 0.0;
+  for (size_t epoch = 0; epoch < train_config.epochs; ++epoch) {
+    const std::vector<size_t> order = dataset.EpochOrder(rng);
+    epoch_loss = 0.0;
+    size_t in_batch = 0;
+    ZeroGrad();
+    for (const size_t w : order) {
+      const Output out = Forward(dataset.Input(w));
+      const std::span<const double> target = dataset.Target(w);
+      // Per-window loss and output gradients (averaged over the horizon).
+      if (config_.gaussian) {
+        for (size_t i = 0; i < horizon; ++i) {
+          const double err = out.mu[i] - target[i];
+          const double sig = out.sigma[i];
+          epoch_loss += (0.5 * std::log(2.0 * std::numbers::pi) + std::log(sig) +
+                         0.5 * err * err / (sig * sig)) /
+                        static_cast<double>(horizon);
+          dmu[i] = err / (sig * sig) / static_cast<double>(horizon);
+          dsigma[i] =
+              (1.0 / sig - err * err / (sig * sig * sig)) / static_cast<double>(horizon);
+        }
+      } else {
+        for (size_t i = 0; i < horizon; ++i) {
+          const double err = out.mu[i] - target[i];
+          epoch_loss += err * err / static_cast<double>(horizon);
+          dmu[i] = 2.0 * err / static_cast<double>(horizon);
+          dsigma[i] = 0.0;
+        }
+      }
+      Backward(dmu, dsigma);
+      if (++in_batch == train_config.batch_size) {
+        // Average the accumulated gradients over the batch.
+        for (Vec* g : grads) {
+          for (double& v : *g) {
+            v /= static_cast<double>(in_batch);
+          }
+        }
+        adam.Step(params, grads);
+        ZeroGrad();
+        in_batch = 0;
+      }
+    }
+    if (in_batch > 0) {
+      for (Vec* g : grads) {
+        for (double& v : *g) {
+          v /= static_cast<double>(in_batch);
+        }
+      }
+      adam.Step(params, grads);
+      ZeroGrad();
+    }
+    epoch_loss /= static_cast<double>(dataset.size());
+  }
+  trained_ = true;
+  return epoch_loss;
+}
+
+NHitsModel::Output NHitsModel::PredictRaw(std::span<const double> history) {
+  // Assemble the (left-padded) standardised input window.
+  Vec input(config_.input_size, 0.0);
+  const double pad = history.empty() ? standardizer_.mean : history.front();
+  for (size_t i = 0; i < config_.input_size; ++i) {
+    const ptrdiff_t src =
+        static_cast<ptrdiff_t>(history.size()) - static_cast<ptrdiff_t>(config_.input_size) +
+        static_cast<ptrdiff_t>(i);
+    const double raw = src >= 0 ? history[static_cast<size_t>(src)] : pad;
+    input[i] = standardizer_.Transform(raw);
+  }
+  Output out = Forward(input);
+  for (double& v : out.mu) {
+    v = standardizer_.Invert(v);
+  }
+  for (double& v : out.sigma) {
+    v *= standardizer_.std;  // scale-only: sigma is a spread, not a location
+  }
+  return out;
+}
+
+std::vector<double> NHitsModel::PredictQuantileRaw(std::span<const double> history,
+                                                   double quantile) {
+  const Output out = PredictRaw(history);
+  std::vector<double> trajectory(out.mu);
+  if (!out.sigma.empty()) {
+    const double z = InverseNormalCdf(quantile);
+    for (size_t i = 0; i < trajectory.size(); ++i) {
+      trajectory[i] += z * out.sigma[i];
+    }
+  }
+  for (double& v : trajectory) {
+    v = std::max(0.0, v);
+  }
+  return trajectory;
+}
+
+std::vector<std::vector<double>> NHitsModel::SampleTrajectories(std::span<const double> history,
+                                                                size_t num_samples, Rng& rng) {
+  const Output out = PredictRaw(history);
+  std::vector<std::vector<double>> samples(num_samples, out.mu);
+  if (!out.sigma.empty()) {
+    for (auto& trajectory : samples) {
+      for (size_t i = 0; i < trajectory.size(); ++i) {
+        trajectory[i] = std::max(0.0, trajectory[i] + out.sigma[i] * rng.Normal());
+      }
+    }
+  }
+  return samples;
+}
+
+}  // namespace faro

@@ -1,0 +1,125 @@
+// N-HiTS time-series forecaster (§3.5.1) with an optional Gaussian
+// probabilistic head (§3.5.2).
+//
+// N-HiTS (Challu et al., AAAI'23) stacks blocks that each (1) sample the
+// input at a coarser rate via max pooling, (2) run a small MLP that emits
+// backcast and forecast coefficients at a reduced resolution, and
+// (3) hierarchically interpolates those coefficients to full resolution. Each
+// block subtracts its backcast from the residual input of the next, and the
+// forecasts sum. The multi-rate structure keeps the model tiny while
+// capturing both the diurnal envelope and minute-level fluctuation.
+//
+// The probabilistic variant makes the forecast two channels per step
+// (mu, raw-sigma with a softplus link) trained with Gaussian NLL; quantile
+// trajectories and Monte-Carlo samples of future arrival rates come straight
+// from the predictive distribution, which is how Faro captures workload
+// fluctuation instead of flat-lining through it (Fig. 8).
+
+#ifndef SRC_FORECAST_NHITS_H_
+#define SRC_FORECAST_NHITS_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/series.h"
+#include "src/forecast/dataset.h"
+#include "src/forecast/nn.h"
+
+namespace faro {
+
+struct NHitsConfig {
+  size_t input_size = 15;  // §5: 15-min arrival history
+  size_t horizon = 7;      // §5: 7-min prediction window
+  // Per-stack max-pool kernels (multi-rate sampling) and coefficient
+  // downsampling factors (hierarchical interpolation), coarse to fine.
+  std::vector<size_t> pool_kernels = {4, 2, 1};
+  std::vector<size_t> downsample = {4, 2, 1};
+  size_t hidden = 64;
+  size_t hidden_layers = 2;
+  // Blocks per stack (each block refines the residual its predecessors left;
+  // the default of 1 keeps the model small -- ample for 15-step inputs).
+  size_t blocks_per_stack = 1;
+  bool gaussian = true;  // Gaussian head vs point (MSE) head
+  uint64_t seed = 1;
+};
+
+struct TrainConfig {
+  size_t epochs = 12;
+  size_t batch_size = 32;
+  double learning_rate = 1e-3;
+  uint64_t seed = 17;
+};
+
+class NHitsModel {
+ public:
+  explicit NHitsModel(const NHitsConfig& config);
+
+  struct Output {
+    Vec mu;     // standardised-space mean forecast, length horizon
+    Vec sigma;  // predictive std-dev (empty for point models)
+  };
+
+  const NHitsConfig& config() const { return config_; }
+
+  // Forward pass in standardised space; caches activations for Backward.
+  Output Forward(std::span<const double> x);
+
+  // Accumulates parameter gradients given dL/dmu and dL/dsigma (sigma grads
+  // ignored for point models). Must follow the matching Forward call.
+  void Backward(std::span<const double> dmu, std::span<const double> dsigma);
+
+  void ZeroGrad();
+  void CollectParams(std::vector<Vec*>& params, std::vector<Vec*>& grads);
+
+  // Fits the standardiser on `train` and trains with Adam. Returns the final
+  // epoch's average training loss (NLL or MSE in standardised space).
+  double TrainOnSeries(const Series& train, const TrainConfig& train_config);
+
+  const Standardizer& standardizer() const { return standardizer_; }
+  bool trained() const { return trained_; }
+
+  // Prediction over raw (unstandardised) history: takes the last input_size
+  // values (padding on the left with the earliest value if short).
+  // Returns the raw-space mean trajectory and, for Gaussian models, per-step
+  // predictive std-devs.
+  Output PredictRaw(std::span<const double> history);
+
+  // Quantile trajectory: mu + z_q * sigma per step, in raw space, clamped at
+  // zero (rates cannot be negative).
+  std::vector<double> PredictQuantileRaw(std::span<const double> history, double quantile);
+
+  // Monte-Carlo sample trajectories from the predictive distribution
+  // (Fig. 8c's 100 samples).
+  std::vector<std::vector<double>> SampleTrajectories(std::span<const double> history,
+                                                      size_t num_samples, Rng& rng);
+
+ private:
+  struct StackCache {
+    Vec input;           // residual input x_s
+    Vec pooled;
+    std::vector<size_t> argmax;
+    std::vector<Vec> layer_in;   // input of each linear layer
+    std::vector<Vec> layer_out;  // post-activation output of each layer
+    Vec theta;
+  };
+
+  size_t ThetaBackcastLen(size_t block) const;
+  size_t ThetaForecastLen(size_t block) const;
+  // Stack index of flat block `block` (blocks are stored stack-major).
+  size_t StackOf(size_t block) const { return block / std::max<size_t>(config_.blocks_per_stack, 1); }
+  size_t num_channels() const { return config_.gaussian ? 2 : 1; }
+
+  NHitsConfig config_;
+  // stacks_[s] is the MLP of stack s: hidden layers plus the theta head.
+  std::vector<std::vector<Linear>> stacks_;
+  std::vector<StackCache> cache_;
+  Vec sigma_raw_;  // pre-softplus sigma, cached for Backward
+  Standardizer standardizer_;
+  bool trained_ = false;
+};
+
+}  // namespace faro
+
+#endif  // SRC_FORECAST_NHITS_H_

@@ -1,0 +1,82 @@
+#include "src/forecast/prophet.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "src/optim/linalg.h"
+
+namespace faro {
+
+std::vector<double> ProphetModel::Features(double t) const {
+  std::vector<double> features;
+  features.reserve(2 + 2 * config_.harmonics + config_.changepoints);
+  const double span = std::max<double>(1.0, static_cast<double>(train_size_));
+  features.push_back(1.0);
+  features.push_back(t / span);  // linear trend, normalised
+  const double period = std::max<double>(1.0, static_cast<double>(config_.period));
+  for (size_t k = 1; k <= config_.harmonics; ++k) {
+    const double angle = 2.0 * std::numbers::pi * static_cast<double>(k) * t / period;
+    features.push_back(std::sin(angle));
+    features.push_back(std::cos(angle));
+  }
+  for (size_t c = 1; c <= config_.changepoints; ++c) {
+    const double knot = span * static_cast<double>(c) / static_cast<double>(
+                                                            config_.changepoints + 1);
+    features.push_back(std::max(0.0, (t - knot) / span));  // hinge
+  }
+  return features;
+}
+
+bool ProphetModel::Fit(std::span<const double> values) {
+  fitted_ = false;
+  fallback_ = values.empty() ? 0.0 : values.back();
+  train_size_ = values.size();
+  if (values.size() < 2 * config_.period || values.size() < 16) {
+    return false;
+  }
+  const size_t k = Features(0.0).size();
+  Matrix xtx(k, k);
+  std::vector<double> xty(k, 0.0);
+  for (size_t t = 0; t < values.size(); ++t) {
+    const std::vector<double> x = Features(static_cast<double>(t));
+    for (size_t i = 0; i < k; ++i) {
+      xty[i] += x[i] * values[t];
+      for (size_t j = 0; j < k; ++j) {
+        xtx(i, j) += x[i] * x[j];
+      }
+    }
+  }
+  for (size_t i = 0; i < k; ++i) {
+    xtx(i, i) += config_.ridge;
+  }
+  if (!LuSolve(xtx, xty, beta_)) {
+    return false;
+  }
+  fitted_ = true;
+  return true;
+}
+
+double ProphetModel::FittedAt(size_t t) const {
+  if (!fitted_) {
+    return fallback_;
+  }
+  const std::vector<double> x = Features(static_cast<double>(t));
+  double value = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    value += beta_[i] * x[i];
+  }
+  return value;
+}
+
+std::vector<double> ProphetModel::Forecast(size_t horizon) const {
+  std::vector<double> out(horizon, fallback_);
+  if (!fitted_) {
+    return out;
+  }
+  for (size_t h = 0; h < horizon; ++h) {
+    out[h] = std::max(0.0, FittedAt(train_size_ + h));
+  }
+  return out;
+}
+
+}  // namespace faro

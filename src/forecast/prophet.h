@@ -1,0 +1,57 @@
+// Prophet-style decomposable forecaster: piecewise-linear trend plus Fourier
+// seasonality, fit in closed form by ridge regression. This is the predictor
+// class Barista uses (§3.5.1 cites Prophet among prior proactive
+// autoscalers); it serves as another comparison arm and as a fast, training-
+// free-ish fallback predictor.
+
+#ifndef SRC_FORECAST_PROPHET_H_
+#define SRC_FORECAST_PROPHET_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace faro {
+
+struct ProphetConfig {
+  // Samples per seasonal period (e.g. 360 for a day of 4-min-averaged
+  // minutes, 1440 for raw minutes).
+  size_t period = 360;
+  // Fourier harmonics of the seasonal component.
+  size_t harmonics = 6;
+  // Evenly spaced trend changepoints over the training span.
+  size_t changepoints = 8;
+  // Ridge regularisation strength.
+  double ridge = 1.0;
+};
+
+class ProphetModel {
+ public:
+  explicit ProphetModel(const ProphetConfig& config = {}) : config_(config) {}
+
+  // Fits on a uniformly sampled series (one value per step). Returns false
+  // when there is too little data (the model then forecasts the last value).
+  bool Fit(std::span<const double> values);
+
+  // Forecasts steps `train_size .. train_size + horizon - 1`.
+  std::vector<double> Forecast(size_t horizon) const;
+
+  // In-sample fitted value at step t (for tests and decomposition checks).
+  double FittedAt(size_t t) const;
+
+  bool fitted() const { return fitted_; }
+  size_t train_size() const { return train_size_; }
+
+ private:
+  std::vector<double> Features(double t) const;
+
+  ProphetConfig config_;
+  std::vector<double> beta_;
+  size_t train_size_ = 0;
+  double fallback_ = 0.0;
+  bool fitted_ = false;
+};
+
+}  // namespace faro
+
+#endif  // SRC_FORECAST_PROPHET_H_

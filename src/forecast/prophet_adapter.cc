@@ -1,0 +1,49 @@
+#include "src/forecast/prophet_adapter.h"
+
+#include <algorithm>
+
+namespace faro {
+
+bool ProphetWorkloadPredictor::TrainJob(size_t job, const Series& train) {
+  ProphetModel model(config_);
+  const bool ok = model.Fit(train.values());
+  if (ok) {
+    models_[job] = std::move(model);
+  }
+  return ok;
+}
+
+std::vector<double> ProphetWorkloadPredictor::PredictQuantile(size_t job,
+                                                              std::span<const double> history,
+                                                              size_t horizon,
+                                                              double quantile) {
+  const auto it = models_.find(job);
+  if (it == models_.end() || !it->second.fitted()) {
+    return fallback_.PredictQuantile(job, history, horizon, quantile);
+  }
+  // Forecast the window at the current absolute phase.
+  std::vector<double> shape = it->second.Forecast(current_step_ + horizon);
+  std::vector<double> out(horizon, 0.0);
+  for (size_t h = 0; h < horizon; ++h) {
+    out[h] = shape[current_step_ + h];
+  }
+  // Re-anchor to the recent observed level: Prophet's trend drifts over long
+  // horizons; the seasonal *shape* is what it contributes.
+  if (!history.empty()) {
+    double level = history.back();
+    for (size_t k = history.size() >= 3 ? history.size() - 3 : 0; k < history.size(); ++k) {
+      level = 0.5 * level + 0.5 * history[k];
+    }
+    // "Now" is the last observed step: one before the forecast window starts
+    // (the final training point when no time has elapsed yet).
+    const size_t now_index = it->second.train_size() + std::max<size_t>(current_step_, 1) - 1;
+    const double model_now = it->second.FittedAt(now_index);
+    const double offset = level - model_now;
+    for (double& v : out) {
+      v = std::max(0.0, v + offset);
+    }
+  }
+  return out;
+}
+
+}  // namespace faro

@@ -1,0 +1,45 @@
+// Prophet-backed WorkloadPredictor: one ProphetModel per job, trained once on
+// a long history (like the N-HiTS adapter). Prophet is a *global* seasonal
+// model, so forecasts depend on absolute time: the caller advances the clock
+// with SetCurrentStep (steps since the end of the training series). Forecasts
+// are re-anchored to the recent observed level, which removes slow trend
+// drift; what remains is the seasonal shape -- useful, but blind to the
+// minute-level fluctuation probabilistic N-HiTS captures (§3.5.2).
+
+#ifndef SRC_FORECAST_PROPHET_ADAPTER_H_
+#define SRC_FORECAST_PROPHET_ADAPTER_H_
+
+#include <unordered_map>
+
+#include "src/common/series.h"
+#include "src/core/predictor.h"
+#include "src/forecast/prophet.h"
+
+namespace faro {
+
+class ProphetWorkloadPredictor : public WorkloadPredictor {
+ public:
+  explicit ProphetWorkloadPredictor(ProphetConfig config = {}) : config_(config) {}
+
+  // Fits job's model on a long training series; returns false when the series
+  // is too short (prediction then falls back to a damped average).
+  bool TrainJob(size_t job, const Series& train);
+
+  size_t trained_jobs() const { return models_.size(); }
+
+  // Steps elapsed since the end of every job's training series.
+  void SetCurrentStep(size_t step) { current_step_ = step; }
+
+  std::vector<double> PredictQuantile(size_t job, std::span<const double> history,
+                                      size_t horizon, double quantile) override;
+
+ private:
+  ProphetConfig config_;
+  std::unordered_map<size_t, ProphetModel> models_;
+  DampedAveragePredictor fallback_;
+  size_t current_step_ = 0;
+};
+
+}  // namespace faro
+
+#endif  // SRC_FORECAST_PROPHET_ADAPTER_H_

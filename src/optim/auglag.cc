@@ -1,0 +1,209 @@
+#include "src/optim/auglag.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "src/optim/linalg.h"
+
+namespace faro {
+namespace {
+
+// Rockafellar's augmented-Lagrangian term for an inequality constraint
+// c(x) >= 0 with multiplier lambda >= 0 and penalty mu.
+double AugTerm(double c, double lambda, double mu) {
+  if (c <= lambda / mu) {
+    return -lambda * c + 0.5 * mu * c * c;
+  }
+  return -0.5 * lambda * lambda / mu;
+}
+
+class AugLagSolver {
+ public:
+  AugLagSolver(const Problem& problem, std::span<const double> x0, const AugLagConfig& config)
+      : problem_(problem), config_(config), n_(problem.dimension()) {
+    x_.assign(x0.begin(), x0.end());
+    // Box bounds join the constraint set so one mechanism handles everything.
+    for (size_t j = 0; j < n_; ++j) {
+      if (std::isfinite(problem_.lower()[j])) {
+        bound_lo_.push_back(j);
+      }
+      if (std::isfinite(problem_.upper()[j])) {
+        bound_hi_.push_back(j);
+      }
+    }
+    m_ = problem_.num_constraints() + bound_lo_.size() + bound_hi_.size();
+    lambda_.assign(m_, 0.0);
+  }
+
+  OptimResult Solve();
+
+ private:
+  void EvalConstraints(std::span<const double> x, std::vector<double>& out) {
+    problem_.Constraints(x, out);
+    for (const size_t j : bound_lo_) {
+      out.push_back(x[j] - problem_.lower()[j]);
+    }
+    for (const size_t j : bound_hi_) {
+      out.push_back(problem_.upper()[j] - x[j]);
+    }
+  }
+
+  double Lagrangian(std::span<const double> x) {
+    ++evaluations_;
+    double value = problem_.Objective(x);
+    EvalConstraints(x, cbuf_);
+    for (size_t i = 0; i < m_; ++i) {
+      value += AugTerm(cbuf_[i], lambda_[i], mu_);
+    }
+    return value;
+  }
+
+  void Gradient(std::span<const double> x, std::vector<double>& grad) {
+    grad.assign(n_, 0.0);
+    std::vector<double> probe(x.begin(), x.end());
+    const double h = config_.gradient_step;
+    for (size_t j = 0; j < n_; ++j) {
+      const double original = probe[j];
+      probe[j] = original + h;
+      const double fp = Lagrangian(probe);
+      probe[j] = original - h;
+      const double fm = Lagrangian(probe);
+      probe[j] = original;
+      grad[j] = (fp - fm) / (2.0 * h);
+    }
+  }
+
+  // One BFGS minimisation of the augmented Lagrangian from the current x_.
+  void InnerMinimise();
+
+  const Problem& problem_;
+  AugLagConfig config_;
+  size_t n_;
+  size_t m_ = 0;
+  std::vector<size_t> bound_lo_;
+  std::vector<size_t> bound_hi_;
+
+  std::vector<double> x_;
+  std::vector<double> lambda_;
+  double mu_ = 0.0;
+  std::vector<double> cbuf_;
+  int evaluations_ = 0;
+};
+
+void AugLagSolver::InnerMinimise() {
+  // Inverse-Hessian approximation starts as identity.
+  Matrix h_inv(n_, n_);
+  for (size_t j = 0; j < n_; ++j) {
+    h_inv(j, j) = 1.0;
+  }
+  std::vector<double> grad;
+  std::vector<double> grad_new;
+  std::vector<double> direction(n_);
+  std::vector<double> x_new(n_);
+  std::vector<double> s(n_);
+  std::vector<double> y(n_);
+
+  Gradient(x_, grad);
+  double f = Lagrangian(x_);
+  for (size_t iter = 0; iter < config_.inner_iterations; ++iter) {
+    // direction = -H_inv * grad
+    for (size_t r = 0; r < n_; ++r) {
+      direction[r] = -Dot(h_inv.row(r), grad);
+    }
+    double slope = Dot(direction, grad);
+    if (slope >= 0.0) {
+      // Reset to steepest descent if the approximation lost positive
+      // definiteness.
+      for (size_t r = 0; r < n_; ++r) {
+        for (size_t c = 0; c < n_; ++c) {
+          h_inv(r, c) = r == c ? 1.0 : 0.0;
+        }
+        direction[r] = -grad[r];
+      }
+      slope = Dot(direction, grad);
+    }
+    if (Norm2(grad) < config_.tolerance) {
+      break;
+    }
+
+    // Backtracking Armijo line search.
+    double step = 1.0;
+    double f_new = f;
+    bool accepted = false;
+    for (int ls = 0; ls < 30; ++ls) {
+      for (size_t j = 0; j < n_; ++j) {
+        x_new[j] = x_[j] + step * direction[j];
+      }
+      f_new = Lagrangian(x_new);
+      if (f_new <= f + 1e-4 * step * slope) {
+        accepted = true;
+        break;
+      }
+      step *= 0.5;
+    }
+    if (!accepted) {
+      break;
+    }
+
+    Gradient(x_new, grad_new);
+    double sy = 0.0;
+    for (size_t j = 0; j < n_; ++j) {
+      s[j] = x_new[j] - x_[j];
+      y[j] = grad_new[j] - grad[j];
+      sy += s[j] * y[j];
+    }
+    x_ = x_new;
+    f = f_new;
+    grad = grad_new;
+    if (sy > 1e-12) {
+      // BFGS inverse update: H <- (I - s y^T / sy) H (I - y s^T / sy) + s s^T / sy.
+      std::vector<double> hy(n_);
+      for (size_t r = 0; r < n_; ++r) {
+        hy[r] = Dot(h_inv.row(r), y);
+      }
+      const double yhy = Dot(y, hy);
+      const double coeff = (1.0 + yhy / sy) / sy;
+      for (size_t r = 0; r < n_; ++r) {
+        for (size_t c = 0; c < n_; ++c) {
+          h_inv(r, c) += coeff * s[r] * s[c] - (hy[r] * s[c] + s[r] * hy[c]) / sy;
+        }
+      }
+    }
+  }
+}
+
+OptimResult AugLagSolver::Solve() {
+  mu_ = config_.initial_penalty;
+  for (size_t outer = 0; outer < config_.outer_iterations; ++outer) {
+    InnerMinimise();
+    EvalConstraints(x_, cbuf_);
+    double violation = 0.0;
+    for (size_t i = 0; i < m_; ++i) {
+      lambda_[i] = std::max(0.0, lambda_[i] - mu_ * cbuf_[i]);
+      violation = std::max(violation, -cbuf_[i]);
+    }
+    if (violation < 1e-8) {
+      break;
+    }
+    mu_ *= config_.penalty_growth;
+  }
+  OptimResult result;
+  result.x = x_;
+  problem_.ClipToBounds(result.x);
+  result.value = problem_.Objective(result.x);
+  result.max_violation = problem_.MaxViolation(result.x);
+  result.evaluations = evaluations_;
+  result.converged = true;
+  return result;
+}
+
+}  // namespace
+
+OptimResult AugmentedLagrangian(const Problem& problem, std::span<const double> x0,
+                                const AugLagConfig& config) {
+  AugLagSolver solver(problem, x0, config);
+  return solver.Solve();
+}
+
+}  // namespace faro

@@ -1,0 +1,32 @@
+// Augmented-Lagrangian solver with a BFGS inner loop and numerical gradients.
+//
+// Stand-in for scipy's SLSQP in the Fig. 5 solver comparison: a fast
+// gradient-based local NLP method. Like SLSQP it converges quickly on smooth
+// relaxed objectives and stalls on the plateaus of the precise (step-utility)
+// formulation, because finite-difference gradients vanish there. The
+// substitution is documented in DESIGN.md.
+
+#ifndef SRC_OPTIM_AUGLAG_H_
+#define SRC_OPTIM_AUGLAG_H_
+
+#include <span>
+
+#include "src/optim/problem.h"
+
+namespace faro {
+
+struct AugLagConfig {
+  size_t outer_iterations = 12;
+  size_t inner_iterations = 80;
+  double initial_penalty = 10.0;
+  double penalty_growth = 4.0;
+  double gradient_step = 1e-6;  // finite-difference half-step
+  double tolerance = 1e-8;
+};
+
+OptimResult AugmentedLagrangian(const Problem& problem, std::span<const double> x0,
+                                const AugLagConfig& config = {});
+
+}  // namespace faro
+
+#endif  // SRC_OPTIM_AUGLAG_H_

@@ -1,0 +1,401 @@
+#include "src/optim/cobyla.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "src/optim/linalg.h"
+
+namespace faro {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Evaluation record for one simplex vertex: objective plus all constraint
+// values (problem constraints first, then box-bound constraints).
+struct Vertex {
+  std::vector<double> x;
+  double f = kInf;
+  std::vector<double> c;
+};
+
+class CobylaSolver {
+ public:
+  CobylaSolver(const Problem& problem, std::span<const double> x0, const CobylaConfig& config)
+      : problem_(problem), config_(config), n_(problem.dimension()) {
+    // Box bounds become ordinary linear constraints so the interpolation
+    // models capture them exactly.
+    for (size_t j = 0; j < n_; ++j) {
+      if (std::isfinite(problem_.lower()[j])) {
+        bound_lo_.push_back(j);
+      }
+      if (std::isfinite(problem_.upper()[j])) {
+        bound_hi_.push_back(j);
+      }
+    }
+    m_ = problem_.num_constraints() + bound_lo_.size() + bound_hi_.size();
+    start_.assign(x0.begin(), x0.end());
+  }
+
+  OptimResult Solve();
+
+ private:
+  void Evaluate(Vertex& v);
+  double MaxViolationOf(const Vertex& v) const;
+  double Merit(const Vertex& v) const { return v.f + mu_ * MaxViolationOf(v); }
+
+  // Fits linear models around simplex_[0]; returns false when the simplex is
+  // numerically degenerate.
+  bool FitModels();
+
+  // Solves min g.d + mu * max(0, -min_i(c_i + a_i.d)) over ||d|| <= rho via
+  // two-phase projected subgradient. Returns the step in `d`.
+  void SolveSubproblem(double rho, std::vector<double>& d) const;
+
+  // Replaces the vertex farthest from the best with a fresh point at distance
+  // rho along the least-covered coordinate direction, restoring geometry.
+  void GeometryStep(double rho);
+
+  const Problem& problem_;
+  CobylaConfig config_;
+  size_t n_;
+  size_t m_ = 0;
+  std::vector<size_t> bound_lo_;
+  std::vector<size_t> bound_hi_;
+  std::vector<double> start_;
+
+  std::vector<Vertex> simplex_;
+  // Linear models around simplex_[0].
+  std::vector<double> grad_f_;
+  Matrix grad_c_;  // m_ x n_
+  double mu_ = 1.0;
+  int evaluations_ = 0;
+  size_t geometry_coordinate_ = 0;
+};
+
+void CobylaSolver::Evaluate(Vertex& v) {
+  v.f = problem_.Objective(v.x);
+  problem_.Constraints(v.x, v.c);
+  v.c.reserve(m_);
+  for (const size_t j : bound_lo_) {
+    v.c.push_back(v.x[j] - problem_.lower()[j]);
+  }
+  for (const size_t j : bound_hi_) {
+    v.c.push_back(problem_.upper()[j] - v.x[j]);
+  }
+  ++evaluations_;
+}
+
+double CobylaSolver::MaxViolationOf(const Vertex& v) const {
+  double violation = 0.0;
+  for (const double c : v.c) {
+    violation = std::max(violation, -c);
+  }
+  return violation;
+}
+
+bool CobylaSolver::FitModels() {
+  Matrix d(n_, n_);
+  for (size_t j = 0; j < n_; ++j) {
+    for (size_t k = 0; k < n_; ++k) {
+      d(j, k) = simplex_[j + 1].x[k] - simplex_[0].x[k];
+    }
+  }
+  std::vector<double> rhs(n_);
+  for (size_t j = 0; j < n_; ++j) {
+    rhs[j] = simplex_[j + 1].f - simplex_[0].f;
+  }
+  if (!LuSolve(d, rhs, grad_f_)) {
+    return false;
+  }
+  grad_c_ = Matrix(m_, n_);
+  std::vector<double> gi;
+  for (size_t i = 0; i < m_; ++i) {
+    for (size_t j = 0; j < n_; ++j) {
+      rhs[j] = simplex_[j + 1].c[i] - simplex_[0].c[i];
+    }
+    if (!LuSolve(d, rhs, gi)) {
+      return false;
+    }
+    for (size_t k = 0; k < n_; ++k) {
+      grad_c_(i, k) = gi[k];
+    }
+  }
+  return true;
+}
+
+void CobylaSolver::SolveSubproblem(double rho, std::vector<double>& d) const {
+  d.assign(n_, 0.0);
+  const Vertex& base = simplex_[0];
+
+  auto model_min_constraint = [&](std::span<const double> step) {
+    double worst = kInf;
+    for (size_t i = 0; i < m_; ++i) {
+      worst = std::min(worst, base.c[i] + Dot(grad_c_.row(i), step));
+    }
+    return m_ == 0 ? 0.0 : worst;
+  };
+  auto sub_merit = [&](std::span<const double> step) {
+    return Dot(grad_f_, step) + mu_ * std::max(0.0, -model_min_constraint(step));
+  };
+  auto project = [&](std::vector<double>& step) {
+    const double norm = Norm2(step);
+    if (norm > rho) {
+      const double scale = rho / norm;
+      for (double& s : step) {
+        s *= scale;
+      }
+    }
+  };
+
+  std::vector<double> current(n_, 0.0);
+  std::vector<double> best = current;
+  double best_merit = sub_merit(best);
+  std::vector<double> subgrad(n_);
+
+  // Phase 1: if the base point violates the linearised constraints, descend
+  // pure violation first so phase 2 starts from a (model-)feasible region.
+  if (m_ > 0 && model_min_constraint(current) < 0.0) {
+    for (int it = 1; it <= 40; ++it) {
+      // Subgradient of -min_i c_hat_i: negative gradient of the active one.
+      double worst = kInf;
+      size_t active = 0;
+      for (size_t i = 0; i < m_; ++i) {
+        const double value = base.c[i] + Dot(grad_c_.row(i), current);
+        if (value < worst) {
+          worst = value;
+          active = i;
+        }
+      }
+      if (worst >= 0.0) {
+        break;
+      }
+      for (size_t k = 0; k < n_; ++k) {
+        subgrad[k] = -grad_c_(active, k);
+      }
+      const double norm = Norm2(subgrad);
+      if (norm < 1e-14) {
+        break;
+      }
+      const double step_len = rho / (2.0 * std::sqrt(static_cast<double>(it)));
+      for (size_t k = 0; k < n_; ++k) {
+        current[k] -= step_len * subgrad[k] / norm;
+      }
+      project(current);
+      if (sub_merit(current) < best_merit) {
+        best_merit = sub_merit(current);
+        best = current;
+      }
+    }
+    current = best;
+  }
+
+  // Phase 2: projected subgradient on the merit model.
+  const int iterations = 60 + static_cast<int>(10 * n_);
+  for (int it = 1; it <= iterations; ++it) {
+    // Subgradient of g.d + mu * max(0, -min_i c_hat_i).
+    subgrad = grad_f_;
+    if (m_ > 0) {
+      double worst = kInf;
+      size_t active = 0;
+      for (size_t i = 0; i < m_; ++i) {
+        const double value = base.c[i] + Dot(grad_c_.row(i), current);
+        if (value < worst) {
+          worst = value;
+          active = i;
+        }
+      }
+      if (worst < 0.0) {
+        for (size_t k = 0; k < n_; ++k) {
+          subgrad[k] -= mu_ * grad_c_(active, k);
+        }
+      }
+    }
+    const double norm = Norm2(subgrad);
+    if (norm < 1e-14) {
+      break;
+    }
+    const double step_len = rho / std::sqrt(static_cast<double>(it));
+    for (size_t k = 0; k < n_; ++k) {
+      current[k] -= step_len * subgrad[k] / norm;
+    }
+    project(current);
+    const double merit = sub_merit(current);
+    if (merit < best_merit) {
+      best_merit = merit;
+      best = current;
+    }
+  }
+  d = best;
+}
+
+void CobylaSolver::GeometryStep(double rho) {
+  // Farthest vertex from the current best is the stalest model point.
+  size_t farthest = 1;
+  double max_dist = -1.0;
+  for (size_t j = 1; j <= n_; ++j) {
+    double dist = 0.0;
+    for (size_t k = 0; k < n_; ++k) {
+      const double delta = simplex_[j].x[k] - simplex_[0].x[k];
+      dist += delta * delta;
+    }
+    if (dist > max_dist) {
+      max_dist = dist;
+      farthest = j;
+    }
+  }
+  Vertex fresh;
+  fresh.x = simplex_[0].x;
+  const size_t coord = geometry_coordinate_ % n_;
+  geometry_coordinate_++;
+  fresh.x[coord] += rho;
+  Evaluate(fresh);
+  simplex_[farthest] = std::move(fresh);
+}
+
+OptimResult CobylaSolver::Solve() {
+  double rho = config_.rho_begin;
+  simplex_.resize(n_ + 1);
+  simplex_[0].x = start_;
+  Evaluate(simplex_[0]);
+  for (size_t j = 0; j < n_; ++j) {
+    simplex_[j + 1].x = start_;
+    simplex_[j + 1].x[j] += rho;
+    Evaluate(simplex_[j + 1]);
+  }
+
+  int stall_count = 0;
+  bool converged = false;
+  std::vector<double> d;
+  while (evaluations_ < config_.max_evaluations) {
+    // Keep the best (lowest merit) vertex at index 0.
+    size_t best = 0;
+    for (size_t j = 1; j <= n_; ++j) {
+      if (Merit(simplex_[j]) < Merit(simplex_[best])) {
+        best = j;
+      }
+    }
+    if (best != 0) {
+      std::swap(simplex_[0], simplex_[best]);
+    }
+
+    // Vertices far outside the trust region poison the linear models.
+    double max_dist = 0.0;
+    for (size_t j = 1; j <= n_; ++j) {
+      double dist = 0.0;
+      for (size_t k = 0; k < n_; ++k) {
+        const double delta = simplex_[j].x[k] - simplex_[0].x[k];
+        dist += delta * delta;
+      }
+      max_dist = std::max(max_dist, std::sqrt(dist));
+    }
+    if (max_dist > 2.5 * rho || !FitModels()) {
+      GeometryStep(rho);
+      continue;
+    }
+
+    SolveSubproblem(rho, d);
+    const double step_norm = Norm2(d);
+
+    const Vertex& base = simplex_[0];
+    // Predicted merit reduction from the linear models.
+    double predicted_violation = 0.0;
+    for (size_t i = 0; i < m_; ++i) {
+      predicted_violation =
+          std::max(predicted_violation, -(base.c[i] + Dot(grad_c_.row(i), d)));
+    }
+    const double predicted_merit = Dot(grad_f_, d) + mu_ * predicted_violation;
+    const double base_merit_excess = mu_ * MaxViolationOf(base);
+    const double predicted_reduction = base_merit_excess - predicted_merit;
+
+    if (step_norm < 0.1 * rho || predicted_reduction < 1e-12) {
+      // Models say we are (locally) done at this resolution.
+      if (rho <= config_.rho_end * 1.0001) {
+        converged = true;
+        break;
+      }
+      rho = std::max(0.5 * rho, config_.rho_end);
+      continue;
+    }
+
+    Vertex candidate;
+    candidate.x = base.x;
+    for (size_t k = 0; k < n_; ++k) {
+      candidate.x[k] += d[k];
+    }
+    Evaluate(candidate);
+
+    // Penalty-parameter update (before acceptance, so the candidate is judged
+    // with the corrected weight): if the step trades feasibility for
+    // objective, mu must outweigh the exchange rate or the merit function
+    // would reward walking ever deeper into the infeasible region.
+    const double candidate_violation = MaxViolationOf(candidate);
+    const double base_violation = MaxViolationOf(base);
+    if (candidate_violation > base_violation + 1e-12) {
+      const double objective_gain = base.f - candidate.f;
+      if (objective_gain > 0.0) {
+        const double needed = 2.0 * objective_gain / (candidate_violation - base_violation);
+        if (needed > mu_) {
+          mu_ = std::min(needed, 1e9);
+        }
+      }
+    }
+
+    // Replace the worst vertex when the candidate improves on it.
+    size_t worst = 1;
+    for (size_t j = 2; j <= n_; ++j) {
+      if (Merit(simplex_[j]) > Merit(simplex_[worst])) {
+        worst = j;
+      }
+    }
+    if (Merit(candidate) < Merit(simplex_[worst])) {
+      simplex_[worst] = std::move(candidate);
+      if (Merit(simplex_[worst]) < Merit(simplex_[0])) {
+        stall_count = 0;
+      }
+    } else {
+      ++stall_count;
+      if (stall_count >= 3) {
+        stall_count = 0;
+        if (rho <= config_.rho_end * 1.0001) {
+          converged = true;
+          break;
+        }
+        rho = std::max(0.5 * rho, config_.rho_end);
+      }
+    }
+  }
+
+  // Report the best vertex, preferring feasibility.
+  OptimResult result;
+  result.evaluations = evaluations_;
+  result.converged = converged;
+  size_t best = 0;
+  bool best_feasible = MaxViolationOf(simplex_[0]) <= 1e-6;
+  for (size_t j = 1; j <= n_; ++j) {
+    const bool feasible = MaxViolationOf(simplex_[j]) <= 1e-6;
+    const bool better_class = feasible && !best_feasible;
+    const bool same_class = feasible == best_feasible;
+    const double key_j = feasible ? simplex_[j].f : Merit(simplex_[j]);
+    const double key_b = best_feasible ? simplex_[best].f : Merit(simplex_[best]);
+    if (better_class || (same_class && key_j < key_b)) {
+      best = j;
+      best_feasible = feasible;
+    }
+  }
+  result.x = simplex_[best].x;
+  result.value = simplex_[best].f;
+  result.max_violation = MaxViolationOf(simplex_[best]);
+  return result;
+}
+
+}  // namespace
+
+OptimResult Cobyla(const Problem& problem, std::span<const double> x0,
+                   const CobylaConfig& config) {
+  CobylaSolver solver(problem, x0, config);
+  return solver.Solve();
+}
+
+}  // namespace faro

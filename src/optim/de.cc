@@ -1,0 +1,97 @@
+#include "src/optim/de.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "src/common/rng.h"
+
+namespace faro {
+namespace {
+
+double PenalisedFitness(const Problem& problem, std::span<const double> x, double penalty,
+                        std::vector<double>& scratch) {
+  double fitness = problem.Objective(x);
+  problem.Constraints(x, scratch);
+  for (const double c : scratch) {
+    if (c < 0.0) {
+      fitness += penalty * c * c;
+    }
+  }
+  return fitness;
+}
+
+}  // namespace
+
+OptimResult DifferentialEvolution(const Problem& problem, const DeConfig& config) {
+  const size_t n = problem.dimension();
+  size_t np = config.population;
+  if (np == 0) {
+    np = std::min<size_t>(200, std::max<size_t>(15, 8 * n));
+  }
+  Rng rng(config.seed);
+
+  std::vector<std::vector<double>> population(np, std::vector<double>(n));
+  std::vector<double> fitness(np);
+  std::vector<double> scratch;
+  for (size_t i = 0; i < np; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      population[i][j] = rng.Uniform(problem.lower()[j], problem.upper()[j]);
+    }
+    fitness[i] = PenalisedFitness(problem, population[i], config.constraint_penalty, scratch);
+  }
+  int evaluations = static_cast<int>(np);
+
+  std::vector<double> trial(n);
+  for (size_t gen = 0; gen < config.generations; ++gen) {
+    for (size_t i = 0; i < np; ++i) {
+      // rand/1/bin mutation: three distinct donors, none equal to i.
+      size_t a;
+      size_t b;
+      size_t c;
+      do {
+        a = rng.UniformInt(np);
+      } while (a == i);
+      do {
+        b = rng.UniformInt(np);
+      } while (b == i || b == a);
+      do {
+        c = rng.UniformInt(np);
+      } while (c == i || c == a || c == b);
+
+      const size_t forced = rng.UniformInt(n);
+      for (size_t j = 0; j < n; ++j) {
+        if (j == forced || rng.Uniform() < config.crossover_rate) {
+          trial[j] = population[a][j] +
+                     config.differential_weight * (population[b][j] - population[c][j]);
+          trial[j] = std::clamp(trial[j], problem.lower()[j], problem.upper()[j]);
+        } else {
+          trial[j] = population[i][j];
+        }
+      }
+      const double trial_fitness =
+          PenalisedFitness(problem, trial, config.constraint_penalty, scratch);
+      ++evaluations;
+      if (trial_fitness <= fitness[i]) {
+        population[i] = trial;
+        fitness[i] = trial_fitness;
+      }
+    }
+  }
+
+  size_t best = 0;
+  for (size_t i = 1; i < np; ++i) {
+    if (fitness[i] < fitness[best]) {
+      best = i;
+    }
+  }
+  OptimResult result;
+  result.x = population[best];
+  result.value = problem.Objective(result.x);
+  result.max_violation = problem.MaxViolation(result.x);
+  result.evaluations = evaluations;
+  result.converged = true;
+  return result;
+}
+
+}  // namespace faro

@@ -1,0 +1,33 @@
+// Differential Evolution (Storn & Price, rand/1/bin) with penalty-based
+// constraint handling. The evolutionary escape route from plateaus that
+// Fig. 5 of the paper evaluates: it solves the *precise* (step-utility)
+// cluster objective that the local solvers stall on, at the cost of orders of
+// magnitude more evaluations.
+
+#ifndef SRC_OPTIM_DE_H_
+#define SRC_OPTIM_DE_H_
+
+#include <cstdint>
+#include <span>
+
+#include "src/optim/problem.h"
+
+namespace faro {
+
+struct DeConfig {
+  // Population size; 0 means auto (max(15, 8 * dimension), capped at 200).
+  size_t population = 0;
+  size_t generations = 300;
+  double differential_weight = 0.7;   // F
+  double crossover_rate = 0.9;        // CR
+  double constraint_penalty = 1e4;    // weight on squared violations
+  uint64_t seed = 42;
+};
+
+// Requires finite box bounds on every variable (the population is initialised
+// uniformly inside the box and clipped to it).
+OptimResult DifferentialEvolution(const Problem& problem, const DeConfig& config = {});
+
+}  // namespace faro
+
+#endif  // SRC_OPTIM_DE_H_

@@ -1,0 +1,64 @@
+#include "src/optim/linalg.h"
+
+#include <cmath>
+
+namespace faro {
+
+bool LuSolve(const Matrix& a, std::span<const double> b, std::vector<double>& x) {
+  const size_t n = a.rows();
+  if (n == 0 || a.cols() != n || b.size() != n) {
+    return false;
+  }
+  Matrix lu = a;
+  std::vector<double> rhs(b.begin(), b.end());
+  for (size_t col = 0; col < n; ++col) {
+    // Partial pivoting.
+    size_t pivot = col;
+    double best = std::abs(lu(col, col));
+    for (size_t r = col + 1; r < n; ++r) {
+      const double mag = std::abs(lu(r, col));
+      if (mag > best) {
+        best = mag;
+        pivot = r;
+      }
+    }
+    if (best < 1e-14) {
+      return false;
+    }
+    if (pivot != col) {
+      for (size_t c = 0; c < n; ++c) {
+        std::swap(lu(pivot, c), lu(col, c));
+      }
+      std::swap(rhs[pivot], rhs[col]);
+    }
+    for (size_t r = col + 1; r < n; ++r) {
+      const double factor = lu(r, col) / lu(col, col);
+      lu(r, col) = 0.0;
+      for (size_t c = col + 1; c < n; ++c) {
+        lu(r, c) -= factor * lu(col, c);
+      }
+      rhs[r] -= factor * rhs[col];
+    }
+  }
+  x.assign(n, 0.0);
+  for (size_t ri = n; ri-- > 0;) {
+    double sum = rhs[ri];
+    for (size_t c = ri + 1; c < n; ++c) {
+      sum -= lu(ri, c) * x[c];
+    }
+    x[ri] = sum / lu(ri, ri);
+  }
+  return true;
+}
+
+double Dot(std::span<const double> a, std::span<const double> b) {
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    sum += a[i] * b[i];
+  }
+  return sum;
+}
+
+double Norm2(std::span<const double> a) { return std::sqrt(Dot(a, a)); }
+
+}  // namespace faro

@@ -1,0 +1,46 @@
+// Minimal dense linear algebra for the solvers: row-major matrices, LU solve
+// with partial pivoting. Sizes here are tiny (tens to low hundreds), so a
+// straightforward O(n^3) implementation is the right tool.
+
+#ifndef SRC_OPTIM_LINALG_H_
+#define SRC_OPTIM_LINALG_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace faro {
+
+// Dense row-major matrix.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(size_t rows, size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  double& operator()(size_t r, size_t c) { return data_[r * cols_ + c]; }
+  double operator()(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+  std::span<double> row(size_t r) { return {data_.data() + r * cols_, cols_}; }
+  std::span<const double> row(size_t r) const { return {data_.data() + r * cols_, cols_}; }
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+// Solves A x = b by LU with partial pivoting (A is copied). Returns false if
+// A is numerically singular; `x` is then left untouched.
+bool LuSolve(const Matrix& a, std::span<const double> b, std::vector<double>& x);
+
+// Dot product of equal-length spans.
+double Dot(std::span<const double> a, std::span<const double> b);
+
+// Euclidean norm.
+double Norm2(std::span<const double> a);
+
+}  // namespace faro
+
+#endif  // SRC_OPTIM_LINALG_H_

@@ -1,0 +1,156 @@
+#include "src/optim/neldermead.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+namespace faro {
+namespace {
+
+double Penalised(const Problem& problem, std::span<const double> x, double penalty,
+                 std::vector<double>& scratch) {
+  double value = problem.Objective(x);
+  problem.Constraints(x, scratch);
+  for (const double c : scratch) {
+    if (c < 0.0) {
+      value += penalty * c * c;
+    }
+  }
+  for (size_t j = 0; j < problem.dimension(); ++j) {
+    const double lo = problem.lower()[j];
+    const double hi = problem.upper()[j];
+    if (std::isfinite(lo) && x[j] < lo) {
+      value += penalty * (lo - x[j]) * (lo - x[j]);
+    }
+    if (std::isfinite(hi) && x[j] > hi) {
+      value += penalty * (x[j] - hi) * (x[j] - hi);
+    }
+  }
+  return value;
+}
+
+}  // namespace
+
+OptimResult NelderMead(const Problem& problem, std::span<const double> x0,
+                       const NelderMeadConfig& config) {
+  const size_t n = problem.dimension();
+  std::vector<double> scratch;
+  int evaluations = 0;
+  auto eval = [&](std::span<const double> x) {
+    ++evaluations;
+    return Penalised(problem, x, config.constraint_penalty, scratch);
+  };
+
+  std::vector<std::vector<double>> simplex(n + 1, std::vector<double>(x0.begin(), x0.end()));
+  std::vector<double> values(n + 1);
+  for (size_t j = 0; j < n; ++j) {
+    simplex[j + 1][j] += config.initial_step;
+  }
+  for (size_t j = 0; j <= n; ++j) {
+    values[j] = eval(simplex[j]);
+  }
+
+  // Adaptive parameters (Gao & Han) behave better in higher dimensions.
+  const double dim = static_cast<double>(n);
+  const double alpha = 1.0;
+  const double beta = 1.0 + 2.0 / dim;
+  const double gamma = 0.75 - 1.0 / (2.0 * dim);
+  const double delta = 1.0 - 1.0 / dim;
+
+  std::vector<double> centroid(n);
+  std::vector<double> reflected(n);
+  std::vector<double> expanded(n);
+  std::vector<double> contracted(n);
+
+  for (size_t iter = 0; iter < config.max_iterations; ++iter) {
+    // Order ascending by value.
+    std::vector<size_t> order(n + 1);
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(),
+              [&](size_t a, size_t b) { return values[a] < values[b]; });
+    std::vector<std::vector<double>> new_simplex(n + 1);
+    std::vector<double> new_values(n + 1);
+    for (size_t j = 0; j <= n; ++j) {
+      new_simplex[j] = std::move(simplex[order[j]]);
+      new_values[j] = values[order[j]];
+    }
+    simplex = std::move(new_simplex);
+    values = std::move(new_values);
+
+    if (std::abs(values[n] - values[0]) < config.tolerance) {
+      break;
+    }
+
+    std::fill(centroid.begin(), centroid.end(), 0.0);
+    for (size_t j = 0; j < n; ++j) {
+      for (size_t k = 0; k < n; ++k) {
+        centroid[k] += simplex[j][k] / dim;
+      }
+    }
+
+    for (size_t k = 0; k < n; ++k) {
+      reflected[k] = centroid[k] + alpha * (centroid[k] - simplex[n][k]);
+    }
+    const double fr = eval(reflected);
+    if (fr < values[0]) {
+      for (size_t k = 0; k < n; ++k) {
+        expanded[k] = centroid[k] + beta * (reflected[k] - centroid[k]);
+      }
+      const double fe = eval(expanded);
+      if (fe < fr) {
+        simplex[n] = expanded;
+        values[n] = fe;
+      } else {
+        simplex[n] = reflected;
+        values[n] = fr;
+      }
+      continue;
+    }
+    if (fr < values[n - 1]) {
+      simplex[n] = reflected;
+      values[n] = fr;
+      continue;
+    }
+    const bool outside = fr < values[n];
+    if (outside) {
+      for (size_t k = 0; k < n; ++k) {
+        contracted[k] = centroid[k] + gamma * (reflected[k] - centroid[k]);
+      }
+    } else {
+      for (size_t k = 0; k < n; ++k) {
+        contracted[k] = centroid[k] - gamma * (centroid[k] - simplex[n][k]);
+      }
+    }
+    const double fc = eval(contracted);
+    if (fc < std::min(fr, values[n])) {
+      simplex[n] = contracted;
+      values[n] = fc;
+      continue;
+    }
+    // Shrink toward the best vertex.
+    for (size_t j = 1; j <= n; ++j) {
+      for (size_t k = 0; k < n; ++k) {
+        simplex[j][k] = simplex[0][k] + delta * (simplex[j][k] - simplex[0][k]);
+      }
+      values[j] = eval(simplex[j]);
+    }
+  }
+
+  size_t best = 0;
+  for (size_t j = 1; j <= n; ++j) {
+    if (values[j] < values[best]) {
+      best = j;
+    }
+  }
+  OptimResult result;
+  result.x = simplex[best];
+  problem.ClipToBounds(result.x);
+  result.value = problem.Objective(result.x);
+  result.max_violation = problem.MaxViolation(result.x);
+  result.evaluations = evaluations;
+  result.converged = true;
+  return result;
+}
+
+}  // namespace faro

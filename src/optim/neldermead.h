@@ -1,0 +1,25 @@
+// Nelder-Mead downhill simplex with penalty-based constraint handling.
+// Used as a regression reference for the other solvers and by tests.
+
+#ifndef SRC_OPTIM_NELDERMEAD_H_
+#define SRC_OPTIM_NELDERMEAD_H_
+
+#include <span>
+
+#include "src/optim/problem.h"
+
+namespace faro {
+
+struct NelderMeadConfig {
+  size_t max_iterations = 2000;
+  double initial_step = 1.0;
+  double tolerance = 1e-9;
+  double constraint_penalty = 1e6;
+};
+
+OptimResult NelderMead(const Problem& problem, std::span<const double> x0,
+                       const NelderMeadConfig& config = {});
+
+}  // namespace faro
+
+#endif  // SRC_OPTIM_NELDERMEAD_H_

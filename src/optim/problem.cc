@@ -1,0 +1,46 @@
+#include "src/optim/problem.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace faro {
+
+bool Problem::has_finite_bounds() const {
+  for (size_t j = 0; j < dimension_; ++j) {
+    if (!std::isfinite(lower_[j]) || !std::isfinite(upper_[j])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void Problem::Constraints(std::span<const double> x, std::vector<double>& out) const {
+  out.resize(constraints_.size());
+  for (size_t i = 0; i < constraints_.size(); ++i) {
+    out[i] = constraints_[i](x);
+  }
+}
+
+double Problem::MaxViolation(std::span<const double> x) const {
+  double violation = 0.0;
+  for (const auto& c : constraints_) {
+    violation = std::max(violation, -c(x));
+  }
+  for (size_t j = 0; j < dimension_; ++j) {
+    if (std::isfinite(lower_[j])) {
+      violation = std::max(violation, lower_[j] - x[j]);
+    }
+    if (std::isfinite(upper_[j])) {
+      violation = std::max(violation, x[j] - upper_[j]);
+    }
+  }
+  return violation;
+}
+
+void Problem::ClipToBounds(std::span<double> x) const {
+  for (size_t j = 0; j < dimension_; ++j) {
+    x[j] = std::clamp(x[j], lower_[j], upper_[j]);
+  }
+}
+
+}  // namespace faro

@@ -1,0 +1,54 @@
+// G/G/c waiting-time approximations (Allen-Cunneen) -- the generalisation §7
+// points at for workloads beyond ML inference ("e.g., via M/M/c or G/G/c
+// queuing").
+//
+// The Allen-Cunneen approximation scales the M/M/c mean wait by the average
+// squared coefficient of variation of inter-arrival and service times:
+//
+//   Wq(G/G/c) ~= Wq(M/M/c) * (ca^2 + cs^2) / 2.
+//
+// Two instructive specialisations:
+//   ca^2 = cs^2 = 1  ->  exactly M/M/c;
+//   ca^2 = 1, cs^2 = 0 (Poisson arrivals, deterministic service)
+//                    ->  exactly half the M/M/c wait -- the engineering
+//                        approximation Faro's M/D/c estimator (§3.3) uses.
+// So this module both extends the library beyond ML inference and *derives*
+// the paper's 1/2 rule as a special case (tested in tests/queueing_test.cc).
+
+#ifndef SRC_QUEUEING_GGC_H_
+#define SRC_QUEUEING_GGC_H_
+
+#include <cstdint>
+
+namespace faro {
+
+// Squared coefficients of variation of the inter-arrival and service-time
+// distributions.
+struct TrafficVariability {
+  double ca2 = 1.0;  // Poisson arrivals
+  double cs2 = 0.0;  // deterministic service
+};
+
+// Mean queueing delay (excluding service) under Allen-Cunneen.
+// Returns +infinity when the queue is unstable.
+double GgcMeanWait(uint32_t servers, double arrival_rate, double service_time,
+                   const TrafficVariability& v);
+
+// q-th percentile of the waiting time, approximating the wait distribution by
+// the M/M/c shape (atom at zero + exponential tail) with its tail scaled so
+// the mean matches Allen-Cunneen. Exact for M/M/c; the same approximation
+// style §3.3 adopts for M/D/c.
+double GgcWaitPercentile(uint32_t servers, double arrival_rate, double service_time, double q,
+                         const TrafficVariability& v);
+
+// q-th percentile of total latency (wait + mean service).
+double GgcLatencyPercentile(uint32_t servers, double arrival_rate, double service_time,
+                            double q, const TrafficVariability& v);
+
+// Smallest replica count meeting `slo` at the q-th percentile.
+uint32_t RequiredReplicasGgc(double arrival_rate, double service_time, double slo, double q,
+                             const TrafficVariability& v, uint32_t max_replicas = 100000);
+
+}  // namespace faro
+
+#endif  // SRC_QUEUEING_GGC_H_

@@ -1,0 +1,102 @@
+#include "src/queueing/mdc.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/queueing/mmc.h"
+
+namespace faro {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Relaxed M/D/c latency at an integer server count; always finite for
+// servers >= 1 because the arrival rate is capped at rho_max utilisation and
+// the overloaded region is extrapolated linearly in lambda.
+double RelaxedAtIntegerServers(uint32_t servers, double arrival_rate, double service_time,
+                               double q, double rho_max) {
+  if (arrival_rate <= 0.0) {
+    return service_time;
+  }
+  const double lambda_cap = rho_max * static_cast<double>(servers) / service_time;
+  if (arrival_rate <= lambda_cap) {
+    return MdcLatencyPercentile(servers, arrival_rate, service_time, q);
+  }
+  const double at_cap = MdcLatencyPercentile(servers, lambda_cap, service_time, q);
+  return (arrival_rate / lambda_cap) * at_cap;
+}
+
+}  // namespace
+
+double MdcLatencyPercentile(uint32_t servers, double arrival_rate, double service_time,
+                            double q) {
+  if (servers == 0) {
+    return kInf;
+  }
+  if (arrival_rate <= 0.0) {
+    return service_time;
+  }
+  const double rho = arrival_rate * service_time / static_cast<double>(servers);
+  if (rho >= 1.0) {
+    return kInf;
+  }
+  // W_{M/D/c} ~= 1/2 W_{M/M/c}; service is deterministic so the sojourn-time
+  // percentile is the waiting percentile plus the constant service time.
+  const double wait = MmcWaitPercentile(servers, arrival_rate, service_time, q);
+  return 0.5 * wait + service_time;
+}
+
+uint32_t RequiredReplicasMdc(double arrival_rate, double service_time, double slo, double q,
+                             uint32_t max_replicas) {
+  if (arrival_rate <= 0.0) {
+    return 1;
+  }
+  // Stability requires more than lambda * p servers; start the scan there.
+  const double offered = arrival_rate * service_time;
+  uint32_t n = std::max<uint32_t>(1, static_cast<uint32_t>(std::floor(offered)) + 1);
+  for (; n <= max_replicas; ++n) {
+    if (MdcLatencyPercentile(n, arrival_rate, service_time, q) <= slo) {
+      return n;
+    }
+  }
+  return max_replicas;
+}
+
+double UpperBoundLatency(double burst, double service_time, double replicas) {
+  if (replicas <= 0.0) {
+    return kInf;
+  }
+  if (burst <= 0.0) {
+    return service_time;
+  }
+  return std::max(service_time, service_time * burst / replicas);
+}
+
+uint32_t RequiredReplicasUpperBound(double burst, double service_time, double slo) {
+  if (burst <= 0.0 || slo <= 0.0) {
+    return 1;
+  }
+  const double n = std::ceil(service_time * burst / slo);
+  return std::max<uint32_t>(1, static_cast<uint32_t>(n));
+}
+
+double RelaxedMdcLatency(double servers, double arrival_rate, double service_time, double q,
+                         double rho_max) {
+  if (servers < 1.0) {
+    const double at_one = RelaxedAtIntegerServers(1, arrival_rate, service_time, q, rho_max);
+    return at_one / std::max(servers, 1e-3);
+  }
+  const double lo = std::floor(servers);
+  const double hi = std::ceil(servers);
+  const auto lo_n = static_cast<uint32_t>(lo);
+  if (lo == hi) {
+    return RelaxedAtIntegerServers(lo_n, arrival_rate, service_time, q, rho_max);
+  }
+  const double at_lo = RelaxedAtIntegerServers(lo_n, arrival_rate, service_time, q, rho_max);
+  const double at_hi = RelaxedAtIntegerServers(lo_n + 1, arrival_rate, service_time, q, rho_max);
+  const double frac = servers - lo;
+  return at_lo * (1.0 - frac) + at_hi * frac;
+}
+
+}  // namespace faro

@@ -1,0 +1,59 @@
+// M/D/c latency estimation and Faro's relaxed variant (§3.3, §3.4).
+//
+// ML inference requests arrive (approximately) Poisson and take near-constant
+// time to serve, so an M/D/c model sizes replica pools much tighter than the
+// pessimistic upper-bound estimator. Following the paper we adopt the common
+// engineering approximation: the M/D/c waiting time is about half the M/M/c
+// waiting time at the same load.
+//
+// For optimisation, the hard instability cliff (latency = infinity at
+// rho >= 1) is a plateau that stalls solvers. The relaxed estimator caps
+// utilisation at rho_max (default 0.95) and extrapolates the overloaded
+// region with a penalty proportional to the queue growth rate (~ lambda),
+// producing a finite, strictly-increasing, plateau-free surface (Fig. 6).
+
+#ifndef SRC_QUEUEING_MDC_H_
+#define SRC_QUEUEING_MDC_H_
+
+#include <cstdint>
+
+namespace faro {
+
+// Default utilisation cap for the relaxed estimator (§3.4: "Faro sets
+// rho_max = 0.95 so as to remove the plateau but still stay close to
+// estimated latency").
+inline constexpr double kDefaultRhoMax = 0.95;
+
+// q-th percentile of total latency (waiting + deterministic service) in an
+// M/D/c system with `servers` servers, arrival rate lambda (req/s) and
+// deterministic service time p (s). Returns +infinity when rho >= 1.
+double MdcLatencyPercentile(uint32_t servers, double arrival_rate, double service_time, double q);
+
+// Smallest replica count whose M/D/c q-th percentile latency meets `slo`
+// seconds. Returns `max_replicas` when even that many do not suffice.
+uint32_t RequiredReplicasMdc(double arrival_rate, double service_time, double slo, double q,
+                             uint32_t max_replicas = 100000);
+
+// Pessimistic upper-bound estimator (§3.3-I): if `burst` requests arrive
+// simultaneously on `replicas` replicas, each taking `service_time`, the
+// completion time is service_time * burst / replicas.
+double UpperBoundLatency(double burst, double service_time, double replicas);
+
+// Replica count the upper-bound estimator sizes for the SLO (ceil).
+uint32_t RequiredReplicasUpperBound(double burst, double service_time, double slo);
+
+// Relaxed M/D/c latency for *continuous* replica counts (the decision variable
+// the solver moves). Behaviour:
+//   - rho <= rho_max: ordinary M/D/c percentile latency (interpolated linearly
+//     between the neighbouring integer server counts);
+//   - rho >  rho_max: latency at the capped arrival rate, scaled by
+//     lambda / lambda_cap -- finite and increasing in lambda, decreasing in
+//     servers, so the optimiser always sees a useful gradient;
+//   - servers < 1 is extrapolated as latency(1) / servers so probes below the
+//     bound are pushed back smoothly.
+double RelaxedMdcLatency(double servers, double arrival_rate, double service_time, double q,
+                         double rho_max = kDefaultRhoMax);
+
+}  // namespace faro
+
+#endif  // SRC_QUEUEING_MDC_H_

@@ -1,0 +1,78 @@
+#include "src/queueing/mmc.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace faro {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+}  // namespace
+
+double ErlangB(uint32_t servers, double offered) {
+  if (offered <= 0.0) {
+    return 0.0;
+  }
+  double b = 1.0;
+  for (uint32_t k = 1; k <= servers; ++k) {
+    b = offered * b / (static_cast<double>(k) + offered * b);
+  }
+  return b;
+}
+
+double ErlangC(uint32_t servers, double offered) {
+  if (servers == 0 || offered >= static_cast<double>(servers)) {
+    return 1.0;
+  }
+  if (offered <= 0.0) {
+    return 0.0;
+  }
+  const double rho = offered / static_cast<double>(servers);
+  const double b = ErlangB(servers, offered);
+  return b / (1.0 - rho * (1.0 - b));
+}
+
+double MmcMeanWait(uint32_t servers, double arrival_rate, double service_time) {
+  if (arrival_rate <= 0.0) {
+    return 0.0;
+  }
+  const double mu = 1.0 / service_time;
+  const double capacity = static_cast<double>(servers) * mu;
+  if (arrival_rate >= capacity) {
+    return kInf;
+  }
+  const double offered = arrival_rate * service_time;
+  return ErlangC(servers, offered) / (capacity - arrival_rate);
+}
+
+double MmcWaitPercentile(uint32_t servers, double arrival_rate, double service_time, double q) {
+  if (arrival_rate <= 0.0) {
+    return 0.0;
+  }
+  const double mu = 1.0 / service_time;
+  const double capacity = static_cast<double>(servers) * mu;
+  if (arrival_rate >= capacity) {
+    return kInf;
+  }
+  const double offered = arrival_rate * service_time;
+  const double c_wait = ErlangC(servers, offered);
+  q = std::clamp(q, 0.0, 1.0 - 1e-12);
+  const double tail = 1.0 - q;  // we need P(W > t) = tail
+  if (tail >= c_wait) {
+    return 0.0;  // the percentile falls inside the atom at zero
+  }
+  return std::log(c_wait / tail) / (capacity - arrival_rate);
+}
+
+double MmcLatencyPercentile(uint32_t servers, double arrival_rate, double service_time,
+                            double q) {
+  const double wait = MmcWaitPercentile(servers, arrival_rate, service_time, q);
+  if (std::isinf(wait)) {
+    return kInf;
+  }
+  return wait + service_time;
+}
+
+}  // namespace faro

@@ -1,0 +1,43 @@
+// M/M/c queueing formulas (Poisson arrivals, exponential service, c servers).
+//
+// These are the analytical backbone of Faro's latency estimation (§3.3): the
+// M/D/c estimates the paper uses are derived from M/M/c waiting times via the
+// engineering approximation W_{M/D/c} ~= 1/2 * W_{M/M/c} (Tijms), implemented
+// in src/queueing/mdc.h.
+
+#ifndef SRC_QUEUEING_MMC_H_
+#define SRC_QUEUEING_MMC_H_
+
+#include <cstdint>
+
+namespace faro {
+
+// Erlang-B blocking probability for `servers` servers at offered load
+// `offered` (= lambda/mu, in Erlangs). Computed with the numerically stable
+// recurrence; valid for servers >= 0.
+double ErlangB(uint32_t servers, double offered);
+
+// Erlang-C probability that an arriving request must wait, for `servers`
+// servers at offered load `offered`. Returns 1.0 when the queue is unstable
+// (offered >= servers).
+double ErlangC(uint32_t servers, double offered);
+
+// Mean queueing delay (excluding service) in an M/M/c system.
+// `arrival_rate` is lambda (req/s), `service_time` is 1/mu (s/req).
+// Returns +infinity when unstable.
+double MmcMeanWait(uint32_t servers, double arrival_rate, double service_time);
+
+// q-th percentile (q in [0,1)) of the waiting time W in an M/M/c system.
+// P(W > t) = ErlangC * exp(-(c*mu - lambda) * t); the distribution has an atom
+// at zero of mass 1 - ErlangC, so percentiles below that mass are exactly 0.
+// Returns +infinity when unstable.
+double MmcWaitPercentile(uint32_t servers, double arrival_rate, double service_time, double q);
+
+// q-th percentile of the total sojourn time (wait + service) in M/M/c,
+// approximating the service contribution by its mean (exact for the
+// deterministic-service use below). Returns +infinity when unstable.
+double MmcLatencyPercentile(uint32_t servers, double arrival_rate, double service_time, double q);
+
+}  // namespace faro
+
+#endif  // SRC_QUEUEING_MMC_H_

@@ -1,0 +1,110 @@
+#include "src/sim/placement.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace faro {
+
+ClusterResources PlacementTracker::TotalCapacity() const {
+  ClusterResources total;
+  for (const Node& node : nodes_) {
+    total.cpu += node.cpu_capacity;
+    total.mem += node.mem_capacity;
+  }
+  return total;
+}
+
+std::optional<size_t> PlacementTracker::PickNode(double cpu, double mem) const {
+  std::optional<size_t> best;
+  double best_score = 0.0;
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    if (!nodes_[i].Fits(cpu, mem)) {
+      continue;
+    }
+    switch (strategy_) {
+      case PlacementStrategy::kFirstFit:
+        return i;
+      case PlacementStrategy::kBestFit: {
+        // Tightest fit: smallest free CPU after placement.
+        const double score = -(nodes_[i].cpu_free() - cpu);
+        if (!best || score > best_score) {
+          best = i;
+          best_score = score;
+        }
+        break;
+      }
+      case PlacementStrategy::kSpread: {
+        // Most free CPU before placement.
+        const double score = nodes_[i].cpu_free();
+        if (!best || score > best_score) {
+          best = i;
+          best_score = score;
+        }
+        break;
+      }
+    }
+  }
+  return best;
+}
+
+std::optional<size_t> PlacementTracker::PlaceReplica(const JobSpec& spec) {
+  const std::optional<size_t> node = PickNode(spec.cpu_per_replica, spec.mem_per_replica);
+  if (!node) {
+    return std::nullopt;
+  }
+  nodes_[*node].cpu_used += spec.cpu_per_replica;
+  nodes_[*node].mem_used += spec.mem_per_replica;
+  placements_.push_back({spec.name, *node, spec.cpu_per_replica, spec.mem_per_replica});
+  return node;
+}
+
+bool PlacementTracker::RemoveReplica(const JobSpec& spec) {
+  // Prefer freeing on the most CPU-loaded node hosting this job (drains hot
+  // nodes first).
+  ptrdiff_t victim = -1;
+  double most_used = -1.0;
+  for (size_t i = 0; i < placements_.size(); ++i) {
+    if (placements_[i].job != spec.name) {
+      continue;
+    }
+    const double used = nodes_[placements_[i].node].cpu_used;
+    if (used > most_used) {
+      most_used = used;
+      victim = static_cast<ptrdiff_t>(i);
+    }
+  }
+  if (victim < 0) {
+    return false;
+  }
+  const Placement placement = placements_[static_cast<size_t>(victim)];
+  nodes_[placement.node].cpu_used -= placement.cpu;
+  nodes_[placement.node].mem_used -= placement.mem;
+  placements_.erase(placements_.begin() + victim);
+  return true;
+}
+
+uint32_t PlacementTracker::PlacedReplicas(const std::string& job_name) const {
+  uint32_t count = 0;
+  for (const Placement& placement : placements_) {
+    if (placement.job == job_name) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+uint32_t PlacementTracker::PlaceableReplicas(const JobSpec& spec) const {
+  // Simulate placements on a scratch copy of the node pool.
+  std::vector<Node> scratch = nodes_;
+  PlacementTracker probe(std::move(scratch), strategy_);
+  uint32_t count = 0;
+  while (probe.PlaceReplica(spec).has_value()) {
+    ++count;
+    if (count > 100000) {
+      break;  // defensive: degenerate zero-size replica
+    }
+  }
+  return count;
+}
+
+}  // namespace faro

@@ -1,0 +1,85 @@
+// Node-level replica placement: the Kubernetes-scheduler layer underneath
+// Faro ("Together they sit over the K8s scheduler, which schedules replicas
+// to physical/virtual machines", §1). Faro only decides replica *counts*;
+// whether those replicas actually fit onto nodes is the scheduler's problem,
+// and fragmentation can leave pods Pending even when aggregate capacity
+// exists. This module models that layer: nodes with vCPU/memory capacity,
+// three placement strategies, and a cluster-state tracker the simulator (or a
+// user) can validate scaling actions against.
+
+#ifndef SRC_SIM_PLACEMENT_H_
+#define SRC_SIM_PLACEMENT_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/core/objectives.h"
+
+namespace faro {
+
+struct Node {
+  std::string name;
+  double cpu_capacity = 0.0;
+  double mem_capacity = 0.0;
+  double cpu_used = 0.0;
+  double mem_used = 0.0;
+
+  double cpu_free() const { return cpu_capacity - cpu_used; }
+  double mem_free() const { return mem_capacity - mem_used; }
+  bool Fits(double cpu, double mem) const {
+    return cpu_free() + 1e-9 >= cpu && mem_free() + 1e-9 >= mem;
+  }
+};
+
+enum class PlacementStrategy : uint8_t {
+  kFirstFit,  // first node with room (K8s default-ish with ordered scoring off)
+  kBestFit,   // tightest remaining capacity (bin-packing, consolidation)
+  kSpread,    // most free capacity (K8s LeastAllocated spreading)
+};
+
+// Tracks replica placements per job across a fixed node pool.
+class PlacementTracker {
+ public:
+  PlacementTracker(std::vector<Node> nodes, PlacementStrategy strategy)
+      : nodes_(std::move(nodes)), strategy_(strategy) {}
+
+  const std::vector<Node>& nodes() const { return nodes_; }
+
+  // Total schedulable capacity across nodes.
+  ClusterResources TotalCapacity() const;
+
+  // Places one replica of the job; returns the node index or nullopt when no
+  // node fits (the pod stays Pending).
+  std::optional<size_t> PlaceReplica(const JobSpec& spec);
+
+  // Removes one replica of the job from the most-loaded node hosting one;
+  // returns false if the job has no replicas placed.
+  bool RemoveReplica(const JobSpec& spec);
+
+  // Replicas currently placed for the job.
+  uint32_t PlacedReplicas(const std::string& job_name) const;
+
+  // How many replicas of this spec could still be placed, honouring
+  // fragmentation (simulates placements, then rolls back).
+  uint32_t PlaceableReplicas(const JobSpec& spec) const;
+
+ private:
+  std::optional<size_t> PickNode(double cpu, double mem) const;
+
+  struct Placement {
+    std::string job;
+    size_t node = 0;
+    double cpu = 0.0;
+    double mem = 0.0;
+  };
+
+  std::vector<Node> nodes_;
+  PlacementStrategy strategy_;
+  std::vector<Placement> placements_;
+};
+
+}  // namespace faro
+
+#endif  // SRC_SIM_PLACEMENT_H_

@@ -1,0 +1,53 @@
+#include "src/sim/report.h"
+
+#include <fstream>
+
+namespace faro {
+
+bool WriteTimelineCsv(const std::string& path, const RunResult& result) {
+  std::ofstream out(path);
+  if (!out) {
+    return false;
+  }
+  out << "minute,cluster_utility,total_load";
+  for (const JobRunStats& job : result.jobs) {
+    const std::string& name = job.name.empty() ? "job" : job.name;
+    out << ',' << name << "_p99," << name << "_utility," << name << "_replicas," << name
+        << "_drop_rate";
+  }
+  out << '\n';
+  const size_t minutes = result.cluster_utility_timeline.size();
+  for (size_t t = 0; t < minutes; ++t) {
+    out << t << ',' << result.cluster_utility_timeline[t] << ','
+        << result.total_load_timeline[t];
+    for (const JobRunStats& job : result.jobs) {
+      out << ',' << (t < job.minute_p99.size() ? job.minute_p99[t] : 0.0) << ','
+          << (t < job.minute_utility.size() ? job.minute_utility[t] : 0.0) << ','
+          << (t < job.minute_replicas.size() ? job.minute_replicas[t] : 0.0) << ','
+          << (t < job.minute_drop_rate.size() ? job.minute_drop_rate[t] : 0.0);
+    }
+    out << '\n';
+  }
+  return static_cast<bool>(out);
+}
+
+bool WriteSummaryCsv(const std::string& path, const RunResult& result) {
+  std::ofstream out(path);
+  if (!out) {
+    return false;
+  }
+  out << "job,arrivals,drops,violations,slo_violation_rate,avg_utility,lost_utility,"
+         "avg_effective_utility,avg_replicas\n";
+  for (const JobRunStats& job : result.jobs) {
+    out << (job.name.empty() ? "job" : job.name) << ',' << job.arrivals << ',' << job.drops
+        << ',' << job.violations << ',' << job.slo_violation_rate << ',' << job.avg_utility
+        << ',' << job.lost_utility << ',' << job.avg_effective_utility << ','
+        << job.avg_replicas << '\n';
+  }
+  out << "CLUSTER,,,," << result.cluster_slo_violation_rate << ','
+      << result.cluster_avg_utility << ',' << result.cluster_lost_utility << ','
+      << result.cluster_avg_effective_utility << ",\n";
+  return static_cast<bool>(out);
+}
+
+}  // namespace faro

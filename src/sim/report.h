@@ -1,0 +1,23 @@
+// CSV export of simulation results, for plotting the reproduced figures with
+// external tools.
+
+#ifndef SRC_SIM_REPORT_H_
+#define SRC_SIM_REPORT_H_
+
+#include <string>
+
+#include "src/sim/simulator.h"
+
+namespace faro {
+
+// Per-minute timeline: one row per minute with the cluster utility, total
+// load, and each job's p99 / utility / replicas / drop rate.
+bool WriteTimelineCsv(const std::string& path, const RunResult& result);
+
+// One row per job with the run-level summary metrics (plus a final CLUSTER
+// row).
+bool WriteSummaryCsv(const std::string& path, const RunResult& result);
+
+}  // namespace faro
+
+#endif  // SRC_SIM_REPORT_H_

@@ -1,0 +1,553 @@
+#include "src/sim/simulator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <limits>
+#include <memory>
+#include <queue>
+
+#include "src/common/rng.h"
+#include "src/common/stats.h"
+#include "src/core/penalty.h"
+#include "src/core/utility.h"
+
+namespace faro {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+enum class EventKind : uint8_t {
+  kArrival,
+  kCompletion,
+  kReplicaReady,
+  kReactiveTick,
+  kDecideTick,
+  kMetricsTick,
+};
+
+struct Event {
+  double time = 0.0;
+  EventKind kind = EventKind::kArrival;
+  uint32_t job = 0;
+  uint64_t sequence = 0;  // FIFO tie-break for equal timestamps
+  // Completion events carry the arrival time of the request being served so
+  // latency can be computed without tracking per-replica identity.
+  double payload = 0.0;
+};
+
+struct EventLater {
+  bool operator()(const Event& a, const Event& b) const {
+    if (a.time != b.time) {
+      return a.time > b.time;
+    }
+    return a.sequence > b.sequence;
+  }
+};
+
+// One request waiting in (or being served from) a router queue.
+struct PendingRequest {
+  double arrival_time = 0.0;
+};
+
+struct JobState {
+  // --- replica pool -------------------------------------------------------
+  uint32_t ready = 0;     // provisioned replicas (busy + idle)
+  uint32_t busy = 0;      // replicas serving a request right now
+  uint32_t starting = 0;  // replicas still cold-starting
+  // Busy replicas slated for removal once their in-flight request finishes.
+  uint32_t pending_removal = 0;
+  // Cold starts that were cancelled by a later downscale; ReplicaReady events
+  // for them are ignored.
+  uint32_t cancelled_starts = 0;
+
+  // --- router -------------------------------------------------------------
+  std::deque<PendingRequest> queue;
+  double explicit_drop_rate = 0.0;
+
+  // --- rolling latency window for the reactive overload detector -----------
+  std::deque<std::pair<double, double>> recent_latencies;  // (time, latency)
+
+  // --- per-window accumulators ---------------------------------------------
+  uint64_t window_arrivals = 0;
+  uint64_t window_drops = 0;
+  std::vector<double> window_latencies;
+  RunningStats window_processing;
+
+  // --- totals and history --------------------------------------------------
+  uint64_t total_arrivals = 0;
+  uint64_t total_drops = 0;
+  uint64_t total_violations = 0;
+  std::vector<double> arrival_history;  // req/s per completed window
+  double last_window_rate = 0.0;        // req/s
+  double last_window_drop_rate = 0.0;
+  double smoothed_processing = 0.0;
+  double overloaded_for = 0.0;
+  double underloaded_for = 0.0;
+
+  // --- per-minute outputs ---------------------------------------------------
+  std::vector<double> minute_p99;
+  std::vector<double> minute_utility;
+  std::vector<double> minute_eu;
+  std::vector<double> minute_arrivals;
+  std::vector<double> minute_drop_rate;
+  std::vector<double> minute_replicas;
+};
+
+class Simulation {
+ public:
+  Simulation(const SimConfig& config, const std::vector<SimJobConfig>& jobs,
+             AutoscalingPolicy& policy)
+      : config_(config), jobs_(jobs), policy_(policy), rng_(config.seed) {}
+
+  RunResult Run();
+
+ private:
+  void Push(double time, EventKind kind, uint32_t job, double payload = 0.0) {
+    events_.push(Event{time, kind, job, sequence_++, payload});
+  }
+
+  // Generates the next minute's Poisson arrivals for every job.
+  void ScheduleMinuteArrivals(size_t minute);
+
+  void HandleArrival(const Event& event);
+  void HandleCompletion(const Event& event);
+  void HandleReplicaReady(const Event& event);
+  void StartServiceIfPossible(uint32_t job);
+  void RecordLatency(uint32_t job, double latency);
+  void CloseMetricsWindow(uint32_t job);
+  void ApplyAction(const ScalingAction& action);
+  void InjectReplicaFailures();
+  void UpdateOverloadTimers();
+  std::vector<JobMetrics> CollectMetrics() const;
+
+  double ServiceTime(uint32_t job) {
+    const double p = jobs_[job].spec.processing_time;
+    if (config_.processing_jitter <= 0.0) {
+      return p;
+    }
+    return std::max(0.2 * p, p * (1.0 + config_.processing_jitter * rng_.Normal()));
+  }
+
+  double ColdStart() {
+    if (config_.cold_start_jitter_s <= 0.0) {
+      return config_.cold_start_s;
+    }
+    return std::max(1.0, config_.cold_start_s +
+                             rng_.Uniform(-config_.cold_start_jitter_s,
+                                          config_.cold_start_jitter_s));
+  }
+
+  const SimConfig& config_;
+  const std::vector<SimJobConfig>& jobs_;
+  AutoscalingPolicy& policy_;
+  Rng rng_;
+  std::priority_queue<Event, std::vector<Event>, EventLater> events_;
+  uint64_t sequence_ = 0;
+  double now_ = 0.0;
+  std::vector<JobState> state_;
+  std::vector<JobSpec> specs_;
+  size_t total_minutes_ = 0;
+  // Optional node-placement model.
+  std::unique_ptr<PlacementTracker> placement_;
+  // Replicas requested but not yet placeable (Pending pods), per job.
+  std::vector<uint32_t> pending_placement_;
+
+  // Starts the cold-start clock for one replica of job j if a node has room
+  // (or unconditionally without a node model). Returns false when Pending.
+  bool TryProvisionReplica(uint32_t j) {
+    if (placement_ != nullptr && !placement_->PlaceReplica(jobs_[j].spec).has_value()) {
+      return false;
+    }
+    ++state_[j].starting;
+    Push(now_ + ColdStart(), EventKind::kReplicaReady, j);
+    return true;
+  }
+
+  void RetryPendingPlacements() {
+    for (uint32_t j = 0; j < jobs_.size(); ++j) {
+      while (pending_placement_[j] > 0 && TryProvisionReplica(j)) {
+        --pending_placement_[j];
+      }
+    }
+  }
+};
+
+void Simulation::ScheduleMinuteArrivals(size_t minute) {
+  for (uint32_t j = 0; j < jobs_.size(); ++j) {
+    const Series& trace = jobs_[j].arrival_rate_per_min;
+    if (minute >= trace.size()) {
+      continue;
+    }
+    const double rate = std::max(0.0, trace[minute]);
+    const uint64_t count = rng_.Poisson(rate);
+    const double start = static_cast<double>(minute) * 60.0;
+    for (uint64_t k = 0; k < count; ++k) {
+      Push(start + rng_.Uniform() * 60.0, EventKind::kArrival, j);
+    }
+  }
+}
+
+void Simulation::RecordLatency(uint32_t job, double latency) {
+  JobState& js = state_[job];
+  js.window_latencies.push_back(latency);
+  js.recent_latencies.emplace_back(now_, latency);
+  if (latency > jobs_[job].spec.slo) {
+    ++js.total_violations;
+  }
+}
+
+void Simulation::HandleArrival(const Event& event) {
+  JobState& js = state_[event.job];
+  ++js.total_arrivals;
+  ++js.window_arrivals;
+  // Explicit drop as instructed by the autoscaler (Faro-Penalty*).
+  if (js.explicit_drop_rate > 0.0 && rng_.Uniform() < js.explicit_drop_rate) {
+    ++js.total_drops;
+    ++js.window_drops;
+    RecordLatency(event.job, kInf);
+    return;
+  }
+  // Tail drop: full router queue returns HTTP 503 (§5).
+  if (js.queue.size() >= config_.router_queue_limit) {
+    ++js.total_drops;
+    ++js.window_drops;
+    RecordLatency(event.job, kInf);
+    return;
+  }
+  js.queue.push_back(PendingRequest{now_});
+  StartServiceIfPossible(event.job);
+}
+
+void Simulation::StartServiceIfPossible(uint32_t job) {
+  JobState& js = state_[job];
+  while (!js.queue.empty() && js.busy < js.ready) {
+    const PendingRequest request = js.queue.front();
+    js.queue.pop_front();
+    ++js.busy;
+    const double service = ServiceTime(job);
+    js.window_processing.Add(service);
+    Push(now_ + service, EventKind::kCompletion, job, request.arrival_time);
+  }
+}
+
+void Simulation::HandleCompletion(const Event& event) {
+  JobState& js = state_[event.job];
+  --js.busy;
+  RecordLatency(event.job, now_ - event.payload);
+  if (js.pending_removal > 0) {
+    // This replica was slated for removal: it exits instead of picking up
+    // more work.
+    --js.pending_removal;
+    --js.ready;
+    if (placement_ != nullptr) {
+      (void)placement_->RemoveReplica(jobs_[event.job].spec);
+    }
+  }
+  StartServiceIfPossible(event.job);
+}
+
+void Simulation::HandleReplicaReady(const Event& event) {
+  JobState& js = state_[event.job];
+  if (js.cancelled_starts > 0) {
+    --js.cancelled_starts;
+    return;
+  }
+  if (js.starting > 0) {
+    --js.starting;
+  }
+  ++js.ready;
+  StartServiceIfPossible(event.job);
+}
+
+void Simulation::CloseMetricsWindow(uint32_t job) {
+  JobState& js = state_[job];
+  const JobSpec& spec = jobs_[job].spec;
+  const double window = config_.metrics_window_s;
+
+  const double rate = static_cast<double>(js.window_arrivals) / window;  // req/s
+  js.arrival_history.push_back(rate);
+  if (js.arrival_history.size() > config_.history_steps) {
+    js.arrival_history.erase(js.arrival_history.begin());
+  }
+  js.last_window_rate = rate;
+  js.last_window_drop_rate =
+      js.window_arrivals > 0
+          ? static_cast<double>(js.window_drops) / static_cast<double>(js.window_arrivals)
+          : 0.0;
+  if (js.window_processing.count() > 0) {
+    js.smoothed_processing = js.window_processing.mean();
+  }
+
+  const double p99 =
+      js.window_latencies.empty() ? 0.0 : Percentile(js.window_latencies, spec.percentile);
+  const double utility = RelaxedUtility(p99, spec.slo);
+  const double eu = StepPenaltyMultiplier(js.last_window_drop_rate) * utility;
+
+  js.minute_p99.push_back(p99);
+  js.minute_utility.push_back(utility);
+  js.minute_eu.push_back(eu);
+  js.minute_arrivals.push_back(static_cast<double>(js.window_arrivals));
+  js.minute_drop_rate.push_back(js.last_window_drop_rate);
+  js.minute_replicas.push_back(static_cast<double>(js.ready + js.starting));
+
+  js.window_arrivals = 0;
+  js.window_drops = 0;
+  js.window_latencies.clear();
+  js.window_processing = RunningStats();
+}
+
+void Simulation::InjectReplicaFailures() {
+  if (config_.replica_mtbf_s <= 0.0) {
+    return;
+  }
+  const double failure_prob = config_.reactive_interval_s / config_.replica_mtbf_s;
+  for (uint32_t j = 0; j < jobs_.size(); ++j) {
+    JobState& js = state_[j];
+    uint32_t failures = 0;
+    for (uint32_t r = 0; r < js.ready; ++r) {
+      if (rng_.Uniform() < failure_prob) {
+        ++failures;
+      }
+    }
+    while (failures-- > 0 && js.ready > js.pending_removal) {
+      if (js.ready - js.busy > 0 && js.busy + js.pending_removal < js.ready) {
+        --js.ready;  // idle replica dies immediately
+        if (placement_ != nullptr) {
+          (void)placement_->RemoveReplica(jobs_[j].spec);
+        }
+      } else {
+        ++js.pending_removal;  // busy replica exits after its request
+      }
+    }
+  }
+}
+
+void Simulation::UpdateOverloadTimers() {
+  const double horizon = now_ - config_.metrics_window_s;
+  for (uint32_t j = 0; j < jobs_.size(); ++j) {
+    JobState& js = state_[j];
+    while (!js.recent_latencies.empty() && js.recent_latencies.front().first < horizon) {
+      js.recent_latencies.pop_front();
+    }
+    std::vector<double> recent;
+    recent.reserve(js.recent_latencies.size());
+    for (const auto& [time, latency] : js.recent_latencies) {
+      recent.push_back(latency);
+    }
+    const double p99 = recent.empty() ? 0.0 : Percentile(recent, jobs_[j].spec.percentile);
+    if (p99 > jobs_[j].spec.slo) {
+      js.overloaded_for += config_.reactive_interval_s;
+      js.underloaded_for = 0.0;
+    } else {
+      js.overloaded_for = 0.0;
+      js.underloaded_for += config_.reactive_interval_s;
+    }
+  }
+}
+
+std::vector<JobMetrics> Simulation::CollectMetrics() const {
+  std::vector<JobMetrics> metrics(jobs_.size());
+  for (uint32_t j = 0; j < jobs_.size(); ++j) {
+    const JobState& js = state_[j];
+    JobMetrics& m = metrics[j];
+    m.arrival_rate = js.last_window_rate;
+    m.processing_time =
+        js.smoothed_processing > 0.0 ? js.smoothed_processing : jobs_[j].spec.processing_time;
+    m.p99_latency = js.minute_p99.empty() ? 0.0 : js.minute_p99.back();
+    m.mean_latency = m.p99_latency;  // conservative: tail as proxy when idle
+    m.drop_rate = js.last_window_drop_rate;
+    m.ready_replicas = std::max<uint32_t>(js.ready, 1);
+    m.starting_replicas = js.starting + pending_placement_[j];
+    m.arrival_history = js.arrival_history;
+    m.overloaded_for = js.overloaded_for;
+    m.underloaded_for = js.underloaded_for;
+  }
+  return metrics;
+}
+
+void Simulation::ApplyAction(const ScalingAction& action) {
+  if (action.replicas.size() != jobs_.size()) {
+    return;
+  }
+  for (uint32_t j = 0; j < jobs_.size(); ++j) {
+    JobState& js = state_[j];
+    const uint32_t target = std::max<uint32_t>(1, action.replicas[j]);
+    const uint32_t current = js.ready + js.starting;
+    if (target > current) {
+      const uint32_t add = target - current;
+      for (uint32_t k = 0; k < add; ++k) {
+        if (!TryProvisionReplica(j)) {
+          ++pending_placement_[j];  // Pending pod; retried each reactive tick
+        }
+      }
+    } else if (target < current) {
+      uint32_t remove = current - target;
+      // Pending placements are free to abandon.
+      const uint32_t unqueue = std::min(remove, pending_placement_[j]);
+      pending_placement_[j] -= unqueue;
+      remove -= unqueue;
+      // Cancel cold starts next.
+      const uint32_t cancel = std::min(remove, js.starting);
+      js.starting -= cancel;
+      js.cancelled_starts += cancel;
+      remove -= cancel;
+      // Then idle replicas, immediately.
+      const uint32_t idle = js.ready - js.busy;
+      const uint32_t drop_idle = std::min(remove, idle);
+      js.ready -= drop_idle;
+      remove -= drop_idle;
+      // Busy replicas exit after their in-flight request (graceful drain).
+      js.pending_removal += remove;
+      if (placement_ != nullptr) {
+        for (uint32_t k = 0; k < cancel + drop_idle; ++k) {
+          (void)placement_->RemoveReplica(jobs_[j].spec);
+        }
+      }
+    }
+    if (!action.drop_rates.empty() && action.drop_rates.size() == jobs_.size()) {
+      js.explicit_drop_rate = std::clamp(action.drop_rates[j], 0.0, 1.0);
+    }
+  }
+}
+
+RunResult Simulation::Run() {
+  state_.assign(jobs_.size(), JobState{});
+  pending_placement_.assign(jobs_.size(), 0);
+  if (!config_.nodes.empty()) {
+    placement_ = std::make_unique<PlacementTracker>(config_.nodes, config_.placement_strategy);
+  }
+  specs_.clear();
+  for (const SimJobConfig& job : jobs_) {
+    specs_.push_back(job.spec);
+  }
+  total_minutes_ = std::numeric_limits<size_t>::max();
+  for (const SimJobConfig& job : jobs_) {
+    total_minutes_ = std::min(total_minutes_, job.arrival_rate_per_min.size());
+  }
+  const double duration = static_cast<double>(total_minutes_) * 60.0;
+  for (uint32_t j = 0; j < jobs_.size(); ++j) {
+    state_[j].ready = std::max<uint32_t>(1, jobs_[j].initial_replicas);
+    if (placement_ != nullptr) {
+      for (uint32_t r = 0; r < state_[j].ready; ++r) {
+        (void)placement_->PlaceReplica(jobs_[j].spec);
+      }
+    }
+  }
+
+  // Prime the event queue: first minute of arrivals, ticks, first decision.
+  ScheduleMinuteArrivals(0);
+  Push(config_.metrics_window_s, EventKind::kMetricsTick, 0);
+  Push(config_.reactive_interval_s, EventKind::kReactiveTick, 0);
+  Push(0.0, EventKind::kDecideTick, 0);
+  size_t next_minute = 1;
+
+  while (!events_.empty()) {
+    const Event event = events_.top();
+    events_.pop();
+    if (event.time > duration) {
+      break;
+    }
+    now_ = event.time;
+    switch (event.kind) {
+      case EventKind::kArrival:
+        HandleArrival(event);
+        break;
+      case EventKind::kCompletion:
+        HandleCompletion(event);
+        break;
+      case EventKind::kReplicaReady:
+        HandleReplicaReady(event);
+        break;
+      case EventKind::kReactiveTick: {
+        InjectReplicaFailures();
+        RetryPendingPlacements();
+        UpdateOverloadTimers();
+        const auto metrics = CollectMetrics();
+        if (auto action = policy_.FastReact(now_, specs_, metrics, config_.resources)) {
+          ApplyAction(*action);
+        }
+        Push(now_ + config_.reactive_interval_s, EventKind::kReactiveTick, 0);
+        break;
+      }
+      case EventKind::kDecideTick: {
+        const auto metrics = CollectMetrics();
+        ApplyAction(policy_.Decide(now_, specs_, metrics, config_.resources));
+        Push(now_ + policy_.decision_interval_s(), EventKind::kDecideTick, 0);
+        break;
+      }
+      case EventKind::kMetricsTick: {
+        for (uint32_t j = 0; j < jobs_.size(); ++j) {
+          CloseMetricsWindow(j);
+        }
+        if (next_minute < total_minutes_) {
+          ScheduleMinuteArrivals(next_minute);
+          ++next_minute;
+        }
+        Push(now_ + config_.metrics_window_s, EventKind::kMetricsTick, 0);
+        break;
+      }
+    }
+  }
+
+  // --- aggregate ------------------------------------------------------------
+  RunResult result;
+  result.jobs.resize(jobs_.size());
+  size_t minutes = std::numeric_limits<size_t>::max();
+  for (const JobState& js : state_) {
+    minutes = std::min(minutes, js.minute_utility.size());
+  }
+  if (minutes == std::numeric_limits<size_t>::max()) {
+    minutes = 0;
+  }
+  result.cluster_utility_timeline.assign(minutes, 0.0);
+  result.total_load_timeline.assign(minutes, 0.0);
+
+  double violation_rate_sum = 0.0;
+  double eu_sum = 0.0;
+  for (uint32_t j = 0; j < jobs_.size(); ++j) {
+    JobState& js = state_[j];
+    JobRunStats& stats = result.jobs[j];
+    stats.name = jobs_[j].spec.name;
+    stats.arrivals = js.total_arrivals;
+    stats.drops = js.total_drops;
+    stats.violations = js.total_violations;
+    stats.slo_violation_rate =
+        js.total_arrivals > 0
+            ? static_cast<double>(js.total_violations) / static_cast<double>(js.total_arrivals)
+            : 0.0;
+    stats.avg_utility = Mean(js.minute_utility);
+    stats.lost_utility = 1.0 - stats.avg_utility;
+    stats.avg_effective_utility = Mean(js.minute_eu);
+    stats.avg_replicas = Mean(js.minute_replicas);
+    stats.minute_p99 = std::move(js.minute_p99);
+    stats.minute_utility = std::move(js.minute_utility);
+    stats.minute_arrivals = std::move(js.minute_arrivals);
+    stats.minute_drop_rate = std::move(js.minute_drop_rate);
+    stats.minute_replicas = std::move(js.minute_replicas);
+
+    for (size_t t = 0; t < minutes; ++t) {
+      result.cluster_utility_timeline[t] += stats.minute_utility[t];
+      result.total_load_timeline[t] += stats.minute_arrivals[t];
+    }
+    violation_rate_sum += stats.slo_violation_rate;
+    eu_sum += stats.avg_effective_utility;
+  }
+  const double num_jobs = static_cast<double>(jobs_.size());
+  result.cluster_avg_utility = Mean(result.cluster_utility_timeline);
+  result.cluster_lost_utility = num_jobs - result.cluster_avg_utility;
+  result.cluster_avg_effective_utility = eu_sum;
+  result.cluster_lost_effective_utility = num_jobs - eu_sum;
+  result.cluster_slo_violation_rate = jobs_.empty() ? 0.0 : violation_rate_sum / num_jobs;
+  return result;
+}
+
+}  // namespace
+
+RunResult RunSimulation(const SimConfig& config, const std::vector<SimJobConfig>& jobs,
+                        AutoscalingPolicy& policy) {
+  Simulation simulation(config, jobs, policy);
+  return simulation.Run();
+}
+
+}  // namespace faro

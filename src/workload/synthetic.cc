@@ -1,0 +1,119 @@
+#include "src/workload/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "src/common/rng.h"
+
+namespace faro {
+
+Series GenerateSyntheticTrace(const SyntheticTraceConfig& config) {
+  const size_t total = config.days * config.steps_per_day;
+  std::vector<double> values(total, 0.0);
+  Rng rng(config.seed);
+
+  // Day-of-week multipliers around 1.0.
+  double weekday[7];
+  for (double& w : weekday) {
+    w = 1.0 + config.weekly_amp * rng.Uniform(-1.0, 1.0);
+  }
+
+  double noise = 0.0;
+  const double noise_innovation = std::sqrt(1.0 - config.noise_corr * config.noise_corr);
+
+  // Spike state: exponentially decaying additive bursts.
+  double spike = 0.0;
+  const double spike_prob_per_step =
+      config.spike_rate_per_day / static_cast<double>(config.steps_per_day);
+  const double spike_decay =
+      std::exp(-1.0 / std::max(config.spike_duration_min, 1e-6));
+
+  for (size_t t = 0; t < total; ++t) {
+    const double day_frac =
+        static_cast<double>(t % config.steps_per_day) / static_cast<double>(config.steps_per_day);
+    const double phase = 2.0 * std::numbers::pi * (day_frac - config.diurnal_phase);
+    // Daily cycle in [0, 1] plus a second harmonic for the two-peak shapes
+    // common in the Azure traces.
+    double cycle = 0.5 * (1.0 + std::sin(phase));
+    cycle += config.second_harmonic * 0.5 * (1.0 + std::sin(2.0 * phase));
+    cycle /= 1.0 + config.second_harmonic;
+
+    const size_t day = (t / config.steps_per_day) % 7;
+    double level = (config.base + config.diurnal_amp * cycle) * weekday[day];
+
+    // AR(1) multiplicative noise.
+    noise = config.noise_corr * noise + noise_innovation * rng.Normal();
+    level *= 1.0 + config.noise_level * noise;
+
+    // Transient spikes.
+    spike *= spike_decay;
+    if (rng.Uniform() < spike_prob_per_step) {
+      spike += config.spike_amp * level * (0.5 + rng.Uniform());
+    }
+    values[t] = std::max(0.0, level + spike);
+  }
+  return Series(std::move(values));
+}
+
+SyntheticTraceConfig AzureLikeConfig(size_t job_index, uint64_t seed) {
+  SyntheticTraceConfig config;
+  Rng rng(seed ^ (0xa27e5ull + job_index * 0x9e3779b97f4a7c15ull));
+  config.seed = rng.NextU64();
+  config.base = rng.Uniform(40.0, 160.0);
+  config.diurnal_amp = rng.Uniform(150.0, 500.0);
+  config.diurnal_phase = rng.Uniform(0.0, 1.0);
+  config.second_harmonic = rng.Uniform(0.0, 0.6);
+  config.weekly_amp = rng.Uniform(0.05, 0.25);
+  config.noise_level = rng.Uniform(0.05, 0.15);
+  config.noise_corr = rng.Uniform(0.6, 0.9);
+  config.spike_rate_per_day = rng.Uniform(1.0, 6.0);
+  config.spike_amp = rng.Uniform(0.4, 1.2);
+  config.spike_duration_min = rng.Uniform(4.0, 15.0);
+  return config;
+}
+
+SyntheticTraceConfig TwitterLikeConfig(uint64_t seed) {
+  SyntheticTraceConfig config;
+  Rng rng(seed ^ 0x7717e6ull);
+  config.seed = rng.NextU64();
+  config.base = 60.0;
+  config.diurnal_amp = 600.0;
+  config.diurnal_phase = 0.7;  // evening peak
+  config.second_harmonic = 0.15;
+  config.weekly_amp = 0.10;
+  config.noise_level = 0.20;  // burstier minute-level variation
+  config.noise_corr = 0.7;
+  config.spike_rate_per_day = 8.0;
+  config.spike_amp = 1.0;
+  config.spike_duration_min = 5.0;
+  return config;
+}
+
+std::vector<Series> StandardJobMix(size_t num_jobs, uint64_t seed) {
+  std::vector<Series> traces;
+  traces.reserve(num_jobs);
+  for (size_t i = 0; i < num_jobs; ++i) {
+    const size_t slot = i % 10;
+    const uint64_t round = i / 10;  // fresh seeds when the mix is duplicated
+    const uint64_t job_seed = seed + round * 1000003ull;
+    Series trace = (slot == 9) ? GenerateSyntheticTrace(TwitterLikeConfig(job_seed))
+                               : GenerateSyntheticTrace(AzureLikeConfig(slot, job_seed));
+    traces.push_back(trace.RescaledTo(1.0, 1600.0));
+  }
+  return traces;
+}
+
+TraceSplit SplitTrainEval(const Series& trace, size_t steps_per_day) {
+  TraceSplit split;
+  if (trace.size() <= steps_per_day) {
+    split.eval = trace;
+    return split;
+  }
+  const size_t eval_begin = trace.size() - steps_per_day;
+  split.train = trace.Slice(0, eval_begin);
+  split.eval = trace.Slice(eval_begin, trace.size());
+  return split;
+}
+
+}  // namespace faro

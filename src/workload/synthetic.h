@@ -1,0 +1,72 @@
+// Synthetic workload traces standing in for the Azure Functions and Twitter
+// production traces the paper evaluates with (§6; substitution documented in
+// DESIGN.md).
+//
+// The generators reproduce the macro-structure the experiments depend on:
+//  - strong diurnal periodicity with a per-job phase and second harmonic
+//    (Azure function invocation counts are dominated by timer/cron patterns);
+//  - a weekly modulation;
+//  - autocorrelated minute-level noise (AR(1)), the fluctuation probabilistic
+//    prediction exists to capture (Fig. 8);
+//  - heavy-tailed transient spikes, the events the hybrid reactive autoscaler
+//    exists to absorb (§4.4).
+//
+// Traces are per-minute arrival counts over `days` days. The evaluation
+// pipeline rescales them into 1-1600 requests/minute, trains predictors on
+// days 1-10 and evaluates on day 11, exactly as in §6.
+
+#ifndef SRC_WORKLOAD_SYNTHETIC_H_
+#define SRC_WORKLOAD_SYNTHETIC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/series.h"
+
+namespace faro {
+
+struct SyntheticTraceConfig {
+  size_t days = 11;
+  size_t steps_per_day = 1440;  // one-minute resolution
+
+  double base = 100.0;           // constant floor
+  double diurnal_amp = 300.0;    // amplitude of the daily cycle
+  double diurnal_phase = 0.0;    // fraction of a day, [0, 1)
+  double second_harmonic = 0.3;  // relative amplitude of the 12 h harmonic
+  double weekly_amp = 0.15;      // relative day-of-week modulation
+  double noise_level = 0.08;     // AR(1) noise, fraction of local level
+  double noise_corr = 0.8;       // AR(1) coefficient
+  double spike_rate_per_day = 3.0;   // expected transient spikes per day
+  double spike_amp = 2.0;            // spike height, multiple of local level
+  double spike_duration_min = 8.0;   // exponential decay constant (minutes)
+
+  uint64_t seed = 1;
+};
+
+// Generates a per-minute arrival-count series (non-negative).
+Series GenerateSyntheticTrace(const SyntheticTraceConfig& config);
+
+// Preset resembling one of the top Azure function traces; `job_index` varies
+// phase, amplitude and burstiness so a mix of jobs is heterogeneous.
+SyntheticTraceConfig AzureLikeConfig(size_t job_index, uint64_t seed);
+
+// Preset resembling the Twitter stream trace: deeper diurnal swing, sharper
+// evening peak, burstier minute-level noise.
+SyntheticTraceConfig TwitterLikeConfig(uint64_t seed);
+
+// The paper's 10-job mix: 9 Azure-like traces plus 1 Twitter-like trace,
+// rescaled to [1, 1600] requests/minute (§6). For num_jobs > 10 the mix is
+// duplicated with fresh seeds (as the paper duplicates workloads at scale).
+std::vector<Series> StandardJobMix(size_t num_jobs, uint64_t seed);
+
+// Train/eval split per §6: days 1..(days-1) train the predictor, the final
+// day is the evaluation trace.
+struct TraceSplit {
+  Series train;
+  Series eval;
+};
+TraceSplit SplitTrainEval(const Series& trace, size_t steps_per_day);
+
+}  // namespace faro
+
+#endif  // SRC_WORKLOAD_SYNTHETIC_H_

@@ -1,0 +1,116 @@
+#include "src/workload/trace_io.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace faro {
+namespace {
+
+std::vector<std::string> SplitCsvLine(const std::string& line) {
+  std::vector<std::string> cells;
+  std::string cell;
+  std::stringstream stream(line);
+  while (std::getline(stream, cell, ',')) {
+    cells.push_back(cell);
+  }
+  if (!line.empty() && line.back() == ',') {
+    cells.emplace_back();
+  }
+  return cells;
+}
+
+bool ParseDouble(const std::string& text, double& out) {
+  if (text.empty()) {
+    return false;
+  }
+  char* end = nullptr;
+  out = std::strtod(text.c_str(), &end);
+  // Allow trailing whitespace / carriage returns.
+  while (end != nullptr && (*end == ' ' || *end == '\r' || *end == '\t')) {
+    ++end;
+  }
+  return end != nullptr && *end == '\0';
+}
+
+}  // namespace
+
+bool SaveTracesCsv(const std::string& path, const std::vector<Series>& traces,
+                   const std::vector<std::string>& names) {
+  std::ofstream out(path);
+  if (!out) {
+    return false;
+  }
+  if (!names.empty()) {
+    for (size_t c = 0; c < traces.size(); ++c) {
+      if (c > 0) {
+        out << ',';
+      }
+      out << (c < names.size() ? names[c] : "");
+    }
+    out << '\n';
+  }
+  size_t rows = 0;
+  for (const Series& trace : traces) {
+    rows = std::max(rows, trace.size());
+  }
+  char buffer[64];
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < traces.size(); ++c) {
+      if (c > 0) {
+        out << ',';
+      }
+      if (r < traces[c].size()) {
+        std::snprintf(buffer, sizeof(buffer), "%.6g", traces[c][r]);
+        out << buffer;
+      }
+    }
+    out << '\n';
+  }
+  return static_cast<bool>(out);
+}
+
+std::vector<Series> LoadTracesCsv(const std::string& path, std::vector<std::string>* names) {
+  std::ifstream in(path);
+  if (!in) {
+    return {};
+  }
+  std::vector<std::vector<double>> columns;
+  std::string line;
+  bool first_line = true;
+  while (std::getline(in, line)) {
+    if (line.empty()) {
+      continue;
+    }
+    const std::vector<std::string> cells = SplitCsvLine(line);
+    if (first_line) {
+      first_line = false;
+      double probe = 0.0;
+      if (!cells.empty() && !ParseDouble(cells[0], probe)) {
+        // Header row.
+        if (names != nullptr) {
+          *names = cells;
+        }
+        columns.resize(cells.size());
+        continue;
+      }
+    }
+    if (columns.size() < cells.size()) {
+      columns.resize(cells.size());
+    }
+    for (size_t c = 0; c < cells.size(); ++c) {
+      double value = 0.0;
+      if (ParseDouble(cells[c], value)) {
+        columns[c].push_back(value);
+      }
+    }
+  }
+  std::vector<Series> traces;
+  traces.reserve(columns.size());
+  for (auto& column : columns) {
+    traces.emplace_back(std::move(column));
+  }
+  return traces;
+}
+
+}  // namespace faro

@@ -1,0 +1,28 @@
+// CSV trace I/O: load real traces (one column per job, optional header) and
+// save generated ones, so the pipeline can run on the actual Azure/Twitter
+// data when it is available.
+
+#ifndef SRC_WORKLOAD_TRACE_IO_H_
+#define SRC_WORKLOAD_TRACE_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/series.h"
+
+namespace faro {
+
+// Writes one series per column. `names` (optional) becomes the header row.
+// Rows are padded with empty cells when series lengths differ.
+bool SaveTracesCsv(const std::string& path, const std::vector<Series>& traces,
+                   const std::vector<std::string>& names = {});
+
+// Reads a CSV of numeric columns. A non-numeric first row is treated as a
+// header (returned through `names` when non-null). Empty cells are skipped.
+// Returns an empty vector on I/O or parse failure.
+std::vector<Series> LoadTracesCsv(const std::string& path,
+                                  std::vector<std::string>* names = nullptr);
+
+}  // namespace faro
+
+#endif  // SRC_WORKLOAD_TRACE_IO_H_

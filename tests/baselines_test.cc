@@ -1,0 +1,192 @@
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/baselines/baselines.h"
+#include "src/baselines/cilantro.h"
+
+namespace faro {
+namespace {
+
+std::vector<JobSpec> MakeSpecs(size_t n) {
+  std::vector<JobSpec> specs(n);
+  for (size_t i = 0; i < n; ++i) {
+    specs[i].name = "job" + std::to_string(i);
+  }
+  return specs;
+}
+
+JobMetrics MakeMetrics(double rate, uint32_t replicas, double p99 = 0.1) {
+  JobMetrics m;
+  m.arrival_rate = rate;
+  m.processing_time = 0.180;
+  m.p99_latency = p99;
+  m.ready_replicas = replicas;
+  m.arrival_history.assign(10, rate);
+  return m;
+}
+
+TEST(FairShareTest, SplitsEvenly) {
+  FairSharePolicy policy;
+  const auto specs = MakeSpecs(10);
+  std::vector<JobMetrics> metrics(10, MakeMetrics(1.0, 1));
+  const auto action = policy.Decide(0.0, specs, metrics, ClusterResources{32.0, 32.0});
+  for (const uint32_t r : action.replicas) {
+    EXPECT_EQ(r, 3u);  // floor(32 / 10)
+  }
+}
+
+TEST(FairShareTest, AtLeastOneEach) {
+  FairSharePolicy policy;
+  const auto specs = MakeSpecs(10);
+  std::vector<JobMetrics> metrics(10, MakeMetrics(1.0, 1));
+  const auto action = policy.Decide(0.0, specs, metrics, ClusterResources{4.0, 4.0});
+  for (const uint32_t r : action.replicas) {
+    EXPECT_EQ(r, 1u);
+  }
+}
+
+TEST(OneshotTest, JumpsProportionallyOnOverload) {
+  OneshotPolicy policy;
+  const auto specs = MakeSpecs(1);
+  // p99 at 3x the SLO with 4 replicas -> wants 12.
+  std::vector<JobMetrics> metrics{MakeMetrics(40.0, 4, 3.0 * 0.720)};
+  metrics[0].overloaded_for = 45.0;
+  const auto action = policy.FastReact(0.0, specs, metrics, ClusterResources{32.0, 32.0});
+  ASSERT_TRUE(action.has_value());
+  EXPECT_EQ(action->replicas[0], 12u);
+}
+
+TEST(OneshotTest, NoActionBeforeTrigger) {
+  OneshotPolicy policy;
+  const auto specs = MakeSpecs(1);
+  std::vector<JobMetrics> metrics{MakeMetrics(40.0, 4, 3.0 * 0.720)};
+  metrics[0].overloaded_for = 10.0;
+  EXPECT_FALSE(policy.FastReact(0.0, specs, metrics, ClusterResources{32.0, 32.0}).has_value());
+}
+
+TEST(OneshotTest, ClipsToFreeCapacity) {
+  OneshotPolicy policy;
+  const auto specs = MakeSpecs(2);
+  std::vector<JobMetrics> metrics{MakeMetrics(40.0, 4, 10.0 * 0.720), MakeMetrics(1.0, 4)};
+  metrics[0].overloaded_for = 60.0;
+  // Cluster 10: 8 used, 2 free -> job 0 can only reach 6 despite wanting 40.
+  const auto action = policy.FastReact(0.0, specs, metrics, ClusterResources{10.0, 10.0});
+  ASSERT_TRUE(action.has_value());
+  EXPECT_EQ(action->replicas[0], 6u);
+}
+
+TEST(OneshotTest, DownscaleIsConservative) {
+  OneshotPolicy policy;
+  const auto specs = MakeSpecs(1);
+  std::vector<JobMetrics> metrics{MakeMetrics(1.0, 8, 0.05)};
+  metrics[0].underloaded_for = 400.0;  // above the 5 min trigger
+  const auto action = policy.FastReact(0.0, specs, metrics, ClusterResources{32.0, 32.0});
+  ASSERT_TRUE(action.has_value());
+  EXPECT_LT(action->replicas[0], 8u);
+  EXPECT_GE(action->replicas[0], 1u);
+}
+
+TEST(AiadTest, AdditiveSteps) {
+  AiadPolicy policy;
+  const auto specs = MakeSpecs(2);
+  std::vector<JobMetrics> metrics{MakeMetrics(40.0, 4, 2.0), MakeMetrics(1.0, 6, 0.05)};
+  metrics[0].overloaded_for = 60.0;
+  metrics[1].underloaded_for = 400.0;
+  const auto action = policy.FastReact(0.0, specs, metrics, ClusterResources{32.0, 32.0});
+  ASSERT_TRUE(action.has_value());
+  EXPECT_EQ(action->replicas[0], 5u);  // +1
+  EXPECT_EQ(action->replicas[1], 5u);  // -1
+}
+
+TEST(AiadTest, NeverBelowOneReplica) {
+  AiadPolicy policy;
+  const auto specs = MakeSpecs(1);
+  std::vector<JobMetrics> metrics{MakeMetrics(0.1, 1, 0.01)};
+  metrics[0].underloaded_for = 1000.0;
+  EXPECT_FALSE(policy.FastReact(0.0, specs, metrics, ClusterResources{32.0, 32.0}).has_value());
+}
+
+TEST(AiadTest, UpscaleBlockedAtCapacity) {
+  AiadPolicy policy;
+  const auto specs = MakeSpecs(1);
+  std::vector<JobMetrics> metrics{MakeMetrics(40.0, 4, 2.0)};
+  metrics[0].overloaded_for = 60.0;
+  EXPECT_FALSE(policy.FastReact(0.0, specs, metrics, ClusterResources{4.0, 4.0}).has_value());
+}
+
+TEST(MarkTest, SizesFromMaxThroughput) {
+  MarkPolicy policy;
+  const auto specs = MakeSpecs(1);
+  // ceil(20 req/s * 0.18 s / 0.8) = 5 replicas at the default 80% target.
+  std::vector<JobMetrics> metrics{MakeMetrics(20.0, 1)};
+  const auto action = policy.Decide(0.0, specs, metrics, ClusterResources{32.0, 32.0});
+  EXPECT_EQ(action.replicas[0], 5u);
+}
+
+TEST(MarkTest, IndependentSizingCanStarveLaterJobs) {
+  MarkPolicy policy;
+  const auto specs = MakeSpecs(2);
+  // Job 0 wants ceil(130 * 0.18 / 0.8) = 30 of 32 replicas; job 1 wants the
+  // same but only 2 remain.
+  std::vector<JobMetrics> metrics{MakeMetrics(130.0, 1), MakeMetrics(130.0, 1)};
+  const auto action = policy.Decide(0.0, specs, metrics, ClusterResources{32.0, 32.0});
+  EXPECT_EQ(action.replicas[0], 30u);
+  EXPECT_LE(action.replicas[1], 2u);
+}
+
+TEST(BinnedEstimatorTest, ObserveAndEstimate) {
+  BinnedLatencyEstimator estimator(10.0, 10);
+  estimator.Observe(2.5, 0.3);
+  estimator.Observe(2.6, 0.5);
+  EXPECT_NEAR(estimator.Estimate(2.5), 0.4, 1e-9);
+  EXPECT_EQ(estimator.populated_bins(), 1u);
+}
+
+TEST(BinnedEstimatorTest, UnseenLoadIsOptimistic) {
+  BinnedLatencyEstimator estimator(10.0, 10);
+  estimator.Observe(1.0, 0.2);
+  // Never observed 8.0 load-per-replica: falls back to the nearest populated
+  // bin below -> looks as cheap as 1.0 did.
+  EXPECT_NEAR(estimator.Estimate(8.0), 0.2, 1e-9);
+  // Nothing below 0.5 observed either -> free.
+  BinnedLatencyEstimator empty(10.0, 10);
+  EXPECT_DOUBLE_EQ(empty.Estimate(5.0), 0.0);
+}
+
+TEST(BinnedEstimatorTest, InfiniteLatencyRecordedAsExpensive) {
+  BinnedLatencyEstimator estimator(10.0, 10);
+  estimator.Observe(5.0, std::numeric_limits<double>::infinity());
+  EXPECT_GT(estimator.Estimate(5.0), 10.0);
+  EXPECT_TRUE(std::isfinite(estimator.Estimate(5.0)));
+}
+
+TEST(CilantroTest, RespectsCapacity) {
+  CilantroPolicy policy;
+  const auto specs = MakeSpecs(4);
+  std::vector<JobMetrics> metrics(4, MakeMetrics(20.0, 2, 1.5));
+  const auto action = policy.Decide(0.0, specs, metrics, ClusterResources{12.0, 12.0});
+  uint32_t total = 0;
+  for (const uint32_t r : action.replicas) {
+    EXPECT_GE(r, 1u);
+    total += r;
+  }
+  EXPECT_LE(total, 12u);
+}
+
+TEST(CilantroTest, LearnsToFavourExpensiveJobs) {
+  CilantroPolicy policy;
+  const auto specs = MakeSpecs(2);
+  // Feed several decision rounds: job 0 repeatedly shows terrible latency at
+  // high per-replica load, job 1 is always fine.
+  ScalingAction action;
+  for (int round = 0; round < 8; ++round) {
+    std::vector<JobMetrics> metrics{MakeMetrics(30.0, round == 0 ? 2 : action.replicas[0], 5.0),
+                                    MakeMetrics(2.0, round == 0 ? 2 : action.replicas[1], 0.05)};
+    action = policy.Decide(60.0 * round, specs, metrics, ClusterResources{16.0, 16.0});
+  }
+  EXPECT_GT(action.replicas[0], action.replicas[1]);
+}
+
+}  // namespace
+}  // namespace faro

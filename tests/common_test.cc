@@ -1,0 +1,219 @@
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/common/series.h"
+#include "src/common/stats.h"
+
+namespace faro {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextU64() == b.NextU64()) {
+      ++equal;
+    }
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformMeanIsHalf) {
+  Rng rng(11);
+  RunningStats stats;
+  for (int i = 0; i < 100000; ++i) {
+    stats.Add(rng.Uniform());
+  }
+  EXPECT_NEAR(stats.mean(), 0.5, 0.01);
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(13);
+  RunningStats stats;
+  for (int i = 0; i < 200000; ++i) {
+    stats.Add(rng.Normal());
+  }
+  EXPECT_NEAR(stats.mean(), 0.0, 0.02);
+  EXPECT_NEAR(stats.stddev(), 1.0, 0.02);
+}
+
+TEST(RngTest, ExponentialMeanMatchesRate) {
+  Rng rng(17);
+  RunningStats stats;
+  for (int i = 0; i < 100000; ++i) {
+    stats.Add(rng.Exponential(4.0));
+  }
+  EXPECT_NEAR(stats.mean(), 0.25, 0.01);
+}
+
+class RngPoissonTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(RngPoissonTest, MeanAndVarianceMatch) {
+  const double mean = GetParam();
+  Rng rng(19);
+  RunningStats stats;
+  for (int i = 0; i < 50000; ++i) {
+    stats.Add(static_cast<double>(rng.Poisson(mean)));
+  }
+  EXPECT_NEAR(stats.mean(), mean, std::max(0.05, 0.03 * mean));
+  EXPECT_NEAR(stats.variance(), mean, std::max(0.3, 0.08 * mean));
+}
+
+INSTANTIATE_TEST_SUITE_P(Means, RngPoissonTest,
+                         ::testing::Values(0.5, 2.0, 10.0, 29.0, 50.0, 400.0));
+
+TEST(RngTest, PoissonZeroMean) {
+  Rng rng(23);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.Poisson(0.0), 0u);
+  }
+}
+
+TEST(RngTest, UniformIntStaysInRange) {
+  Rng rng(29);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.UniformInt(7), 7u);
+  }
+}
+
+TEST(RngTest, SplitProducesIndependentStream) {
+  Rng parent(31);
+  Rng child = parent.Split();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (parent.NextU64() == child.NextU64()) {
+      ++equal;
+    }
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(ShuffledIndicesTest, IsAPermutation) {
+  Rng rng(37);
+  const auto perm = ShuffledIndices(50, rng);
+  ASSERT_EQ(perm.size(), 50u);
+  std::vector<bool> seen(50, false);
+  for (const size_t i : perm) {
+    ASSERT_LT(i, 50u);
+    EXPECT_FALSE(seen[i]);
+    seen[i] = true;
+  }
+}
+
+TEST(RunningStatsTest, BasicMoments) {
+  RunningStats stats;
+  for (const double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    stats.Add(v);
+  }
+  EXPECT_EQ(stats.count(), 8u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  EXPECT_NEAR(stats.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+}
+
+TEST(RunningStatsTest, EmptyIsZero) {
+  RunningStats stats;
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+}
+
+TEST(PercentileTest, MatchesLinearInterpolation) {
+  const std::vector<double> values{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(Percentile(values, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(values, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(Percentile(values, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(Percentile(values, 0.25), 1.75);
+}
+
+TEST(PercentileTest, UnsortedInputHandled) {
+  const std::vector<double> values{4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(Percentile(values, 0.5), 2.5);
+}
+
+TEST(PercentileTest, EmptyAndSingle) {
+  EXPECT_DOUBLE_EQ(Percentile({}, 0.9), 0.0);
+  const std::vector<double> one{5.0};
+  EXPECT_DOUBLE_EQ(Percentile(one, 0.13), 5.0);
+}
+
+TEST(ErrorMetricsTest, RmseAndMae) {
+  const std::vector<double> a{1.0, 2.0, 3.0};
+  const std::vector<double> b{1.0, 4.0, 3.0};
+  EXPECT_NEAR(Rmse(a, b), std::sqrt(4.0 / 3.0), 1e-12);
+  EXPECT_NEAR(Mae(a, b), 2.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(Rmse(a, a), 0.0);
+}
+
+TEST(KendallTauTest, IdenticalAndReversed) {
+  const std::vector<double> a{1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> reversed{4.0, 3.0, 2.0, 1.0};
+  EXPECT_DOUBLE_EQ(KendallTauDistance(a, a), 0.0);
+  EXPECT_DOUBLE_EQ(KendallTauDistance(a, reversed), 1.0);
+}
+
+TEST(KendallTauTest, SingleSwapIsOnePair) {
+  const std::vector<double> a{1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> swapped{2.0, 1.0, 3.0, 4.0};
+  EXPECT_NEAR(KendallTauDistance(a, swapped), 1.0 / 6.0, 1e-12);
+}
+
+TEST(SeriesTest, RescaleSpansTargetRange) {
+  Series s(std::vector<double>{0.0, 5.0, 10.0});
+  const Series r = s.RescaledTo(1.0, 1600.0);
+  EXPECT_DOUBLE_EQ(r[0], 1.0);
+  EXPECT_DOUBLE_EQ(r[2], 1600.0);
+  EXPECT_DOUBLE_EQ(r[1], (1.0 + 1600.0) / 2.0);
+}
+
+TEST(SeriesTest, RescaleConstantSeries) {
+  Series s(std::vector<double>{3.0, 3.0, 3.0});
+  const Series r = s.RescaledTo(1.0, 100.0);
+  for (size_t i = 0; i < r.size(); ++i) {
+    EXPECT_DOUBLE_EQ(r[i], 1.0);
+  }
+}
+
+TEST(SeriesTest, WindowAverage) {
+  Series s(std::vector<double>{1.0, 3.0, 5.0, 7.0, 100.0});
+  const Series w = s.WindowAveraged(2);
+  ASSERT_EQ(w.size(), 2u);  // ragged tail dropped
+  EXPECT_DOUBLE_EQ(w[0], 2.0);
+  EXPECT_DOUBLE_EQ(w[1], 6.0);
+}
+
+TEST(SeriesTest, SliceAndClamp) {
+  Series s(std::vector<double>{-1.0, 2.0, 3.0, 4.0});
+  const Series slice = s.Slice(1, 3);
+  ASSERT_EQ(slice.size(), 2u);
+  EXPECT_DOUBLE_EQ(slice[0], 2.0);
+  const Series clamped = s.ClampedMin(0.0);
+  EXPECT_DOUBLE_EQ(clamped[0], 0.0);
+  EXPECT_DOUBLE_EQ(clamped[1], 2.0);
+}
+
+}  // namespace
+}  // namespace faro

@@ -1,0 +1,126 @@
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "src/core/penalty.h"
+#include "src/core/utility.h"
+
+namespace faro {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(StepUtilityTest, StepAtTarget) {
+  EXPECT_DOUBLE_EQ(StepUtility(0.5, 0.72), 1.0);
+  EXPECT_DOUBLE_EQ(StepUtility(0.72, 0.72), 1.0);
+  EXPECT_DOUBLE_EQ(StepUtility(0.7201, 0.72), 0.0);
+  EXPECT_DOUBLE_EQ(StepUtility(kInf, 0.72), 0.0);
+}
+
+TEST(RelaxedUtilityTest, OneBelowTarget) {
+  EXPECT_DOUBLE_EQ(RelaxedUtility(0.1, 0.5), 1.0);
+  EXPECT_DOUBLE_EQ(RelaxedUtility(0.5, 0.5), 1.0);
+}
+
+TEST(RelaxedUtilityTest, InverseDecayAboveTarget) {
+  // (s/l)^alpha with alpha = 2: latency 1.0 vs target 0.5 -> 0.25.
+  EXPECT_NEAR(RelaxedUtility(1.0, 0.5, 2.0), 0.25, 1e-12);
+  EXPECT_NEAR(RelaxedUtility(2.0, 0.5, 1.0), 0.25, 1e-12);
+}
+
+TEST(RelaxedUtilityTest, EdgeCases) {
+  EXPECT_DOUBLE_EQ(RelaxedUtility(0.0, 0.5), 1.0);   // no traffic
+  EXPECT_DOUBLE_EQ(RelaxedUtility(-1.0, 0.5), 1.0);  // defensive
+  EXPECT_DOUBLE_EQ(RelaxedUtility(kInf, 0.5), 0.0);  // dropped / saturated
+}
+
+TEST(RelaxedUtilityTest, ApproachesStepAsAlphaGrows) {
+  // Fig. 4a: increasing alpha pushes the relaxed curve toward the step.
+  const double latency = 0.6;
+  const double slo = 0.5;
+  double previous = 1.0;
+  for (const double alpha : {1.0, 2.0, 4.0, 8.0, 32.0, 128.0}) {
+    const double u = RelaxedUtility(latency, slo, alpha);
+    EXPECT_LT(u, previous);
+    previous = u;
+  }
+  EXPECT_NEAR(RelaxedUtility(latency, slo, 1024.0), StepUtility(latency, slo), 1e-6);
+}
+
+TEST(RelaxedUtilityTest, LowerBoundsStepUtilityBelowTarget) {
+  // Below the target both are 1; above, relaxed > step = 0 but bounded by 1.
+  for (double l = 0.05; l < 2.0; l += 0.05) {
+    const double relaxed = RelaxedUtility(l, 0.5);
+    EXPECT_GE(relaxed, StepUtility(l, 0.5) - 1e-12);
+    EXPECT_LE(relaxed, 1.0);
+    EXPECT_GE(relaxed, 0.0);
+  }
+}
+
+TEST(RelaxedUtilityTest, MonotoneNonIncreasingInLatency) {
+  double previous = 1.1;
+  for (double l = 0.01; l < 3.0; l += 0.01) {
+    const double u = RelaxedUtility(l, 0.72);
+    EXPECT_LE(u, previous + 1e-12);
+    previous = u;
+  }
+}
+
+// --- Penalty (Table 5) ------------------------------------------------------
+
+TEST(StepPenaltyTest, MatchesAwsTable) {
+  EXPECT_DOUBLE_EQ(StepPenalty(1.00), 0.0);
+  EXPECT_DOUBLE_EQ(StepPenalty(0.99), 0.0);
+  EXPECT_DOUBLE_EQ(StepPenalty(0.98), 0.25);
+  EXPECT_DOUBLE_EQ(StepPenalty(0.95), 0.25);
+  EXPECT_DOUBLE_EQ(StepPenalty(0.94), 0.50);
+  EXPECT_DOUBLE_EQ(StepPenalty(0.90), 0.50);
+  EXPECT_DOUBLE_EQ(StepPenalty(0.89), 1.0);
+  EXPECT_DOUBLE_EQ(StepPenalty(0.0), 1.0);
+}
+
+TEST(RelaxedPenaltyTest, MatchesStepAtKnots) {
+  EXPECT_DOUBLE_EQ(RelaxedPenalty(1.00), 0.0);
+  EXPECT_DOUBLE_EQ(RelaxedPenalty(0.99), 0.0);
+  EXPECT_DOUBLE_EQ(RelaxedPenalty(0.95), 0.25);
+  EXPECT_DOUBLE_EQ(RelaxedPenalty(0.90), 0.50);
+  EXPECT_DOUBLE_EQ(RelaxedPenalty(0.00), 1.00);
+}
+
+TEST(RelaxedPenaltyTest, PiecewiseLinearBetweenKnots) {
+  EXPECT_NEAR(RelaxedPenalty(0.97), 0.125, 1e-12);
+  EXPECT_NEAR(RelaxedPenalty(0.925), 0.375, 1e-12);
+  EXPECT_NEAR(RelaxedPenalty(0.45), 0.75, 1e-12);
+}
+
+TEST(RelaxedPenaltyTest, MonotoneNonIncreasingInAvailability) {
+  double previous = 1.1;
+  for (double a = 0.0; a <= 1.0001; a += 0.001) {
+    const double p = RelaxedPenalty(a);
+    EXPECT_LE(p, previous + 1e-12);
+    previous = p;
+  }
+}
+
+TEST(PenaltyMultiplierTest, EffectiveUtilityMultipliers) {
+  // phi(d) = 1 - penalty(1 - d) (Eq. 2).
+  EXPECT_DOUBLE_EQ(StepPenaltyMultiplier(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(StepPenaltyMultiplier(0.005), 1.0);  // within the free band
+  EXPECT_DOUBLE_EQ(StepPenaltyMultiplier(0.03), 0.75);
+  EXPECT_DOUBLE_EQ(StepPenaltyMultiplier(0.08), 0.50);
+  EXPECT_DOUBLE_EQ(StepPenaltyMultiplier(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(RelaxedPenaltyMultiplier(0.0), 1.0);
+  // Relaxed variant interpolates: availability 0.97 sits halfway through the
+  // (0.99, 0) -> (0.95, 0.25) segment.
+  EXPECT_NEAR(RelaxedPenaltyMultiplier(0.03), 0.875, 1e-12);
+  EXPECT_NEAR(RelaxedPenaltyMultiplier(0.05), 0.75, 1e-12);
+}
+
+TEST(PenaltyMultiplierTest, ClampsOutOfRangeDropRates) {
+  EXPECT_DOUBLE_EQ(StepPenaltyMultiplier(-0.1), 1.0);
+  EXPECT_DOUBLE_EQ(StepPenaltyMultiplier(1.5), 0.0);
+}
+
+}  // namespace
+}  // namespace faro

@@ -1,0 +1,579 @@
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/common/stats.h"
+#include "src/forecast/adapter.h"
+#include "src/forecast/arma.h"
+#include "src/forecast/dataset.h"
+#include "src/forecast/deepar.h"
+#include "src/forecast/lstm.h"
+#include "src/forecast/nhits.h"
+#include "src/forecast/nn.h"
+#include "src/optim/linalg.h"
+
+namespace faro {
+namespace {
+
+Series SineSeries(size_t n, double period, double amplitude = 1.0, double level = 2.0,
+                  double noise = 0.0, uint64_t seed = 5) {
+  Rng rng(seed);
+  std::vector<double> values(n);
+  for (size_t t = 0; t < n; ++t) {
+    values[t] = level +
+                amplitude * std::sin(2.0 * std::numbers::pi * static_cast<double>(t) / period) +
+                noise * rng.Normal();
+  }
+  return Series(std::move(values));
+}
+
+// --- nn primitives ----------------------------------------------------------
+
+TEST(LinearLayerTest, ForwardMatchesManualComputation) {
+  Rng rng(1);
+  Linear layer(2, 1, rng);
+  layer.weights() = {2.0, -3.0};
+  layer.bias() = {0.5};
+  Vec y;
+  layer.Forward(std::vector<double>{1.0, 2.0}, y);
+  ASSERT_EQ(y.size(), 1u);
+  EXPECT_DOUBLE_EQ(y[0], 2.0 - 6.0 + 0.5);
+}
+
+TEST(LinearLayerTest, GradientMatchesFiniteDifference) {
+  Rng rng(2);
+  Linear layer(3, 2, rng);
+  const Vec x{0.3, -0.7, 1.2};
+  const Vec dy{1.0, -2.0};
+  Vec y0;
+  layer.Forward(x, y0);
+  Vec dx;
+  layer.ZeroGrad();
+  layer.Backward(x, dy, &dx);
+
+  const double h = 1e-6;
+  // Weight gradients.
+  for (size_t k = 0; k < layer.weights().size(); ++k) {
+    const double original = layer.weights()[k];
+    layer.weights()[k] = original + h;
+    Vec yp;
+    layer.Forward(x, yp);
+    layer.weights()[k] = original;
+    double numeric = 0.0;
+    for (size_t r = 0; r < yp.size(); ++r) {
+      numeric += dy[r] * (yp[r] - y0[r]) / h;
+    }
+    EXPECT_NEAR(layer.weight_grads()[k], numeric, 1e-4);
+  }
+  // Input gradients.
+  for (size_t k = 0; k < x.size(); ++k) {
+    Vec xp = x;
+    xp[k] += h;
+    Vec yp;
+    layer.Forward(xp, yp);
+    double numeric = 0.0;
+    for (size_t r = 0; r < yp.size(); ++r) {
+      numeric += dy[r] * (yp[r] - y0[r]) / h;
+    }
+    EXPECT_NEAR(dx[k], numeric, 1e-4);
+  }
+}
+
+TEST(MaxPoolTest, ForwardAndBackward) {
+  Vec y;
+  std::vector<size_t> argmax;
+  MaxPoolForward(std::vector<double>{1.0, 5.0, 2.0, 3.0, 9.0}, 2, y, argmax);
+  ASSERT_EQ(y.size(), 3u);  // ragged tail pools the lone element
+  EXPECT_DOUBLE_EQ(y[0], 5.0);
+  EXPECT_DOUBLE_EQ(y[1], 3.0);
+  EXPECT_DOUBLE_EQ(y[2], 9.0);
+  Vec dx;
+  MaxPoolBackward(std::vector<double>{1.0, 2.0, 3.0}, argmax, 5, dx);
+  EXPECT_DOUBLE_EQ(dx[1], 1.0);
+  EXPECT_DOUBLE_EQ(dx[3], 2.0);
+  EXPECT_DOUBLE_EQ(dx[4], 3.0);
+  EXPECT_DOUBLE_EQ(dx[0], 0.0);
+}
+
+TEST(InterpolateTest, EndpointsAndAdjoint) {
+  Vec y;
+  InterpolateForward(std::vector<double>{1.0, 3.0}, 5, y);
+  ASSERT_EQ(y.size(), 5u);
+  EXPECT_DOUBLE_EQ(y[0], 1.0);
+  EXPECT_DOUBLE_EQ(y[4], 3.0);
+  EXPECT_DOUBLE_EQ(y[2], 2.0);
+
+  // Adjoint identity: <A x, u> == <x, A^T u>.
+  Rng rng(3);
+  const size_t m = 4;
+  const size_t n = 9;
+  Vec x(m);
+  Vec u(n);
+  for (double& v : x) {
+    v = rng.Normal();
+  }
+  for (double& v : u) {
+    v = rng.Normal();
+  }
+  Vec ax;
+  InterpolateForward(x, n, ax);
+  Vec atu;
+  InterpolateBackward(u, m, atu);
+  EXPECT_NEAR(Dot(ax, u), Dot(x, atu), 1e-10);
+}
+
+TEST(InverseNormalCdfTest, KnownValues) {
+  EXPECT_NEAR(InverseNormalCdf(0.5), 0.0, 1e-9);
+  EXPECT_NEAR(InverseNormalCdf(0.975), 1.959964, 1e-5);
+  EXPECT_NEAR(InverseNormalCdf(0.8), 0.841621, 1e-5);
+  EXPECT_NEAR(InverseNormalCdf(0.2), -0.841621, 1e-5);
+  EXPECT_NEAR(InverseNormalCdf(0.999), 3.090232, 1e-4);
+}
+
+TEST(AdamTest, MinimisesQuadratic) {
+  Vec param{5.0};
+  Vec grad{0.0};
+  AdamOptimizer adam(0.1);
+  std::vector<Vec*> params{&param};
+  std::vector<Vec*> grads{&grad};
+  for (int i = 0; i < 500; ++i) {
+    grad[0] = 2.0 * (param[0] - 1.5);
+    adam.Step(params, grads);
+  }
+  EXPECT_NEAR(param[0], 1.5, 1e-3);
+}
+
+TEST(StandardizerTest, RoundTrips) {
+  const std::vector<double> values{1.0, 2.0, 3.0, 4.0};
+  const Standardizer s = Standardizer::Fit(values);
+  for (const double v : values) {
+    EXPECT_NEAR(s.Invert(s.Transform(v)), v, 1e-12);
+  }
+  const auto all = s.TransformAll(values);
+  EXPECT_NEAR(Mean(all), 0.0, 1e-12);
+}
+
+TEST(WindowDatasetTest, WindowLayout) {
+  const Series series(std::vector<double>{0, 1, 2, 3, 4, 5, 6, 7, 8, 9});
+  Standardizer identity;  // mean 0, std 1
+  WindowDataset dataset(series, 3, 2, identity);
+  EXPECT_EQ(dataset.size(), 6u);
+  EXPECT_DOUBLE_EQ(dataset.Input(0)[0], 0.0);
+  EXPECT_DOUBLE_EQ(dataset.Target(0)[0], 3.0);
+  EXPECT_DOUBLE_EQ(dataset.Target(5)[1], 9.0);
+}
+
+// --- N-HiTS -----------------------------------------------------------------
+
+TEST(NHitsTest, GradientMatchesFiniteDifference) {
+  NHitsConfig config;
+  config.input_size = 8;
+  config.horizon = 4;
+  config.pool_kernels = {2, 1};
+  config.downsample = {2, 1};
+  config.hidden = 6;
+  config.gaussian = true;
+  NHitsModel model(config);
+
+  Rng rng(7);
+  Vec x(config.input_size);
+  for (double& v : x) {
+    v = rng.Normal();
+  }
+  Vec dmu(config.horizon);
+  Vec dsigma(config.horizon);
+  for (size_t i = 0; i < config.horizon; ++i) {
+    dmu[i] = rng.Normal();
+    dsigma[i] = rng.Normal();
+  }
+
+  auto scalar_loss = [&](NHitsModel& m) {
+    const auto out = m.Forward(x);
+    double loss = 0.0;
+    for (size_t i = 0; i < config.horizon; ++i) {
+      loss += dmu[i] * out.mu[i] + dsigma[i] * out.sigma[i];
+    }
+    return loss;
+  };
+
+  model.ZeroGrad();
+  (void)model.Forward(x);
+  model.Backward(dmu, dsigma);
+  std::vector<Vec*> params;
+  std::vector<Vec*> grads;
+  model.CollectParams(params, grads);
+
+  const double h = 1e-6;
+  int checked = 0;
+  for (size_t tensor = 0; tensor < params.size() && checked < 40; ++tensor) {
+    for (size_t k = 0; k < params[tensor]->size() && checked < 40; k += 7) {
+      const double original = (*params[tensor])[k];
+      (*params[tensor])[k] = original + h;
+      const double up = scalar_loss(model);
+      (*params[tensor])[k] = original - h;
+      const double down = scalar_loss(model);
+      (*params[tensor])[k] = original;
+      const double numeric = (up - down) / (2.0 * h);
+      EXPECT_NEAR((*grads[tensor])[k], numeric, 1e-4)
+          << "tensor " << tensor << " index " << k;
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 20);
+}
+
+TEST(NHitsTest, MultiBlockGradientMatchesFiniteDifference) {
+  // Two blocks per stack: gradients must stay exact through the longer
+  // residual chain.
+  NHitsConfig config;
+  config.input_size = 8;
+  config.horizon = 4;
+  config.pool_kernels = {2, 1};
+  config.downsample = {2, 1};
+  config.hidden = 5;
+  config.blocks_per_stack = 2;
+  config.gaussian = false;
+  NHitsModel model(config);
+
+  Rng rng(43);
+  Vec x(config.input_size);
+  for (double& v : x) {
+    v = rng.Normal();
+  }
+  Vec dmu(config.horizon);
+  for (double& v : dmu) {
+    v = rng.Normal();
+  }
+  auto scalar_loss = [&](NHitsModel& m) {
+    const auto out = m.Forward(x);
+    double loss = 0.0;
+    for (size_t i = 0; i < config.horizon; ++i) {
+      loss += dmu[i] * out.mu[i];
+    }
+    return loss;
+  };
+  model.ZeroGrad();
+  (void)model.Forward(x);
+  model.Backward(dmu, {});
+  std::vector<Vec*> params;
+  std::vector<Vec*> grads;
+  model.CollectParams(params, grads);
+  const double h = 1e-6;
+  int checked = 0;
+  for (size_t tensor = 0; tensor < params.size() && checked < 30; tensor += 2) {
+    for (size_t k = 0; k < params[tensor]->size() && checked < 30; k += 11) {
+      const double original = (*params[tensor])[k];
+      (*params[tensor])[k] = original + h;
+      const double up = scalar_loss(model);
+      (*params[tensor])[k] = original - h;
+      const double down = scalar_loss(model);
+      (*params[tensor])[k] = original;
+      EXPECT_NEAR((*grads[tensor])[k], (up - down) / (2.0 * h), 1e-4);
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 15);
+}
+
+TEST(NHitsTest, MultiBlockLearnsAtLeastAsWell) {
+  const Series series = SineSeries(900, 48.0, 1.0, 3.0, 0.05, 59);
+  NHitsConfig one;
+  one.input_size = 24;
+  one.horizon = 8;
+  one.gaussian = false;
+  NHitsConfig two = one;
+  two.blocks_per_stack = 2;
+  TrainConfig tc;
+  tc.epochs = 6;
+  NHitsModel model_one(one);
+  NHitsModel model_two(two);
+  const double loss_one = model_one.TrainOnSeries(series, tc);
+  const double loss_two = model_two.TrainOnSeries(series, tc);
+  EXPECT_LT(loss_two, std::max(0.15, 2.0 * loss_one));  // no degradation blow-up
+}
+
+TEST(NHitsTest, LearnsSinusoid) {
+  const Series series = SineSeries(1200, 48.0, 1.0, 3.0, 0.02);
+  NHitsConfig config;
+  config.input_size = 24;
+  config.horizon = 8;
+  config.gaussian = false;
+  NHitsModel model(config);
+  TrainConfig tc;
+  tc.epochs = 8;
+  const double loss = model.TrainOnSeries(series.Slice(0, 1000), tc);
+  EXPECT_LT(loss, 0.1);  // standardised MSE far below the variance (1.0)
+
+  // Out-of-sample RMSE must beat the naive last-value forecast.
+  double model_se = 0.0;
+  double naive_se = 0.0;
+  int count = 0;
+  for (size_t t = 1000; t + config.horizon < 1200; t += 8) {
+    std::vector<double> history(series.values().begin() + static_cast<ptrdiff_t>(t - 24),
+                                series.values().begin() + static_cast<ptrdiff_t>(t));
+    const auto pred = model.PredictRaw(history);
+    for (size_t k = 0; k < config.horizon; ++k) {
+      const double truth = series[t + k];
+      model_se += (pred.mu[k] - truth) * (pred.mu[k] - truth);
+      naive_se += (history.back() - truth) * (history.back() - truth);
+      ++count;
+    }
+  }
+  EXPECT_LT(model_se, 0.5 * naive_se);
+}
+
+TEST(NHitsTest, GaussianHeadCoverageIsCalibrated) {
+  const Series series = SineSeries(2000, 60.0, 1.0, 5.0, 0.3, 11);
+  NHitsConfig config;
+  config.input_size = 20;
+  config.horizon = 5;
+  config.gaussian = true;
+  NHitsModel model(config);
+  TrainConfig tc;
+  tc.epochs = 10;
+  model.TrainOnSeries(series.Slice(0, 1700), tc);
+
+  int inside = 0;
+  int total = 0;
+  for (size_t t = 1700; t + config.horizon < 2000; t += 5) {
+    std::vector<double> history(series.values().begin() + static_cast<ptrdiff_t>(t - 20),
+                                series.values().begin() + static_cast<ptrdiff_t>(t));
+    const auto out = model.PredictRaw(history);
+    for (size_t k = 0; k < config.horizon; ++k) {
+      const double truth = series[t + k];
+      // Nominal 80% interval.
+      const double z = InverseNormalCdf(0.9);
+      if (truth >= out.mu[k] - z * out.sigma[k] && truth <= out.mu[k] + z * out.sigma[k]) {
+        ++inside;
+      }
+      ++total;
+    }
+  }
+  const double coverage = static_cast<double>(inside) / static_cast<double>(total);
+  EXPECT_GT(coverage, 0.6);
+  EXPECT_LE(coverage, 1.0);
+}
+
+TEST(NHitsTest, QuantilesOrderCorrectly) {
+  const Series series = SineSeries(800, 40.0, 1.0, 4.0, 0.2, 13);
+  NHitsConfig config;
+  config.input_size = 16;
+  config.horizon = 6;
+  NHitsModel model(config);
+  TrainConfig tc;
+  tc.epochs = 4;
+  model.TrainOnSeries(series, tc);
+  std::vector<double> history(series.values().end() - 16, series.values().end());
+  const auto lo = model.PredictQuantileRaw(history, 0.2);
+  const auto mid = model.PredictQuantileRaw(history, 0.5);
+  const auto hi = model.PredictQuantileRaw(history, 0.9);
+  for (size_t k = 0; k < 6; ++k) {
+    EXPECT_LE(lo[k], mid[k] + 1e-9);
+    EXPECT_LE(mid[k], hi[k] + 1e-9);
+    EXPECT_GE(lo[k], 0.0);  // rates never negative
+  }
+}
+
+TEST(NHitsTest, SamplesCoverGroundTruthFluctuation) {
+  const Series series = SineSeries(1000, 50.0, 1.0, 5.0, 0.3, 17);
+  NHitsConfig config;
+  config.input_size = 16;
+  config.horizon = 6;
+  NHitsModel model(config);
+  TrainConfig tc;
+  tc.epochs = 6;
+  model.TrainOnSeries(series.Slice(0, 900), tc);
+  std::vector<double> history(series.values().begin() + 884, series.values().begin() + 900);
+  Rng rng(19);
+  const auto samples = model.SampleTrajectories(history, 100, rng);
+  ASSERT_EQ(samples.size(), 100u);
+  // Min-max envelope across samples should bracket the actual future.
+  for (size_t k = 0; k < 6; ++k) {
+    double lo = 1e18;
+    double hi = -1e18;
+    for (const auto& s : samples) {
+      lo = std::min(lo, s[k]);
+      hi = std::max(hi, s[k]);
+    }
+    const double truth = series[900 + k];
+    EXPECT_LE(lo, truth + 0.5);
+    EXPECT_GE(hi, truth - 0.5);
+  }
+}
+
+// --- LSTM -------------------------------------------------------------------
+
+TEST(LstmTest, CellGradientMatchesFiniteDifference) {
+  Rng rng(23);
+  LstmCell cell(1, 4, rng);
+  const double x = 0.7;
+  Vec h_prev(4);
+  Vec c_prev(4);
+  for (size_t k = 0; k < 4; ++k) {
+    h_prev[k] = rng.Normal();
+    c_prev[k] = rng.Normal();
+  }
+  Vec dh(4);
+  Vec dc(4, 0.0);
+  for (double& v : dh) {
+    v = rng.Normal();
+  }
+  LstmCell::StepCache cache;
+  cell.Forward({&x, 1}, h_prev, c_prev, cache);
+  Vec dx;
+  Vec dh_prev;
+  Vec dc_prev;
+  cell.ZeroGrad();
+  cell.Backward(cache, dh, dc, &dx, dh_prev, dc_prev);
+
+  auto loss = [&]() {
+    LstmCell::StepCache probe;
+    cell.Forward({&x, 1}, h_prev, c_prev, probe);
+    double l = 0.0;
+    for (size_t k = 0; k < 4; ++k) {
+      l += dh[k] * probe.h[k];
+    }
+    return l;
+  };
+  const double h = 1e-6;
+  // Check dh_prev numerically.
+  for (size_t k = 0; k < 4; ++k) {
+    const double original = h_prev[k];
+    h_prev[k] = original + h;
+    const double up = loss();
+    h_prev[k] = original - h;
+    const double down = loss();
+    h_prev[k] = original;
+    EXPECT_NEAR(dh_prev[k], (up - down) / (2.0 * h), 1e-5);
+  }
+}
+
+TEST(LstmTest, LearnsSinusoid) {
+  const Series series = SineSeries(1000, 40.0, 1.0, 3.0, 0.02, 29);
+  LstmConfig config;
+  config.input_size = 20;
+  config.horizon = 5;
+  LstmModel model(config);
+  TrainConfig tc;
+  tc.epochs = 10;
+  const double loss = model.TrainOnSeries(series.Slice(0, 900), tc);
+  EXPECT_LT(loss, 0.25);
+  std::vector<double> history(series.values().begin() + 880, series.values().begin() + 900);
+  const auto pred = model.PredictRaw(history);
+  ASSERT_EQ(pred.size(), 5u);
+  for (size_t k = 0; k < 5; ++k) {
+    EXPECT_NEAR(pred[k], series[900 + k], 1.0);
+  }
+}
+
+// --- DeepAR -----------------------------------------------------------------
+
+TEST(DeepArTest, TrainsAndSamples) {
+  const Series series = SineSeries(900, 45.0, 1.0, 4.0, 0.1, 31);
+  DeepArConfig config;
+  config.input_size = 18;
+  config.horizon = 5;
+  DeepArModel model(config);
+  TrainConfig tc;
+  tc.epochs = 6;
+  const double nll = model.TrainOnSeries(series.Slice(0, 800), tc);
+  EXPECT_LT(nll, 1.5);  // well below the unconditional Gaussian entropy
+  std::vector<double> history(series.values().begin() + 782, series.values().begin() + 800);
+  Rng rng(37);
+  const auto samples = model.SampleTrajectories(history, 50, rng);
+  ASSERT_EQ(samples.size(), 50u);
+  const auto mean = model.PredictRaw(history, 50, rng);
+  for (size_t k = 0; k < 5; ++k) {
+    EXPECT_GE(mean[k], 0.0);
+    EXPECT_NEAR(mean[k], series[800 + k], 2.0);
+  }
+}
+
+// --- ARMA -------------------------------------------------------------------
+
+TEST(ArmaTest, RecoversArCoefficients) {
+  // Synthesise AR(2): y_t = 1.2 y_{t-1} - 0.4 y_{t-2} + 0.5 + e_t.
+  Rng rng(41);
+  std::vector<double> values{1.0, 1.0};
+  for (size_t t = 2; t < 3000; ++t) {
+    values.push_back(1.2 * values[t - 1] - 0.4 * values[t - 2] + 0.5 + 0.1 * rng.Normal());
+  }
+  ArmaModel model(2, 0);
+  ASSERT_TRUE(model.Fit(values));
+  EXPECT_NEAR(model.ar_coefficients()[0], 1.2, 0.1);
+  EXPECT_NEAR(model.ar_coefficients()[1], -0.4, 0.1);
+}
+
+TEST(ArmaTest, ForecastContinuesTheProcess) {
+  Rng rng(43);
+  std::vector<double> values{0.0, 0.0};
+  for (size_t t = 2; t < 2000; ++t) {
+    values.push_back(0.9 * values[t - 1] + 1.0 + 0.05 * rng.Normal());
+  }
+  // Stationary mean of this AR(1) is 1 / (1 - 0.9) = 10.
+  ArmaModel model(2, 1);
+  ASSERT_TRUE(model.Fit(values));
+  const auto forecast = model.Forecast(20);
+  ASSERT_EQ(forecast.size(), 20u);
+  EXPECT_NEAR(forecast.back(), 10.0, 1.0);
+}
+
+TEST(ArmaTest, TooLittleDataFallsBack) {
+  ArmaModel model(2, 1);
+  EXPECT_FALSE(model.Fit(std::vector<double>{1.0, 2.0, 3.0}));
+  const auto forecast = model.Forecast(3);
+  for (const double v : forecast) {
+    EXPECT_DOUBLE_EQ(v, 3.0);
+  }
+}
+
+// --- Adapter ----------------------------------------------------------------
+
+TEST(AdapterTest, FallbackBeforeTraining) {
+  NHitsWorkloadPredictor predictor(NHitsConfig{}, TrainConfig{});
+  const std::vector<double> history{10.0, 10.0, 10.0};
+  const auto pred = predictor.PredictQuantile(0, history, 5, 0.85);
+  ASSERT_EQ(pred.size(), 5u);
+  EXPECT_NEAR(pred[0], 10.0, 1e-9);
+}
+
+TEST(AdapterTest, TrainedModelUsedAndHorizonAdapted) {
+  NHitsConfig config;
+  config.input_size = 16;
+  config.horizon = 6;
+  TrainConfig tc;
+  tc.epochs = 3;
+  NHitsWorkloadPredictor predictor(config, tc);
+  const Series series = SineSeries(600, 30.0, 1.0, 5.0, 0.05, 47);
+  predictor.TrainJob(3, series);
+  EXPECT_EQ(predictor.trained_jobs(), 1u);
+  std::vector<double> history(series.values().end() - 16, series.values().end());
+  const auto shorter = predictor.PredictQuantile(3, history, 4, 0.5);
+  EXPECT_EQ(shorter.size(), 4u);
+  const auto longer = predictor.PredictQuantile(3, history, 9, 0.5);
+  EXPECT_EQ(longer.size(), 9u);
+  EXPECT_DOUBLE_EQ(longer[8], longer[5]);  // padded with the last value
+}
+
+TEST(AdapterTest, HigherQuantileNeverLower) {
+  NHitsConfig config;
+  config.input_size = 16;
+  config.horizon = 6;
+  TrainConfig tc;
+  tc.epochs = 3;
+  NHitsWorkloadPredictor predictor(config, tc);
+  const Series series = SineSeries(600, 30.0, 1.0, 5.0, 0.2, 53);
+  predictor.TrainJob(0, series);
+  std::vector<double> history(series.values().end() - 16, series.values().end());
+  const auto mid = predictor.PredictQuantile(0, history, 6, 0.5);
+  const auto high = predictor.PredictQuantile(0, history, 6, 0.9);
+  for (size_t k = 0; k < 6; ++k) {
+    EXPECT_GE(high[k], mid[k] - 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace faro

@@ -1,0 +1,180 @@
+// End-to-end integration tests: the harness assembles workloads correctly and
+// the headline phenomena of the paper hold on small, fast configurations.
+
+#include <algorithm>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "src/queueing/mdc.h"
+#include "src/sim/harness.h"
+
+namespace faro {
+namespace {
+
+ExperimentSetup SmallSetup() {
+  ExperimentSetup setup;
+  setup.num_jobs = 4;
+  setup.right_size_replicas = 14.0;
+  setup.capacity = 12.0;
+  setup.trials = 1;
+  setup.processing_jitter = 0.0;
+  setup.cold_start_jitter_s = 0.0;
+  return setup;
+}
+
+TEST(HarnessTest, CalibrationHitsRightSize) {
+  const ExperimentSetup setup = SmallSetup();
+  const PreparedWorkload workload = PrepareWorkload(setup);
+  ASSERT_EQ(workload.jobs.size(), 4u);
+  // Peak total M/D/c demand over the eval day should be at (just under) the
+  // right-size target.
+  const size_t minutes = workload.jobs[0].arrival_rate_per_min.size();
+  uint32_t peak = 0;
+  for (size_t t = 0; t < minutes; ++t) {
+    uint32_t demand = 0;
+    for (const SimJobConfig& job : workload.jobs) {
+      demand += RequiredReplicasMdc(job.arrival_rate_per_min[t] / 60.0,
+                                    job.spec.processing_time, job.spec.slo,
+                                    job.spec.percentile);
+    }
+    peak = std::max(peak, demand);
+  }
+  EXPECT_LE(peak, 14u);
+  EXPECT_GE(peak, 12u);  // calibration is tight, not loose
+}
+
+TEST(HarnessTest, TrainAndEvalSeriesConsistent) {
+  const ExperimentSetup setup = SmallSetup();
+  const PreparedWorkload workload = PrepareWorkload(setup);
+  for (size_t i = 0; i < workload.jobs.size(); ++i) {
+    // Train series is in req/s; eval trace in req/min; both nonnegative.
+    EXPECT_GT(workload.train_rates_per_s[i].size(),
+              workload.jobs[i].arrival_rate_per_min.size());
+    EXPECT_GE(workload.train_rates_per_s[i].MinValue(), 0.0);
+    EXPECT_GE(workload.jobs[i].arrival_rate_per_min.MinValue(), 1.0 - 1e9);
+  }
+}
+
+TEST(HarnessTest, MixedModelsAlternateSpecs) {
+  ExperimentSetup setup = SmallSetup();
+  setup.mixed_models = true;
+  const PreparedWorkload workload = PrepareWorkload(setup);
+  EXPECT_NEAR(workload.jobs[0].spec.processing_time, 0.180, 1e-12);
+  EXPECT_NEAR(workload.jobs[1].spec.processing_time, 0.100, 1e-12);
+  EXPECT_NEAR(workload.jobs[1].spec.slo, 0.400, 1e-12);
+}
+
+TEST(HarnessTest, PolicyFactoryKnowsAllNames) {
+  EXPECT_EQ(AllPolicyNames().size(), 9u);
+  for (const std::string& name : AllPolicyNames()) {
+    auto policy = MakePolicy(name, nullptr);
+    ASSERT_NE(policy, nullptr) << name;
+    EXPECT_EQ(policy->name(), name);
+  }
+  EXPECT_NE(MakePolicy("Cilantro", nullptr), nullptr);
+  EXPECT_EQ(MakePolicy("NoSuchPolicy", nullptr), nullptr);
+}
+
+TEST(HarnessTest, FaroOverridesAreApplied) {
+  FaroConfig overrides;
+  overrides.enable_hybrid = false;
+  overrides.prediction_quantile = 0.6;
+  auto policy = MakePolicy("Faro-Sum", nullptr, &overrides);
+  auto* faro = dynamic_cast<FaroAutoscaler*>(policy.get());
+  ASSERT_NE(faro, nullptr);
+  EXPECT_FALSE(faro->config().enable_hybrid);
+  EXPECT_DOUBLE_EQ(faro->config().prediction_quantile, 0.6);
+  EXPECT_EQ(faro->config().objective, ObjectiveKind::kSum);  // name wins
+}
+
+TEST(IntegrationTest, FaroBeatsStaticSplitOnConstrainedCluster) {
+  const ExperimentSetup setup = SmallSetup();
+  const PreparedWorkload workload = PrepareWorkload(setup);
+  const TrialAggregate faro = RunTrials(setup, workload, "Faro-FairSum", nullptr);
+  const TrialAggregate fair_share = RunTrials(setup, workload, "FairShare", nullptr);
+  EXPECT_LT(faro.lost_utility_mean, fair_share.lost_utility_mean);
+  EXPECT_LT(faro.violation_rate_mean, fair_share.violation_rate_mean);
+}
+
+TEST(IntegrationTest, FaroBeatsOneshot) {
+  const ExperimentSetup setup = SmallSetup();
+  const PreparedWorkload workload = PrepareWorkload(setup);
+  const TrialAggregate faro = RunTrials(setup, workload, "Faro-Sum", nullptr);
+  const TrialAggregate oneshot = RunTrials(setup, workload, "Oneshot", nullptr);
+  EXPECT_LT(faro.lost_utility_mean, oneshot.lost_utility_mean);
+}
+
+TEST(IntegrationTest, MoreCapacityNeverHurtsFaro) {
+  ExperimentSetup setup = SmallSetup();
+  const PreparedWorkload workload = PrepareWorkload(setup);
+  double previous = 1e18;
+  for (const double capacity : {8.0, 12.0, 16.0}) {
+    setup.capacity = capacity;
+    const TrialAggregate agg = RunTrials(setup, workload, "Faro-FairSum", nullptr);
+    EXPECT_LE(agg.lost_utility_mean, previous + 0.1) << "capacity=" << capacity;
+    previous = agg.lost_utility_mean;
+  }
+}
+
+TEST(IntegrationTest, TrialAggregateShapes) {
+  ExperimentSetup setup = SmallSetup();
+  setup.trials = 2;
+  const PreparedWorkload workload = PrepareWorkload(setup);
+  const TrialAggregate agg = RunTrials(setup, workload, "AIAD", nullptr);
+  EXPECT_EQ(agg.per_job_lost_utility.size(), 4u);
+  EXPECT_GE(agg.lost_utility_mean, 0.0);
+  EXPECT_GE(agg.lost_utility_sd, 0.0);
+  EXPECT_GE(agg.violation_rate_mean, 0.0);
+  EXPECT_LE(agg.violation_rate_mean, 1.0);
+}
+
+TEST(IntegrationTest, HierarchicalFaroStillWorksEndToEnd) {
+  ExperimentSetup setup;
+  setup.num_jobs = 12;
+  setup.right_size_replicas = 40.0;
+  setup.capacity = 40.0;
+  setup.trials = 1;
+  const PreparedWorkload workload = PrepareWorkload(setup);
+  FaroConfig config;
+  config.hierarchical_groups = 4;  // 12 jobs > 4 groups -> grouped solve
+  const TrialAggregate grouped =
+      RunTrials(setup, workload, "Faro-FairSum", nullptr, &config);
+  const TrialAggregate fair_share = RunTrials(setup, workload, "FairShare", nullptr);
+  EXPECT_LT(grouped.lost_utility_mean, fair_share.lost_utility_mean);
+}
+
+TEST(IntegrationTest, ParallelQueueAggregateMatchesSumOfSingles) {
+  // A spec describing k parallel queues at total load k*lambda with k*x
+  // replicas must predict the same utility as one queue at lambda with x.
+  JobContext single;
+  single.spec.processing_time = 0.18;
+  single.spec.slo = 0.72;
+  single.predicted_load = {12.0};
+  JobContext aggregate = single;
+  aggregate.spec.parallel_queues = 4.0;
+  aggregate.predicted_load = {48.0};
+  ClusterObjectiveConfig config;
+  ClusterObjective obj({single, aggregate}, ClusterResources{100.0, 100.0}, config);
+  for (double x = 1.0; x <= 8.0; x += 1.0) {
+    EXPECT_NEAR(obj.JobUtility(0, x), obj.JobUtility(1, 4.0 * x), 1e-9) << "x=" << x;
+  }
+}
+
+TEST(IntegrationTest, PenaltyVariantShedsLoadWhenHopeless) {
+  // A cluster far too small: the Penalty variant should produce nonzero
+  // explicit drops at some point, and still complete the run.
+  ExperimentSetup setup = SmallSetup();
+  setup.capacity = 4.0;
+  const PreparedWorkload workload = PrepareWorkload(setup);
+  auto policy = MakePolicy("Faro-PenaltySum", nullptr);
+  const RunResult result = RunPolicy(setup, workload, *policy, 77);
+  uint64_t total_drops = 0;
+  for (const JobRunStats& job : result.jobs) {
+    total_drops += job.drops;
+  }
+  EXPECT_GT(total_drops, 0u);
+}
+
+}  // namespace
+}  // namespace faro

@@ -1,0 +1,435 @@
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/optim/auglag.h"
+#include "src/optim/cobyla.h"
+#include "src/optim/de.h"
+#include "src/optim/linalg.h"
+#include "src/optim/neldermead.h"
+#include "src/optim/problem.h"
+
+namespace faro {
+namespace {
+
+TEST(LinAlgTest, LuSolvesDiagonal) {
+  Matrix a(2, 2);
+  a(0, 0) = 2.0;
+  a(1, 1) = 4.0;
+  std::vector<double> x;
+  ASSERT_TRUE(LuSolve(a, std::vector<double>{2.0, 8.0}, x));
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(LinAlgTest, LuSolvesWithPivoting) {
+  // Leading zero forces a row swap.
+  Matrix a(2, 2);
+  a(0, 0) = 0.0;
+  a(0, 1) = 1.0;
+  a(1, 0) = 1.0;
+  a(1, 1) = 0.0;
+  std::vector<double> x;
+  ASSERT_TRUE(LuSolve(a, std::vector<double>{3.0, 5.0}, x));
+  EXPECT_NEAR(x[0], 5.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(LinAlgTest, SingularDetected) {
+  Matrix a(2, 2);
+  a(0, 0) = 1.0;
+  a(0, 1) = 2.0;
+  a(1, 0) = 2.0;
+  a(1, 1) = 4.0;
+  std::vector<double> x;
+  EXPECT_FALSE(LuSolve(a, std::vector<double>{1.0, 2.0}, x));
+}
+
+TEST(ProblemTest, MaxViolationIncludesBounds) {
+  Problem p(2, [](std::span<const double> x) { return x[0]; });
+  p.SetBounds({0.0, 0.0}, {1.0, 1.0});
+  p.AddConstraint([](std::span<const double> x) { return x[0] + x[1] - 1.0; });
+  const std::vector<double> x{-0.5, 2.0};
+  EXPECT_NEAR(p.MaxViolation(x), 1.0, 1e-12);  // upper bound on x1 worst
+  const std::vector<double> feasible{0.6, 0.6};
+  EXPECT_DOUBLE_EQ(p.MaxViolation(feasible), 0.0);
+}
+
+// --- COBYLA on Powell's classic test problems ----------------------------
+
+TEST(CobylaTest, UnconstrainedQuadratic) {
+  Problem p(2, [](std::span<const double> x) {
+    return 10.0 * (x[0] + 1.0) * (x[0] + 1.0) + (x[1] - 1.0) * (x[1] - 1.0);
+  });
+  CobylaConfig config;
+  config.rho_begin = 1.0;
+  config.rho_end = 1e-6;
+  const auto result = Cobyla(p, std::vector<double>{0.0, 0.0}, config);
+  EXPECT_NEAR(result.x[0], -1.0, 1e-2);
+  EXPECT_NEAR(result.x[1], 1.0, 1e-2);
+}
+
+TEST(CobylaTest, PowellProblem2CircleConstraint) {
+  // minimize x0 * x1  s.t.  1 - x0^2 - x1^2 >= 0.
+  // Optimum: f = -1/2 at (±sqrt(2)/2, ∓sqrt(2)/2).
+  Problem p(2, [](std::span<const double> x) { return x[0] * x[1]; });
+  p.AddConstraint([](std::span<const double> x) { return 1.0 - x[0] * x[0] - x[1] * x[1]; });
+  CobylaConfig config;
+  config.rho_begin = 0.5;
+  config.rho_end = 1e-6;
+  const auto result = Cobyla(p, std::vector<double>{1.0, 1.0}, config);
+  EXPECT_NEAR(result.value, -0.5, 5e-2);
+  EXPECT_LE(result.max_violation, 1e-4);
+}
+
+TEST(CobylaTest, LinearProgramWithBounds) {
+  // minimize x0 + x1 with x0 >= 1, x1 >= 2 -> 3.
+  Problem p(2, [](std::span<const double> x) { return x[0] + x[1]; });
+  p.SetBounds({1.0, 2.0}, {100.0, 100.0});
+  CobylaConfig config;
+  config.rho_begin = 2.0;
+  config.rho_end = 1e-6;
+  const auto result = Cobyla(p, std::vector<double>{50.0, 50.0}, config);
+  EXPECT_NEAR(result.value, 3.0, 1e-2);
+  EXPECT_LE(result.max_violation, 1e-4);
+}
+
+TEST(CobylaTest, ConstrainedQuadraticKnownOptimum) {
+  // minimize (x0 - 2)^2 + (x1 - 1)^2  s.t.  x1 - x0^2 >= 0, 2 - x0 - x1 >= 0.
+  // Optimum at (1, 1), f = 1.
+  Problem p(2, [](std::span<const double> x) {
+    return (x[0] - 2.0) * (x[0] - 2.0) + (x[1] - 1.0) * (x[1] - 1.0);
+  });
+  p.AddConstraint([](std::span<const double> x) { return x[1] - x[0] * x[0]; });
+  p.AddConstraint([](std::span<const double> x) { return 2.0 - x[0] - x[1]; });
+  CobylaConfig config;
+  config.rho_begin = 0.5;
+  config.rho_end = 1e-6;
+  config.max_evaluations = 5000;
+  const auto result = Cobyla(p, std::vector<double>{0.0, 0.0}, config);
+  EXPECT_NEAR(result.value, 1.0, 5e-2);
+  EXPECT_LE(result.max_violation, 1e-3);
+}
+
+TEST(CobylaTest, Rosenbrock) {
+  Problem p(2, [](std::span<const double> x) {
+    const double a = x[1] - x[0] * x[0];
+    const double b = 1.0 - x[0];
+    return 100.0 * a * a + b * b;
+  });
+  CobylaConfig config;
+  config.rho_begin = 0.5;
+  config.rho_end = 1e-8;
+  config.max_evaluations = 20000;
+  const auto result = Cobyla(p, std::vector<double>{-1.2, 1.0}, config);
+  EXPECT_LT(result.value, 1e-2);
+}
+
+TEST(CobylaTest, InfeasibleStartRecovers) {
+  // Start far outside the feasible circle; COBYLA must pull the iterate in.
+  Problem p(2, [](std::span<const double> x) { return x[0] + x[1]; });
+  p.AddConstraint([](std::span<const double> x) {
+    return 1.0 - (x[0] - 1.0) * (x[0] - 1.0) - (x[1] - 1.0) * (x[1] - 1.0);
+  });
+  CobylaConfig config;
+  config.rho_begin = 1.0;
+  config.rho_end = 1e-6;
+  const auto result = Cobyla(p, std::vector<double>{8.0, 8.0}, config);
+  EXPECT_LE(result.max_violation, 1e-3);
+  // Optimum of x0 + x1 on that disk is 2 - sqrt(2).
+  EXPECT_NEAR(result.value, 2.0 - std::numbers::sqrt2, 0.1);
+}
+
+TEST(CobylaTest, RespectsEvaluationBudget) {
+  int evals = 0;
+  Problem p(3, [&evals](std::span<const double> x) {
+    ++evals;
+    return x[0] * x[0] + x[1] * x[1] + x[2] * x[2];
+  });
+  CobylaConfig config;
+  config.max_evaluations = 50;
+  Cobyla(p, std::vector<double>{5.0, 5.0, 5.0}, config);
+  EXPECT_LE(evals, 55);  // small slack for the final bookkeeping
+}
+
+TEST(CobylaTest, TenDimensionalSeparableQuadratic) {
+  // Shape of the Faro stage-2 problem: many variables, box bounds, one
+  // coupling (capacity) constraint.
+  const size_t n = 10;
+  Problem p(n, [](std::span<const double> x) {
+    double sum = 0.0;
+    for (size_t i = 0; i < x.size(); ++i) {
+      const double target = 2.0 + static_cast<double>(i);
+      sum += (x[i] - target) * (x[i] - target);
+    }
+    return sum;
+  });
+  std::vector<double> lo(n, 1.0);
+  std::vector<double> hi(n, 100.0);
+  p.SetBounds(lo, hi);
+  p.AddConstraint([](std::span<const double> x) {
+    double sum = 0.0;
+    for (const double v : x) {
+      sum += v;
+    }
+    return 200.0 - sum;  // non-binding at the optimum (sum of targets = 65)
+  });
+  CobylaConfig config;
+  config.rho_begin = 2.0;
+  config.rho_end = 1e-5;
+  config.max_evaluations = 20000;
+  const auto result = Cobyla(p, std::vector<double>(n, 1.0), config);
+  EXPECT_LT(result.value, 0.5);
+  EXPECT_LE(result.max_violation, 1e-4);
+}
+
+TEST(CobylaTest, RosenbrockConstrainedToDisk) {
+  // min rosenbrock s.t. x^2 + y^2 <= 2; optimum at (1, 1) on the boundary.
+  Problem p(2, [](std::span<const double> x) {
+    const double a = x[1] - x[0] * x[0];
+    const double b = 1.0 - x[0];
+    return 100.0 * a * a + b * b;
+  });
+  p.AddConstraint([](std::span<const double> x) { return 2.0 - x[0] * x[0] - x[1] * x[1]; });
+  CobylaConfig config;
+  config.rho_begin = 0.5;
+  config.rho_end = 1e-7;
+  config.max_evaluations = 20000;
+  const auto result = Cobyla(p, std::vector<double>{0.0, 0.0}, config);
+  EXPECT_NEAR(result.x[0], 1.0, 0.05);
+  EXPECT_NEAR(result.x[1], 1.0, 0.1);
+  EXPECT_LE(result.max_violation, 1e-4);
+}
+
+TEST(CobylaTest, LinearObjectiveOnUnitDisk) {
+  // max x0 + x1 on the unit disk -> (sqrt2/2, sqrt2/2), f = -sqrt2.
+  Problem p(2, [](std::span<const double> x) { return -(x[0] + x[1]); });
+  p.AddConstraint([](std::span<const double> x) { return 1.0 - x[0] * x[0] - x[1] * x[1]; });
+  CobylaConfig config;
+  config.rho_begin = 0.5;
+  config.rho_end = 1e-6;
+  const auto result = Cobyla(p, std::vector<double>{0.0, 0.0}, config);
+  EXPECT_NEAR(result.value, -std::numbers::sqrt2, 0.02);
+  EXPECT_LE(result.max_violation, 1e-4);
+}
+
+TEST(CobylaTest, ScipyDocExampleWithLinearConstraints) {
+  // min (x0-1)^2 + (x1-2.5)^2 s.t. x0-2x1+2>=0, -x0-2x1+6>=0, -x0+2x1+2>=0,
+  // x >= 0. Known optimum (1.4, 1.7).
+  Problem p(2, [](std::span<const double> x) {
+    return (x[0] - 1.0) * (x[0] - 1.0) + (x[1] - 2.5) * (x[1] - 2.5);
+  });
+  p.SetBounds({0.0, 0.0}, {10.0, 10.0});
+  p.AddConstraint([](std::span<const double> x) { return x[0] - 2.0 * x[1] + 2.0; });
+  p.AddConstraint([](std::span<const double> x) { return -x[0] - 2.0 * x[1] + 6.0; });
+  p.AddConstraint([](std::span<const double> x) { return -x[0] + 2.0 * x[1] + 2.0; });
+  CobylaConfig config;
+  config.rho_begin = 1.0;
+  config.rho_end = 1e-7;
+  config.max_evaluations = 10000;
+  const auto result = Cobyla(p, std::vector<double>{2.0, 0.0}, config);
+  EXPECT_NEAR(result.x[0], 1.4, 0.05);
+  EXPECT_NEAR(result.x[1], 1.7, 0.05);
+}
+
+TEST(CobylaTest, FiveDimSphereWithActiveLinearConstraint) {
+  // min ||x||^2 s.t. sum x >= 5 -> x_i = 1 each, f = 5.
+  Problem p(5, [](std::span<const double> x) {
+    double sum = 0.0;
+    for (const double v : x) {
+      sum += v * v;
+    }
+    return sum;
+  });
+  p.AddConstraint([](std::span<const double> x) {
+    double sum = 0.0;
+    for (const double v : x) {
+      sum += v;
+    }
+    return sum - 5.0;
+  });
+  CobylaConfig config;
+  config.rho_begin = 1.0;
+  config.rho_end = 1e-6;
+  config.max_evaluations = 20000;
+  const auto result = Cobyla(p, std::vector<double>(5, 3.0), config);
+  EXPECT_NEAR(result.value, 5.0, 0.05);
+  EXPECT_LE(result.max_violation, 1e-4);
+}
+
+TEST(CobylaTest, DeterministicAcrossRuns) {
+  Problem p(3, [](std::span<const double> x) {
+    return x[0] * x[0] + 2.0 * x[1] * x[1] + 3.0 * x[2] * x[2];
+  });
+  CobylaConfig config;
+  const auto a = Cobyla(p, std::vector<double>{2.0, 2.0, 2.0}, config);
+  const auto b = Cobyla(p, std::vector<double>{2.0, 2.0, 2.0}, config);
+  ASSERT_EQ(a.x.size(), b.x.size());
+  for (size_t i = 0; i < a.x.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.x[i], b.x[i]);
+  }
+  EXPECT_EQ(a.evaluations, b.evaluations);
+}
+
+// --- Differential Evolution ----------------------------------------------
+
+TEST(DifferentialEvolutionTest, SolvesRosenbrock) {
+  Problem p(2, [](std::span<const double> x) {
+    const double a = x[1] - x[0] * x[0];
+    const double b = 1.0 - x[0];
+    return 100.0 * a * a + b * b;
+  });
+  p.SetBounds({-5.0, -5.0}, {5.0, 5.0});
+  DeConfig config;
+  config.generations = 400;
+  const auto result = DifferentialEvolution(p, config);
+  EXPECT_LT(result.value, 1e-3);
+}
+
+TEST(DifferentialEvolutionTest, EscapesPlateau) {
+  // A step function ("precise utility" shape): local solvers see zero
+  // gradient; DE's population sampling still finds the basin.
+  Problem p(1, [](std::span<const double> x) {
+    return x[0] < 3.0 ? 1.0 : (x[0] > 3.5 ? 1.0 : 0.0);
+  });
+  p.SetBounds({0.0}, {10.0});
+  DeConfig config;
+  config.generations = 100;
+  const auto result = DifferentialEvolution(p, config);
+  EXPECT_DOUBLE_EQ(result.value, 0.0);
+  EXPECT_GE(result.x[0], 3.0);
+  EXPECT_LE(result.x[0], 3.5);
+}
+
+TEST(DifferentialEvolutionTest, DeterministicForSameSeed) {
+  Problem p(2, [](std::span<const double> x) { return x[0] * x[0] + x[1] * x[1]; });
+  p.SetBounds({-2.0, -2.0}, {2.0, 2.0});
+  DeConfig config;
+  config.seed = 99;
+  config.generations = 50;
+  const auto a = DifferentialEvolution(p, config);
+  const auto b = DifferentialEvolution(p, config);
+  ASSERT_EQ(a.x.size(), b.x.size());
+  for (size_t i = 0; i < a.x.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.x[i], b.x[i]);
+  }
+}
+
+TEST(DifferentialEvolutionTest, HonoursConstraint) {
+  Problem p(2, [](std::span<const double> x) { return x[0] * x[1]; });
+  p.SetBounds({-2.0, -2.0}, {2.0, 2.0});
+  p.AddConstraint([](std::span<const double> x) { return 1.0 - x[0] * x[0] - x[1] * x[1]; });
+  DeConfig config;
+  config.generations = 400;
+  const auto result = DifferentialEvolution(p, config);
+  EXPECT_NEAR(result.value, -0.5, 5e-2);
+  EXPECT_LE(result.max_violation, 5e-2);
+}
+
+TEST(DifferentialEvolutionTest, StaysInBounds) {
+  Problem p(3, [](std::span<const double> x) { return -(x[0] + x[1] + x[2]); });
+  p.SetBounds({0.0, 0.0, 0.0}, {1.0, 2.0, 3.0});
+  const auto result = DifferentialEvolution(p);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_GE(result.x[i], 0.0);
+    EXPECT_LE(result.x[i], static_cast<double>(i + 1) + 1e-12);
+  }
+  EXPECT_NEAR(result.value, -6.0, 1e-6);
+}
+
+// --- Augmented Lagrangian (SLSQP stand-in) --------------------------------
+
+TEST(AugLagTest, UnconstrainedQuadratic) {
+  Problem p(2, [](std::span<const double> x) {
+    return (x[0] - 3.0) * (x[0] - 3.0) + (x[1] + 2.0) * (x[1] + 2.0);
+  });
+  const auto result = AugmentedLagrangian(p, std::vector<double>{0.0, 0.0});
+  EXPECT_NEAR(result.x[0], 3.0, 1e-4);
+  EXPECT_NEAR(result.x[1], -2.0, 1e-4);
+}
+
+TEST(AugLagTest, ActiveInequalityConstraint) {
+  // minimize (x0 - 2)^2 + (x1 - 2)^2 s.t. x0 + x1 <= 2 -> optimum (1, 1).
+  Problem p(2, [](std::span<const double> x) {
+    return (x[0] - 2.0) * (x[0] - 2.0) + (x[1] - 2.0) * (x[1] - 2.0);
+  });
+  p.AddConstraint([](std::span<const double> x) { return 2.0 - x[0] - x[1]; });
+  const auto result = AugmentedLagrangian(p, std::vector<double>{0.0, 0.0});
+  EXPECT_NEAR(result.x[0], 1.0, 1e-3);
+  EXPECT_NEAR(result.x[1], 1.0, 1e-3);
+  EXPECT_LE(result.max_violation, 1e-6);
+}
+
+TEST(AugLagTest, BoundsEnforced) {
+  Problem p(1, [](std::span<const double> x) { return x[0]; });
+  p.SetBounds({2.5}, {10.0});
+  const auto result = AugmentedLagrangian(p, std::vector<double>{5.0});
+  EXPECT_NEAR(result.x[0], 2.5, 1e-3);
+}
+
+// --- Nelder-Mead ----------------------------------------------------------
+
+TEST(NelderMeadTest, SolvesRosenbrock) {
+  Problem p(2, [](std::span<const double> x) {
+    const double a = x[1] - x[0] * x[0];
+    const double b = 1.0 - x[0];
+    return 100.0 * a * a + b * b;
+  });
+  NelderMeadConfig config;
+  config.max_iterations = 5000;
+  const auto result = NelderMead(p, std::vector<double>{-1.2, 1.0}, config);
+  EXPECT_LT(result.value, 1e-6);
+}
+
+TEST(NelderMeadTest, PenaltyKeepsConstraint) {
+  Problem p(2, [](std::span<const double> x) { return x[0] * x[1]; });
+  p.AddConstraint([](std::span<const double> x) { return 1.0 - x[0] * x[0] - x[1] * x[1]; });
+  const auto result = NelderMead(p, std::vector<double>{0.5, 0.5});
+  EXPECT_NEAR(result.value, -0.5, 5e-2);
+  EXPECT_LE(result.max_violation, 1e-2);
+}
+
+// --- Cross-solver property: all solvers agree on a smooth convex problem ---
+
+class SolverAgreementTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SolverAgreementTest, ConvexQuadraticWithConstraint) {
+  // minimize ||x - (3,3)||^2 s.t. x0 + x1 <= 4 -> optimum (2, 2), f = 2.
+  Problem p(2, [](std::span<const double> x) {
+    return (x[0] - 3.0) * (x[0] - 3.0) + (x[1] - 3.0) * (x[1] - 3.0);
+  });
+  p.SetBounds({0.0, 0.0}, {10.0, 10.0});
+  p.AddConstraint([](std::span<const double> x) { return 4.0 - x[0] - x[1]; });
+  const std::vector<double> x0{1.0, 1.0};
+  OptimResult result;
+  switch (GetParam()) {
+    case 0: {
+      CobylaConfig config;
+      config.rho_begin = 1.0;
+      config.rho_end = 1e-6;
+      result = Cobyla(p, x0, config);
+      break;
+    }
+    case 1: {
+      result = DifferentialEvolution(p);
+      break;
+    }
+    case 2: {
+      result = AugmentedLagrangian(p, x0);
+      break;
+    }
+    default: {
+      result = NelderMead(p, x0);
+      break;
+    }
+  }
+  EXPECT_NEAR(result.value, 2.0, 0.05);
+  EXPECT_LE(result.max_violation, 1e-2);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSolvers, SolverAgreementTest, ::testing::Values(0, 1, 2, 3));
+
+}  // namespace
+}  // namespace faro

@@ -1,0 +1,168 @@
+// Tests for the predictor zoo beyond N-HiTS: the simple core predictors
+// (last-value, damped average, Swayam-style linear trend), the Prophet
+// adapter, and the CSV run reports.
+
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <numbers>
+
+#include <gtest/gtest.h>
+
+#include "src/core/predictor.h"
+#include "src/forecast/prophet_adapter.h"
+#include "src/sim/report.h"
+#include "src/sim/simulator.h"
+
+namespace faro {
+namespace {
+
+TEST(LastValuePredictorTest, FlatLinesLastObservation) {
+  LastValuePredictor predictor;
+  const std::vector<double> history{1.0, 5.0, 9.0};
+  const auto out = predictor.PredictQuantile(0, history, 4, 0.9);
+  ASSERT_EQ(out.size(), 4u);
+  for (const double v : out) {
+    EXPECT_DOUBLE_EQ(v, 9.0);
+  }
+  EXPECT_DOUBLE_EQ(predictor.PredictQuantile(0, {}, 2, 0.5)[0], 0.0);
+}
+
+TEST(DampedAveragePredictorTest, SmoothsHistory) {
+  DampedAveragePredictor predictor(0.5);
+  const std::vector<double> history{0.0, 10.0};
+  // level = 0.5*0 + 0.5*10 = 5.
+  EXPECT_DOUBLE_EQ(predictor.PredictQuantile(0, history, 1, 0.5)[0], 5.0);
+}
+
+TEST(LinearTrendPredictorTest, ExtrapolatesALine) {
+  LinearTrendPredictor predictor(10);
+  std::vector<double> history;
+  for (int t = 0; t < 10; ++t) {
+    history.push_back(2.0 + 3.0 * t);  // next values: 32, 35, 38...
+  }
+  const auto out = predictor.PredictQuantile(0, history, 3, 0.5);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_NEAR(out[0], 32.0, 1e-6);
+  EXPECT_NEAR(out[2], 38.0, 1e-6);
+}
+
+TEST(LinearTrendPredictorTest, QuantileWidensWithNoise) {
+  LinearTrendPredictor predictor(12);
+  std::vector<double> noisy{10, 14, 9, 15, 8, 16, 10, 13, 9, 15, 11, 12};
+  const auto mid = predictor.PredictQuantile(0, noisy, 1, 0.5);
+  const auto high = predictor.PredictQuantile(0, noisy, 1, 0.9);
+  EXPECT_GT(high[0], mid[0] + 1.0);
+}
+
+TEST(LinearTrendPredictorTest, NeverNegative) {
+  LinearTrendPredictor predictor(8);
+  std::vector<double> falling;
+  for (int t = 0; t < 8; ++t) {
+    falling.push_back(20.0 - 3.0 * t);
+  }
+  for (const double v : predictor.PredictQuantile(0, falling, 5, 0.5)) {
+    EXPECT_GE(v, 0.0);
+  }
+}
+
+TEST(LinearTrendPredictorTest, ShortHistoryFallsBack) {
+  LinearTrendPredictor predictor;
+  const std::vector<double> history{7.0};
+  EXPECT_DOUBLE_EQ(predictor.PredictQuantile(0, history, 2, 0.8)[0], 7.0);
+}
+
+TEST(ProphetAdapterTest, TracksSeasonalShape) {
+  const size_t period = 180;
+  std::vector<double> train;
+  for (size_t t = 0; t < 5 * period; ++t) {
+    train.push_back(30.0 + 10.0 * std::sin(2.0 * std::numbers::pi * t / period));
+  }
+  ProphetConfig config;
+  config.period = period;
+  ProphetWorkloadPredictor predictor(config);
+  ASSERT_TRUE(predictor.TrainJob(3, Series(train)));
+  EXPECT_EQ(predictor.trained_jobs(), 1u);
+
+  // Forecast 40 steps after training; compare against truth.
+  predictor.SetCurrentStep(40);
+  std::vector<double> history;
+  for (size_t t = 5 * period + 25; t < 5 * period + 40; ++t) {
+    history.push_back(30.0 + 10.0 * std::sin(2.0 * std::numbers::pi * t / period));
+  }
+  const auto forecast = predictor.PredictQuantile(3, history, 10, 0.5);
+  ASSERT_EQ(forecast.size(), 10u);
+  for (size_t h = 0; h < 10; ++h) {
+    const size_t t = 5 * period + 40 + h;
+    const double truth = 30.0 + 10.0 * std::sin(2.0 * std::numbers::pi * t / period);
+    EXPECT_NEAR(forecast[h], truth, 3.0);
+  }
+}
+
+TEST(ProphetAdapterTest, UntrainedJobFallsBack) {
+  ProphetWorkloadPredictor predictor;
+  const std::vector<double> history{4.0, 4.0, 4.0};
+  const auto out = predictor.PredictQuantile(9, history, 3, 0.5);
+  EXPECT_NEAR(out[0], 4.0, 1e-9);
+}
+
+TEST(ProphetAdapterTest, TooShortTrainingRejected) {
+  ProphetWorkloadPredictor predictor;
+  EXPECT_FALSE(predictor.TrainJob(0, Series(std::vector<double>{1.0, 2.0})));
+  EXPECT_EQ(predictor.trained_jobs(), 0u);
+}
+
+// --- run reports -------------------------------------------------------------
+
+class TinyPolicy : public AutoscalingPolicy {
+ public:
+  std::string name() const override { return "Tiny"; }
+  ScalingAction Decide(double, const std::vector<JobSpec>&, const std::vector<JobMetrics>&,
+                       const ClusterResources&) override {
+    ScalingAction action;
+    action.replicas = {2};
+    return action;
+  }
+};
+
+RunResult TinyRun() {
+  SimJobConfig job;
+  job.spec.name = "tiny";
+  job.spec.processing_time = 0.1;
+  job.spec.slo = 0.4;
+  job.arrival_rate_per_min = Series(std::vector<double>(5, 120.0));
+  TinyPolicy policy;
+  SimConfig config;
+  config.resources = ClusterResources{8.0, 8.0};
+  return RunSimulation(config, {job}, policy);
+}
+
+TEST(ReportTest, TimelineCsvHasOneRowPerMinute) {
+  const RunResult result = TinyRun();
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "faro_report_timeline.csv").string();
+  ASSERT_TRUE(WriteTimelineCsv(path, result));
+  std::ifstream in(path);
+  std::string line;
+  size_t rows = 0;
+  while (std::getline(in, line)) {
+    ++rows;
+  }
+  EXPECT_EQ(rows, 1 + result.cluster_utility_timeline.size());
+  std::filesystem::remove(path);
+}
+
+TEST(ReportTest, SummaryCsvHasJobAndClusterRows) {
+  const RunResult result = TinyRun();
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "faro_report_summary.csv").string();
+  ASSERT_TRUE(WriteSummaryCsv(path, result));
+  std::ifstream in(path);
+  std::string content((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  EXPECT_NE(content.find("tiny"), std::string::npos);
+  EXPECT_NE(content.find("CLUSTER"), std::string::npos);
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace faro

@@ -1,0 +1,207 @@
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "src/queueing/mdc.h"
+#include "src/queueing/mmc.h"
+
+namespace faro {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(ErlangBTest, KnownValues) {
+  // B(1, 1) = 1/2, B(2, 1) = 1/5 (classic textbook values).
+  EXPECT_NEAR(ErlangB(1, 1.0), 0.5, 1e-12);
+  EXPECT_NEAR(ErlangB(2, 1.0), 0.2, 1e-12);
+  EXPECT_DOUBLE_EQ(ErlangB(5, 0.0), 0.0);
+}
+
+TEST(ErlangCTest, SingleServerEqualsUtilisation) {
+  // In M/M/1, P(wait) = rho.
+  for (const double rho : {0.1, 0.5, 0.9}) {
+    EXPECT_NEAR(ErlangC(1, rho), rho, 1e-12);
+  }
+}
+
+TEST(ErlangCTest, UnstableIsOne) {
+  EXPECT_DOUBLE_EQ(ErlangC(2, 2.0), 1.0);
+  EXPECT_DOUBLE_EQ(ErlangC(2, 3.5), 1.0);
+}
+
+TEST(ErlangCTest, DecreasesWithServers) {
+  double previous = 1.0;
+  for (uint32_t c = 5; c <= 20; ++c) {
+    const double value = ErlangC(c, 4.0);
+    EXPECT_LT(value, previous);
+    previous = value;
+  }
+}
+
+TEST(MmcMeanWaitTest, MatchesMm1ClosedForm) {
+  // M/M/1: Wq = rho / (mu - lambda).
+  const double lambda = 8.0;
+  const double p = 0.1;  // mu = 10
+  const double rho = lambda * p;
+  EXPECT_NEAR(MmcMeanWait(1, lambda, p), rho / (10.0 - lambda), 1e-12);
+}
+
+TEST(MmcMeanWaitTest, UnstableIsInfinite) {
+  EXPECT_EQ(MmcMeanWait(2, 25.0, 0.1), kInf);
+  EXPECT_EQ(MmcMeanWait(2, 20.0, 0.1), kInf);  // boundary rho == 1
+}
+
+TEST(MmcWaitPercentileTest, AtomAtZero) {
+  // With rho = 0.5 in M/M/1, half the arrivals do not wait, so the median
+  // waiting time is exactly zero.
+  EXPECT_DOUBLE_EQ(MmcWaitPercentile(1, 5.0, 0.1, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(MmcWaitPercentile(1, 5.0, 0.1, 0.49), 0.0);
+  EXPECT_GT(MmcWaitPercentile(1, 5.0, 0.1, 0.6), 0.0);
+}
+
+TEST(MmcWaitPercentileTest, MatchesClosedFormTail) {
+  // P(W > t) = rho * exp(-(mu - lambda) t) in M/M/1. For q = 0.9, rho = 0.8:
+  // t = ln(0.8 / 0.1) / (mu - lambda).
+  const double lambda = 8.0;
+  const double p = 0.1;
+  const double expected = std::log(0.8 / 0.1) / (10.0 - 8.0);
+  EXPECT_NEAR(MmcWaitPercentile(1, lambda, p, 0.9), expected, 1e-12);
+}
+
+TEST(MmcWaitPercentileTest, MonotoneInPercentile) {
+  double previous = -1.0;
+  for (double q = 0.5; q < 0.999; q += 0.05) {
+    const double w = MmcWaitPercentile(4, 30.0, 0.1, q);
+    EXPECT_GE(w, previous);
+    previous = w;
+  }
+}
+
+TEST(MmcLatencyPercentileTest, AddsServiceTime) {
+  const double wait = MmcWaitPercentile(2, 15.0, 0.1, 0.95);
+  EXPECT_NEAR(MmcLatencyPercentile(2, 15.0, 0.1, 0.95), wait + 0.1, 1e-12);
+}
+
+TEST(MdcLatencyTest, HalfOfMmcWait) {
+  const double mmc_wait = MmcWaitPercentile(4, 30.0, 0.1, 0.99);
+  EXPECT_NEAR(MdcLatencyPercentile(4, 30.0, 0.1, 0.99), 0.5 * mmc_wait + 0.1, 1e-12);
+}
+
+TEST(MdcLatencyTest, UnstableIsInfinite) {
+  EXPECT_EQ(MdcLatencyPercentile(2, 25.0, 0.1, 0.99), kInf);
+}
+
+TEST(MdcLatencyTest, ZeroLoadIsServiceTime) {
+  EXPECT_DOUBLE_EQ(MdcLatencyPercentile(3, 0.0, 0.18, 0.99), 0.18);
+}
+
+TEST(MdcLatencyTest, DecreasesWithServers) {
+  double previous = kInf;
+  for (uint32_t c = 5; c <= 15; ++c) {
+    const double latency = MdcLatencyPercentile(c, 40.0, 0.1, 0.99);
+    EXPECT_LE(latency, previous);
+    previous = latency;
+  }
+}
+
+// The paper's worked example (§3.3): p = 150 ms, lambda = 40 req/s,
+// SLO = 600 ms. The upper-bound model estimates 10 replicas; the M/D/c model
+// estimates 8 replicas at the 99.99th percentile.
+TEST(PaperExampleTest, UpperBoundSizesTenReplicas) {
+  EXPECT_EQ(RequiredReplicasUpperBound(40.0, 0.150, 0.600), 10u);
+}
+
+TEST(PaperExampleTest, MdcSizesEightReplicas) {
+  EXPECT_EQ(RequiredReplicasMdc(40.0, 0.150, 0.600, 0.9999), 8u);
+  // Verify 8 meets the SLO and 7 does not.
+  EXPECT_LE(MdcLatencyPercentile(8, 40.0, 0.150, 0.9999), 0.600);
+  EXPECT_GT(MdcLatencyPercentile(7, 40.0, 0.150, 0.9999), 0.600);
+}
+
+TEST(RequiredReplicasTest, MdcNeverExceedsUpperBoundInPaperRegime) {
+  // §3.3 reports the empirical observation that the queueing-theoretic sizing
+  // is less conservative than the pessimistic burst bound. That holds when
+  // the SLO is well inside the one-second burst window the upper bound sizes
+  // for (the paper's regime: p around 100-180 ms, SLO = 4p); with SLO close
+  // to 1 s the burst bound stops even guaranteeing a stable queue, so the
+  // comparison is restricted to the paper-like grid.
+  for (double lambda = 5.0; lambda <= 200.0; lambda += 15.0) {
+    for (const double p : {0.10, 0.15, 0.18}) {
+      const double slo = 4.0 * p;
+      const uint32_t mdc = RequiredReplicasMdc(lambda, p, slo, 0.99);
+      const uint32_t ub = RequiredReplicasUpperBound(lambda, p, slo);
+      EXPECT_LE(mdc, ub) << "lambda=" << lambda << " p=" << p;
+    }
+  }
+}
+
+TEST(UpperBoundLatencyTest, Formula) {
+  EXPECT_NEAR(UpperBoundLatency(40.0, 0.15, 10.0), 0.6, 1e-12);
+  EXPECT_DOUBLE_EQ(UpperBoundLatency(0.0, 0.15, 4.0), 0.15);
+  // Never below one service time.
+  EXPECT_DOUBLE_EQ(UpperBoundLatency(1.0, 0.15, 10.0), 0.15);
+}
+
+TEST(RelaxedMdcTest, MatchesExactBelowCap) {
+  // rho = 40 * 0.15 / 8 = 0.75 < 0.95: relaxation must not change anything.
+  EXPECT_NEAR(RelaxedMdcLatency(8.0, 40.0, 0.15, 0.99),
+              MdcLatencyPercentile(8, 40.0, 0.15, 0.99), 1e-12);
+}
+
+TEST(RelaxedMdcTest, FiniteAboveSaturation) {
+  // rho = 2.0: exact model is infinite; relaxed must be finite and larger
+  // than the latency at the cap.
+  const double relaxed = RelaxedMdcLatency(4.0, 80.0, 0.1, 0.99);
+  EXPECT_TRUE(std::isfinite(relaxed));
+  EXPECT_GT(relaxed, MdcLatencyPercentile(4, 0.95 * 40.0, 0.1, 0.99));
+}
+
+TEST(RelaxedMdcTest, ContinuousAcrossTheCap) {
+  // Latency just below and just above lambda_cap should be close.
+  const double p = 0.1;
+  const uint32_t c = 4;
+  const double lambda_cap = 0.95 * c / p;  // 38
+  const double below = RelaxedMdcLatency(c, lambda_cap - 1e-6, p, 0.99);
+  const double above = RelaxedMdcLatency(c, lambda_cap + 1e-6, p, 0.99);
+  EXPECT_NEAR(below, above, 1e-3);
+}
+
+TEST(RelaxedMdcTest, StrictlyIncreasingInLambdaWhenOverloaded) {
+  double previous = 0.0;
+  for (double lambda = 50.0; lambda <= 200.0; lambda += 10.0) {
+    const double latency = RelaxedMdcLatency(4.0, lambda, 0.1, 0.99);
+    EXPECT_GT(latency, previous);
+    previous = latency;
+  }
+}
+
+TEST(RelaxedMdcTest, DecreasingInContinuousServers) {
+  double previous = kInf;
+  for (double servers = 1.0; servers <= 12.0; servers += 0.25) {
+    const double latency = RelaxedMdcLatency(servers, 60.0, 0.1, 0.99);
+    EXPECT_LE(latency, previous + 1e-12) << "servers=" << servers;
+    previous = latency;
+  }
+}
+
+TEST(RelaxedMdcTest, BelowOneServerExtrapolates) {
+  const double at_one = RelaxedMdcLatency(1.0, 30.0, 0.1, 0.99);
+  const double at_half = RelaxedMdcLatency(0.5, 30.0, 0.1, 0.99);
+  EXPECT_NEAR(at_half, at_one / 0.5, 1e-9);
+}
+
+class RequiredReplicasPercentileTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(RequiredReplicasPercentileTest, HigherPercentileNeedsAtLeastAsMany) {
+  const double q = GetParam();
+  const uint32_t base = RequiredReplicasMdc(60.0, 0.12, 0.5, q);
+  const uint32_t stricter = RequiredReplicasMdc(60.0, 0.12, 0.5, std::min(0.99999, q + 0.009));
+  EXPECT_GE(stricter, base);
+}
+
+INSTANTIATE_TEST_SUITE_P(Percentiles, RequiredReplicasPercentileTest,
+                         ::testing::Values(0.5, 0.9, 0.95, 0.99));
+
+}  // namespace
+}  // namespace faro

@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include "src/common/stats.h"
+#include "src/workload/synthetic.h"
+
+namespace faro {
+namespace {
+
+TEST(SyntheticTraceTest, LengthAndNonNegativity) {
+  SyntheticTraceConfig config;
+  config.days = 3;
+  config.steps_per_day = 1440;
+  const Series trace = GenerateSyntheticTrace(config);
+  ASSERT_EQ(trace.size(), 3u * 1440u);
+  for (size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_GE(trace[i], 0.0);
+  }
+}
+
+TEST(SyntheticTraceTest, DeterministicForSameSeed) {
+  SyntheticTraceConfig config;
+  config.days = 1;
+  const Series a = GenerateSyntheticTrace(config);
+  const Series b = GenerateSyntheticTrace(config);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i], b[i]);
+  }
+}
+
+TEST(SyntheticTraceTest, SeedsProduceDistinctTraces) {
+  SyntheticTraceConfig config;
+  config.days = 1;
+  const Series a = GenerateSyntheticTrace(config);
+  config.seed = 999;
+  const Series b = GenerateSyntheticTrace(config);
+  double diff = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    diff += std::abs(a[i] - b[i]);
+  }
+  EXPECT_GT(diff, 1.0);
+}
+
+TEST(SyntheticTraceTest, HasDiurnalStructure) {
+  // The daily cycle must dominate: hourly averages across days should have a
+  // clear peak-to-trough ratio.
+  SyntheticTraceConfig config;
+  config.days = 4;
+  config.noise_level = 0.02;
+  config.spike_rate_per_day = 0.0;
+  const Series trace = GenerateSyntheticTrace(config);
+  std::vector<double> hourly(24, 0.0);
+  for (size_t t = 0; t < trace.size(); ++t) {
+    hourly[(t % 1440) / 60] += trace[t];
+  }
+  const double peak = *std::max_element(hourly.begin(), hourly.end());
+  const double trough = *std::min_element(hourly.begin(), hourly.end());
+  EXPECT_GT(peak / std::max(trough, 1e-9), 1.5);
+}
+
+TEST(SyntheticTraceTest, SpikesCreateHeavyTail) {
+  SyntheticTraceConfig base;
+  base.days = 4;
+  base.spike_rate_per_day = 0.0;
+  SyntheticTraceConfig spiky = base;
+  spiky.spike_rate_per_day = 10.0;
+  spiky.spike_amp = 3.0;
+  const Series calm = GenerateSyntheticTrace(base);
+  const Series burst = GenerateSyntheticTrace(spiky);
+  const double calm_ratio = calm.MaxValue() / std::max(calm.MeanValue(), 1e-9);
+  const double burst_ratio = burst.MaxValue() / std::max(burst.MeanValue(), 1e-9);
+  EXPECT_GT(burst_ratio, calm_ratio);
+}
+
+TEST(StandardJobMixTest, TenDiverseJobsInRange) {
+  const auto mix = StandardJobMix(10, 42);
+  ASSERT_EQ(mix.size(), 10u);
+  for (const Series& trace : mix) {
+    EXPECT_NEAR(trace.MinValue(), 1.0, 1e-9);
+    EXPECT_NEAR(trace.MaxValue(), 1600.0, 1e-9);
+  }
+  // Jobs must differ from one another (heterogeneous mix).
+  for (size_t i = 1; i < mix.size(); ++i) {
+    double diff = 0.0;
+    for (size_t t = 0; t < std::min(mix[0].size(), mix[i].size()); ++t) {
+      diff += std::abs(mix[0][t] - mix[i][t]);
+    }
+    EXPECT_GT(diff, 100.0) << "job " << i << " identical to job 0";
+  }
+}
+
+TEST(StandardJobMixTest, DuplicatedMixGetsFreshSeeds) {
+  const auto mix = StandardJobMix(20, 42);
+  ASSERT_EQ(mix.size(), 20u);
+  double diff = 0.0;
+  for (size_t t = 0; t < mix[0].size(); ++t) {
+    diff += std::abs(mix[0][t] - mix[10][t]);
+  }
+  EXPECT_GT(diff, 100.0);  // job 10 is not a copy of job 0
+}
+
+TEST(SplitTrainEvalTest, LastDayIsEval) {
+  SyntheticTraceConfig config;
+  config.days = 11;
+  config.steps_per_day = 100;
+  const Series trace = GenerateSyntheticTrace(config);
+  const TraceSplit split = SplitTrainEval(trace, 100);
+  EXPECT_EQ(split.train.size(), 1000u);
+  EXPECT_EQ(split.eval.size(), 100u);
+  EXPECT_DOUBLE_EQ(split.eval[0], trace[1000]);
+}
+
+TEST(SplitTrainEvalTest, ShortTraceAllEval) {
+  const Series trace(std::vector<double>{1.0, 2.0, 3.0});
+  const TraceSplit split = SplitTrainEval(trace, 10);
+  EXPECT_TRUE(split.train.empty());
+  EXPECT_EQ(split.eval.size(), 3u);
+}
+
+}  // namespace
+}  // namespace faro
