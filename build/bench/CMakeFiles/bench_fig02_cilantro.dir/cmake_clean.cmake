@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig02_cilantro.dir/bench_fig02_cilantro.cc.o"
+  "CMakeFiles/bench_fig02_cilantro.dir/bench_fig02_cilantro.cc.o.d"
+  "bench_fig02_cilantro"
+  "bench_fig02_cilantro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig02_cilantro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

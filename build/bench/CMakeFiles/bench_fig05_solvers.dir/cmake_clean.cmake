@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig05_solvers.dir/bench_fig05_solvers.cc.o"
+  "CMakeFiles/bench_fig05_solvers.dir/bench_fig05_solvers.cc.o.d"
+  "bench_fig05_solvers"
+  "bench_fig05_solvers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig05_solvers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig06_relaxation.dir/bench_fig06_relaxation.cc.o"
+  "CMakeFiles/bench_fig06_relaxation.dir/bench_fig06_relaxation.cc.o.d"
+  "bench_fig06_relaxation"
+  "bench_fig06_relaxation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_relaxation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07_hierarchical.dir/bench_fig07_hierarchical.cc.o"
+  "CMakeFiles/bench_fig07_hierarchical.dir/bench_fig07_hierarchical.cc.o.d"
+  "bench_fig07_hierarchical"
+  "bench_fig07_hierarchical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_hierarchical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

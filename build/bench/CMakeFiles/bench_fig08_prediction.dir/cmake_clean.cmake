@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_prediction.dir/bench_fig08_prediction.cc.o"
+  "CMakeFiles/bench_fig08_prediction.dir/bench_fig08_prediction.cc.o.d"
+  "bench_fig08_prediction"
+  "bench_fig08_prediction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_prediction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

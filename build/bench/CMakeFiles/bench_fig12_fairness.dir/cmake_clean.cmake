@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_fairness.dir/bench_fig12_fairness.cc.o"
+  "CMakeFiles/bench_fig12_fairness.dir/bench_fig12_fairness.cc.o.d"
+  "bench_fig12_fairness"
+  "bench_fig12_fairness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_fairness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

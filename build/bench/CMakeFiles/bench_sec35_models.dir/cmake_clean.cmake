@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec35_models.dir/bench_sec35_models.cc.o"
+  "CMakeFiles/bench_sec35_models.dir/bench_sec35_models.cc.o.d"
+  "bench_sec35_models"
+  "bench_sec35_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec35_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

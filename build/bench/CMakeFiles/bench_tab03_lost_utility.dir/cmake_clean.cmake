@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab03_lost_utility.dir/bench_tab03_lost_utility.cc.o"
+  "CMakeFiles/bench_tab03_lost_utility.dir/bench_tab03_lost_utility.cc.o.d"
+  "bench_tab03_lost_utility"
+  "bench_tab03_lost_utility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab03_lost_utility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

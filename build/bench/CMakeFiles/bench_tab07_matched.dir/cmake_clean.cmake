@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab07_matched.dir/bench_tab07_matched.cc.o"
+  "CMakeFiles/bench_tab07_matched.dir/bench_tab07_matched.cc.o.d"
+  "bench_tab07_matched"
+  "bench_tab07_matched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab07_matched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab08_largescale.dir/bench_tab08_largescale.cc.o"
+  "CMakeFiles/bench_tab08_largescale.dir/bench_tab08_largescale.cc.o.d"
+  "bench_tab08_largescale"
+  "bench_tab08_largescale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab08_largescale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/custom_objective.cpp" "examples/CMakeFiles/custom_objective.dir/custom_objective.cpp.o" "gcc" "examples/CMakeFiles/custom_objective.dir/custom_objective.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/faro_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/faro_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/faro_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/forecast/CMakeFiles/faro_forecast.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/faro_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/faro_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/queueing/CMakeFiles/faro_queueing.dir/DependInfo.cmake"
+  "/root/repo/build/src/optim/CMakeFiles/faro_optim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/faro_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

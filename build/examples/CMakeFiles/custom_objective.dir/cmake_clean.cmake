@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_objective.dir/custom_objective.cpp.o"
+  "CMakeFiles/custom_objective.dir/custom_objective.cpp.o.d"
+  "custom_objective"
+  "custom_objective.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_objective.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_tenant_cluster.dir/multi_tenant_cluster.cpp.o"
+  "CMakeFiles/multi_tenant_cluster.dir/multi_tenant_cluster.cpp.o.d"
+  "multi_tenant_cluster"
+  "multi_tenant_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_tenant_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipeline_slo.dir/pipeline_slo.cpp.o"
+  "CMakeFiles/pipeline_slo.dir/pipeline_slo.cpp.o.d"
+  "pipeline_slo"
+  "pipeline_slo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipeline_slo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spike_recovery.dir/spike_recovery.cpp.o"
+  "CMakeFiles/spike_recovery.dir/spike_recovery.cpp.o.d"
+  "spike_recovery"
+  "spike_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spike_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/faro_baselines.dir/baselines.cc.o"
+  "CMakeFiles/faro_baselines.dir/baselines.cc.o.d"
+  "CMakeFiles/faro_baselines.dir/cilantro.cc.o"
+  "CMakeFiles/faro_baselines.dir/cilantro.cc.o.d"
+  "libfaro_baselines.a"
+  "libfaro_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/faro_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

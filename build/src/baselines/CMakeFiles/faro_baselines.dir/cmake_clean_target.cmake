@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfaro_baselines.a"
+)

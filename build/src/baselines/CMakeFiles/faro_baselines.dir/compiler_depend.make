@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for faro_baselines.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/faro_common.dir/rng.cc.o"
+  "CMakeFiles/faro_common.dir/rng.cc.o.d"
+  "CMakeFiles/faro_common.dir/series.cc.o"
+  "CMakeFiles/faro_common.dir/series.cc.o.d"
+  "CMakeFiles/faro_common.dir/stats.cc.o"
+  "CMakeFiles/faro_common.dir/stats.cc.o.d"
+  "libfaro_common.a"
+  "libfaro_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/faro_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

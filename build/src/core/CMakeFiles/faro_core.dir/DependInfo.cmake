@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/admission.cc" "src/core/CMakeFiles/faro_core.dir/admission.cc.o" "gcc" "src/core/CMakeFiles/faro_core.dir/admission.cc.o.d"
+  "/root/repo/src/core/autoscaler.cc" "src/core/CMakeFiles/faro_core.dir/autoscaler.cc.o" "gcc" "src/core/CMakeFiles/faro_core.dir/autoscaler.cc.o.d"
+  "/root/repo/src/core/budget.cc" "src/core/CMakeFiles/faro_core.dir/budget.cc.o" "gcc" "src/core/CMakeFiles/faro_core.dir/budget.cc.o.d"
+  "/root/repo/src/core/objectives.cc" "src/core/CMakeFiles/faro_core.dir/objectives.cc.o" "gcc" "src/core/CMakeFiles/faro_core.dir/objectives.cc.o.d"
+  "/root/repo/src/core/penalty.cc" "src/core/CMakeFiles/faro_core.dir/penalty.cc.o" "gcc" "src/core/CMakeFiles/faro_core.dir/penalty.cc.o.d"
+  "/root/repo/src/core/pipeline.cc" "src/core/CMakeFiles/faro_core.dir/pipeline.cc.o" "gcc" "src/core/CMakeFiles/faro_core.dir/pipeline.cc.o.d"
+  "/root/repo/src/core/predictor.cc" "src/core/CMakeFiles/faro_core.dir/predictor.cc.o" "gcc" "src/core/CMakeFiles/faro_core.dir/predictor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/faro_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/queueing/CMakeFiles/faro_queueing.dir/DependInfo.cmake"
+  "/root/repo/build/src/optim/CMakeFiles/faro_optim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/faro_core.dir/admission.cc.o"
+  "CMakeFiles/faro_core.dir/admission.cc.o.d"
+  "CMakeFiles/faro_core.dir/autoscaler.cc.o"
+  "CMakeFiles/faro_core.dir/autoscaler.cc.o.d"
+  "CMakeFiles/faro_core.dir/budget.cc.o"
+  "CMakeFiles/faro_core.dir/budget.cc.o.d"
+  "CMakeFiles/faro_core.dir/objectives.cc.o"
+  "CMakeFiles/faro_core.dir/objectives.cc.o.d"
+  "CMakeFiles/faro_core.dir/penalty.cc.o"
+  "CMakeFiles/faro_core.dir/penalty.cc.o.d"
+  "CMakeFiles/faro_core.dir/pipeline.cc.o"
+  "CMakeFiles/faro_core.dir/pipeline.cc.o.d"
+  "CMakeFiles/faro_core.dir/predictor.cc.o"
+  "CMakeFiles/faro_core.dir/predictor.cc.o.d"
+  "libfaro_core.a"
+  "libfaro_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/faro_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/forecast/adapter.cc" "src/forecast/CMakeFiles/faro_forecast.dir/adapter.cc.o" "gcc" "src/forecast/CMakeFiles/faro_forecast.dir/adapter.cc.o.d"
+  "/root/repo/src/forecast/arma.cc" "src/forecast/CMakeFiles/faro_forecast.dir/arma.cc.o" "gcc" "src/forecast/CMakeFiles/faro_forecast.dir/arma.cc.o.d"
+  "/root/repo/src/forecast/dataset.cc" "src/forecast/CMakeFiles/faro_forecast.dir/dataset.cc.o" "gcc" "src/forecast/CMakeFiles/faro_forecast.dir/dataset.cc.o.d"
+  "/root/repo/src/forecast/deepar.cc" "src/forecast/CMakeFiles/faro_forecast.dir/deepar.cc.o" "gcc" "src/forecast/CMakeFiles/faro_forecast.dir/deepar.cc.o.d"
+  "/root/repo/src/forecast/holtwinters.cc" "src/forecast/CMakeFiles/faro_forecast.dir/holtwinters.cc.o" "gcc" "src/forecast/CMakeFiles/faro_forecast.dir/holtwinters.cc.o.d"
+  "/root/repo/src/forecast/lstm.cc" "src/forecast/CMakeFiles/faro_forecast.dir/lstm.cc.o" "gcc" "src/forecast/CMakeFiles/faro_forecast.dir/lstm.cc.o.d"
+  "/root/repo/src/forecast/nhits.cc" "src/forecast/CMakeFiles/faro_forecast.dir/nhits.cc.o" "gcc" "src/forecast/CMakeFiles/faro_forecast.dir/nhits.cc.o.d"
+  "/root/repo/src/forecast/nn.cc" "src/forecast/CMakeFiles/faro_forecast.dir/nn.cc.o" "gcc" "src/forecast/CMakeFiles/faro_forecast.dir/nn.cc.o.d"
+  "/root/repo/src/forecast/prophet.cc" "src/forecast/CMakeFiles/faro_forecast.dir/prophet.cc.o" "gcc" "src/forecast/CMakeFiles/faro_forecast.dir/prophet.cc.o.d"
+  "/root/repo/src/forecast/prophet_adapter.cc" "src/forecast/CMakeFiles/faro_forecast.dir/prophet_adapter.cc.o" "gcc" "src/forecast/CMakeFiles/faro_forecast.dir/prophet_adapter.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/faro_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/faro_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/optim/CMakeFiles/faro_optim.dir/DependInfo.cmake"
+  "/root/repo/build/src/queueing/CMakeFiles/faro_queueing.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

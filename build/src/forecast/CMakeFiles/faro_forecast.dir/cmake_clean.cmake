@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/faro_forecast.dir/adapter.cc.o"
+  "CMakeFiles/faro_forecast.dir/adapter.cc.o.d"
+  "CMakeFiles/faro_forecast.dir/arma.cc.o"
+  "CMakeFiles/faro_forecast.dir/arma.cc.o.d"
+  "CMakeFiles/faro_forecast.dir/dataset.cc.o"
+  "CMakeFiles/faro_forecast.dir/dataset.cc.o.d"
+  "CMakeFiles/faro_forecast.dir/deepar.cc.o"
+  "CMakeFiles/faro_forecast.dir/deepar.cc.o.d"
+  "CMakeFiles/faro_forecast.dir/holtwinters.cc.o"
+  "CMakeFiles/faro_forecast.dir/holtwinters.cc.o.d"
+  "CMakeFiles/faro_forecast.dir/lstm.cc.o"
+  "CMakeFiles/faro_forecast.dir/lstm.cc.o.d"
+  "CMakeFiles/faro_forecast.dir/nhits.cc.o"
+  "CMakeFiles/faro_forecast.dir/nhits.cc.o.d"
+  "CMakeFiles/faro_forecast.dir/nn.cc.o"
+  "CMakeFiles/faro_forecast.dir/nn.cc.o.d"
+  "CMakeFiles/faro_forecast.dir/prophet.cc.o"
+  "CMakeFiles/faro_forecast.dir/prophet.cc.o.d"
+  "CMakeFiles/faro_forecast.dir/prophet_adapter.cc.o"
+  "CMakeFiles/faro_forecast.dir/prophet_adapter.cc.o.d"
+  "libfaro_forecast.a"
+  "libfaro_forecast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/faro_forecast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/optim/auglag.cc" "src/optim/CMakeFiles/faro_optim.dir/auglag.cc.o" "gcc" "src/optim/CMakeFiles/faro_optim.dir/auglag.cc.o.d"
+  "/root/repo/src/optim/cobyla.cc" "src/optim/CMakeFiles/faro_optim.dir/cobyla.cc.o" "gcc" "src/optim/CMakeFiles/faro_optim.dir/cobyla.cc.o.d"
+  "/root/repo/src/optim/de.cc" "src/optim/CMakeFiles/faro_optim.dir/de.cc.o" "gcc" "src/optim/CMakeFiles/faro_optim.dir/de.cc.o.d"
+  "/root/repo/src/optim/linalg.cc" "src/optim/CMakeFiles/faro_optim.dir/linalg.cc.o" "gcc" "src/optim/CMakeFiles/faro_optim.dir/linalg.cc.o.d"
+  "/root/repo/src/optim/neldermead.cc" "src/optim/CMakeFiles/faro_optim.dir/neldermead.cc.o" "gcc" "src/optim/CMakeFiles/faro_optim.dir/neldermead.cc.o.d"
+  "/root/repo/src/optim/problem.cc" "src/optim/CMakeFiles/faro_optim.dir/problem.cc.o" "gcc" "src/optim/CMakeFiles/faro_optim.dir/problem.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/faro_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

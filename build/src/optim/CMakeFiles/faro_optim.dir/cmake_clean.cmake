@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/faro_optim.dir/auglag.cc.o"
+  "CMakeFiles/faro_optim.dir/auglag.cc.o.d"
+  "CMakeFiles/faro_optim.dir/cobyla.cc.o"
+  "CMakeFiles/faro_optim.dir/cobyla.cc.o.d"
+  "CMakeFiles/faro_optim.dir/de.cc.o"
+  "CMakeFiles/faro_optim.dir/de.cc.o.d"
+  "CMakeFiles/faro_optim.dir/linalg.cc.o"
+  "CMakeFiles/faro_optim.dir/linalg.cc.o.d"
+  "CMakeFiles/faro_optim.dir/neldermead.cc.o"
+  "CMakeFiles/faro_optim.dir/neldermead.cc.o.d"
+  "CMakeFiles/faro_optim.dir/problem.cc.o"
+  "CMakeFiles/faro_optim.dir/problem.cc.o.d"
+  "libfaro_optim.a"
+  "libfaro_optim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/faro_optim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/queueing/ggc.cc" "src/queueing/CMakeFiles/faro_queueing.dir/ggc.cc.o" "gcc" "src/queueing/CMakeFiles/faro_queueing.dir/ggc.cc.o.d"
+  "/root/repo/src/queueing/mdc.cc" "src/queueing/CMakeFiles/faro_queueing.dir/mdc.cc.o" "gcc" "src/queueing/CMakeFiles/faro_queueing.dir/mdc.cc.o.d"
+  "/root/repo/src/queueing/mmc.cc" "src/queueing/CMakeFiles/faro_queueing.dir/mmc.cc.o" "gcc" "src/queueing/CMakeFiles/faro_queueing.dir/mmc.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/faro_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

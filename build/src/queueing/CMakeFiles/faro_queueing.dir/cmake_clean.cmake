@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/faro_queueing.dir/ggc.cc.o"
+  "CMakeFiles/faro_queueing.dir/ggc.cc.o.d"
+  "CMakeFiles/faro_queueing.dir/mdc.cc.o"
+  "CMakeFiles/faro_queueing.dir/mdc.cc.o.d"
+  "CMakeFiles/faro_queueing.dir/mmc.cc.o"
+  "CMakeFiles/faro_queueing.dir/mmc.cc.o.d"
+  "libfaro_queueing.a"
+  "libfaro_queueing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/faro_queueing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

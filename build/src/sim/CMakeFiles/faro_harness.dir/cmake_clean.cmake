@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/faro_harness.dir/harness.cc.o"
+  "CMakeFiles/faro_harness.dir/harness.cc.o.d"
+  "libfaro_harness.a"
+  "libfaro_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/faro_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/faro_sim.dir/placement.cc.o"
+  "CMakeFiles/faro_sim.dir/placement.cc.o.d"
+  "CMakeFiles/faro_sim.dir/report.cc.o"
+  "CMakeFiles/faro_sim.dir/report.cc.o.d"
+  "CMakeFiles/faro_sim.dir/simulator.cc.o"
+  "CMakeFiles/faro_sim.dir/simulator.cc.o.d"
+  "libfaro_sim.a"
+  "libfaro_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/faro_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

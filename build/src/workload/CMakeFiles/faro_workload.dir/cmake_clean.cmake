@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/faro_workload.dir/synthetic.cc.o"
+  "CMakeFiles/faro_workload.dir/synthetic.cc.o.d"
+  "CMakeFiles/faro_workload.dir/trace_io.cc.o"
+  "CMakeFiles/faro_workload.dir/trace_io.cc.o.d"
+  "libfaro_workload.a"
+  "libfaro_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/faro_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_autoscaler_test.dir/core_autoscaler_test.cc.o"
+  "CMakeFiles/core_autoscaler_test.dir/core_autoscaler_test.cc.o.d"
+  "core_autoscaler_test"
+  "core_autoscaler_test.pdb"
+  "core_autoscaler_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_autoscaler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

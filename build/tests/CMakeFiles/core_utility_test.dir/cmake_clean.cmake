@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_utility_test.dir/core_utility_test.cc.o"
+  "CMakeFiles/core_utility_test.dir/core_utility_test.cc.o.d"
+  "core_utility_test"
+  "core_utility_test.pdb"
+  "core_utility_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_utility_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/queueing_test[1]_include.cmake")
+include("/root/repo/build/tests/optim_test[1]_include.cmake")
+include("/root/repo/build/tests/core_utility_test[1]_include.cmake")
+include("/root/repo/build/tests/core_objectives_test[1]_include.cmake")
+include("/root/repo/build/tests/core_autoscaler_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/forecast_test[1]_include.cmake")
+include("/root/repo/build/tests/baselines_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/extensions_test[1]_include.cmake")
+include("/root/repo/build/tests/predictors_test[1]_include.cmake")
+include("/root/repo/build/tests/placement_test[1]_include.cmake")
