@@ -30,11 +30,11 @@ void Run() {
     std::printf("\n-- %s cluster: %.0f total replicas --\n", cap.label, cap.capacity);
     std::printf("%-24s %-20s %-24s\n", "policy", "lost utility (SD)",
                 "SLO violation rate (SD)");
-    for (const std::string& name : {std::string("FairShare"), std::string("Oneshot"),
-                                    std::string("AIAD"), std::string("MArk/Cocktail/Barista"),
-                                    std::string(cap.faro)}) {
-      const TrialAggregate agg = RunTrials(setup, workload, name, predictor);
-      std::printf("%-24s %6.2f (%.2f)       %6.3f (%.3f)\n", name.c_str(),
+    const std::vector<std::string> names = {"FairShare", "Oneshot", "AIAD",
+                                            "MArk/Cocktail/Barista", cap.faro};
+    // Policies x trials fan out over the shared thread pool.
+    for (const TrialAggregate& agg : RunAllPolicies(setup, workload, predictor, names)) {
+      std::printf("%-24s %6.2f (%.2f)       %6.3f (%.3f)\n", agg.policy.c_str(),
                   agg.lost_utility_mean, agg.lost_utility_sd, agg.violation_rate_mean,
                   agg.violation_rate_sd);
     }

@@ -25,11 +25,11 @@ void Run() {
     std::printf("\n-- %.0f total replicas --\n", capacity);
     std::printf("%-24s %-8s %-8s %-8s %-8s %-8s\n", "policy", "min", "p25", "median", "p75",
                 "max");
-    for (const std::string& name : AllPolicyNames()) {
-      const TrialAggregate agg = RunTrials(setup, workload, name, predictor);
+    // The whole policy sweep fans out over the shared thread pool.
+    for (const TrialAggregate& agg : RunAllPolicies(setup, workload, predictor)) {
       std::vector<double> lost = agg.per_job_lost_utility;
       std::sort(lost.begin(), lost.end());
-      std::printf("%-24s %-8.2f %-8.2f %-8.2f %-8.2f %-8.2f\n", name.c_str(),
+      std::printf("%-24s %-8.2f %-8.2f %-8.2f %-8.2f %-8.2f\n", agg.policy.c_str(),
                   lost.front(), PercentileSorted(lost, 0.25), PercentileSorted(lost, 0.5),
                   PercentileSorted(lost, 0.75), lost.back());
     }

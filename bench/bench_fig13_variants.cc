@@ -22,9 +22,9 @@ void Run() {
     std::printf("\n-- %.0f total replicas --\n", capacity);
     std::printf("%-24s %-22s %-26s\n", "policy", "lost utility (SD)",
                 "lost effective utility (SD)");
-    for (const std::string& name : AllPolicyNames()) {
-      const TrialAggregate agg = RunTrials(setup, workload, name, predictor);
-      std::printf("%-24s %6.2f (%.2f)         %6.2f (%.2f)\n", name.c_str(),
+    // The whole policy sweep fans out over the shared thread pool.
+    for (const TrialAggregate& agg : RunAllPolicies(setup, workload, predictor)) {
+      std::printf("%-24s %6.2f (%.2f)         %6.2f (%.2f)\n", agg.policy.c_str(),
                   agg.lost_utility_mean, agg.lost_utility_sd,
                   agg.lost_effective_utility_mean, agg.lost_effective_utility_sd);
     }

@@ -31,8 +31,8 @@ void Run() {
   for (const double capacity : {16.0, 20.0, 24.0, 28.0, 32.0, 36.0, 40.0, 44.0}) {
     setup.capacity = capacity;
     std::printf("%-10.0f", capacity);
-    for (const std::string& name : names) {
-      const TrialAggregate agg = RunTrials(setup, workload, name, predictor);
+    // The six-policy sweep at each capacity fans out over the shared pool.
+    for (const TrialAggregate& agg : RunAllPolicies(setup, workload, predictor, names)) {
       std::printf("%-12.2f", 10.0 - agg.lost_utility_mean);  // cluster utility
     }
     std::printf("\n");

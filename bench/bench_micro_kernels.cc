@@ -10,13 +10,47 @@
 #include "src/core/objectives.h"
 #include "src/forecast/nhits.h"
 #include "src/optim/cobyla.h"
+#include "src/queueing/cache.h"
 #include "src/queueing/mdc.h"
+#include "src/queueing/mmc.h"
+#include "src/sim/harness.h"
 #include "src/workload/synthetic.h"
 
 namespace faro {
 namespace {
 
+// Toggles the thread-local queueing cache for one benchmark's scope.
+class CacheScope {
+ public:
+  explicit CacheScope(bool enabled) {
+    SetQueueingCacheEnabled(enabled);
+    ClearQueueingCache();
+  }
+  ~CacheScope() { SetQueueingCacheEnabled(true); }
+};
+
+void BM_ErlangC(benchmark::State& state) {
+  CacheScope scope(false);
+  uint32_t servers = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ErlangC(servers, 0.8 * static_cast<double>(servers)));
+    servers = servers < 64 ? servers + 1 : 1;
+  }
+}
+BENCHMARK(BM_ErlangC);
+
+void BM_ErlangCCached(benchmark::State& state) {
+  CacheScope scope(true);
+  uint32_t servers = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CachedErlangC(servers, 0.8 * static_cast<double>(servers)));
+    servers = servers < 64 ? servers + 1 : 1;
+  }
+}
+BENCHMARK(BM_ErlangCCached);
+
 void BM_MdcLatencyPercentile(benchmark::State& state) {
+  CacheScope scope(false);
   double lambda = 10.0;
   for (auto _ : state) {
     benchmark::DoNotOptimize(MdcLatencyPercentile(8, lambda, 0.18, 0.99));
@@ -25,14 +59,43 @@ void BM_MdcLatencyPercentile(benchmark::State& state) {
 }
 BENCHMARK(BM_MdcLatencyPercentile);
 
+void BM_MdcLatencyPercentileCached(benchmark::State& state) {
+  CacheScope scope(true);
+  double lambda = 10.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CachedMdcLatencyPercentile(8, lambda, 0.18, 0.99));
+    lambda = lambda < 40.0 ? lambda + 0.1 : 10.0;
+  }
+}
+BENCHMARK(BM_MdcLatencyPercentileCached);
+
+// The solver-hot-path scenario: repeated RelaxedMdcLatency probes over a
+// small set of rates and a dense range of fractional server counts, whose
+// integer-endpoint evaluations repeat constantly. The sweep spans replica
+// pools up to Table-8 scale (hundreds of servers), where the O(c) Erlang
+// recurrence dominates the uncached path. Arg(0) = cache bypassed,
+// Arg(1) = cache on; the ratio is the memoisation speedup.
 void BM_RelaxedMdcLatency(benchmark::State& state) {
+  CacheScope scope(state.range(0) == 1);
   double servers = 1.0;
   for (auto _ : state) {
     benchmark::DoNotOptimize(RelaxedMdcLatency(servers, 30.0, 0.18, 0.99));
-    servers = servers < 20.0 ? servers + 0.13 : 1.0;
+    servers = servers < 200.0 ? servers + 1.3 : 1.0;
   }
 }
-BENCHMARK(BM_RelaxedMdcLatency);
+BENCHMARK(BM_RelaxedMdcLatency)->Arg(0)->Arg(1)->ArgNames({"cached"});
+
+// Replica sizing: exponential probe + binary search over the memoised
+// latency model (formerly a linear scan at one Erlang recurrence per count).
+void BM_RequiredReplicasMdc(benchmark::State& state) {
+  CacheScope scope(state.range(0) == 1);
+  double lambda = 5.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RequiredReplicasMdc(lambda, 0.18, 0.72, 0.99));
+    lambda = lambda < 300.0 ? lambda + 1.7 : 5.0;
+  }
+}
+BENCHMARK(BM_RequiredReplicasMdc)->Arg(0)->Arg(1)->ArgNames({"cached"});
 
 ClusterObjective MakeStandardObjective(size_t jobs) {
   std::vector<JobContext> contexts(jobs);
@@ -67,6 +130,31 @@ void BM_CobylaStage2Solve(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_CobylaStage2Solve)->Arg(5)->Arg(10)->Arg(20);
+
+// RunTrials wall-clock on the standard 10-job workload, 3 trials, serial
+// (threads=1) vs the shared pool (threads=0: FARO_THREADS or hardware
+// concurrency). Results are bit-identical; only the wall-clock moves. One
+// iteration per measurement -- a full simulated day per trial dominates any
+// timer noise.
+void BM_RunTrials10Jobs(benchmark::State& state) {
+  static const ExperimentSetup base = [] {
+    ExperimentSetup setup;
+    setup.trials = 3;
+    return setup;
+  }();
+  static const PreparedWorkload& workload = *new PreparedWorkload(PrepareWorkload(base));
+  ExperimentSetup run = base;
+  run.threads = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RunTrials(run, workload, "Faro-FairSum", nullptr));
+  }
+}
+BENCHMARK(BM_RunTrials10Jobs)
+    ->Arg(1)
+    ->Arg(0)
+    ->ArgNames({"threads"})
+    ->Unit(benchmark::kSecond)
+    ->Iterations(1);
 
 void BM_NHitsInference(benchmark::State& state) {
   NHitsModel model(NHitsConfig{});

@@ -19,10 +19,12 @@ void Run() {
   const auto predictor = TrainPredictor(workload, setup.seed);
 
   std::printf("%-24s %-16s %-14s\n", "policy", "lost utility", "(SD)");
-  for (const char* name :
-       {"FairShare", "Oneshot", "AIAD", "MArk/Cocktail/Barista", "Faro-FairSum"}) {
-    const TrialAggregate agg = RunTrials(setup, workload, name, predictor);
-    std::printf("%-24s %-16.2f %-14.2f\n", name, agg.lost_utility_mean, agg.lost_utility_sd);
+  const std::vector<std::string> names = {"FairShare", "Oneshot", "AIAD",
+                                          "MArk/Cocktail/Barista", "Faro-FairSum"};
+  // Policies x trials fan out over the shared thread pool.
+  for (const TrialAggregate& agg : RunAllPolicies(setup, workload, predictor, names)) {
+    std::printf("%-24s %-16.2f %-14.2f\n", agg.policy.c_str(), agg.lost_utility_mean,
+                agg.lost_utility_sd);
   }
 }
 

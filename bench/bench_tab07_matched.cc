@@ -27,25 +27,29 @@ void Run() {
   for (const double capacity : {36.0, 32.0, 16.0}) {
     std::printf("\n-- %.0f total replicas --\n", capacity);
     std::printf("%-24s %-20s %-20s\n", "policy", "'cluster' lost util", "simulation lost util");
+    ExperimentSetup cluster_mode = base;
+    cluster_mode.capacity = capacity;
+    cluster_mode.processing_jitter = 0.08;
+    cluster_mode.cold_start_jitter_s = 15.0;
+    ExperimentSetup sim_mode = base;
+    sim_mode.capacity = capacity;
+    sim_mode.processing_jitter = 0.0;
+    sim_mode.cold_start_jitter_s = 0.0;
+    sim_mode.seed = base.seed + 17;  // independent randomness
+    // Each mode's 9-policy sweep fans out over the shared thread pool.
+    const std::vector<TrialAggregate> cluster_sweep =
+        RunAllPolicies(cluster_mode, workload, predictor);
+    const std::vector<TrialAggregate> sim_sweep = RunAllPolicies(sim_mode, workload, predictor);
     std::vector<double> cluster_scores;
     std::vector<double> sim_scores;
-    for (const std::string& name : AllPolicyNames()) {
-      ExperimentSetup cluster_mode = base;
-      cluster_mode.capacity = capacity;
-      cluster_mode.processing_jitter = 0.08;
-      cluster_mode.cold_start_jitter_s = 15.0;
-      ExperimentSetup sim_mode = base;
-      sim_mode.capacity = capacity;
-      sim_mode.processing_jitter = 0.0;
-      sim_mode.cold_start_jitter_s = 0.0;
-      sim_mode.seed = base.seed + 17;  // independent randomness
-      const TrialAggregate cluster = RunTrials(cluster_mode, workload, name, predictor);
-      const TrialAggregate sim = RunTrials(sim_mode, workload, name, predictor);
+    for (size_t p = 0; p < cluster_sweep.size(); ++p) {
+      const TrialAggregate& cluster = cluster_sweep[p];
+      const TrialAggregate& sim = sim_sweep[p];
       cluster_scores.push_back(cluster.lost_utility_mean);
       sim_scores.push_back(sim.lost_utility_mean);
       total_diff += std::abs(cluster.lost_utility_mean - sim.lost_utility_mean);
       ++diff_count;
-      std::printf("%-24s %-20.2f %-20.2f\n", name.c_str(), cluster.lost_utility_mean,
+      std::printf("%-24s %-20.2f %-20.2f\n", cluster.policy.c_str(), cluster.lost_utility_mean,
                   sim.lost_utility_mean);
     }
     std::printf("Kendall-tau rank distance (0 = identical ranking): %.3f\n",

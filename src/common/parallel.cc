@@ -1,0 +1,156 @@
+#include "src/common/parallel.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace faro {
+namespace {
+
+// Workers run jobs through the same claiming loop as the submitting thread;
+// this flag routes any ParallelFor they issue themselves to the inline path
+// so a job can never deadlock waiting for the pool it occupies.
+thread_local bool t_inside_pool_worker = false;
+
+// Pool a ParallelFor on this thread is currently submitted to; nested
+// submissions to the same pool run inline instead of self-deadlocking.
+thread_local const void* t_submitting_pool = nullptr;
+
+}  // namespace
+
+size_t HardwareThreads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<size_t>(hw);
+}
+
+size_t DefaultThreadCount() {
+  if (const char* env = std::getenv("FARO_THREADS")) {
+    char* end = nullptr;
+    const long parsed = std::strtol(env, &end, 10);
+    if (end != env && parsed >= 1) {
+      return static_cast<size_t>(parsed);
+    }
+  }
+  return HardwareThreads();
+}
+
+ThreadPool::ThreadPool(size_t threads) {
+  if (threads == 0) {
+    threads = DefaultThreadCount();
+  }
+  workers_.reserve(threads - 1);
+  for (size_t i = 0; i + 1 < threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+}
+
+void ThreadPool::RunIndices() {
+  const std::function<void(size_t)>* job = job_;
+  const size_t n = job_n_;
+  for (;;) {
+    const size_t i = next_index_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= n) {
+      return;
+    }
+    try {
+      (*job)(i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!first_error_) {
+        first_error_ = std::current_exception();
+      }
+      // Drain the remaining indices so the job still terminates.
+      next_index_.store(n, std::memory_order_relaxed);
+      return;
+    }
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  t_inside_pool_worker = true;
+  uint64_t seen_generation = 0;
+  for (;;) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    work_cv_.wait(lock,
+                  [&] { return stop_ || generation_ != seen_generation; });
+    if (stop_) {
+      return;
+    }
+    seen_generation = generation_;
+    if (job_ == nullptr || workers_in_job_ >= job_worker_cap_) {
+      continue;  // job already finished or fully staffed
+    }
+    ++workers_in_job_;
+    lock.unlock();
+    RunIndices();
+    lock.lock();
+    --workers_in_job_;
+    if (workers_in_job_ == 0) {
+      done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn,
+                             size_t max_parallelism) {
+  if (n == 0) {
+    return;
+  }
+  if (max_parallelism == 0) {
+    max_parallelism = thread_count();
+  }
+  if (n == 1 || max_parallelism == 1 || workers_.empty() ||
+      t_inside_pool_worker || t_submitting_pool == this) {
+    for (size_t i = 0; i < n; ++i) {
+      fn(i);
+    }
+    return;
+  }
+
+  // One job at a time; concurrent submitters from other threads queue here.
+  std::lock_guard<std::mutex> submit_lock(submit_mutex_);
+  t_submitting_pool = this;
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job_ = &fn;
+    job_n_ = n;
+    // The submitting thread always participates; workers fill the rest, and
+    // more than one claim per index is never needed.
+    job_worker_cap_ = std::min({workers_.size(), max_parallelism - 1, n - 1});
+    next_index_.store(0, std::memory_order_relaxed);
+    first_error_ = nullptr;
+    ++generation_;
+  }
+  work_cv_.notify_all();
+
+  RunIndices();
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [&] { return workers_in_job_ == 0; });
+  job_ = nullptr;  // late wakers see a finished generation and skip it
+  t_submitting_pool = nullptr;
+  if (first_error_) {
+    std::exception_ptr error = first_error_;
+    first_error_ = nullptr;
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
+}
+
+ThreadPool& ThreadPool::Shared() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace faro

@@ -1,0 +1,106 @@
+// Deterministic data-parallel execution for the experiment harness and
+// benches.
+//
+// The pool runs `fn(i)` for every index in [0, n) across a fixed set of
+// worker threads (plus the calling thread). Work is claimed from a shared
+// atomic counter, so scheduling is nondeterministic -- but results are only
+// ever written at their own index, and every consumer in this repository
+// aggregates in index order afterwards. Combined with per-task seeding
+// (each simulator trial owns its RNG stream), parallel runs are bit-identical
+// to sequential runs; tests/parallel_test.cc and the harness determinism test
+// enforce this.
+//
+// Thread count resolution, in priority order:
+//   1. an explicit `max_parallelism` argument (1 forces the inline path),
+//   2. the FARO_THREADS environment variable (clamped to >= 1),
+//   3. std::thread::hardware_concurrency().
+
+#ifndef SRC_COMMON_PARALLEL_H_
+#define SRC_COMMON_PARALLEL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace faro {
+
+// Worker count from std::thread::hardware_concurrency(), at least 1.
+size_t HardwareThreads();
+
+// FARO_THREADS environment override if set and >= 1, else HardwareThreads().
+size_t DefaultThreadCount();
+
+class ThreadPool {
+ public:
+  // `threads` is the total parallelism (calling thread included); 0 means
+  // DefaultThreadCount(). A pool of size 1 spawns no workers and runs
+  // everything inline.
+  explicit ThreadPool(size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Total parallelism this pool can apply (workers + calling thread).
+  size_t thread_count() const { return workers_.size() + 1; }
+
+  // Runs fn(i) for every i in [0, n); returns when all calls finished.
+  // `max_parallelism` caps the threads applied to this call (0 = pool size;
+  // 1 = inline in index order on the calling thread). The first exception
+  // thrown by fn is rethrown here after the remaining workers drain.
+  // Calls from inside a pool worker run inline (no nested fan-out).
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn,
+                   size_t max_parallelism = 0);
+
+  // Process-wide pool of DefaultThreadCount() threads, created on first use.
+  static ThreadPool& Shared();
+
+ private:
+  void WorkerLoop();
+  // Claims indices until the job is exhausted; records the first exception.
+  void RunIndices();
+
+  std::mutex submit_mutex_;  // serialises ParallelFor submitters
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::vector<std::thread> workers_;
+  bool stop_ = false;
+
+  // Current job, guarded by mutex_ (next_index_ is claimed lock-free).
+  uint64_t generation_ = 0;
+  const std::function<void(size_t)>* job_ = nullptr;
+  size_t job_n_ = 0;
+  size_t job_worker_cap_ = 0;  // extra workers allowed to join (main excluded)
+  size_t workers_in_job_ = 0;
+  std::atomic<size_t> next_index_{0};
+  std::exception_ptr first_error_;
+};
+
+// ParallelFor on the shared pool.
+inline void ParallelFor(size_t n, const std::function<void(size_t)>& fn,
+                        size_t max_parallelism = 0) {
+  ThreadPool::Shared().ParallelFor(n, fn, max_parallelism);
+}
+
+// Maps i -> fn(i) for i in [0, n), returning results in index order
+// regardless of execution order.
+template <typename Fn>
+auto ParallelMap(size_t n, Fn&& fn, size_t max_parallelism = 0)
+    -> std::vector<std::invoke_result_t<Fn&, size_t>> {
+  using Result = std::invoke_result_t<Fn&, size_t>;
+  std::vector<Result> results(n);
+  ParallelFor(
+      n, [&](size_t i) { results[i] = fn(i); }, max_parallelism);
+  return results;
+}
+
+}  // namespace faro
+
+#endif  // SRC_COMMON_PARALLEL_H_

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "src/core/penalty.h"
+#include "src/queueing/cache.h"
 #include "src/queueing/mmc.h"
 
 namespace faro {
@@ -57,7 +58,8 @@ double ClusterObjective::LatencyEstimate(size_t i, double lambda, double replica
       // is discarded, which is precisely what creates the plateaus the
       // precise formulation suffers from (Fig. 5, Fig. 6-middle).
       const auto servers = static_cast<uint32_t>(std::max(1.0, std::floor(replicas)));
-      return MdcLatencyPercentile(servers, lambda, spec.processing_time, spec.percentile);
+      return CachedMdcLatencyPercentile(servers, lambda, spec.processing_time,
+                                        spec.percentile);
     }
     case LatencyModelKind::kUpperBound:
       return UpperBoundLatency(lambda, spec.processing_time, std::max(replicas, 1e-3));

@@ -27,7 +27,11 @@ std::vector<double> NHitsWorkloadPredictor::PredictQuantile(size_t job,
   if (model == nullptr || !model->trained()) {
     return fallback_.PredictQuantile(job, history, horizon, quantile);
   }
+  // The forward pass reuses the model's activation scratch; serialise it so
+  // concurrent trials sharing this predictor never race (see header).
+  std::unique_lock<std::mutex> lock(predict_mutex_);
   std::vector<double> trajectory = model->PredictQuantileRaw(history, quantile);
+  lock.unlock();
   if (trajectory.size() > horizon) {
     trajectory.resize(horizon);
   }

@@ -6,6 +6,7 @@
 #define SRC_FORECAST_ADAPTER_H_
 
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 
 #include "src/common/series.h"
@@ -31,6 +32,12 @@ class NHitsWorkloadPredictor : public WorkloadPredictor {
 
   // WorkloadPredictor. Jobs without a trained model fall back to a damped
   // average (so cold deployments still autoscale).
+  //
+  // Thread-safe: one trained predictor is shared by every policy instance in
+  // a parallel RunTrials fan-out. The forward pass is a pure function of the
+  // frozen weights and the history, but it scribbles on the model's
+  // activation cache, so concurrent calls are serialised by a mutex --
+  // results are identical under any interleaving.
   std::vector<double> PredictQuantile(size_t job, std::span<const double> history,
                                       size_t horizon, double quantile) override;
 
@@ -39,6 +46,7 @@ class NHitsWorkloadPredictor : public WorkloadPredictor {
   TrainConfig train_config_;
   std::unordered_map<size_t, std::unique_ptr<NHitsModel>> models_;
   DampedAveragePredictor fallback_;
+  std::mutex predict_mutex_;
 };
 
 }  // namespace faro

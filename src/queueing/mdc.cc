@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "src/queueing/cache.h"
 #include "src/queueing/mmc.h"
 
 namespace faro {
@@ -21,9 +22,9 @@ double RelaxedAtIntegerServers(uint32_t servers, double arrival_rate, double ser
   }
   const double lambda_cap = rho_max * static_cast<double>(servers) / service_time;
   if (arrival_rate <= lambda_cap) {
-    return MdcLatencyPercentile(servers, arrival_rate, service_time, q);
+    return CachedMdcLatencyPercentile(servers, arrival_rate, service_time, q);
   }
-  const double at_cap = MdcLatencyPercentile(servers, lambda_cap, service_time, q);
+  const double at_cap = CachedMdcLatencyPercentile(servers, lambda_cap, service_time, q);
   return (arrival_rate / lambda_cap) * at_cap;
 }
 
@@ -52,15 +53,48 @@ uint32_t RequiredReplicasMdc(double arrival_rate, double service_time, double sl
   if (arrival_rate <= 0.0) {
     return 1;
   }
-  // Stability requires more than lambda * p servers; start the scan there.
+  // Stability requires more than lambda * p servers; start probing there.
+  // MdcLatencyPercentile is monotone non-increasing in the server count, so
+  // the smallest satisfying count can be bracketed by exponential probing
+  // and then pinned by binary search: O(log n) evaluations instead of the
+  // O(n) linear scan (which dominated workload calibration at cluster scale).
   const double offered = arrival_rate * service_time;
-  uint32_t n = std::max<uint32_t>(1, static_cast<uint32_t>(std::floor(offered)) + 1);
-  for (; n <= max_replicas; ++n) {
-    if (MdcLatencyPercentile(n, arrival_rate, service_time, q) <= slo) {
-      return n;
+  const uint32_t start =
+      std::max<uint32_t>(1, static_cast<uint32_t>(std::floor(offered)) + 1);
+  if (start > max_replicas) {
+    return max_replicas;
+  }
+  auto meets_slo = [&](uint32_t n) {
+    return CachedMdcLatencyPercentile(n, arrival_rate, service_time, q) <= slo;
+  };
+  if (meets_slo(start)) {
+    return start;
+  }
+  // Invariant: latency(lo) > slo. Double the span until a satisfying count
+  // (or the cap) is found.
+  uint32_t lo = start;
+  uint32_t hi = start;
+  for (;;) {
+    const uint32_t span = hi - start + 1;
+    hi = (span >= max_replicas - hi) ? max_replicas : hi + span;
+    if (meets_slo(hi)) {
+      break;
+    }
+    lo = hi;
+    if (hi == max_replicas) {
+      return max_replicas;  // even the cap misses the SLO: old-scan semantics
     }
   }
-  return max_replicas;
+  // Binary search in (lo, hi]: latency(lo) > slo >= latency(hi).
+  while (hi - lo > 1) {
+    const uint32_t mid = lo + (hi - lo) / 2;
+    if (meets_slo(mid)) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return hi;
 }
 
 double UpperBoundLatency(double burst, double service_time, double replicas) {

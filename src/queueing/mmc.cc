@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 
+#include "src/queueing/cache.h"
+
 namespace faro {
 namespace {
 
@@ -44,7 +46,7 @@ double MmcMeanWait(uint32_t servers, double arrival_rate, double service_time) {
     return kInf;
   }
   const double offered = arrival_rate * service_time;
-  return ErlangC(servers, offered) / (capacity - arrival_rate);
+  return CachedErlangC(servers, offered) / (capacity - arrival_rate);
 }
 
 double MmcWaitPercentile(uint32_t servers, double arrival_rate, double service_time, double q) {
@@ -57,7 +59,7 @@ double MmcWaitPercentile(uint32_t servers, double arrival_rate, double service_t
     return kInf;
   }
   const double offered = arrival_rate * service_time;
-  const double c_wait = ErlangC(servers, offered);
+  const double c_wait = CachedErlangC(servers, offered);
   q = std::clamp(q, 0.0, 1.0 - 1e-12);
   const double tail = 1.0 - q;  // we need P(W > t) = tail
   if (tail >= c_wait) {

@@ -1,9 +1,11 @@
 #include "src/sim/harness.h"
 
 #include <cmath>
+#include <span>
 
 #include "src/baselines/baselines.h"
 #include "src/baselines/cilantro.h"
+#include "src/common/parallel.h"
 #include "src/common/stats.h"
 #include "src/workload/synthetic.h"
 
@@ -169,26 +171,37 @@ RunResult RunPolicy(const ExperimentSetup& setup, const PreparedWorkload& worklo
   return RunSimulation(config, workload.jobs, policy);
 }
 
-TrialAggregate RunTrials(const ExperimentSetup& setup, const PreparedWorkload& workload,
-                         const std::string& policy_name,
-                         std::shared_ptr<NHitsWorkloadPredictor> predictor,
-                         const FaroConfig* faro_overrides) {
+namespace {
+
+// One trial: fresh policy, per-trial RNG stream, full simulation. Safe to run
+// concurrently with other trials -- the workload is read-only and the shared
+// predictor serialises its (pure) forward passes internally.
+RunResult RunOneTrial(const ExperimentSetup& setup, const PreparedWorkload& workload,
+                      const std::string& policy_name,
+                      const std::shared_ptr<NHitsWorkloadPredictor>& predictor,
+                      const FaroConfig* faro_overrides, size_t trial) {
+  auto policy = MakePolicy(policy_name, predictor, faro_overrides);
+  return RunPolicy(setup, workload, *policy, setup.seed + 1000 * (trial + 1));
+}
+
+// Serial, trial-ordered reduction of per-trial results into the paper's
+// metrics. Keeping every floating-point accumulation here (never in the
+// workers) is what makes parallel and serial runs bit-identical.
+TrialAggregate AggregateTrials(const std::string& policy_name, size_t num_jobs,
+                               std::span<const RunResult> results) {
   TrialAggregate aggregate;
   aggregate.policy = policy_name;
   std::vector<double> lost;
   std::vector<double> violations;
   std::vector<double> eu_lost;
-  aggregate.per_job_lost_utility.assign(workload.jobs.size(), 0.0);
-  for (size_t trial = 0; trial < setup.trials; ++trial) {
-    auto policy = MakePolicy(policy_name, predictor, faro_overrides);
-    const RunResult result =
-        RunPolicy(setup, workload, *policy, setup.seed + 1000 * (trial + 1));
+  aggregate.per_job_lost_utility.assign(num_jobs, 0.0);
+  const double trials = static_cast<double>(results.size());
+  for (const RunResult& result : results) {
     lost.push_back(result.cluster_lost_utility);
     violations.push_back(result.cluster_slo_violation_rate);
     eu_lost.push_back(result.cluster_lost_effective_utility);
     for (size_t i = 0; i < result.jobs.size(); ++i) {
-      aggregate.per_job_lost_utility[i] +=
-          result.jobs[i].lost_utility / static_cast<double>(setup.trials);
+      aggregate.per_job_lost_utility[i] += result.jobs[i].lost_utility / trials;
     }
   }
   aggregate.lost_utility_mean = Mean(lost);
@@ -198,6 +211,47 @@ TrialAggregate RunTrials(const ExperimentSetup& setup, const PreparedWorkload& w
   aggregate.lost_effective_utility_mean = Mean(eu_lost);
   aggregate.lost_effective_utility_sd = StdDev(eu_lost);
   return aggregate;
+}
+
+}  // namespace
+
+TrialAggregate RunTrials(const ExperimentSetup& setup, const PreparedWorkload& workload,
+                         const std::string& policy_name,
+                         std::shared_ptr<NHitsWorkloadPredictor> predictor,
+                         const FaroConfig* faro_overrides) {
+  const std::vector<RunResult> results = ParallelMap(
+      setup.trials,
+      [&](size_t trial) {
+        return RunOneTrial(setup, workload, policy_name, predictor, faro_overrides, trial);
+      },
+      setup.threads);
+  return AggregateTrials(policy_name, workload.jobs.size(), results);
+}
+
+std::vector<TrialAggregate> RunAllPolicies(const ExperimentSetup& setup,
+                                           const PreparedWorkload& workload,
+                                           std::shared_ptr<NHitsWorkloadPredictor> predictor,
+                                           const std::vector<std::string>& policy_names,
+                                           const FaroConfig* faro_overrides) {
+  const std::vector<std::string>& names =
+      policy_names.empty() ? AllPolicyNames() : policy_names;
+  // Flatten to policies x trials so small trial counts still fill the pool.
+  const size_t trials = setup.trials;
+  const std::vector<RunResult> results = ParallelMap(
+      names.size() * trials,
+      [&](size_t task) {
+        return RunOneTrial(setup, workload, names[task / trials], predictor, faro_overrides,
+                           task % trials);
+      },
+      setup.threads);
+  std::vector<TrialAggregate> aggregates;
+  aggregates.reserve(names.size());
+  for (size_t p = 0; p < names.size(); ++p) {
+    aggregates.push_back(AggregateTrials(
+        names[p], workload.jobs.size(),
+        std::span<const RunResult>(results).subspan(p * trials, trials)));
+  }
+  return aggregates;
 }
 
 }  // namespace faro

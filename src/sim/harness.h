@@ -43,6 +43,12 @@ struct ExperimentSetup {
   // cluster (36 for the 10-job mix; clusters below are oversubscribed, above
   // undersubscribed). Scales linearly with the job count by default.
   double right_size_replicas = 36.0;
+  // Parallelism for RunTrials / RunAllPolicies: 0 = the shared pool's size
+  // (FARO_THREADS env var, else hardware concurrency); 1 forces the serial
+  // in-order path. Results are bit-identical at every setting -- each trial
+  // owns its RNG stream (seed + 1000 * (trial + 1)) and aggregation always
+  // runs serially in trial order.
+  size_t threads = 0;
 };
 
 // Job specs plus train/eval traces, all in simulator units (traces are req
@@ -96,6 +102,16 @@ TrialAggregate RunTrials(const ExperimentSetup& setup, const PreparedWorkload& w
                          const std::string& policy_name,
                          std::shared_ptr<NHitsWorkloadPredictor> predictor,
                          const FaroConfig* faro_overrides = nullptr);
+
+// Fans the full policy sweep out over policies x trials on the shared thread
+// pool (the Table-7 / Fig. 10-13 shape) and returns one aggregate per policy,
+// in `policy_names` order. Equivalent to -- and bit-identical with -- calling
+// RunTrials once per name serially; an empty name list means AllPolicyNames().
+std::vector<TrialAggregate> RunAllPolicies(const ExperimentSetup& setup,
+                                           const PreparedWorkload& workload,
+                                           std::shared_ptr<NHitsWorkloadPredictor> predictor,
+                                           const std::vector<std::string>& policy_names = {},
+                                           const FaroConfig* faro_overrides = nullptr);
 
 }  // namespace faro
 

@@ -5,7 +5,6 @@
 #include <deque>
 #include <limits>
 #include <memory>
-#include <queue>
 
 #include "src/common/rng.h"
 #include "src/common/stats.h"
@@ -103,8 +102,20 @@ class Simulation {
   RunResult Run();
 
  private:
+  // The event queue is a manually managed binary heap over a reserved vector
+  // (std::priority_queue hides its container, so it can neither be reserved
+  // nor reused across runs). Ordering is identical: earliest time first,
+  // FIFO sequence tie-break.
   void Push(double time, EventKind kind, uint32_t job, double payload = 0.0) {
-    events_.push(Event{time, kind, job, sequence_++, payload});
+    events_.push_back(Event{time, kind, job, sequence_++, payload});
+    std::push_heap(events_.begin(), events_.end(), EventLater{});
+  }
+
+  Event PopEvent() {
+    std::pop_heap(events_.begin(), events_.end(), EventLater{});
+    const Event event = events_.back();
+    events_.pop_back();
+    return event;
   }
 
   // Generates the next minute's Poisson arrivals for every job.
@@ -138,11 +149,20 @@ class Simulation {
                                           config_.cold_start_jitter_s));
   }
 
+  // Percentile over `values` without allocating per call (the two tail
+  // estimates run every metrics window and every reactive tick).
+  double ScratchPercentile(std::span<const double> values, double q) {
+    scratch_latencies_.assign(values.begin(), values.end());
+    std::sort(scratch_latencies_.begin(), scratch_latencies_.end());
+    return PercentileSorted(scratch_latencies_, q);
+  }
+
   const SimConfig& config_;
   const std::vector<SimJobConfig>& jobs_;
   AutoscalingPolicy& policy_;
   Rng rng_;
-  std::priority_queue<Event, std::vector<Event>, EventLater> events_;
+  std::vector<Event> events_;  // binary heap via std::push_heap/pop_heap
+  std::vector<double> scratch_latencies_;
   uint64_t sequence_ = 0;
   double now_ = 0.0;
   std::vector<JobState> state_;
@@ -279,8 +299,9 @@ void Simulation::CloseMetricsWindow(uint32_t job) {
     js.smoothed_processing = js.window_processing.mean();
   }
 
-  const double p99 =
-      js.window_latencies.empty() ? 0.0 : Percentile(js.window_latencies, spec.percentile);
+  const double p99 = js.window_latencies.empty()
+                         ? 0.0
+                         : ScratchPercentile(js.window_latencies, spec.percentile);
   const double utility = RelaxedUtility(p99, spec.slo);
   const double eu = StepPenaltyMultiplier(js.last_window_drop_rate) * utility;
 
@@ -330,12 +351,14 @@ void Simulation::UpdateOverloadTimers() {
     while (!js.recent_latencies.empty() && js.recent_latencies.front().first < horizon) {
       js.recent_latencies.pop_front();
     }
-    std::vector<double> recent;
-    recent.reserve(js.recent_latencies.size());
+    scratch_latencies_.clear();
     for (const auto& [time, latency] : js.recent_latencies) {
-      recent.push_back(latency);
+      scratch_latencies_.push_back(latency);
     }
-    const double p99 = recent.empty() ? 0.0 : Percentile(recent, jobs_[j].spec.percentile);
+    std::sort(scratch_latencies_.begin(), scratch_latencies_.end());
+    const double p99 = scratch_latencies_.empty()
+                           ? 0.0
+                           : PercentileSorted(scratch_latencies_, jobs_[j].spec.percentile);
     if (p99 > jobs_[j].spec.slo) {
       js.overloaded_for += config_.reactive_interval_s;
       js.underloaded_for = 0.0;
@@ -418,6 +441,7 @@ RunResult Simulation::Run() {
     placement_ = std::make_unique<PlacementTracker>(config_.nodes, config_.placement_strategy);
   }
   specs_.clear();
+  specs_.reserve(jobs_.size());
   for (const SimJobConfig& job : jobs_) {
     specs_.push_back(job.spec);
   }
@@ -426,6 +450,15 @@ RunResult Simulation::Run() {
     total_minutes_ = std::min(total_minutes_, job.arrival_rate_per_min.size());
   }
   const double duration = static_cast<double>(total_minutes_) * 60.0;
+  events_.reserve(4096);
+  for (JobState& js : state_) {
+    js.minute_p99.reserve(total_minutes_);
+    js.minute_utility.reserve(total_minutes_);
+    js.minute_eu.reserve(total_minutes_);
+    js.minute_arrivals.reserve(total_minutes_);
+    js.minute_drop_rate.reserve(total_minutes_);
+    js.minute_replicas.reserve(total_minutes_);
+  }
   for (uint32_t j = 0; j < jobs_.size(); ++j) {
     state_[j].ready = std::max<uint32_t>(1, jobs_[j].initial_replicas);
     if (placement_ != nullptr) {
@@ -443,8 +476,7 @@ RunResult Simulation::Run() {
   size_t next_minute = 1;
 
   while (!events_.empty()) {
-    const Event event = events_.top();
-    events_.pop();
+    const Event event = PopEvent();
     if (event.time > duration) {
       break;
     }

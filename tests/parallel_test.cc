@@ -1,0 +1,126 @@
+// Thread-pool unit tests. Pools are constructed with explicit sizes so the
+// multi-threaded paths are exercised even on single-core CI machines.
+
+#include "src/common/parallel.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace faro {
+namespace {
+
+TEST(ParallelTest, MapReturnsResultsInIndexOrder) {
+  ThreadPool pool(4);
+  std::vector<int> results(1000);
+  pool.ParallelFor(1000, [&](size_t i) { results[i] = static_cast<int>(i * i); });
+  for (size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(results[i], static_cast<int>(i * i));
+  }
+}
+
+TEST(ParallelTest, EveryIndexRunsExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr size_t kTasks = 5000;
+  std::vector<std::atomic<int>> counts(kTasks);
+  pool.ParallelFor(kTasks, [&](size_t i) { counts[i].fetch_add(1); });
+  for (size_t i = 0; i < kTasks; ++i) {
+    EXPECT_EQ(counts[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelTest, ZeroAndSingleTaskCounts) {
+  ThreadPool pool(4);
+  int calls = 0;
+  pool.ParallelFor(0, [&](size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  pool.ParallelFor(1, [&](size_t) { ++calls; });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ParallelTest, SingleThreadPoolRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.thread_count(), 1u);
+  const auto main_id = std::this_thread::get_id();
+  std::vector<size_t> order;
+  pool.ParallelFor(64, [&](size_t i) {
+    EXPECT_EQ(std::this_thread::get_id(), main_id);
+    order.push_back(i);
+  });
+  ASSERT_EQ(order.size(), 64u);
+  EXPECT_TRUE(std::is_sorted(order.begin(), order.end()));
+}
+
+TEST(ParallelTest, MaxParallelismOneForcesInOrderExecution) {
+  ThreadPool pool(4);
+  std::vector<size_t> order;  // unsynchronised on purpose: must stay serial
+  pool.ParallelFor(
+      128, [&](size_t i) { order.push_back(i); }, /*max_parallelism=*/1);
+  ASSERT_EQ(order.size(), 128u);
+  EXPECT_TRUE(std::is_sorted(order.begin(), order.end()));
+}
+
+TEST(ParallelTest, ExceptionsPropagateToCaller) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.ParallelFor(100,
+                       [&](size_t i) {
+                         if (i == 37) {
+                           throw std::runtime_error("boom");
+                         }
+                       }),
+      std::runtime_error);
+  // The pool must still be usable afterwards.
+  std::atomic<size_t> done{0};
+  pool.ParallelFor(10, [&](size_t) { done.fetch_add(1); });
+  EXPECT_EQ(done.load(), 10u);
+}
+
+TEST(ParallelTest, NestedSubmissionsRunInlineWithoutDeadlock) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> counts(16 * 8);
+  pool.ParallelFor(16, [&](size_t outer) {
+    // A worker (or the submitting thread) re-entering the same pool must not
+    // wait on itself; nested calls run inline.
+    pool.ParallelFor(8, [&](size_t inner) { counts[outer * 8 + inner].fetch_add(1); });
+  });
+  for (auto& c : counts) {
+    EXPECT_EQ(c.load(), 1);
+  }
+}
+
+TEST(ParallelTest, ParallelMapMatchesSerialComputation) {
+  ThreadPool pool(3);
+  const std::vector<double> parallel =
+      ParallelMap(257, [](size_t i) { return 1.0 / (1.0 + static_cast<double>(i)); });
+  for (size_t i = 0; i < parallel.size(); ++i) {
+    EXPECT_EQ(parallel[i], 1.0 / (1.0 + static_cast<double>(i)));
+  }
+}
+
+TEST(ParallelTest, DefaultThreadCountHonoursEnvVar) {
+  setenv("FARO_THREADS", "7", 1);
+  EXPECT_EQ(DefaultThreadCount(), 7u);
+  setenv("FARO_THREADS", "0", 1);  // invalid: must fall back
+  EXPECT_EQ(DefaultThreadCount(), HardwareThreads());
+  setenv("FARO_THREADS", "garbage", 1);
+  EXPECT_EQ(DefaultThreadCount(), HardwareThreads());
+  unsetenv("FARO_THREADS");
+  EXPECT_EQ(DefaultThreadCount(), HardwareThreads());
+  EXPECT_GE(HardwareThreads(), 1u);
+}
+
+TEST(ParallelTest, SharedPoolIsReusable) {
+  std::atomic<size_t> sum{0};
+  ParallelFor(100, [&](size_t i) { sum.fetch_add(i); });
+  EXPECT_EQ(sum.load(), 4950u);
+  const std::vector<size_t> doubled = ParallelMap(10, [](size_t i) { return 2 * i; });
+  EXPECT_EQ(doubled[9], 18u);
+}
+
+}  // namespace
+}  // namespace faro

@@ -1,0 +1,170 @@
+// The queueing memoisation layer must be invisible: cached entry points agree
+// with the pure functions everywhere (including the rho -> 1 instability edge
+// and the overloaded region), and the exponential-probe replica sizing agrees
+// with the original linear scan it replaced.
+
+#include "src/queueing/cache.h"
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/queueing/mdc.h"
+#include "src/queueing/mmc.h"
+
+namespace faro {
+namespace {
+
+// Exact-or-within-1e-12 comparison that also accepts matching infinities.
+void ExpectSame(double cached, double uncached, const std::string& label) {
+  if (std::isinf(uncached) || std::isinf(cached)) {
+    EXPECT_EQ(cached, uncached) << label;
+    return;
+  }
+  EXPECT_NEAR(cached, uncached, 1e-12) << label;
+}
+
+class QueueingCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SetQueueingCacheEnabled(true);
+    ClearQueueingCache();
+  }
+};
+
+TEST_F(QueueingCacheTest, CachedErlangCMatchesUncachedSweep) {
+  for (uint32_t servers : {1u, 2u, 5u, 12u, 40u, 200u}) {
+    // Offered load sweeps through light traffic, near-saturation
+    // (rho -> 1), exact saturation, and overload.
+    for (const double frac : {0.0, 0.1, 0.5, 0.9, 0.99, 0.9999, 1.0, 1.5}) {
+      const double offered = frac * static_cast<double>(servers);
+      const double uncached = ErlangC(servers, offered);
+      const std::string label =
+          "servers=" + std::to_string(servers) + " offered=" + std::to_string(offered);
+      ExpectSame(CachedErlangC(servers, offered), uncached, label);
+      // Second call is a guaranteed hit and must return the same bits.
+      EXPECT_EQ(CachedErlangC(servers, offered), CachedErlangC(servers, offered)) << label;
+      ExpectSame(CachedErlangC(servers, offered), uncached, label + " (hit)");
+    }
+  }
+}
+
+TEST_F(QueueingCacheTest, CachedMdcLatencyMatchesUncachedSweep) {
+  for (uint32_t servers : {1u, 2u, 4u, 9u, 33u}) {
+    for (const double p : {0.1, 0.18}) {
+      for (const double q : {0.5, 0.9, 0.99}) {
+        for (const double rho : {0.0, 0.2, 0.8, 0.95, 0.999, 1.0, 1.3}) {
+          const double lambda = rho * static_cast<double>(servers) / p;
+          const double uncached = MdcLatencyPercentile(servers, lambda, p, q);
+          const std::string label = "servers=" + std::to_string(servers) +
+                                    " lambda=" + std::to_string(lambda) +
+                                    " p=" + std::to_string(p) + " q=" + std::to_string(q);
+          ExpectSame(CachedMdcLatencyPercentile(servers, lambda, p, q), uncached, label);
+          ExpectSame(CachedMdcLatencyPercentile(servers, lambda, p, q), uncached,
+                     label + " (hit)");
+        }
+      }
+    }
+  }
+}
+
+TEST_F(QueueingCacheTest, RelaxedMdcLatencyUnaffectedByCacheState) {
+  // RelaxedMdcLatency routes through the cache internally; disabling the
+  // cache must not change a single result.
+  std::vector<double> cached_values;
+  for (double servers = 0.5; servers <= 24.0; servers += 0.37) {
+    cached_values.push_back(RelaxedMdcLatency(servers, 30.0, 0.18, 0.99));
+  }
+  SetQueueingCacheEnabled(false);
+  size_t i = 0;
+  for (double servers = 0.5; servers <= 24.0; servers += 0.37) {
+    ExpectSame(cached_values[i++], RelaxedMdcLatency(servers, 30.0, 0.18, 0.99),
+               "servers=" + std::to_string(servers));
+  }
+  SetQueueingCacheEnabled(true);
+}
+
+TEST_F(QueueingCacheTest, RepeatedQueriesHitTheCache) {
+  ClearQueueingCache();
+  (void)CachedMdcLatencyPercentile(8, 30.0, 0.18, 0.99);
+  const QueueingCacheStats cold = GetQueueingCacheStats();
+  EXPECT_GT(cold.misses, 0u);
+  for (int repeat = 0; repeat < 100; ++repeat) {
+    (void)CachedMdcLatencyPercentile(8, 30.0, 0.18, 0.99);
+  }
+  const QueueingCacheStats warm = GetQueueingCacheStats();
+  EXPECT_GE(warm.hits, cold.hits + 100);
+  EXPECT_EQ(warm.misses, cold.misses);
+}
+
+TEST_F(QueueingCacheTest, DisabledCacheBypassesTables) {
+  ClearQueueingCache();
+  SetQueueingCacheEnabled(false);
+  (void)CachedErlangC(8, 4.0);
+  (void)CachedMdcLatencyPercentile(8, 30.0, 0.18, 0.99);
+  const QueueingCacheStats stats = GetQueueingCacheStats();
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.misses, 0u);
+  SetQueueingCacheEnabled(true);
+}
+
+// Reference implementation: the linear scan RequiredReplicasMdc used before
+// the exponential-probe + binary-search rewrite.
+uint32_t LinearScanRequiredReplicas(double arrival_rate, double service_time, double slo,
+                                    double q, uint32_t max_replicas) {
+  if (arrival_rate <= 0.0) {
+    return 1;
+  }
+  const double offered = arrival_rate * service_time;
+  uint32_t n = std::max<uint32_t>(1, static_cast<uint32_t>(std::floor(offered)) + 1);
+  for (; n <= max_replicas; ++n) {
+    if (MdcLatencyPercentile(n, arrival_rate, service_time, q) <= slo) {
+      return n;
+    }
+  }
+  return max_replicas;
+}
+
+TEST_F(QueueingCacheTest, RequiredReplicasMatchesLinearScan) {
+  for (const double p : {0.1, 0.18}) {
+    for (const double q : {0.9, 0.99}) {
+      for (const double slo_mult : {1.05, 2.0, 4.0, 10.0}) {
+        const double slo = slo_mult * p;
+        for (double lambda = 0.0; lambda <= 400.0; lambda += 7.3) {
+          EXPECT_EQ(RequiredReplicasMdc(lambda, p, slo, q),
+                    LinearScanRequiredReplicas(lambda, p, slo, q, 100000))
+              << "lambda=" << lambda << " p=" << p << " slo=" << slo << " q=" << q;
+        }
+      }
+    }
+  }
+}
+
+TEST_F(QueueingCacheTest, RequiredReplicasRespectsSmallCaps) {
+  // Unsatisfiable SLO (below the service time): both implementations give up
+  // at the cap.
+  for (const uint32_t cap : {1u, 2u, 3u, 10u}) {
+    EXPECT_EQ(RequiredReplicasMdc(50.0, 0.18, 0.1, 0.99, cap),
+              LinearScanRequiredReplicas(50.0, 0.18, 0.1, 0.99, cap))
+        << "cap=" << cap;
+    // Offered load already above the cap.
+    EXPECT_EQ(RequiredReplicasMdc(1000.0, 0.18, 0.72, 0.99, cap), cap) << "cap=" << cap;
+  }
+  // Zero load short-circuits to one replica.
+  EXPECT_EQ(RequiredReplicasMdc(0.0, 0.18, 0.72, 0.99), 1u);
+  EXPECT_EQ(RequiredReplicasMdc(-3.0, 0.18, 0.72, 0.99), 1u);
+}
+
+TEST_F(QueueingCacheTest, RequiredReplicasStillMonotoneInLoad) {
+  uint32_t previous = 0;
+  for (double lambda = 1.0; lambda <= 300.0; lambda += 3.0) {
+    const uint32_t n = RequiredReplicasMdc(lambda, 0.18, 0.72, 0.99);
+    EXPECT_GE(n, previous) << "lambda=" << lambda;
+    previous = n;
+  }
+}
+
+}  // namespace
+}  // namespace faro
