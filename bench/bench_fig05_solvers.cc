@@ -16,6 +16,7 @@
 #include "src/optim/auglag.h"
 #include "src/optim/cobyla.h"
 #include "src/optim/de.h"
+#include "src/optim/multistart.h"
 #include "src/sim/harness.h"
 
 namespace faro {
@@ -84,7 +85,7 @@ void Run() {
     // Fair-share warm start: the state a running cluster would solve from.
     const std::vector<double> x0(contexts.size(), 40.0 / contexts.size());
 
-    for (const char* solver : {"COBYLA", "AugLag(SLSQP)", "DiffEvolution"}) {
+    for (const char* solver : {"COBYLA", "AugLag(SLSQP)", "DiffEvolution", "MultiStart"}) {
       const auto start = std::chrono::steady_clock::now();
       OptimResult result;
       if (std::string(solver) == "COBYLA") {
@@ -96,11 +97,26 @@ void Run() {
       } else if (std::string(solver) == "AugLag(SLSQP)") {
         AugLagConfig config;
         result = AugmentedLagrangian(problem, x0, config);
-      } else {
+      } else if (std::string(solver) == "DiffEvolution") {
         DeConfig config;
         config.generations = FastBench() ? 150 : 600;
         config.population = 100;
         result = DifferentialEvolution(problem, config);
+      } else {
+        // The Stage-2 production driver: K seeded starts x (COBYLA, NM+AugLag)
+        // fanned across the thread pool, early exit disabled so every start
+        // competes on quality.
+        MultiStartConfig config;
+        config.cobyla.rho_begin = 2.0;
+        config.cobyla.rho_end = 1e-4;
+        config.cobyla.max_evaluations = 8000;
+        config.early_exit = false;
+        config.seed = 7;
+        std::vector<StartPoint> starts;
+        starts.push_back({x0, StartKind::kWarmCurrent});
+        const MultiStartResult ms = MultiStartSolve(problem, starts, 4, config);
+        result = ms.best;
+        result.evaluations = static_cast<int>(ms.evaluations);
       }
       const double elapsed =
           std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();

@@ -110,6 +110,11 @@ Rng Rng::Split() {
   return child;
 }
 
+uint64_t HashCombine(uint64_t seed, uint64_t value) {
+  uint64_t x = seed ^ (value + 0x9e3779b97f4a7c15ull + (seed << 6) + (seed >> 2));
+  return SplitMix64(x);
+}
+
 std::vector<size_t> ShuffledIndices(size_t n, Rng& rng) {
   std::vector<size_t> indices(n);
   for (size_t i = 0; i < n; ++i) {

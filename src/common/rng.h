@@ -63,6 +63,11 @@ class Rng {
 // Fisher-Yates shuffle of indices [0, n); used by hierarchical grouping.
 std::vector<size_t> ShuffledIndices(size_t n, Rng& rng);
 
+// Mixes `value` into `seed` (SplitMix64 finaliser): derives independent child
+// seeds -- per solve cycle, per solver start, per group -- from one root seed
+// without any shared RNG state between concurrent tasks.
+uint64_t HashCombine(uint64_t seed, uint64_t value);
+
 }  // namespace faro
 
 #endif  // SRC_COMMON_RNG_H_

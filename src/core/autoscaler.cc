@@ -1,11 +1,15 @@
 #include "src/core/autoscaler.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <functional>
 #include <limits>
 #include <numeric>
 
+#include "src/common/parallel.h"
 #include "src/optim/cobyla.h"
+#include "src/optim/multistart.h"
 
 namespace faro {
 namespace {
@@ -22,10 +26,47 @@ double MinCpuPerReplica(const std::vector<JobSpec>& job_specs) {
   return min_cpu;
 }
 
+// Warm-start cache key: the solve's shape, not its loads. Two solves share a
+// signature iff they optimise the same jobs (names, count) under the same
+// objective, so a cached solution is always dimension- and meaning-compatible.
+uint64_t JobSetSignature(const std::vector<JobSpec>& job_specs, ObjectiveKind kind) {
+  uint64_t signature = HashCombine(0x5a17u, job_specs.size());
+  signature = HashCombine(signature, static_cast<uint64_t>(kind));
+  for (const JobSpec& spec : job_specs) {
+    signature = HashCombine(signature, std::hash<std::string>{}(spec.name));
+  }
+  return signature;
+}
+
+// Capacity-proportional heuristic start: replicas split in proportion to each
+// job's offered load (peak predicted rate x processing time), scaled to spend
+// the full vCPU budget; zero drops.
+std::vector<double> HeuristicStart(const ClusterObjective& objective,
+                                   const ClusterResources& resources) {
+  const size_t j = objective.num_jobs();
+  std::vector<double> x = objective.InitialPoint();
+  std::vector<double> weight(j, 0.0);
+  double weight_sum = 0.0;
+  for (size_t i = 0; i < j; ++i) {
+    const JobContext& job = objective.jobs()[i];
+    double peak = 0.0;
+    for (const double v : job.predicted_load) {
+      peak = std::max(peak, v);
+    }
+    weight[i] = peak * job.spec.processing_time + 1e-6;
+    weight_sum += weight[i];
+  }
+  for (size_t i = 0; i < j; ++i) {
+    const double cpu = std::max(objective.jobs()[i].spec.cpu_per_replica, 1e-6);
+    x[i] = std::max(1.0, resources.cpu * weight[i] / weight_sum / cpu);
+  }
+  return x;
+}
+
 }  // namespace
 
 FaroAutoscaler::FaroAutoscaler(FaroConfig config, std::shared_ptr<WorkloadPredictor> predictor)
-    : config_(config), predictor_(std::move(predictor)), rng_(config.seed) {
+    : config_(config), predictor_(std::move(predictor)) {
   if (predictor_ == nullptr) {
     predictor_ = std::make_shared<DampedAveragePredictor>();
   }
@@ -134,15 +175,53 @@ void FaroAutoscaler::ExchangePolish(const ClusterObjective& objective,
                                     std::span<const double> drop_rates,
                                     const ClusterResources& resources) const {
   const size_t j = objective.num_jobs();
+  if (j == 0) {
+    return;
+  }
   const bool drops = UsesDropRates(objective.config().kind);
-  std::vector<double> v(objective.dimension(), 0.0);
-  auto sync = [&]() {
+  const ClusterObjectiveConfig& config = objective.config();
+
+  // A candidate grow/move touches one or two jobs, so the cluster objective
+  // is re-combined from a patched per-job utility vector instead of pushing
+  // every job back through the queueing model: the per-job terms and the
+  // summation order match Evaluate exactly, so the value is bit-identical to
+  // a full evaluation at two utility lookups plus O(jobs) flops.
+  auto drop_of = [&](size_t i) {
+    return drops && i < drop_rates.size() ? std::clamp(drop_rates[i], 0.0, 1.0) : 0.0;
+  };
+  auto util = [&](size_t i, uint32_t r) {
+    const double x = static_cast<double>(r);
+    return drops ? objective.JobEffectiveUtility(i, x, drop_of(i))
+                 : objective.JobUtility(i, x, drop_of(i));
+  };
+  std::vector<double> u(j);
+  for (size_t i = 0; i < j; ++i) {
+    u[i] = util(i, replicas[i]);
+  }
+  // Cluster objective from the utility vector with up to two entries patched
+  // (pass a == j, b == j for no patch). Mirrors Evaluate's combination rule.
+  auto combined = [&](size_t a, double ua, size_t b, double ub) {
+    double weighted_sum = 0.0;
+    double min_u = std::numeric_limits<double>::infinity();
+    double max_u = -std::numeric_limits<double>::infinity();
     for (size_t i = 0; i < j; ++i) {
-      v[i] = static_cast<double>(replicas[i]);
-      if (drops) {
-        v[j + i] = i < drop_rates.size() ? drop_rates[i] : 0.0;
-      }
+      const double ui = i == a ? ua : (i == b ? ub : u[i]);
+      weighted_sum += objective.jobs()[i].spec.priority * ui;
+      min_u = std::min(min_u, ui);
+      max_u = std::max(max_u, ui);
     }
+    const double unfairness = max_u - min_u;
+    switch (config.kind) {
+      case ObjectiveKind::kSum:
+      case ObjectiveKind::kPenaltySum:
+        return weighted_sum;
+      case ObjectiveKind::kFair:
+        return -unfairness;
+      case ObjectiveKind::kFairSum:
+      case ObjectiveKind::kPenaltyFairSum:
+        return weighted_sum - config.gamma * unfairness;
+    }
+    return weighted_sum;
   };
   auto cpu_total = [&]() {
     double total = 0.0;
@@ -159,8 +238,7 @@ void FaroAutoscaler::ExchangePolish(const ClusterObjective& objective,
     return total;
   };
 
-  sync();
-  double value = objective.Evaluate(v);
+  double value = combined(j, 0.0, j, 0.0);
   for (int round = 0; round < 200; ++round) {
     bool improved = false;
     // Grow into free capacity first.
@@ -170,15 +248,13 @@ void FaroAutoscaler::ExchangePolish(const ClusterObjective& objective,
           mem_total() + spec.mem_per_replica > resources.mem + 1e-9) {
         continue;
       }
-      ++replicas[i];
-      sync();
-      const double grown = objective.Evaluate(v);
+      const double grown_u = util(i, replicas[i] + 1);
+      const double grown = combined(i, grown_u, j, 0.0);
       if (grown > value + 1e-9) {
+        ++replicas[i];
+        u[i] = grown_u;
         value = grown;
         improved = true;
-      } else {
-        --replicas[i];
-        sync();
       }
     }
     // Replica moves between jobs. Multi-replica moves matter: the utility of
@@ -190,20 +266,27 @@ void FaroAutoscaler::ExchangePolish(const ClusterObjective& objective,
     size_t best_to = j;
     uint32_t best_count = 0;
     double best_value = value;
+    const double cpu_now = cpu_total();
+    const double mem_now = mem_total();
     for (size_t from = 0; from < j; ++from) {
+      const JobSpec& from_spec = objective.jobs()[from].spec;
       for (const uint32_t count : {1u, 2u, 4u, 8u}) {
         if (replicas[from] <= count) {
           continue;
         }
-        replicas[from] -= count;
+        const double from_u = util(from, replicas[from] - count);
         for (size_t to = 0; to < j; ++to) {
           if (to == from) {
             continue;
           }
-          replicas[to] += count;
-          sync();
-          if (cpu_total() <= resources.cpu + 1e-9 && mem_total() <= resources.mem + 1e-9) {
-            const double moved = objective.Evaluate(v);
+          const JobSpec& to_spec = objective.jobs()[to].spec;
+          const double moved_cpu =
+              cpu_now + count * (to_spec.cpu_per_replica - from_spec.cpu_per_replica);
+          const double moved_mem =
+              mem_now + count * (to_spec.mem_per_replica - from_spec.mem_per_replica);
+          if (moved_cpu <= resources.cpu + 1e-9 && moved_mem <= resources.mem + 1e-9) {
+            const double moved =
+                combined(from, from_u, to, util(to, replicas[to] + count));
             if (moved > best_value + 1e-9) {
               best_value = moved;
               best_from = from;
@@ -211,16 +294,14 @@ void FaroAutoscaler::ExchangePolish(const ClusterObjective& objective,
               best_count = count;
             }
           }
-          replicas[to] -= count;
         }
-        replicas[from] += count;
       }
     }
-    sync();
     if (best_from != j) {
       replicas[best_from] -= best_count;
       replicas[best_to] += best_count;
-      sync();
+      u[best_from] = util(best_from, replicas[best_from]);
+      u[best_to] = util(best_to, replicas[best_to]);
       value = best_value;
       improved = true;
     }
@@ -267,7 +348,8 @@ void FaroAutoscaler::Shrink(const ClusterObjective& objective, std::vector<uint3
 ScalingAction FaroAutoscaler::SolveFlat(const std::vector<JobSpec>& job_specs,
                                         const std::vector<JobMetrics>& metrics,
                                         const std::vector<std::vector<double>>& loads,
-                                        const ClusterResources& resources) {
+                                        const ClusterResources& resources,
+                                        uint64_t solve_seed) {
   std::vector<JobContext> contexts(job_specs.size());
   for (size_t i = 0; i < job_specs.size(); ++i) {
     contexts[i].spec = job_specs[i];
@@ -286,38 +368,124 @@ ScalingAction FaroAutoscaler::SolveFlat(const std::vector<JobSpec>& job_specs,
   // Warm start from the current allocation; COBYLA explores around it with
   // an initial variable change of 2 (§5), and the integer exchange polish
   // cleans up whatever the solver leaves on the table.
-  std::vector<double> x0 = objective.InitialPoint();
+  std::vector<double> x_current = objective.InitialPoint();
   for (size_t i = 0; i < job_specs.size(); ++i) {
-    x0[i] = std::max<double>(1.0, metrics[i].ready_replicas + metrics[i].starting_replicas);
-    x0[i] = std::min(x0[i], obj_config.max_replicas_per_job);
+    x_current[i] =
+        std::max<double>(1.0, metrics[i].ready_replicas + metrics[i].starting_replicas);
+    x_current[i] = std::min(x_current[i], obj_config.max_replicas_per_job);
   }
   CobylaConfig solver;
   solver.rho_begin = config_.solver_rho_begin;
   solver.rho_end = config_.solver_rho_end;
   solver.max_evaluations = config_.solver_max_evaluations;
 
+  const uint64_t signature = JobSetSignature(job_specs, config_.objective);
+  const bool warm_hit = config_.warm_start_cache && warm_.valid &&
+                        warm_.signature == signature &&
+                        warm_.x.size() == objective.dimension();
+
   // Fairness terms gamma * (max U - min U) put a ridge along the symmetric
   // direction: from an allocation with equal utilities, improving any single
   // job is penalised more than the sum gains, which stalls local solvers.
   // Pre-solving the ridge-free Sum variant of the same contexts gives the
-  // fairness objective a warm start on the right utility frontier.
+  // fairness objective a warm start on the right utility frontier. A valid
+  // cross-cycle warm start already sits on that frontier, so the pre-solve
+  // only runs on cold starts and job-set changes.
   const bool has_fairness = config_.objective == ObjectiveKind::kFair ||
                             config_.objective == ObjectiveKind::kFairSum ||
                             config_.objective == ObjectiveKind::kPenaltyFairSum;
-  if (has_fairness) {
+  auto fairness_presolve = [&](const std::vector<double>& from) -> std::vector<double> {
     ClusterObjectiveConfig pre_config = obj_config;
     pre_config.kind = UsesDropRates(config_.objective) ? ObjectiveKind::kPenaltySum
                                                        : ObjectiveKind::kSum;
     ClusterObjective pre_objective(objective.jobs(), resources, pre_config);
     Problem pre_problem = pre_objective.BuildProblem();
-    const OptimResult pre_solution = Cobyla(pre_problem, x0, solver);
-    if (pre_solution.max_violation <= 1e-3) {
-      x0 = pre_solution.x;
-    }
-  }
+    const OptimResult pre_solution = Cobyla(pre_problem, from, solver);
+    ++telemetry_.starts_launched;
+    telemetry_.objective_evaluations += static_cast<uint64_t>(pre_solution.evaluations);
+    return pre_solution.max_violation <= 1e-3 ? pre_solution.x : from;
+  };
 
   Problem problem = objective.BuildProblem();
-  const OptimResult solution = Cobyla(problem, x0, solver);
+  OptimResult solution;
+  if (config_.multistart_starts <= 1) {
+    // Legacy serial single-start path, kept for A/B comparison.
+    std::vector<double> x0 = has_fairness ? fairness_presolve(x_current) : x_current;
+    // Clip the full warm-start vector -- drop-rate coordinates included --
+    // into the problem's box before handing it to the solver.
+    problem.ClipToBounds(x0);
+    solution = Cobyla(problem, x0, solver);
+    ++telemetry_.starts_launched;
+    ++telemetry_.wins_warm_current;
+    telemetry_.objective_evaluations += static_cast<uint64_t>(solution.evaluations);
+  } else {
+    std::vector<StartPoint> starts;
+    if (warm_hit) {
+      starts.push_back({warm_.x, StartKind::kPrevSolution});
+      starts.push_back({x_current, StartKind::kWarmCurrent});
+    } else if (has_fairness) {
+      starts.push_back({fairness_presolve(x_current), StartKind::kWarmCurrent});
+    } else {
+      starts.push_back({x_current, StartKind::kWarmCurrent});
+    }
+    starts.push_back({HeuristicStart(objective, resources), StartKind::kHeuristic});
+
+    MultiStartConfig ms;
+    ms.cobyla = solver;
+    // Breadth over depth: each start gets a quarter of the serial path's
+    // evaluation budget. COBYLA takes most of its improvement in the first
+    // few hundred evaluations from a warm start; the integer exchange polish
+    // repairs the truncated tail at far lower cost than letting the
+    // continuous solver grind out its last fractional digits.
+    ms.cobyla.max_evaluations = std::max(500, config_.solver_max_evaluations / 4);
+    // The alternate chain is budgeted likewise: a short NelderMead polish,
+    // then an AugLag refinement whose inner budget shrinks with the dimension
+    // (finite-difference gradients cost ~2n evaluations per inner step).
+    ms.nelder_mead.max_iterations =
+        std::max<size_t>(100, static_cast<size_t>(config_.solver_max_evaluations) / 8);
+    ms.auglag.outer_iterations = 2;
+    const size_t grad_cost = 2 * std::max<size_t>(1, objective.dimension());
+    ms.auglag.inner_iterations = std::clamp<size_t>(
+        static_cast<size_t>(config_.solver_max_evaluations) /
+            (4 * ms.auglag.outer_iterations * grad_cost),
+        5, 25);
+    ms.use_alternate = config_.multistart_alternate;
+    ms.early_exit = config_.multistart_early_exit;
+    ms.early_exit_improvement = config_.multistart_exit_improvement;
+    ms.jitter = config_.multistart_jitter;
+    ms.seed = solve_seed;
+    ms.max_parallelism = config_.solve_parallelism;
+    const size_t extra = config_.multistart_starts > starts.size()
+                             ? config_.multistart_starts - starts.size()
+                             : 0;
+    const MultiStartResult ms_result =
+        MultiStartSolve(problem, std::move(starts), extra, ms);
+    solution = ms_result.best;
+    telemetry_.starts_launched += ms_result.starts_launched;
+    telemetry_.starts_skipped += ms_result.starts_skipped;
+    telemetry_.early_exits += ms_result.early_exit ? 1 : 0;
+    telemetry_.objective_evaluations += static_cast<uint64_t>(ms_result.evaluations);
+    switch (ms_result.winner_kind) {
+      case StartKind::kWarmCurrent:
+        ++telemetry_.wins_warm_current;
+        break;
+      case StartKind::kPrevSolution:
+        ++telemetry_.wins_prev_solution;
+        break;
+      case StartKind::kHeuristic:
+        ++telemetry_.wins_heuristic;
+        break;
+      case StartKind::kJitter:
+        ++telemetry_.wins_jitter;
+        break;
+    }
+  }
+  if (config_.warm_start_cache) {
+    telemetry_.warm_start_hits += warm_hit ? 1 : 0;
+    warm_.signature = signature;
+    warm_.x = solution.x;
+    warm_.valid = true;
+  }
 
   ScalingAction action;
   action.replicas = Integerize(objective, solution.x, resources);
@@ -372,12 +540,15 @@ ScalingAction FaroAutoscaler::SolveFlat(const std::vector<JobSpec>& job_specs,
 ScalingAction FaroAutoscaler::SolveHierarchical(const std::vector<JobSpec>& job_specs,
                                                 const std::vector<JobMetrics>& metrics,
                                                 const std::vector<std::vector<double>>& loads,
-                                                const ClusterResources& resources) {
+                                                const ClusterResources& resources,
+                                                uint64_t solve_seed) {
   const size_t j = job_specs.size();
   const size_t groups = std::min(config_.hierarchical_groups, j);
   // Random assignment of jobs to groups (§3.4: "assigning each job to a
-  // random group").
-  const std::vector<size_t> order = ShuffledIndices(j, rng_);
+  // random group"). The shuffle RNG is seeded from the cycle seed, so the
+  // grouping is a pure function of (config seed, cycle) at any thread count.
+  Rng shuffle_rng(HashCombine(solve_seed, 0xf00du));
+  const std::vector<size_t> order = ShuffledIndices(j, shuffle_rng);
   std::vector<std::vector<size_t>> members(groups);
   for (size_t k = 0; k < j; ++k) {
     members[k % groups].push_back(order[k]);
@@ -429,84 +600,99 @@ ScalingAction FaroAutoscaler::SolveHierarchical(const std::vector<JobSpec>& job_
   }
 
   const ScalingAction group_action =
-      SolveFlat(group_specs, group_metrics, group_loads, resources);
+      SolveFlat(group_specs, group_metrics, group_loads, resources,
+                HashCombine(solve_seed, 0x6007u));
 
   // Distribute each group's replicas to members in proportion to their
-  // capacity demand (peak predicted load x processing time), one minimum.
+  // capacity demand (peak predicted load x processing time), one minimum,
+  // then refine with the integer exchange on the group's own sub-problem --
+  // proportional-to-load splitting ignores the nonlinear queueing economies
+  // the exchange sees. Each group touches only its own members, so the groups
+  // fan out across the thread pool; results are written at each group's own
+  // indices and are bit-identical to the serial loop.
+  struct GroupSplit {
+    std::vector<uint32_t> replicas;  // members[g] order
+    double drop_rate = 0.0;
+  };
+  const std::vector<GroupSplit> splits = ParallelMap(
+      groups,
+      [&](size_t g) {
+        GroupSplit split;
+        const uint32_t budget = group_action.replicas[g];
+        const size_t count = members[g].size();
+        std::vector<double> weight(count);
+        double weight_sum = 0.0;
+        for (size_t k = 0; k < count; ++k) {
+          const size_t i = members[g][k];
+          double peak = 0.0;
+          for (const double v : loads[i]) {
+            peak = std::max(peak, v);
+          }
+          weight[k] = peak * job_specs[i].processing_time + 1e-6;
+          weight_sum += weight[k];
+        }
+        split.replicas.assign(count, 1);
+        if (!group_action.drop_rates.empty()) {
+          split.drop_rate = group_action.drop_rates[g];
+        }
+        uint32_t assigned = 0;
+        std::vector<double> remainder(count);
+        for (size_t k = 0; k < count; ++k) {
+          const double share = budget * weight[k] / weight_sum;
+          split.replicas[k] = static_cast<uint32_t>(std::max(1.0, std::floor(share)));
+          remainder[k] = share - std::floor(share);
+          assigned += split.replicas[k];
+        }
+        // Hand out any leftover replicas by largest fractional share.
+        while (assigned < budget) {
+          size_t best = 0;
+          for (size_t k = 1; k < remainder.size(); ++k) {
+            if (remainder[k] > remainder[best]) {
+              best = k;
+            }
+          }
+          ++split.replicas[best];
+          remainder[best] = -1.0;
+          ++assigned;
+        }
+
+        std::vector<JobContext> member_contexts;
+        double group_cpu = 0.0;
+        double group_mem = 0.0;
+        for (size_t k = 0; k < count; ++k) {
+          const size_t i = members[g][k];
+          JobContext context;
+          context.spec = job_specs[i];
+          if (metrics[i].processing_time > 0.0) {
+            context.spec.processing_time = metrics[i].processing_time;
+          }
+          context.predicted_load = loads[i];
+          member_contexts.push_back(std::move(context));
+          group_cpu += job_specs[i].cpu_per_replica * split.replicas[k];
+          group_mem += job_specs[i].mem_per_replica * split.replicas[k];
+        }
+        ClusterObjectiveConfig member_config = MakeObjectiveConfig();
+        member_config.max_replicas_per_job = static_cast<double>(budget);
+        ClusterObjective member_objective(std::move(member_contexts),
+                                          ClusterResources{group_cpu, group_mem},
+                                          member_config);
+        const std::vector<double> no_drops(count, 0.0);
+        ExchangePolish(member_objective, split.replicas, no_drops,
+                       ClusterResources{group_cpu, group_mem});
+        return split;
+      },
+      config_.solve_parallelism);
+
   ScalingAction action;
   action.replicas.assign(j, 1);
   action.drop_rates.assign(j, 0.0);
   for (size_t g = 0; g < groups; ++g) {
-    const uint32_t budget = group_action.replicas[g];
-    std::vector<double> weight(members[g].size());
-    double weight_sum = 0.0;
     for (size_t k = 0; k < members[g].size(); ++k) {
-      const size_t i = members[g][k];
-      double peak = 0.0;
-      for (const double v : loads[i]) {
-        peak = std::max(peak, v);
-      }
-      weight[k] = peak * job_specs[i].processing_time + 1e-6;
-      weight_sum += weight[k];
-    }
-    uint32_t assigned = 0;
-    std::vector<double> remainder(members[g].size());
-    for (size_t k = 0; k < members[g].size(); ++k) {
-      const double share = budget * weight[k] / weight_sum;
-      const auto whole = static_cast<uint32_t>(std::max(1.0, std::floor(share)));
-      action.replicas[members[g][k]] = whole;
-      remainder[k] = share - std::floor(share);
-      assigned += whole;
-      if (!group_action.drop_rates.empty()) {
-        action.drop_rates[members[g][k]] = group_action.drop_rates[g];
-      }
-    }
-    // Hand out any leftover replicas by largest fractional share.
-    while (assigned < budget) {
-      size_t best = 0;
-      for (size_t k = 1; k < remainder.size(); ++k) {
-        if (remainder[k] > remainder[best]) {
-          best = k;
-        }
-      }
-      ++action.replicas[members[g][best]];
-      remainder[best] = -1.0;
-      ++assigned;
-    }
-
-    // Refine the proportional split with the integer exchange on the group's
-    // own sub-problem (a few members, so this is cheap) -- proportional-to-
-    // load splitting ignores the nonlinear queueing economies the exchange
-    // sees.
-    std::vector<JobContext> member_contexts;
-    double group_cpu = 0.0;
-    double group_mem = 0.0;
-    for (const size_t i : members[g]) {
-      JobContext context;
-      context.spec = job_specs[i];
-      if (metrics[i].processing_time > 0.0) {
-        context.spec.processing_time = metrics[i].processing_time;
-      }
-      context.predicted_load = loads[i];
-      member_contexts.push_back(std::move(context));
-      group_cpu += job_specs[i].cpu_per_replica * action.replicas[i];
-      group_mem += job_specs[i].mem_per_replica * action.replicas[i];
-    }
-    ClusterObjectiveConfig member_config = MakeObjectiveConfig();
-    member_config.max_replicas_per_job = static_cast<double>(budget);
-    ClusterObjective member_objective(std::move(member_contexts),
-                                      ClusterResources{group_cpu, group_mem}, member_config);
-    std::vector<uint32_t> member_replicas;
-    for (const size_t i : members[g]) {
-      member_replicas.push_back(action.replicas[i]);
-    }
-    const std::vector<double> no_drops(members[g].size(), 0.0);
-    ExchangePolish(member_objective, member_replicas, no_drops,
-                   ClusterResources{group_cpu, group_mem});
-    for (size_t k = 0; k < members[g].size(); ++k) {
-      action.replicas[members[g][k]] = member_replicas[k];
+      action.replicas[members[g][k]] = splits[g].replicas[k];
+      action.drop_rates[members[g][k]] = splits[g].drop_rate;
     }
   }
+  telemetry_.group_solves += groups;
   return action;
 }
 
@@ -514,11 +700,24 @@ ScalingAction FaroAutoscaler::Decide(double now_s, const std::vector<JobSpec>& j
                                      const std::vector<JobMetrics>& metrics,
                                      const ClusterResources& resources) {
   const std::vector<std::vector<double>> loads = PredictLoads(job_specs, metrics);
+  // Every random choice inside a solve derives from this cycle seed, never
+  // from shared mutable RNG state, so a fixed config seed gives bit-identical
+  // decisions at any thread count.
+  const uint64_t cycle_seed = HashCombine(config_.seed, ++decision_cycles_);
+  const auto solve_start = std::chrono::steady_clock::now();
+  ScalingAction action;
   if (config_.hierarchical_groups > 1 && job_specs.size() > config_.hierarchical_groups &&
       job_specs.size() > config_.hierarchical_threshold) {
-    return SolveHierarchical(job_specs, metrics, loads, resources);
+    action = SolveHierarchical(job_specs, metrics, loads, resources, cycle_seed);
+  } else {
+    action = SolveFlat(job_specs, metrics, loads, resources, cycle_seed);
   }
-  return SolveFlat(job_specs, metrics, loads, resources);
+  const double solve_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - solve_start).count();
+  ++telemetry_.cycles;
+  telemetry_.solve_seconds_total += solve_seconds;
+  telemetry_.solve_seconds_max = std::max(telemetry_.solve_seconds_max, solve_seconds);
+  return action;
 }
 
 std::optional<ScalingAction> FaroAutoscaler::FastReact(double now_s,

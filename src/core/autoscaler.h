@@ -87,6 +87,41 @@ struct FaroConfig {
   double solver_rho_end = 1e-3;
   int solver_max_evaluations = 4000;
 
+  // --- Multi-start solve driver ------------------------------------------
+  // Number of start points fanned across the shared thread pool per Stage-2
+  // solve (warm start, previous solution, capacity-proportional heuristic,
+  // jittered variants). <= 1 selects the legacy serial single-start COBYLA
+  // path (with the fairness pre-solve chain), kept for A/B comparison.
+  size_t multistart_starts = 4;
+  // Also run the NelderMead->AugLag chain from every start. Off by default:
+  // the chain roughly quadruples the solve's evaluation count for a small
+  // additional utility gain, which only pays when idle cores make the extra
+  // tasks free. Turn on for wide machines or offline quality sweeps.
+  bool multistart_alternate = false;
+  // Early-exit: the lowest-indexed feasible converged task whose start was
+  // already near-optimal wins and cancels unstarted higher-indexed tasks
+  // (deterministic; see optim/multistart.h). The stability bar keeps the
+  // steady-state cycles cheap -- one solve confirms the incumbent -- while
+  // load shifts still run the full portfolio and get best-of selection.
+  bool multistart_early_exit = true;
+  // Stability bar for the early exit: an incumbent solve that improves on its
+  // start by at most this relative fraction confirms the incumbent and skips
+  // the rest of the portfolio. Deliberately the same magnitude as
+  // `switch_margin`: an improvement too small to adopt is too small to chase.
+  double multistart_exit_improvement = 0.05;
+  // Relative amplitude of the jittered start variants.
+  double multistart_jitter = 0.35;
+  // Thread cap for the solve fan-out (starts and hierarchical groups):
+  // 0 = shared pool size, 1 = serial. Solutions are bit-identical at every
+  // setting for a fixed seed.
+  size_t solve_parallelism = 0;
+  // Cross-cycle warm starts: reuse the previous cycle's continuous solution
+  // as a start while the job-set signature is unchanged (a signature change
+  // drops the cache). A valid warm start also replaces the serial fairness
+  // pre-solve -- the cached solution already sits on the right utility
+  // frontier.
+  bool warm_start_cache = true;
+
   uint64_t seed = 7;
 };
 
@@ -111,20 +146,26 @@ class FaroAutoscaler : public AutoscalingPolicy {
 
   const FaroConfig& config() const { return config_; }
 
+  // Accumulated Stage-2 solver telemetry (starts, evaluations, wall-clock).
+  SolverTelemetry solver_telemetry() const override { return telemetry_; }
+
  private:
   // Stage 1: per-job predicted loads over the post-cold-start window (req/s).
   std::vector<std::vector<double>> PredictLoads(const std::vector<JobSpec>& job_specs,
                                                 const std::vector<JobMetrics>& metrics);
 
-  // Stage 2 helpers.
+  // Stage 2 helpers. `solve_seed` is the cycle seed (derived from the config
+  // seed and the decision counter); every random choice in a solve -- the
+  // hierarchical grouping shuffle, per-start jitter -- is a pure function of
+  // it, so solves are bit-identical at any thread count.
   ScalingAction SolveFlat(const std::vector<JobSpec>& job_specs,
                           const std::vector<JobMetrics>& metrics,
                           const std::vector<std::vector<double>>& loads,
-                          const ClusterResources& resources);
+                          const ClusterResources& resources, uint64_t solve_seed);
   ScalingAction SolveHierarchical(const std::vector<JobSpec>& job_specs,
                                   const std::vector<JobMetrics>& metrics,
                                   const std::vector<std::vector<double>>& loads,
-                                  const ClusterResources& resources);
+                                  const ClusterResources& resources, uint64_t solve_seed);
 
   // Rounds the continuous solution to integers >= 1 within capacity, greedily
   // trimming the replicas whose removal costs the least predicted utility.
@@ -149,7 +190,18 @@ class FaroAutoscaler : public AutoscalingPolicy {
 
   FaroConfig config_;
   std::shared_ptr<WorkloadPredictor> predictor_;
-  Rng rng_;
+  // Cross-cycle warm-start cache: the previous continuous solution, reused as
+  // a start while the job-set signature matches (invalidation rule: signature
+  // change => drop). The hierarchical path caches the group-level solution
+  // under its own signature, so flat and grouped solves never cross-feed.
+  struct WarmStart {
+    uint64_t signature = 0;
+    std::vector<double> x;
+    bool valid = false;
+  };
+  WarmStart warm_;
+  uint64_t decision_cycles_ = 0;
+  SolverTelemetry telemetry_;
   // Per-job time of the last reactive upscale: one additive step per trigger
   // period, so the 10 s tick does not fire continuously through a cold start.
   std::vector<double> last_reactive_up_;

@@ -44,6 +44,26 @@ struct JobMetrics {
   double underloaded_for = 0.0;
 };
 
+// Stage-2 solver telemetry a policy accumulates over a run. Faro's multi-start
+// driver fills this (one increment batch per long-term decision); baselines
+// report the default zeros. Wall-clock fields are measurement, not state: no
+// decision ever depends on them, so determinism is unaffected.
+struct SolverTelemetry {
+  uint64_t cycles = 0;                 // long-term Decide() calls
+  uint64_t starts_launched = 0;        // solver tasks actually run
+  uint64_t starts_skipped = 0;         // tasks cancelled by early exit
+  uint64_t early_exits = 0;            // solves won by the early-exit rule
+  uint64_t warm_start_hits = 0;        // solves starting from the cached solution
+  uint64_t wins_warm_current = 0;      // winner provenance counts
+  uint64_t wins_prev_solution = 0;
+  uint64_t wins_heuristic = 0;
+  uint64_t wins_jitter = 0;
+  uint64_t objective_evaluations = 0;  // across all solver tasks
+  uint64_t group_solves = 0;           // hierarchical per-group sub-solves
+  double solve_seconds_total = 0.0;    // wall-clock inside Stage-2 solves
+  double solve_seconds_max = 0.0;      // worst single cycle
+};
+
 // A scaling decision covering every job. `replicas` are absolute targets;
 // `drop_rates` (optional, same length) instruct routers to shed a fraction of
 // incoming load (only Faro-Penalty* sets this).
@@ -74,6 +94,9 @@ class AutoscalingPolicy {
                                                  const ClusterResources& resources) {
     return std::nullopt;
   }
+
+  // Solver telemetry accumulated so far (zeros for policies without a solver).
+  virtual SolverTelemetry solver_telemetry() const { return {}; }
 };
 
 }  // namespace faro

@@ -1,0 +1,205 @@
+#include "src/optim/multistart.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+
+#include "src/common/parallel.h"
+#include "src/common/rng.h"
+
+namespace faro {
+namespace {
+
+// One task: COBYLA, or the NelderMead->AugLag chain, from one start point.
+OptimResult SolveOneTask(const Problem& problem, const std::vector<double>& x0,
+                         bool alternate, const MultiStartConfig& config) {
+  if (!alternate) {
+    return Cobyla(problem, x0, config.cobyla);
+  }
+  const OptimResult simplex = NelderMead(problem, x0, config.nelder_mead);
+  OptimResult refined = AugmentedLagrangian(problem, simplex.x, config.auglag);
+  refined.evaluations += simplex.evaluations;
+  // AugLag can wander off a good simplex optimum chasing feasibility it
+  // already had; keep whichever of the two points ranks better.
+  const bool simplex_ok = simplex.max_violation <= config.feasibility_tolerance;
+  const bool refined_ok = refined.max_violation <= config.feasibility_tolerance;
+  if ((simplex_ok && !refined_ok) ||
+      (simplex_ok == refined_ok && simplex.value < refined.value)) {
+    refined.x = simplex.x;
+    refined.value = simplex.value;
+    refined.max_violation = simplex.max_violation;
+  }
+  return refined;
+}
+
+// Heuristic and jittered starts are scouts: they exist to catch the incumbent
+// napping after a load shift, not to be polished to convergence. Quarter
+// budgets keep them off the fan-out's critical path -- and off the total-work
+// bill on narrow machines -- while still sampling their basins.
+MultiStartConfig ScoutBudget(const MultiStartConfig& config) {
+  MultiStartConfig scout = config;
+  scout.cobyla.max_evaluations = std::max(200, config.cobyla.max_evaluations / 4);
+  scout.nelder_mead.max_iterations =
+      std::max<size_t>(50, config.nelder_mead.max_iterations / 4);
+  scout.auglag.outer_iterations = std::max<size_t>(1, config.auglag.outer_iterations / 2);
+  return scout;
+}
+
+bool IsScout(StartKind kind) {
+  return kind == StartKind::kHeuristic || kind == StartKind::kJitter;
+}
+
+// Schedule-independent ranking: feasible beats infeasible, then lower
+// objective value, then lower task index (the caller iterates in index order).
+bool RanksBetter(const OptimResult& challenger, const OptimResult& incumbent,
+                 double tolerance) {
+  const bool c_ok = challenger.max_violation <= tolerance;
+  const bool i_ok = incumbent.max_violation <= tolerance;
+  if (c_ok != i_ok) {
+    return c_ok;
+  }
+  if (!c_ok && challenger.max_violation != incumbent.max_violation) {
+    return challenger.max_violation < incumbent.max_violation;
+  }
+  return challenger.value < incumbent.value;
+}
+
+}  // namespace
+
+const char* StartKindName(StartKind kind) {
+  switch (kind) {
+    case StartKind::kWarmCurrent:
+      return "warm-current";
+    case StartKind::kPrevSolution:
+      return "prev-solution";
+    case StartKind::kHeuristic:
+      return "heuristic";
+    case StartKind::kJitter:
+      return "jitter";
+  }
+  return "unknown";
+}
+
+MultiStartResult MultiStartSolve(const Problem& problem, std::vector<StartPoint> starts,
+                                 size_t extra_jittered, const MultiStartConfig& config) {
+  MultiStartResult out;
+  if (starts.empty()) {
+    return out;
+  }
+  const size_t base = starts.size();
+  for (size_t k = 0; k < extra_jittered; ++k) {
+    Rng rng(HashCombine(config.seed, k + 1));
+    StartPoint variant;
+    variant.kind = StartKind::kJitter;
+    variant.x = starts[k % base].x;
+    for (double& v : variant.x) {
+      v *= 1.0 + config.jitter * (2.0 * rng.Uniform() - 1.0);
+    }
+    starts.push_back(std::move(variant));
+  }
+  for (StartPoint& start : starts) {
+    // Full-vector clip: replica *and* drop-rate coordinates land inside the
+    // box before any solver sees them.
+    problem.ClipToBounds(start.x);
+  }
+
+  const size_t solvers = config.use_alternate ? 2 : 1;
+  const size_t tasks = starts.size() * solvers;
+  struct TaskSlot {
+    OptimResult result;
+    bool launched = false;
+    bool exit_quality = false;
+  };
+  std::vector<TaskSlot> slots(tasks);
+  std::atomic<size_t> first_exit{tasks};
+  const MultiStartConfig scout = ScoutBudget(config);
+  // Non-scout secondary starts (e.g. the deployed allocation behind a
+  // warm-start cache hit) run on a scout-sized budget with a higher floor:
+  // they sit near the optimum already, so a short confirmation run is enough
+  // -- the primary start owns the full budget.
+  MultiStartConfig secondary = config;
+  secondary.cobyla.max_evaluations = std::max(300, config.cobyla.max_evaluations / 4);
+  secondary.nelder_mead.max_iterations =
+      std::max<size_t>(75, config.nelder_mead.max_iterations / 4);
+
+  ParallelFor(
+      tasks,
+      [&](size_t t) {
+        if (config.early_exit && first_exit.load(std::memory_order_acquire) < t) {
+          return;  // cancelled: a lower-indexed task already finished well
+        }
+        const size_t s = t / solvers;
+        const bool alternate = (t % solvers) == 1;
+        TaskSlot& slot = slots[t];
+        // Budget tiers: the primary start (index 0, the best warm start
+        // available) gets the full budget; other non-scout starts get half;
+        // heuristic and jittered starts are scouts. Secondary starts exist
+        // to catch basin changes, and a truncated solve is enough to reveal
+        // one -- if it ranks best, the polish stage and the next cycle's
+        // warm start finish the job.
+        const MultiStartConfig& task_config =
+            IsScout(starts[s].kind) ? scout : (s == 0 ? config : secondary);
+        slot.result = SolveOneTask(problem, starts[s].x, alternate, task_config);
+        slot.launched = true;
+        // Only incumbent-derived (non-scout) starts can declare stability:
+        // a scout failing to improve on its own arbitrary start point says
+        // nothing about the incumbent.
+        bool exit_quality = config.early_exit && !IsScout(starts[s].kind) &&
+                            slot.result.max_violation <= config.feasibility_tolerance;
+        if (exit_quality) {
+          // Stability bar: exit only when the start was feasible and already
+          // near the optimum, i.e. the landscape has not moved since the
+          // start was produced. Convergence is deliberately not required --
+          // on large problems the solver runs into its evaluation cap long
+          // before formal convergence, but a capped solve that could not beat
+          // the bar from a feasible start confirms the incumbent all the
+          // same. Pure function of the task, so deterministic.
+          const double start_value = problem.Objective(starts[s].x);
+          slot.result.evaluations += 1;
+          exit_quality =
+              problem.MaxViolation(starts[s].x) <= config.feasibility_tolerance &&
+              start_value - slot.result.value <=
+                  config.early_exit_improvement * (1.0 + std::abs(start_value));
+        }
+        slot.exit_quality = exit_quality;
+        if (config.early_exit && slot.exit_quality) {
+          size_t current = first_exit.load(std::memory_order_relaxed);
+          while (t < current &&
+                 !first_exit.compare_exchange_weak(current, t, std::memory_order_acq_rel)) {
+          }
+        }
+      },
+      config.max_parallelism);
+
+  out.starts_total = tasks;
+  size_t winner = tasks;
+  const size_t exit_task = first_exit.load(std::memory_order_acquire);
+  out.early_exit = config.early_exit && exit_task < tasks;
+  // With an early exit at index e, rank only tasks 0..e: those always run
+  // (cancellation needs a lower exit-quality index, contradicting e's
+  // minimality), so the candidate set -- and hence the winner -- is the same
+  // under any schedule. Tasks above e may or may not have started before the
+  // cancellation landed; their results are schedule-dependent and excluded.
+  const size_t rank_limit = out.early_exit ? exit_task : tasks - 1;
+  for (size_t t = 0; t < tasks; ++t) {
+    const TaskSlot& slot = slots[t];
+    if (!slot.launched) {
+      ++out.starts_skipped;
+      continue;
+    }
+    ++out.starts_launched;
+    out.evaluations += slot.result.evaluations;
+    if (t <= rank_limit &&
+        (winner == tasks ||
+         RanksBetter(slot.result, slots[winner].result, config.feasibility_tolerance))) {
+      winner = t;
+    }
+  }
+  out.winner_start = winner / solvers;
+  out.winner_alternate = (winner % solvers) == 1;
+  out.winner_kind = starts[out.winner_start].kind;
+  out.best = slots[winner].result;
+  return out;
+}
+
+}  // namespace faro

@@ -1,0 +1,127 @@
+// Parallel multi-start solve driver (§3.4, §5).
+//
+// Faro's sloppified objective is solvable by stock local solvers, but any one
+// local solver from any one start can still stall (fairness ridges, saturated
+// clusters) or land infeasible. The driver fans K deterministic-seeded start
+// points -- warm starts, heuristics, and jittered variants -- across the
+// shared thread pool, running COBYLA and optionally a NelderMead->AugLag
+// chain from every start, then selects a winner deterministically.
+//
+// Determinism contract (same as the PR-1 harness): the result is bit-identical
+// at every thread count. Each (start, solver) task is a pure function of its
+// index; jitter draws from an Rng seeded by HashCombine(seed, start index);
+// and the winner is chosen by a schedule-independent rule:
+//
+//   - A task is "early-exit quality" iff its start is incumbent-derived (not
+//     a heuristic/jitter scout -- a scout failing to improve on its own
+//     arbitrary start says nothing about the incumbent), its solve ended with
+//     constraint violation <= feasibility_tolerance, its start point was
+//     itself feasible within the tolerance, and the solve improved on the
+//     start's objective by at most `early_exit_improvement` (relative). That
+//     last condition is a stability bar: a tiny improvement from a feasible
+//     start means the start was already sitting on the optimum -- the common
+//     steady-state cycle -- so exploring more basins is wasted work. A large
+//     improvement means the landscape moved, and the rest of the portfolio
+//     runs. Formal solver convergence is not required: on large problems the
+//     solver hits its evaluation cap first, and failing to beat the bar under
+//     a full budget is the same evidence of stability. Whether a task has
+//     exit quality depends only on its index, never on the schedule.
+//   - With early exit enabled, a completed early-exit-quality task cancels
+//     only *higher-indexed* tasks that have not started. Let e be the lowest
+//     exit-quality index: every task at or below e always runs (cancelling
+//     one would need a lower exit-quality index, contradicting minimality),
+//     and the winner is the best-ranked result among tasks 0..e -- a
+//     schedule-invariant candidate set, so the winner is the same under any
+//     interleaving, including the fully serial one, where the cancellation
+//     becomes a genuine early exit that skips the tail. Tasks above e may or
+//     may not have started before the cancellation landed; their results are
+//     schedule-dependent and never ranked.
+//   - With no early-exit-quality task, every task runs and the winner is the
+//     best feasible result (lowest objective; ties broken by task index, i.e.
+//     by start index first and COBYLA before the alternate chain).
+
+#ifndef SRC_OPTIM_MULTISTART_H_
+#define SRC_OPTIM_MULTISTART_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/optim/auglag.h"
+#include "src/optim/cobyla.h"
+#include "src/optim/neldermead.h"
+#include "src/optim/problem.h"
+
+namespace faro {
+
+// Provenance of a start point, reported as telemetry ("which start won").
+enum class StartKind : uint8_t {
+  kWarmCurrent = 0,   // the currently deployed allocation
+  kPrevSolution = 1,  // previous cycle's continuous solution (warm-start cache)
+  kHeuristic = 2,     // capacity-proportional heuristic point
+  kJitter = 3,        // seeded perturbation of one of the above
+};
+const char* StartKindName(StartKind kind);
+
+struct StartPoint {
+  std::vector<double> x;
+  StartKind kind = StartKind::kHeuristic;
+};
+
+struct MultiStartConfig {
+  CobylaConfig cobyla;
+  // The alternate per-start solver chain: NelderMead polish, then an
+  // augmented-Lagrangian refinement of its simplex optimum. Budgets default
+  // well below the solvers' own defaults so one alternate task costs about as
+  // much as one COBYLA run (the chain is insurance, not the main path).
+  NelderMeadConfig nelder_mead;
+  AugLagConfig auglag;
+  bool use_alternate = true;
+  // A result counts as feasible when its max constraint violation (capacity
+  // and box bounds) is at most this.
+  double feasibility_tolerance = 1e-3;
+  // Early exit on the lowest-indexed feasible converged task whose start was
+  // already near-optimal (see the stability bar above).
+  bool early_exit = true;
+  // Stability bar: a task only has exit quality when its improvement over the
+  // start value is at most this fraction of (1 + |start value|). The default
+  // matches the autoscaler's switch hysteresis: an improvement too small to
+  // justify moving replicas is also too small to justify solving more basins.
+  double early_exit_improvement = 0.05;
+  // Root seed for the jittered start variants.
+  uint64_t seed = 0;
+  // Relative amplitude of the multiplicative jitter applied per coordinate.
+  double jitter = 0.35;
+  // Thread cap for the fan-out: 0 = shared pool size, 1 = serial in task
+  // order. Results are bit-identical at every setting.
+  size_t max_parallelism = 0;
+};
+
+struct MultiStartResult {
+  OptimResult best;
+  size_t winner_start = 0;  // index into the expanded start list
+  StartKind winner_kind = StartKind::kHeuristic;
+  bool winner_alternate = false;  // won by the NelderMead->AugLag chain
+  size_t starts_total = 0;        // tasks in the fan-out (starts x solvers)
+  size_t starts_launched = 0;     // tasks that actually ran
+  size_t starts_skipped = 0;      // tasks cancelled by early exit
+  bool early_exit = false;        // winner came from the early-exit rule
+  int64_t evaluations = 0;        // objective evaluations across launched tasks
+};
+
+// Appends `extra_jittered` seeded perturbations of the given starts, clips
+// every start (all coordinates, drop rates included) into the problem's box
+// bounds, fans (start x solver) tasks across the shared thread pool, and
+// returns the deterministic winner. `starts` must be non-empty.
+//
+// Budget tiers: the primary start (index 0) runs on the full configured
+// budgets; other non-scout starts get a quarter budget with a higher floor;
+// heuristic and jittered starts are scouts at a quarter budget -- they exist
+// to reveal a basin change after a load shift, not to be polished, and the
+// tiering keeps them off both the wall-clock critical path and the total
+// work bill on narrow machines.
+MultiStartResult MultiStartSolve(const Problem& problem, std::vector<StartPoint> starts,
+                                 size_t extra_jittered, const MultiStartConfig& config);
+
+}  // namespace faro
+
+#endif  // SRC_OPTIM_MULTISTART_H_

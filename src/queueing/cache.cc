@@ -1,7 +1,10 @@
 #include "src/queueing/cache.h"
 
 #include <array>
+#include <atomic>
 #include <bit>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
 
 #include "src/queueing/mdc.h"
@@ -9,6 +12,40 @@
 
 namespace faro {
 namespace {
+
+// Process-wide accumulators, fed by each thread's cache destructor. Trivially
+// destructible (plain atomics at namespace scope), so late-exiting threads --
+// pool workers joined during static destruction -- can still flush safely.
+std::atomic<uint64_t> g_hits{0};
+std::atomic<uint64_t> g_misses{0};
+std::atomic<uint64_t> g_evictions{0};
+
+void PrintGlobalCacheStats() {
+  const QueueingCacheStats totals = GetGlobalQueueingCacheStats();
+  const uint64_t lookups = totals.hits + totals.misses;
+  std::fprintf(stderr,
+               "[faro] queueing cache: %llu lookups, %llu hits (%.1f%%), %llu misses, "
+               "%llu evictions\n",
+               static_cast<unsigned long long>(lookups),
+               static_cast<unsigned long long>(totals.hits),
+               lookups > 0 ? 100.0 * static_cast<double>(totals.hits) /
+                                 static_cast<double>(lookups)
+                           : 0.0,
+               static_cast<unsigned long long>(totals.misses),
+               static_cast<unsigned long long>(totals.evictions));
+}
+
+bool CacheStatsRequested() {
+  static const bool requested = [] {
+    const char* env = std::getenv("FARO_CACHE_STATS");
+    const bool on = env != nullptr && env[0] != '\0' && env[0] != '0';
+    if (on) {
+      std::atexit(PrintGlobalCacheStats);
+    }
+    return on;
+  }();
+  return requested;
+}
 
 // splitmix64 finaliser: cheap, well-distributed 64-bit mixing.
 uint64_t Mix64(uint64_t x) {
@@ -49,17 +86,32 @@ struct MdcTable {
   std::array<Entry, Slots> entries;
 };
 
-constexpr size_t kErlangSlots = 4096;
-constexpr size_t kMdcSlots = 8192;
+// Sized for the multi-start solve driver's working set: a large-problem
+// cycle touches (jobs x prediction steps) arrival rates times the server
+// counts probed by four scattered starts, which overflows a few-thousand-slot
+// direct-mapped table and turns scout evaluations into evictions of the
+// primary start's entries. 64k M/D/c slots (~3 MB/thread) hold a 100-job
+// cycle with room to spare.
+constexpr size_t kErlangSlots = 16384;
+constexpr size_t kMdcSlots = 65536;
 
 struct ThreadCache {
   ErlangTable<kErlangSlots> erlang;
   MdcTable<kMdcSlots> mdc;
   QueueingCacheStats stats;
   bool enabled = true;
+
+  ~ThreadCache() {
+    g_hits.fetch_add(stats.hits, std::memory_order_relaxed);
+    g_misses.fetch_add(stats.misses, std::memory_order_relaxed);
+    g_evictions.fetch_add(stats.evictions, std::memory_order_relaxed);
+  }
 };
 
 ThreadCache& Cache() {
+  // Arm the exit-time printer (if requested) before the first cache exists,
+  // so main's thread-local flush precedes the atexit callback.
+  CacheStatsRequested();
   thread_local ThreadCache cache;
   return cache;
 }
@@ -79,6 +131,15 @@ void ClearQueueingCache() {
 
 QueueingCacheStats GetQueueingCacheStats() { return Cache().stats; }
 
+QueueingCacheStats GetGlobalQueueingCacheStats() {
+  const QueueingCacheStats& live = Cache().stats;
+  QueueingCacheStats totals;
+  totals.hits = g_hits.load(std::memory_order_relaxed) + live.hits;
+  totals.misses = g_misses.load(std::memory_order_relaxed) + live.misses;
+  totals.evictions = g_evictions.load(std::memory_order_relaxed) + live.evictions;
+  return totals;
+}
+
 double CachedErlangC(uint32_t servers, double offered) {
   ThreadCache& cache = Cache();
   if (!cache.enabled) {
@@ -92,6 +153,9 @@ double CachedErlangC(uint32_t servers, double offered) {
     return entry.value;
   }
   ++cache.stats.misses;
+  if (entry.valid) {
+    ++cache.stats.evictions;  // direct-mapped collision: overwrite the resident
+  }
   const double value = ErlangC(servers, offered);
   entry = {offered_bits, servers, true, value};
   return value;
@@ -115,6 +179,9 @@ double CachedMdcLatencyPercentile(uint32_t servers, double arrival_rate,
     return entry.value;
   }
   ++cache.stats.misses;
+  if (entry.valid) {
+    ++cache.stats.evictions;
+  }
   const double value = MdcLatencyPercentile(servers, arrival_rate, service_time, q);
   entry = {lambda_bits, service_bits, q_bits, servers, true, value};
   return value;

@@ -15,7 +15,11 @@
 //     double the uncached function would produce -- cached and uncached
 //     paths agree to the last ulp by construction (tests enforce 1e-12);
 //   - SetQueueingCacheEnabled(false) bypasses lookups on the calling thread
-//     (benchmark baselines, A/B tests).
+//     (benchmark baselines, A/B tests);
+//   - hits / misses / evictions are counted per thread (an eviction is an
+//     insert that overwrites a live entry with a different key). Set
+//     FARO_CACHE_STATS=1 to print process-wide totals at exit, so
+//     solver-driven cache behaviour is measurable without code changes.
 
 #ifndef SRC_QUEUEING_CACHE_H_
 #define SRC_QUEUEING_CACHE_H_
@@ -31,12 +35,20 @@ void SetQueueingCacheEnabled(bool enabled);
 // Clears the calling thread's tables and hit/miss counters.
 void ClearQueueingCache();
 
-// Hit/miss counters for the calling thread (across both tables).
+// Hit/miss/eviction counters for the calling thread (across both tables).
 struct QueueingCacheStats {
   uint64_t hits = 0;
   uint64_t misses = 0;
+  uint64_t evictions = 0;
 };
 QueueingCacheStats GetQueueingCacheStats();
+
+// Process-wide totals: all exited threads' counters plus the calling thread's
+// live ones. Printed at exit when FARO_CACHE_STATS=1 (workers that outlive
+// the exit handler -- e.g. the shared pool during static destruction -- flush
+// on their own thread exit and may miss the printout; totals read here at any
+// earlier point are exact for all exited threads).
+QueueingCacheStats GetGlobalQueueingCacheStats();
 
 // ErlangC(servers, offered), memoised per thread.
 double CachedErlangC(uint32_t servers, double offered);

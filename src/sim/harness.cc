@@ -210,6 +210,28 @@ TrialAggregate AggregateTrials(const std::string& policy_name, size_t num_jobs,
   aggregate.violation_rate_sd = StdDev(violations);
   aggregate.lost_effective_utility_mean = Mean(eu_lost);
   aggregate.lost_effective_utility_sd = StdDev(eu_lost);
+  uint64_t cycles = 0;
+  double solve_seconds = 0.0;
+  uint64_t evals = 0;
+  uint64_t starts = 0;
+  uint64_t early_exits = 0;
+  uint64_t warm_hits = 0;
+  for (const RunResult& result : results) {
+    cycles += result.solver.cycles;
+    solve_seconds += result.solver.solve_seconds_total;
+    evals += result.solver.objective_evaluations;
+    starts += result.solver.starts_launched;
+    early_exits += result.solver.early_exits;
+    warm_hits += result.solver.warm_start_hits;
+  }
+  if (cycles > 0) {
+    const double c = static_cast<double>(cycles);
+    aggregate.solve_ms_per_cycle_mean = 1000.0 * solve_seconds / c;
+    aggregate.solver_evals_per_cycle_mean = static_cast<double>(evals) / c;
+    aggregate.solver_starts_per_cycle_mean = static_cast<double>(starts) / c;
+    aggregate.early_exit_rate = static_cast<double>(early_exits) / c;
+    aggregate.warm_start_rate = static_cast<double>(warm_hits) / c;
+  }
   return aggregate;
 }
 

@@ -96,6 +96,14 @@ struct TrialAggregate {
   double lost_effective_utility_sd = 0.0;
   // Per-job lost utility (averaged over trials), for the fairness box plots.
   std::vector<double> per_job_lost_utility;
+  // Stage-2 solver telemetry, averaged over trials (zeros for baselines).
+  // Wall-clock means are measurement, not simulation state: they vary run to
+  // run and are excluded from the bit-identical determinism contract.
+  double solve_ms_per_cycle_mean = 0.0;
+  double solver_evals_per_cycle_mean = 0.0;
+  double solver_starts_per_cycle_mean = 0.0;
+  double early_exit_rate = 0.0;   // fraction of solves won by early exit
+  double warm_start_rate = 0.0;   // fraction of solves reusing the cached solution
 };
 
 TrialAggregate RunTrials(const ExperimentSetup& setup, const PreparedWorkload& workload,

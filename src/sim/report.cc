@@ -50,4 +50,23 @@ bool WriteSummaryCsv(const std::string& path, const RunResult& result) {
   return static_cast<bool>(out);
 }
 
+bool WriteSolverCsv(const std::string& path, const RunResult& result) {
+  std::ofstream out(path);
+  if (!out) {
+    return false;
+  }
+  const SolverTelemetry& s = result.solver;
+  const double cycles = s.cycles > 0 ? static_cast<double>(s.cycles) : 1.0;
+  out << "cycles,starts_launched,starts_skipped,early_exits,warm_start_hits,"
+         "wins_warm_current,wins_prev_solution,wins_heuristic,wins_jitter,"
+         "objective_evaluations,group_solves,solve_ms_mean,solve_ms_max\n";
+  out << s.cycles << ',' << s.starts_launched << ',' << s.starts_skipped << ','
+      << s.early_exits << ',' << s.warm_start_hits << ',' << s.wins_warm_current << ','
+      << s.wins_prev_solution << ',' << s.wins_heuristic << ',' << s.wins_jitter << ','
+      << s.objective_evaluations << ',' << s.group_solves << ','
+      << 1000.0 * s.solve_seconds_total / cycles << ',' << 1000.0 * s.solve_seconds_max
+      << '\n';
+  return static_cast<bool>(out);
+}
+
 }  // namespace faro

@@ -18,6 +18,11 @@ bool WriteTimelineCsv(const std::string& path, const RunResult& result);
 // row).
 bool WriteSummaryCsv(const std::string& path, const RunResult& result);
 
+// One-row CSV of the policy's Stage-2 solver telemetry: decision cycles,
+// starts launched/skipped/won by kind, early exits, warm-start reuse,
+// objective evaluations, and per-cycle solve wall-clock (mean and max, ms).
+bool WriteSolverCsv(const std::string& path, const RunResult& result);
+
 }  // namespace faro
 
 #endif  // SRC_SIM_REPORT_H_

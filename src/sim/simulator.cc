@@ -571,6 +571,7 @@ RunResult Simulation::Run() {
   result.cluster_avg_effective_utility = eu_sum;
   result.cluster_lost_effective_utility = num_jobs - eu_sum;
   result.cluster_slo_violation_rate = jobs_.empty() ? 0.0 : violation_rate_sum / num_jobs;
+  result.solver = policy_.solver_telemetry();
   return result;
 }
 

@@ -96,6 +96,8 @@ struct RunResult {
   double cluster_slo_violation_rate = 0.0;
   std::vector<double> cluster_utility_timeline;  // per minute
   std::vector<double> total_load_timeline;       // requests per minute
+  // Stage-2 solver telemetry reported by the policy (zeros for baselines).
+  SolverTelemetry solver;
 };
 
 // Runs the policy against the trace-driven cluster. The run length is the

@@ -8,6 +8,7 @@
 #include "src/optim/cobyla.h"
 #include "src/optim/de.h"
 #include "src/optim/linalg.h"
+#include "src/optim/multistart.h"
 #include "src/optim/neldermead.h"
 #include "src/optim/problem.h"
 
@@ -430,6 +431,119 @@ TEST_P(SolverAgreementTest, ConvexQuadraticWithConstraint) {
 }
 
 INSTANTIATE_TEST_SUITE_P(AllSolvers, SolverAgreementTest, ::testing::Values(0, 1, 2, 3));
+
+// The convex quadratic from SolverAgreementTest, reused by the multi-start
+// driver tests: optimum (2, 2), f = 2 on the constraint x0 + x1 <= 4.
+Problem MakeConstrainedQuadratic() {
+  Problem p(2, [](std::span<const double> x) {
+    return (x[0] - 3.0) * (x[0] - 3.0) + (x[1] - 3.0) * (x[1] - 3.0);
+  });
+  p.SetBounds({0.0, 0.0}, {10.0, 10.0});
+  p.AddConstraint([](std::span<const double> x) { return 4.0 - x[0] - x[1]; });
+  return p;
+}
+
+TEST(MultiStartTest, FindsConstrainedOptimum) {
+  const Problem p = MakeConstrainedQuadratic();
+  MultiStartConfig config;
+  config.seed = 11;
+  std::vector<StartPoint> starts;
+  starts.push_back({{1.0, 1.0}, StartKind::kWarmCurrent});
+  starts.push_back({{9.0, 0.5}, StartKind::kHeuristic});
+  const MultiStartResult result = MultiStartSolve(p, starts, 2, config);
+  EXPECT_NEAR(result.best.value, 2.0, 0.05);
+  EXPECT_LE(result.best.max_violation, 1e-2);
+  EXPECT_EQ(result.starts_total, 8u);  // 4 starts x 2 solvers
+  EXPECT_EQ(result.starts_launched + result.starts_skipped, result.starts_total);
+  EXPECT_GT(result.evaluations, 0);
+}
+
+TEST(MultiStartTest, BitIdenticalAcrossParallelism) {
+  for (const bool early_exit : {true, false}) {
+    std::vector<MultiStartResult> results;
+    for (const size_t parallelism : {size_t{1}, size_t{2}, size_t{8}}) {
+      const Problem p = MakeConstrainedQuadratic();
+      MultiStartConfig config;
+      config.seed = 3;
+      config.early_exit = early_exit;
+      config.max_parallelism = parallelism;
+      std::vector<StartPoint> starts;
+      starts.push_back({{1.0, 1.0}, StartKind::kWarmCurrent});
+      starts.push_back({{8.0, 8.0}, StartKind::kHeuristic});
+      results.push_back(MultiStartSolve(p, starts, 4, config));
+    }
+    for (size_t k = 1; k < results.size(); ++k) {
+      EXPECT_EQ(results[0].winner_start, results[k].winner_start);
+      EXPECT_EQ(results[0].winner_alternate, results[k].winner_alternate);
+      EXPECT_EQ(results[0].early_exit, results[k].early_exit);
+      ASSERT_EQ(results[0].best.x.size(), results[k].best.x.size());
+      for (size_t d = 0; d < results[0].best.x.size(); ++d) {
+        EXPECT_EQ(results[0].best.x[d], results[k].best.x[d])
+            << "early_exit=" << early_exit << " run=" << k << " dim=" << d;
+      }
+      EXPECT_EQ(results[0].best.value, results[k].best.value);
+    }
+  }
+}
+
+TEST(MultiStartTest, SerialEarlyExitSkipsTailFromNearOptimalStart) {
+  // Start 0 sits on the constrained optimum already: the solve converges
+  // feasibly with ~no improvement, clearing the stability bar, so a serial
+  // run must skip every later task and report the start-0 winner.
+  const Problem p = MakeConstrainedQuadratic();
+  MultiStartConfig config;
+  config.seed = 5;
+  config.max_parallelism = 1;
+  std::vector<StartPoint> starts;
+  starts.push_back({{2.0, 2.0}, StartKind::kWarmCurrent});
+  const MultiStartResult result = MultiStartSolve(p, starts, 5, config);
+  EXPECT_TRUE(result.early_exit);
+  EXPECT_EQ(result.winner_start, 0u);
+  EXPECT_FALSE(result.winner_alternate);
+  EXPECT_EQ(result.starts_launched, 1u);
+  EXPECT_EQ(result.starts_skipped, result.starts_total - 1);
+}
+
+TEST(MultiStartTest, StabilityBarBlocksEarlyExitFromFarStart) {
+  // Start 0 is feasible but far from the optimum: the solve improves a lot,
+  // failing the stability bar, so every task runs and the best one wins.
+  const Problem p = MakeConstrainedQuadratic();
+  MultiStartConfig config;
+  config.seed = 5;
+  config.max_parallelism = 1;
+  std::vector<StartPoint> starts;
+  starts.push_back({{0.5, 0.5}, StartKind::kWarmCurrent});
+  const MultiStartResult result = MultiStartSolve(p, starts, 3, config);
+  EXPECT_FALSE(result.early_exit);
+  EXPECT_EQ(result.starts_skipped, 0u);
+  EXPECT_NEAR(result.best.value, 2.0, 0.05);
+}
+
+TEST(MultiStartTest, StartsAreClippedIntoBounds) {
+  // A start far outside the box (both coordinates) must be clipped before the
+  // solvers run; the solve still lands on the optimum.
+  const Problem p = MakeConstrainedQuadratic();
+  MultiStartConfig config;
+  config.seed = 9;
+  config.early_exit = false;
+  std::vector<StartPoint> starts;
+  starts.push_back({{-50.0, 400.0}, StartKind::kWarmCurrent});
+  const MultiStartResult result = MultiStartSolve(p, starts, 0, config);
+  EXPECT_NEAR(result.best.value, 2.0, 0.1);
+  EXPECT_LE(result.best.max_violation, 1e-2);
+}
+
+TEST(MultiStartTest, AlternateChainDisabledHalvesTasks) {
+  const Problem p = MakeConstrainedQuadratic();
+  MultiStartConfig config;
+  config.seed = 2;
+  config.use_alternate = false;
+  std::vector<StartPoint> starts;
+  starts.push_back({{1.0, 1.0}, StartKind::kWarmCurrent});
+  const MultiStartResult result = MultiStartSolve(p, starts, 3, config);
+  EXPECT_EQ(result.starts_total, 4u);
+  EXPECT_NEAR(result.best.value, 2.0, 0.05);
+}
 
 }  // namespace
 }  // namespace faro

@@ -99,6 +99,42 @@ TEST_F(QueueingCacheTest, RepeatedQueriesHitTheCache) {
   EXPECT_EQ(warm.misses, cold.misses);
 }
 
+TEST_F(QueueingCacheTest, EvictionsCountedOnCollidingInserts) {
+  // The tables are fixed-size and direct-mapped, so inserting far more
+  // distinct keys than slots must overwrite live entries -- each overwrite of
+  // a different key counts as one eviction. Sweep enough distinct
+  // (servers, lambda) pairs to guarantee collisions regardless of table size.
+  ClearQueueingCache();
+  for (uint32_t servers = 1; servers <= 64; ++servers) {
+    for (int k = 0; k < 1024; ++k) {
+      const double lambda = 0.01 * static_cast<double>(k + 1) * servers;
+      (void)CachedMdcLatencyPercentile(servers, lambda, 0.18, 0.99);
+    }
+  }
+  const QueueingCacheStats stats = GetQueueingCacheStats();
+  EXPECT_GT(stats.misses, 0u);
+  EXPECT_GT(stats.evictions, 0u);
+  // Every eviction is a miss that displaced something; it can never outnumber
+  // the misses that performed inserts.
+  EXPECT_LE(stats.evictions, stats.misses);
+  // Re-querying one key twice in a row is a hit and must not evict.
+  const QueueingCacheStats before = GetQueueingCacheStats();
+  (void)CachedErlangC(3, 1.5);
+  (void)CachedErlangC(3, 1.5);
+  const QueueingCacheStats after = GetQueueingCacheStats();
+  EXPECT_GE(after.hits, before.hits + 1);
+}
+
+TEST_F(QueueingCacheTest, GlobalStatsIncludeCallingThread) {
+  ClearQueueingCache();
+  const QueueingCacheStats global_before = GetGlobalQueueingCacheStats();
+  (void)CachedErlangC(5, 2.0);
+  (void)CachedErlangC(5, 2.0);
+  const QueueingCacheStats global_after = GetGlobalQueueingCacheStats();
+  EXPECT_GE(global_after.misses, global_before.misses + 1);
+  EXPECT_GE(global_after.hits, global_before.hits + 1);
+}
+
 TEST_F(QueueingCacheTest, DisabledCacheBypassesTables) {
   ClearQueueingCache();
   SetQueueingCacheEnabled(false);
