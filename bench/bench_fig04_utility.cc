@@ -61,7 +61,8 @@ void RunCorrelation() {
 }  // namespace
 }  // namespace faro
 
-int main() {
+int main(int argc, char** argv) {
+  faro::BenchObs obs(argc, argv);
   faro::RunShapes();
   faro::RunCorrelation();
   return 0;

@@ -88,7 +88,8 @@ void RunJobCount(size_t num_jobs) {
 }  // namespace
 }  // namespace faro
 
-int main() {
+int main(int argc, char** argv) {
+  faro::BenchObs obs(argc, argv);
   faro::PrintHeader("Figure 7: hierarchical optimisation (time and objective vs G)");
   faro::RunJobCount(20);
   faro::RunJobCount(faro::FastBench() ? 50 : 100);

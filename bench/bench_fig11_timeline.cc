@@ -24,8 +24,14 @@ void Run() {
                                        "MArk/Cocktail/Barista", "Faro-FairSum"};
   std::map<std::string, RunResult> results;
   for (const std::string& name : names) {
-    auto policy = MakePolicy(name, predictor);
-    results[name] = RunPolicy(setup, workload, *policy, 5150);
+    // Direct RunPolicy calls opt into tracing explicitly: one trace process
+    // per policy, threaded through both the policy (autoscaler/solver spans)
+    // and the simulator (request-lifecycle spans).
+    const TraceSession session = StartRunTraceSession(setup, name);
+    FaroConfig overrides;
+    overrides.trace = session;
+    auto policy = MakePolicy(name, predictor, &overrides);
+    results[name] = RunPolicy(setup, workload, *policy, 5150, session);
   }
 
   std::printf("%-8s %-12s", "t(min)", "load(req/m)");
@@ -65,7 +71,8 @@ void Run() {
 }  // namespace
 }  // namespace faro
 
-int main() {
+int main(int argc, char** argv) {
+  faro::BenchObs obs(argc, argv);
   faro::Run();
   return 0;
 }

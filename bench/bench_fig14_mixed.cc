@@ -32,7 +32,8 @@ void Run() {
 }  // namespace
 }  // namespace faro
 
-int main() {
+int main(int argc, char** argv) {
+  faro::BenchObs obs(argc, argv);
   faro::Run();
   return 0;
 }

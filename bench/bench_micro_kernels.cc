@@ -7,6 +7,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_util.h"
 #include "src/core/objectives.h"
 #include "src/forecast/nhits.h"
 #include "src/optim/cobyla.h"
@@ -174,4 +175,15 @@ BENCHMARK(BM_NHitsInference);
 }  // namespace
 }  // namespace faro
 
-BENCHMARK_MAIN();
+// Expanded BENCHMARK_MAIN so BenchObs can strip --metrics-out / --trace-out
+// before google-benchmark's flag parser rejects them as unrecognized.
+int main(int argc, char** argv) {
+  faro::BenchObs obs(argc, argv);
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

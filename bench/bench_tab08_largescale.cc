@@ -89,7 +89,8 @@ void RunSolverComparison(size_t num_jobs, double capacity, size_t epochs) {
 }  // namespace
 }  // namespace faro
 
-int main() {
+int main(int argc, char** argv) {
+  faro::BenchObs obs(argc, argv);
   faro::PrintHeader("Table 8: large-scale workloads");
   faro::RunScale(20, 70.0, /*noisy=*/true, /*epochs=*/faro::FastBench() ? 3 : 8);
   const size_t large_jobs = faro::FastBench() ? 40 : 100;

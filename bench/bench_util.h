@@ -1,5 +1,6 @@
 // Shared helpers for the reproduction benches: a fixed-allocation policy, a
-// fast/normal mode switch, and row printers for the paper-style tables.
+// fast/normal mode switch, observability flag wiring, and row printers for
+// the paper-style tables.
 //
 // Every bench regenerates one table or figure from the paper's evaluation
 // (see DESIGN.md's per-experiment index) and prints the same rows/series the
@@ -10,12 +11,44 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
 #include "src/core/policy.h"
+#include "src/obs/obs.h"
 
 namespace faro {
+
+// Observability wiring for bench mains. Construct first thing in main():
+// parses --metrics-out=PATH / --trace-out=PATH (stripping them from argv so
+// downstream flag parsers such as google-benchmark's never see them), layers
+// them over the FARO_METRICS_OUT / FARO_TRACE_OUT environment defaults, and
+// installs the result as the process-wide ObsConfig that every
+// ExperimentSetup inherits. On destruction (bench exit) writes the configured
+// sinks; with neither flag nor env set, this is a no-op end to end.
+class BenchObs {
+ public:
+  BenchObs(int& argc, char** argv) {
+    ObsConfig config = DefaultObsConfig();
+    int kept = 1;
+    for (int i = 1; i < argc; ++i) {
+      const char* arg = argv[i];
+      if (std::strncmp(arg, "--metrics-out=", 14) == 0) {
+        config.metrics_out = arg + 14;
+      } else if (std::strncmp(arg, "--trace-out=", 12) == 0) {
+        config.trace_out = arg + 12;
+      } else {
+        argv[kept++] = argv[i];
+      }
+    }
+    argc = kept;
+    SetDefaultObsConfig(config);
+  }
+  ~BenchObs() { WriteObsOutputs(DefaultObsConfig()); }
+  BenchObs(const BenchObs&) = delete;
+  BenchObs& operator=(const BenchObs&) = delete;
+};
 
 // Pins every job at a fixed replica count (Fig. 1's "no autoscaler" and the
 // utility-vs-satisfaction sweep of Fig. 4b).

@@ -8,6 +8,7 @@
 #include <numeric>
 
 #include "src/common/parallel.h"
+#include "src/obs/metrics.h"
 #include "src/optim/cobyla.h"
 #include "src/optim/multistart.h"
 
@@ -17,6 +18,36 @@ namespace {
 // Shrinking treats a job as "at utility 1" when its predicted utility is
 // within this tolerance of the maximum.
 constexpr double kFullUtilityTolerance = 1e-3;
+
+// Registry mirrors of the per-cycle solver telemetry. Updated once per
+// decision cycle (never inside the solve hot path), so they are recorded
+// unconditionally. The wall-clock solve histogram is measurement only and
+// excluded from the determinism contract, like SolverTelemetry's timing.
+Counter& CyclesCounter() {
+  static Counter& counter = MetricsRegistry::Global().GetCounter(
+      "faro_autoscaler_cycles_total", "Long-term decision cycles executed");
+  return counter;
+}
+
+Counter& EvaluationsCounter() {
+  static Counter& counter = MetricsRegistry::Global().GetCounter(
+      "faro_autoscaler_objective_evaluations_total",
+      "Objective evaluations spent by Stage-2 solves");
+  return counter;
+}
+
+Counter& StartsCounter() {
+  static Counter& counter = MetricsRegistry::Global().GetCounter(
+      "faro_autoscaler_solver_starts_total",
+      "Solver tasks launched by the multi-start driver (and legacy path)");
+  return counter;
+}
+
+Histogram& SolveSecondsHistogram() {
+  static Histogram& histogram = MetricsRegistry::Global().GetHistogram(
+      "faro_autoscaler_solve_seconds", "Wall-clock seconds per Stage-2 solve");
+  return histogram;
+}
 
 double MinCpuPerReplica(const std::vector<JobSpec>& job_specs) {
   double min_cpu = 1.0;
@@ -395,6 +426,8 @@ ScalingAction FaroAutoscaler::SolveFlat(const std::vector<JobSpec>& job_specs,
                             config_.objective == ObjectiveKind::kFairSum ||
                             config_.objective == ObjectiveKind::kPenaltyFairSum;
   auto fairness_presolve = [&](const std::vector<double>& from) -> std::vector<double> {
+    ScopedWallSpan presolve_span(config_.trace, kAutoscalerTid, "fairness_presolve",
+                                 "autoscaler");
     ClusterObjectiveConfig pre_config = obj_config;
     pre_config.kind = UsesDropRates(config_.objective) ? ObjectiveKind::kPenaltySum
                                                        : ObjectiveKind::kSum;
@@ -414,7 +447,10 @@ ScalingAction FaroAutoscaler::SolveFlat(const std::vector<JobSpec>& job_specs,
     // Clip the full warm-start vector -- drop-rate coordinates included --
     // into the problem's box before handing it to the solver.
     problem.ClipToBounds(x0);
-    solution = Cobyla(problem, x0, solver);
+    {
+      ScopedWallSpan solve_span(config_.trace, kAutoscalerTid, "stage2_solve", "autoscaler");
+      solution = Cobyla(problem, x0, solver);
+    }
     ++telemetry_.starts_launched;
     ++telemetry_.wins_warm_current;
     telemetry_.objective_evaluations += static_cast<uint64_t>(solution.evaluations);
@@ -455,9 +491,11 @@ ScalingAction FaroAutoscaler::SolveFlat(const std::vector<JobSpec>& job_specs,
     ms.jitter = config_.multistart_jitter;
     ms.seed = solve_seed;
     ms.max_parallelism = config_.solve_parallelism;
+    ms.trace = config_.trace;
     const size_t extra = config_.multistart_starts > starts.size()
                              ? config_.multistart_starts - starts.size()
                              : 0;
+    ScopedWallSpan solve_span(config_.trace, kAutoscalerTid, "stage2_solve", "autoscaler");
     const MultiStartResult ms_result =
         MultiStartSolve(problem, std::move(starts), extra, ms);
     solution = ms_result.best;
@@ -488,18 +526,22 @@ ScalingAction FaroAutoscaler::SolveFlat(const std::vector<JobSpec>& job_specs,
   }
 
   ScalingAction action;
-  action.replicas = Integerize(objective, solution.x, resources);
-  action.drop_rates.assign(job_specs.size(), 0.0);
-  if (UsesDropRates(config_.objective)) {
-    for (size_t i = 0; i < job_specs.size(); ++i) {
-      double drop = std::clamp(solution.x[job_specs.size() + i], 0.0, 1.0);
-      if (drop < 0.01) {
-        drop = 0.0;  // ignore solver noise
+  {
+    ScopedWallSpan integerize_span(config_.trace, kAutoscalerTid, "integerize",
+                                   "autoscaler");
+    action.replicas = Integerize(objective, solution.x, resources);
+    action.drop_rates.assign(job_specs.size(), 0.0);
+    if (UsesDropRates(config_.objective)) {
+      for (size_t i = 0; i < job_specs.size(); ++i) {
+        double drop = std::clamp(solution.x[job_specs.size() + i], 0.0, 1.0);
+        if (drop < 0.01) {
+          drop = 0.0;  // ignore solver noise
+        }
+        action.drop_rates[i] = drop;
       }
-      action.drop_rates[i] = drop;
     }
+    ExchangePolish(objective, action.replicas, action.drop_rates, resources);
   }
-  ExchangePolish(objective, action.replicas, action.drop_rates, resources);
 
   // Cold-start-aware hysteresis: keep the standing allocation when the new
   // one is not predicted to be materially better (see FaroConfig).
@@ -532,6 +574,7 @@ ScalingAction FaroAutoscaler::SolveFlat(const std::vector<JobSpec>& job_specs,
   }
 
   if (config_.enable_shrinking) {
+    ScopedWallSpan shrink_span(config_.trace, kAutoscalerTid, "shrink", "autoscaler");
     Shrink(objective, action.replicas, action.drop_rates);
   }
   return action;
@@ -699,7 +742,13 @@ ScalingAction FaroAutoscaler::SolveHierarchical(const std::vector<JobSpec>& job_
 ScalingAction FaroAutoscaler::Decide(double now_s, const std::vector<JobSpec>& job_specs,
                                      const std::vector<JobMetrics>& metrics,
                                      const ClusterResources& resources) {
-  const std::vector<std::vector<double>> loads = PredictLoads(job_specs, metrics);
+  ScopedWallSpan decide_span(config_.trace, kAutoscalerTid, "decide", "autoscaler");
+  const SolverTelemetry before = telemetry_;
+  std::vector<std::vector<double>> loads;
+  {
+    ScopedWallSpan forecast_span(config_.trace, kAutoscalerTid, "forecast", "autoscaler");
+    loads = PredictLoads(job_specs, metrics);
+  }
   // Every random choice inside a solve derives from this cycle seed, never
   // from shared mutable RNG state, so a fixed config seed gives bit-identical
   // decisions at any thread count.
@@ -717,6 +766,10 @@ ScalingAction FaroAutoscaler::Decide(double now_s, const std::vector<JobSpec>& j
   ++telemetry_.cycles;
   telemetry_.solve_seconds_total += solve_seconds;
   telemetry_.solve_seconds_max = std::max(telemetry_.solve_seconds_max, solve_seconds);
+  CyclesCounter().Add(1);
+  EvaluationsCounter().Add(telemetry_.objective_evaluations - before.objective_evaluations);
+  StartsCounter().Add(telemetry_.starts_launched - before.starts_launched);
+  SolveSecondsHistogram().Record(solve_seconds);
   return action;
 }
 

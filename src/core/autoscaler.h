@@ -27,6 +27,7 @@
 #include "src/core/objectives.h"
 #include "src/core/policy.h"
 #include "src/core/predictor.h"
+#include "src/obs/trace.h"
 
 namespace faro {
 
@@ -123,6 +124,12 @@ struct FaroConfig {
   bool warm_start_cache = true;
 
   uint64_t seed = 7;
+
+  // Observability: wall-clock spans for the decision cycle (forecast ->
+  // sloppified solve -> integerize/shrink, plus per-start spans inside the
+  // multi-start driver) are recorded into this session when set. Measurement
+  // only -- decisions are bit-identical with tracing on or off.
+  TraceSession trace;
 };
 
 class FaroAutoscaler : public AutoscalingPolicy {

@@ -1,0 +1,379 @@
+#include "src/obs/metrics.h"
+
+#include <bit>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <utility>
+
+namespace faro {
+namespace obs_internal {
+
+namespace {
+
+// One entry per (instrument, thread) pair this thread has touched. A handful
+// of instruments exist, so a linear scan beats a hash map and keeps the
+// lookup allocation-free after the first insert.
+thread_local std::vector<std::pair<uint64_t, void*>> tls_cells;
+
+}  // namespace
+
+void* TlsCell(uint64_t id) {
+  for (const auto& [cell_id, cell] : tls_cells) {
+    if (cell_id == id) {
+      return cell;
+    }
+  }
+  return nullptr;
+}
+
+void SetTlsCell(uint64_t id, void* cell) { tls_cells.emplace_back(id, cell); }
+
+uint64_t NextInstrumentId() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace obs_internal
+
+namespace {
+
+// Shortest representation that round-trips a double; avoids "1e+06"-style
+// noise for the integral values metric labels usually hold.
+std::string FormatDouble(double v) {
+  if (std::isnan(v)) {
+    return "NaN";
+  }
+  if (std::isinf(v)) {
+    return v > 0 ? "+Inf" : "-Inf";
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  double parsed = 0.0;
+  std::sscanf(buf, "%lf", &parsed);
+  for (int precision = 1; precision < 17; ++precision) {
+    char candidate[64];
+    std::snprintf(candidate, sizeof(candidate), "%.*g", precision, v);
+    std::sscanf(candidate, "%lf", &parsed);
+    if (parsed == v) {
+      return candidate;
+    }
+  }
+  return buf;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Counter::Cell& Counter::LocalCell() {
+  if (void* cell = obs_internal::TlsCell(id_)) {
+    return *static_cast<Cell*>(cell);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  cells_.emplace_front();
+  Cell* cell = &cells_.front();
+  obs_internal::SetTlsCell(id_, cell);
+  return *cell;
+}
+
+uint64_t Counter::Value() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = 0;
+  for (const Cell& cell : cells_) {
+    total += cell.Load();
+  }
+  return total;
+}
+
+void Counter::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Cell& cell : cells_) {
+    cell.Store(0);
+  }
+}
+
+size_t Histogram::BucketIndex(double v) {
+  // NaN, non-positive, and subnormal values all fail this comparison and land
+  // in the underflow bucket.
+  if (!(v >= std::ldexp(1.0, kMinExponent))) {
+    return 0;
+  }
+  if (v >= std::ldexp(1.0, kMaxExponent)) {
+    return kBucketCount - 1;
+  }
+  // v is a positive normal double in [2^kMinExponent, 2^kMaxExponent): the
+  // IEEE-754 exponent field picks the octave and the top mantissa bits pick
+  // the linear sub-bucket inside it.
+  const uint64_t bits = std::bit_cast<uint64_t>(v);
+  const int exponent = static_cast<int>((bits >> 52) & 0x7ff) - 1023;
+  const uint64_t sub = (bits >> (52 - kSubBucketBits)) & (kSubBuckets - 1);
+  return 1 + static_cast<size_t>(exponent - kMinExponent) * kSubBuckets +
+         static_cast<size_t>(sub);
+}
+
+double Histogram::BucketLowerBound(size_t index) {
+  if (index == 0) {
+    return 0.0;
+  }
+  if (index >= kBucketCount - 1) {
+    return std::ldexp(1.0, kMaxExponent);
+  }
+  const size_t i = index - 1;
+  const int exponent = kMinExponent + static_cast<int>(i / kSubBuckets);
+  const double fraction = 1.0 + static_cast<double>(i % kSubBuckets) / kSubBuckets;
+  return std::ldexp(fraction, exponent);
+}
+
+double Histogram::BucketUpperBound(size_t index) {
+  if (index == 0) {
+    return std::ldexp(1.0, kMinExponent);
+  }
+  if (index >= kBucketCount - 1) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return BucketLowerBound(index + 1);
+}
+
+Histogram::Cell& Histogram::LocalCell() {
+  if (void* cell = obs_internal::TlsCell(id_)) {
+    return *static_cast<Cell*>(cell);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  cells_.emplace_front();
+  Cell* cell = &cells_.front();
+  obs_internal::SetTlsCell(id_, cell);
+  return *cell;
+}
+
+uint64_t Histogram::Count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = 0;
+  for (const Cell& cell : cells_) {
+    total += cell.count.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+double Histogram::Sum() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  double total = 0.0;
+  for (const Cell& cell : cells_) {
+    total += cell.sum.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::vector<uint64_t> Histogram::MergedBuckets() const {
+  std::vector<uint64_t> merged(kBucketCount, 0);
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const Cell& cell : cells_) {
+    for (size_t b = 0; b < kBucketCount; ++b) {
+      merged[b] += cell.buckets[b].load(std::memory_order_relaxed);
+    }
+  }
+  return merged;
+}
+
+double Histogram::Quantile(double q) const {
+  const std::vector<uint64_t> merged = MergedBuckets();
+  uint64_t total = 0;
+  for (const uint64_t c : merged) {
+    total += c;
+  }
+  if (total == 0) {
+    return 0.0;
+  }
+  q = std::min(1.0, std::max(0.0, q));
+  // Nearest-rank: sample number ceil(q * total) of the sorted samples, with a
+  // floor of 1 so q=0 means the smallest sample.
+  const uint64_t rank =
+      std::max<uint64_t>(1, static_cast<uint64_t>(std::ceil(q * static_cast<double>(total))));
+  uint64_t cumulative = 0;
+  for (size_t b = 0; b < kBucketCount; ++b) {
+    cumulative += merged[b];
+    if (cumulative >= rank) {
+      if (b == 0) {
+        // Underflow bucket: represent by half its upper bound.
+        return 0.5 * BucketUpperBound(0);
+      }
+      if (b == kBucketCount - 1) {
+        return BucketLowerBound(b);  // overflow: no finite midpoint
+      }
+      return 0.5 * (BucketLowerBound(b) + BucketUpperBound(b));
+    }
+  }
+  return BucketLowerBound(kBucketCount - 1);
+}
+
+void Histogram::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Cell& cell : cells_) {
+    for (auto& bucket : cell.buckets) {
+      bucket.store(0, std::memory_order_relaxed);
+    }
+    cell.count.store(0, std::memory_order_relaxed);
+    cell.sum.store(0.0, std::memory_order_relaxed);
+  }
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  // Deliberately leaked: see the file header for the lifetime rationale.
+  static MetricsRegistry* global = new MetricsRegistry();
+  return *global;
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name, const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Counter>(name, help);
+  }
+  return *slot;
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name, const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Gauge>(name, help);
+  }
+  return *slot;
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name, const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Histogram>(name, help);
+  }
+  return *slot;
+}
+
+std::string MetricsRegistry::PrometheusText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream out;
+  for (const auto& [name, counter] : counters_) {
+    if (!counter->help().empty()) {
+      out << "# HELP " << name << ' ' << counter->help() << '\n';
+    }
+    out << "# TYPE " << name << " counter\n";
+    out << name << ' ' << counter->Value() << '\n';
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    if (!gauge->help().empty()) {
+      out << "# HELP " << name << ' ' << gauge->help() << '\n';
+    }
+    out << "# TYPE " << name << " gauge\n";
+    out << name << ' ' << FormatDouble(gauge->Value()) << '\n';
+  }
+  for (const auto& [name, hist] : histograms_) {
+    if (!hist->help().empty()) {
+      out << "# HELP " << name << ' ' << hist->help() << '\n';
+    }
+    out << "# TYPE " << name << " histogram\n";
+    const std::vector<uint64_t> buckets = hist->MergedBuckets();
+    uint64_t cumulative = 0;
+    for (size_t b = 0; b + 1 < buckets.size(); ++b) {
+      if (buckets[b] == 0) {
+        continue;  // sparse exposition: only buckets that saw samples
+      }
+      cumulative += buckets[b];
+      out << name << "_bucket{le=\"" << FormatDouble(Histogram::BucketUpperBound(b))
+          << "\"} " << cumulative << '\n';
+    }
+    cumulative += buckets.back();  // overflow bucket folds into +Inf
+    out << name << "_bucket{le=\"+Inf\"} " << cumulative << '\n';
+    out << name << "_sum " << FormatDouble(hist->Sum()) << '\n';
+    out << name << "_count " << hist->Count() << '\n';
+  }
+  return out.str();
+}
+
+std::string MetricsRegistry::JsonLines() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream out;
+  for (const auto& [name, counter] : counters_) {
+    out << "{\"metric\":\"" << JsonEscape(name) << "\",\"type\":\"counter\",\"value\":"
+        << counter->Value() << "}\n";
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    double v = gauge->Value();
+    if (!std::isfinite(v)) {
+      v = 0.0;  // keep the line valid JSON
+    }
+    out << "{\"metric\":\"" << JsonEscape(name) << "\",\"type\":\"gauge\",\"value\":"
+        << FormatDouble(v) << "}\n";
+  }
+  for (const auto& [name, hist] : histograms_) {
+    out << "{\"metric\":\"" << JsonEscape(name) << "\",\"type\":\"histogram\",\"count\":"
+        << hist->Count() << ",\"sum\":" << FormatDouble(hist->Sum())
+        << ",\"p50\":" << FormatDouble(hist->Quantile(0.5))
+        << ",\"p99\":" << FormatDouble(hist->Quantile(0.99))
+        << ",\"p999\":" << FormatDouble(hist->Quantile(0.999)) << "}\n";
+  }
+  return out.str();
+}
+
+bool MetricsRegistry::WriteFile(const std::string& path, MetricsFormat format) const {
+  if (format == MetricsFormat::kAuto) {
+    const auto dot = path.rfind('.');
+    const std::string ext = dot == std::string::npos ? "" : path.substr(dot);
+    format = (ext == ".json" || ext == ".jsonl") ? MetricsFormat::kJsonl
+                                                 : MetricsFormat::kPrometheus;
+  }
+  std::ofstream out(path);
+  if (!out) {
+    return false;
+  }
+  out << (format == MetricsFormat::kJsonl ? JsonLines() : PrometheusText());
+  return static_cast<bool>(out);
+}
+
+void MetricsRegistry::ResetForTest() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) {
+    counter->Reset();
+  }
+  for (auto& [name, gauge] : gauges_) {
+    gauge->Reset();
+  }
+  for (auto& [name, hist] : histograms_) {
+    hist->Reset();
+  }
+}
+
+}  // namespace faro

@@ -1,0 +1,218 @@
+// Process-wide metrics registry: counters, gauges, and log-bucketed latency
+// histograms for the simulator, the autoscaler decision cycle, and the
+// queueing memo caches.
+//
+// Design:
+//   - instruments are sharded per thread: the first use on a thread registers
+//     a private cell (one mutex acquisition, ever), and every subsequent
+//     update is a relaxed load/store on that thread-exclusive, cache-line-
+//     aligned cell -- no locks, no read-modify-write contention on the hot
+//     path. Readers merge the cells under the registration mutex, so totals
+//     are exact for every value a writer has published;
+//   - hot paths may hoist `LocalCell()` into their own thread-local state
+//     (the queueing cache does) so an increment is a single relaxed store;
+//   - histograms are log-bucketed: 2^kSubBucketBits linear sub-buckets per
+//     octave (HdrHistogram-style), so bucketing is bit twiddling on the
+//     double's exponent/mantissa -- no std::log on the record path -- and
+//     every bucket's relative width is at most 1/2^kSubBucketBits (12.5%).
+//     Quantile(q) returns the midpoint of the bucket holding the nearest-rank
+//     sample, so it matches the exact sorted percentile within half a bucket
+//     width (tests/obs_metrics_test.cc validates p50/p99/p999 against exact
+//     sorted percentiles);
+//   - MetricsRegistry::Global() is a leaked singleton: cells stay valid for
+//     late-exiting threads (pool workers joined during static destruction)
+//     and for atexit dumpers, the same lifetime rule the queueing cache's
+//     old namespace-scope atomics relied on.
+//
+// Determinism contract: counts and bucket tallies of sim-driven instruments
+// are pure functions of the simulated runs and therefore deterministic;
+// wall-clock-valued instruments (e.g. solve-time histograms) are measurement
+// and excluded, exactly like SolverTelemetry's wall-clock fields.
+
+#ifndef SRC_OBS_METRICS_H_
+#define SRC_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <forward_list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace faro {
+
+namespace obs_internal {
+
+// Thread-local lookup table mapping an instrument's unique id to this
+// thread's cell. Ids are never reused, so a destroyed instrument (only ever
+// test-local ones; registry instruments are immortal) can never alias a live
+// one.
+void* TlsCell(uint64_t id);
+void SetTlsCell(uint64_t id, void* cell);
+uint64_t NextInstrumentId();
+
+}  // namespace obs_internal
+
+// Monotonically increasing event count.
+class Counter {
+ public:
+  struct alignas(64) Cell {
+    std::atomic<uint64_t> value{0};
+
+    // Relaxed read-add-store: the cell is thread-exclusive, so this never
+    // loses updates and never needs a lock prefix.
+    void Add(uint64_t delta) {
+      value.store(value.load(std::memory_order_relaxed) + delta, std::memory_order_relaxed);
+    }
+    uint64_t Load() const { return value.load(std::memory_order_relaxed); }
+    void Store(uint64_t v) { value.store(v, std::memory_order_relaxed); }
+  };
+
+  Counter(std::string name, std::string help)
+      : name_(std::move(name)), help_(std::move(help)) {}
+
+  const std::string& name() const { return name_; }
+  const std::string& help() const { return help_; }
+
+  // This thread's private cell; registers it on first use. Hot paths hoist
+  // the returned reference into their own thread-local state.
+  Cell& LocalCell();
+
+  void Add(uint64_t delta = 1) { LocalCell().Add(delta); }
+
+  // Merged total over every thread's cell.
+  uint64_t Value() const;
+
+  // Zeroes every cell (for tests; racy against concurrent writers by design).
+  void Reset();
+
+ private:
+  const std::string name_;
+  const std::string help_;
+  const uint64_t id_ = obs_internal::NextInstrumentId();
+  mutable std::mutex mu_;                // guards cells_ structure
+  std::forward_list<Cell> cells_;        // stable addresses, one per thread
+};
+
+// Last-write-wins instantaneous value.
+class Gauge {
+ public:
+  Gauge(std::string name, std::string help)
+      : name_(std::move(name)), help_(std::move(help)) {}
+
+  const std::string& name() const { return name_; }
+  const std::string& help() const { return help_; }
+
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { Set(0.0); }
+
+ private:
+  const std::string name_;
+  const std::string help_;
+  std::atomic<double> value_{0.0};
+};
+
+// Log-bucketed histogram of non-negative samples (latencies in seconds).
+class Histogram {
+ public:
+  // 8 linear sub-buckets per power of two: relative bucket width <= 12.5%.
+  static constexpr int kSubBucketBits = 3;
+  static constexpr int kSubBuckets = 1 << kSubBucketBits;
+  // Covered range: [2^-30, 2^30) seconds ~ [0.93 ns, 34 years); bucket 0
+  // catches everything below (non-positive values included) and the last
+  // bucket everything at or above.
+  static constexpr int kMinExponent = -30;
+  static constexpr int kMaxExponent = 30;
+  static constexpr size_t kBucketCount =
+      2 + static_cast<size_t>(kMaxExponent - kMinExponent) * kSubBuckets;
+
+  struct Cell {
+    std::array<std::atomic<uint64_t>, kBucketCount> buckets{};
+    std::atomic<uint64_t> count{0};
+    std::atomic<double> sum{0.0};
+
+    void Record(double v) {
+      auto& slot = buckets[BucketIndex(v)];
+      slot.store(slot.load(std::memory_order_relaxed) + 1, std::memory_order_relaxed);
+      count.store(count.load(std::memory_order_relaxed) + 1, std::memory_order_relaxed);
+      sum.store(sum.load(std::memory_order_relaxed) + v, std::memory_order_relaxed);
+    }
+  };
+
+  Histogram(std::string name, std::string help)
+      : name_(std::move(name)), help_(std::move(help)) {}
+
+  const std::string& name() const { return name_; }
+  const std::string& help() const { return help_; }
+
+  static size_t BucketIndex(double v);
+  static double BucketLowerBound(size_t index);
+  static double BucketUpperBound(size_t index);  // +inf for the last bucket
+
+  Cell& LocalCell();
+  void Record(double v) { LocalCell().Record(v); }
+
+  uint64_t Count() const;
+  double Sum() const;
+  // Per-bucket counts merged over every thread's cell.
+  std::vector<uint64_t> MergedBuckets() const;
+  // Nearest-rank quantile over the merged buckets: the midpoint of the bucket
+  // holding sample number max(1, ceil(q * count)). 0 when empty.
+  double Quantile(double q) const;
+
+  void Reset();
+
+ private:
+  const std::string name_;
+  const std::string help_;
+  const uint64_t id_ = obs_internal::NextInstrumentId();
+  mutable std::mutex mu_;
+  std::forward_list<Cell> cells_;
+};
+
+enum class MetricsFormat : uint8_t {
+  kAuto = 0,        // by file extension: .json/.jsonl -> JSONL, else Prometheus
+  kPrometheus = 1,  // text exposition format
+  kJsonl = 2,       // one JSON object per metric per line
+};
+
+// Name-keyed instrument store. Get* returns the existing instrument when the
+// name is already registered (the help string of the first registration
+// wins), so call sites can cache references without coordination.
+class MetricsRegistry {
+ public:
+  // Leaked process-wide instance (never destroyed; see file header).
+  static MetricsRegistry& Global();
+
+  Counter& GetCounter(const std::string& name, const std::string& help = "");
+  Gauge& GetGauge(const std::string& name, const std::string& help = "");
+  Histogram& GetHistogram(const std::string& name, const std::string& help = "");
+
+  // Prometheus text exposition of every instrument, sorted by name.
+  // Histograms emit cumulative `_bucket{le="..."}` lines for non-empty
+  // buckets plus `_sum` / `_count`.
+  std::string PrometheusText() const;
+  // One JSON object per metric per line; histograms carry count/sum and
+  // p50/p99/p999.
+  std::string JsonLines() const;
+  // Writes the chosen exposition; kAuto picks by extension.
+  bool WriteFile(const std::string& path, MetricsFormat format = MetricsFormat::kAuto) const;
+
+  // Zeroes every registered instrument (registrations are kept).
+  void ResetForTest();
+
+ private:
+  mutable std::mutex mu_;
+  // std::map keeps exposition output deterministically name-sorted.
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace faro
+
+#endif  // SRC_OBS_METRICS_H_

@@ -1,0 +1,89 @@
+#include "src/obs/obs.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+namespace faro {
+namespace {
+
+std::mutex g_default_mu;
+
+ObsConfig& MutableDefault() {
+  static ObsConfig* config = [] {
+    auto* c = new ObsConfig();
+    if (const char* env = std::getenv("FARO_METRICS_OUT")) {
+      c->metrics_out = env;
+    }
+    if (const char* env = std::getenv("FARO_TRACE_OUT")) {
+      c->trace_out = env;
+    }
+    if (const char* env = std::getenv("FARO_TRACE_MAX_EVENTS")) {
+      const long long parsed = std::atoll(env);
+      if (parsed > 0) {
+        c->trace_max_events = static_cast<size_t>(parsed);
+      }
+    }
+    return c;
+  }();
+  return *config;
+}
+
+}  // namespace
+
+Tracer& GlobalTracer() {
+  // Leaked so late-exiting threads and atexit writers stay safe; the cap is
+  // frozen at first use from the then-current default config.
+  static Tracer* tracer = new Tracer(DefaultObsConfig().trace_max_events);
+  return *tracer;
+}
+
+Tracer* ObsConfig::ResolveTracer() const {
+  if (tracer != nullptr) {
+    return tracer;
+  }
+  return trace_out.empty() ? nullptr : &GlobalTracer();
+}
+
+const ObsConfig& DefaultObsConfig() {
+  std::lock_guard<std::mutex> lock(g_default_mu);
+  return MutableDefault();
+}
+
+void SetDefaultObsConfig(const ObsConfig& config) {
+  std::lock_guard<std::mutex> lock(g_default_mu);
+  MutableDefault() = config;
+}
+
+bool WriteObsOutputs(const ObsConfig& config) {
+  bool ok = true;
+  if (!config.metrics_out.empty()) {
+    if (MetricsRegistry::Global().WriteFile(config.metrics_out, config.metrics_format)) {
+      std::fprintf(stderr, "[faro-obs] wrote metrics to %s\n", config.metrics_out.c_str());
+    } else {
+      std::fprintf(stderr, "[faro-obs] FAILED to write metrics to %s\n",
+                   config.metrics_out.c_str());
+      ok = false;
+    }
+  }
+  if (!config.trace_out.empty()) {
+    const Tracer* tracer = config.ResolveTracer();
+    if (tracer != nullptr && tracer->WriteChromeTrace(config.trace_out)) {
+      std::fprintf(stderr, "[faro-obs] wrote trace to %s (%zu events", config.trace_out.c_str(),
+                   tracer->size());
+      if (tracer->dropped_events() > 0) {
+        std::fprintf(stderr, ", %llu dropped at the %zu-event cap",
+                     static_cast<unsigned long long>(tracer->dropped_events()),
+                     config.trace_max_events);
+      }
+      std::fprintf(stderr, ")\n");
+    } else {
+      std::fprintf(stderr, "[faro-obs] FAILED to write trace to %s\n",
+                   config.trace_out.c_str());
+      ok = false;
+    }
+  }
+  return ok;
+}
+
+}  // namespace faro

@@ -1,0 +1,66 @@
+// Observability configuration and sinks.
+//
+// ObsConfig rides on ExperimentSetup (src/sim/harness.h); the default is the
+// null sink -- no tracer, no metrics file -- so instrumented code costs one
+// predictable branch per site. Benches install a process-wide default from
+// `--metrics-out` / `--trace-out` flags (bench/bench_util.h) before building
+// their setups, and the same flags are honoured as FARO_METRICS_OUT /
+// FARO_TRACE_OUT environment variables.
+
+#ifndef SRC_OBS_OBS_H_
+#define SRC_OBS_OBS_H_
+
+#include <cstddef>
+#include <string>
+
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
+namespace faro {
+
+struct ObsConfig {
+  // Metrics exposition file; empty = no metrics sink. Format picked by
+  // extension (.json/.jsonl -> JSONL, else Prometheus text) unless forced.
+  std::string metrics_out;
+  MetricsFormat metrics_format = MetricsFormat::kAuto;
+  // Force registry instruments on even without a metrics file (tests read the
+  // registry directly).
+  bool metrics = false;
+
+  // Chrome trace_event sink; empty = no trace sink.
+  std::string trace_out;
+  // Only this trial index of each policy run gets a trace session: trial 0's
+  // sim events are deterministic on their own, while tracing every trial of a
+  // parallel fan-out would interleave runs and blow up the buffer.
+  size_t trace_trial = 0;
+  // Event-buffer cap for the global tracer (frozen at its first use); also
+  // settable via FARO_TRACE_MAX_EVENTS. Overflow is counted and reported,
+  // never silent. Metadata (process names) bypasses the cap.
+  size_t trace_max_events = Tracer::kDefaultMaxEvents;
+  // Test/embedder override: record into this tracer instead of the lazily
+  // created global one (and independent of trace_out).
+  Tracer* tracer = nullptr;
+
+  bool tracing() const { return tracer != nullptr || !trace_out.empty(); }
+  bool metrics_enabled() const { return metrics || !metrics_out.empty(); }
+  // The tracer sessions should record into: the override if set, else the
+  // process-global tracer. nullptr when tracing is off.
+  Tracer* ResolveTracer() const;
+};
+
+// Process-global tracer backing trace_out sinks (leaked, like the registry).
+Tracer& GlobalTracer();
+
+// Process-wide default picked up by ExperimentSetup's member initializer.
+// Initialized from FARO_METRICS_OUT / FARO_TRACE_OUT on first use.
+const ObsConfig& DefaultObsConfig();
+void SetDefaultObsConfig(const ObsConfig& config);
+
+// Writes the configured sinks (metrics exposition and/or Chrome trace) and
+// prints a one-line note per file -- including the dropped-event count if the
+// trace buffer capped out. Returns false if any configured sink failed.
+bool WriteObsOutputs(const ObsConfig& config);
+
+}  // namespace faro
+
+#endif  // SRC_OBS_OBS_H_

@@ -1,0 +1,212 @@
+#include "src/obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <tuple>
+
+namespace faro {
+namespace {
+
+constexpr double kUsPerSimSecond = 1e6;
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+// Fixed sub-microsecond precision: enough for sim times (stored in seconds)
+// and stable across platforms.
+std::string FormatTs(double us) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.3f", us);
+  return buf;
+}
+
+bool CanonicalLess(const TraceEvent& a, const TraceEvent& b) {
+  const int a_meta = a.phase == 'M' ? 0 : 1;
+  const int b_meta = b.phase == 'M' ? 0 : 1;
+  return std::tie(a.pid, a_meta, a.ts_us, a.tid, a.cat, a.name, a.dur_us, a.phase) <
+         std::tie(b.pid, b_meta, b.ts_us, b.tid, b.cat, b.name, b.dur_us, b.phase);
+}
+
+}  // namespace
+
+Tracer::Tracer(size_t max_events)
+    : max_events_(max_events), epoch_(std::chrono::steady_clock::now()) {}
+
+uint32_t Tracer::NewProcess(const std::string& name) {
+  TraceEvent meta;
+  meta.name = "process_name";
+  meta.phase = 'M';
+  meta.arg = name;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    meta.pid = next_pid_++;
+    // Metadata bypasses the event cap: a handful of process names must
+    // survive even when an earlier run's spans have filled the buffer, or
+    // later runs render as anonymous pids.
+    events_.push_back(meta);
+    return meta.pid;
+  }
+}
+
+void Tracer::Add(TraceEvent event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (events_.size() >= max_events_) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  events_.push_back(std::move(event));
+}
+
+double Tracer::WallNowUs() const {
+  return std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() -
+                                                   epoch_)
+      .count();
+}
+
+std::vector<TraceEvent> Tracer::Events() const {
+  std::vector<TraceEvent> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out = events_;
+  }
+  std::stable_sort(out.begin(), out.end(), CanonicalLess);
+  return out;
+}
+
+std::vector<TraceEvent> Tracer::Events(TraceClock clock) const {
+  std::vector<TraceEvent> all = Events();
+  std::vector<TraceEvent> out;
+  out.reserve(all.size());
+  for (TraceEvent& event : all) {
+    if (event.clock == clock || event.phase == 'M') {
+      out.push_back(std::move(event));
+    }
+  }
+  return out;
+}
+
+size_t Tracer::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+std::string Tracer::ChromeTraceJson() const {
+  const std::vector<TraceEvent> events = Events();
+  std::ostringstream out;
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& event : events) {
+    if (!first) {
+      out << ',';
+    }
+    first = false;
+    out << "\n{\"name\":\"" << JsonEscape(event.name) << "\",\"ph\":\"" << event.phase
+        << "\",\"pid\":" << event.pid << ",\"tid\":" << event.tid;
+    if (event.phase == 'M') {
+      out << ",\"args\":{\"name\":\"" << JsonEscape(event.arg) << "\"}}";
+      continue;
+    }
+    out << ",\"cat\":\"" << JsonEscape(event.cat) << "\",\"ts\":" << FormatTs(event.ts_us);
+    if (event.phase == 'X') {
+      out << ",\"dur\":" << FormatTs(event.dur_us);
+    } else if (event.phase == 'i') {
+      out << ",\"s\":\"t\"";  // thread-scoped instant
+    }
+    out << '}';
+  }
+  out << "\n]}\n";
+  return out.str();
+}
+
+bool Tracer::WriteChromeTrace(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    return false;
+  }
+  out << ChromeTraceJson();
+  return static_cast<bool>(out);
+}
+
+void TraceSession::SimSpan(uint32_t tid, const std::string& name, const std::string& cat,
+                           double start_s, double end_s) const {
+  if (tracer == nullptr) {
+    return;
+  }
+  TraceEvent event;
+  event.name = name;
+  event.cat = cat;
+  event.phase = 'X';
+  event.clock = TraceClock::kSim;
+  event.pid = pid;
+  event.tid = tid;
+  event.ts_us = start_s * kUsPerSimSecond;
+  event.dur_us = (end_s - start_s) * kUsPerSimSecond;
+  tracer->Add(std::move(event));
+}
+
+void TraceSession::SimInstant(uint32_t tid, const std::string& name,
+                              const std::string& cat, double ts_s) const {
+  if (tracer == nullptr) {
+    return;
+  }
+  TraceEvent event;
+  event.name = name;
+  event.cat = cat;
+  event.phase = 'i';
+  event.clock = TraceClock::kSim;
+  event.pid = pid;
+  event.tid = tid;
+  event.ts_us = ts_s * kUsPerSimSecond;
+  tracer->Add(std::move(event));
+}
+
+void TraceSession::WallSpanSince(uint32_t tid, const std::string& name,
+                                 const std::string& cat, double start_us) const {
+  if (tracer == nullptr) {
+    return;
+  }
+  TraceEvent event;
+  event.name = name;
+  event.cat = cat;
+  event.phase = 'X';
+  event.clock = TraceClock::kWall;
+  event.pid = pid;
+  event.tid = tid;
+  event.ts_us = start_us;
+  event.dur_us = tracer->WallNowUs() - start_us;
+  tracer->Add(std::move(event));
+}
+
+}  // namespace faro

@@ -1,0 +1,144 @@
+// Span-based tracer emitting Chrome trace_event JSON (load the file in
+// Perfetto / chrome://tracing to see the per-request and per-cycle timelines).
+//
+// Two clock domains coexist in one trace:
+//   - kSim: timestamps are simulated seconds (converted to trace microseconds)
+//     -- the per-job request lifecycle (queue_wait, cold_start, service,
+//     drops) lives here. Sim events are a pure function of the run, so the
+//     canonically sorted event list is bit-identical whatever the thread
+//     count (tests/obs_trace_test.cc proves it at 1/2/8 threads);
+//   - kWall: timestamps are wall-clock microseconds since the tracer was
+//     created -- the autoscaler decision cycle and the multi-start solver
+//     tasks live here. Wall events are measurement only and excluded from the
+//     determinism contract (which events exist can itself depend on the
+//     schedule, e.g. solver tasks cancelled by an early exit).
+//
+// Each traced run (one policy x trial) gets its own trace "process" (pid) so
+// Perfetto shows it as a separate track group; within a run, tid is the job
+// index for request-lifecycle spans and kSolverTidBase + task index for
+// solver tracks. Events are buffered centrally under a mutex -- spans are
+// coarse (requests, solver starts, decision phases), so the lock is not a
+// hot path; the registry in metrics.h is the lock-free layer.
+//
+// The buffer is capped (ObsConfig::trace_max_events); events beyond the cap
+// are counted in dropped_events() and reported by the sink writer -- no
+// silent truncation.
+
+#ifndef SRC_OBS_TRACE_H_
+#define SRC_OBS_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace faro {
+
+enum class TraceClock : uint8_t { kSim = 0, kWall = 1 };
+
+// Autoscaler / solver tracks live above any realistic job index.
+inline constexpr uint32_t kAutoscalerTid = 900;
+inline constexpr uint32_t kSolverTidBase = 910;
+
+struct TraceEvent {
+  std::string name;
+  std::string cat;
+  char phase = 'X';  // 'X' complete span, 'i' instant, 'M' metadata
+  TraceClock clock = TraceClock::kSim;
+  uint32_t pid = 0;
+  uint32_t tid = 0;
+  double ts_us = 0.0;
+  double dur_us = 0.0;
+  std::string arg;  // metadata payload (process name) when phase == 'M'
+
+  bool operator==(const TraceEvent&) const = default;
+};
+
+class Tracer {
+ public:
+  static constexpr size_t kDefaultMaxEvents = 1u << 20;
+
+  explicit Tracer(size_t max_events = kDefaultMaxEvents);
+
+  // Allocates the next pid and records its process_name metadata event.
+  uint32_t NewProcess(const std::string& name);
+
+  // Buffers one event; drops (and counts) once the cap is reached.
+  void Add(TraceEvent event);
+
+  // Wall-clock microseconds since this tracer was created.
+  double WallNowUs() const;
+
+  // Canonically sorted copy of the buffer: (pid, metadata-first, ts, tid,
+  // cat, name, dur). The sort makes serialized output independent of the
+  // order concurrent writers appended in.
+  std::vector<TraceEvent> Events() const;
+  std::vector<TraceEvent> Events(TraceClock clock) const;
+
+  size_t size() const;
+  uint64_t dropped_events() const { return dropped_.load(std::memory_order_relaxed); }
+
+  // {"displayTimeUnit":"ms","traceEvents":[...]} -- valid JSON, Perfetto- and
+  // chrome://tracing-loadable.
+  std::string ChromeTraceJson() const;
+  bool WriteChromeTrace(const std::string& path) const;
+
+ private:
+  const size_t max_events_;
+  const std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+  uint32_t next_pid_ = 1;
+  std::atomic<uint64_t> dropped_{0};
+};
+
+// Binding of instrumented code to one tracer process track. Copyable and
+// cheap; a null tracer turns every call into a single-branch no-op, so
+// instrumentation can stay unconditionally in place.
+struct TraceSession {
+  Tracer* tracer = nullptr;
+  uint32_t pid = 0;
+
+  bool on() const { return tracer != nullptr; }
+
+  // Sim-domain span/instant; timestamps in simulated seconds.
+  void SimSpan(uint32_t tid, const std::string& name, const std::string& cat,
+               double start_s, double end_s) const;
+  void SimInstant(uint32_t tid, const std::string& name, const std::string& cat,
+                  double ts_s) const;
+
+  // Wall-domain helpers; timestamps in tracer microseconds (WallNowUs).
+  double WallNowUs() const { return tracer != nullptr ? tracer->WallNowUs() : 0.0; }
+  void WallSpanSince(uint32_t tid, const std::string& name, const std::string& cat,
+                     double start_us) const;
+};
+
+// RAII wall-clock span covering its own scope (measurement only; see the
+// determinism note in the file header).
+class ScopedWallSpan {
+ public:
+  ScopedWallSpan(const TraceSession& session, uint32_t tid, const char* name,
+                 const char* cat)
+      : session_(session), tid_(tid), name_(name), cat_(cat),
+        start_us_(session.WallNowUs()) {}
+  ~ScopedWallSpan() {
+    if (session_.on()) {
+      session_.WallSpanSince(tid_, name_, cat_, start_us_);
+    }
+  }
+  ScopedWallSpan(const ScopedWallSpan&) = delete;
+  ScopedWallSpan& operator=(const ScopedWallSpan&) = delete;
+
+ private:
+  const TraceSession session_;
+  const uint32_t tid_;
+  const char* const name_;
+  const char* const cat_;
+  const double start_us_;
+};
+
+}  // namespace faro
+
+#endif  // SRC_OBS_TRACE_H_

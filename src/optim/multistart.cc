@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <string>
 
 #include "src/common/parallel.h"
 #include "src/common/rng.h"
@@ -139,8 +140,19 @@ MultiStartResult MultiStartSolve(const Problem& problem, std::vector<StartPoint>
         // warm start finish the job.
         const MultiStartConfig& task_config =
             IsScout(starts[s].kind) ? scout : (s == 0 ? config : secondary);
+        const double task_start_us = config.trace.WallNowUs();
         slot.result = SolveOneTask(problem, starts[s].x, alternate, task_config);
         slot.launched = true;
+        if (config.trace.on()) {
+          std::string label = StartKindName(starts[s].kind);
+          label += '#';
+          label += std::to_string(s);
+          if (alternate) {
+            label += "+alt";
+          }
+          config.trace.WallSpanSince(kSolverTidBase + static_cast<uint32_t>(t), label,
+                                     "solver", task_start_us);
+        }
         // Only incumbent-derived (non-scout) starts can declare stability:
         // a scout failing to improve on its own arbitrary start point says
         // nothing about the incumbent.

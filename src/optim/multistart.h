@@ -46,6 +46,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/obs/trace.h"
 #include "src/optim/auglag.h"
 #include "src/optim/cobyla.h"
 #include "src/optim/neldermead.h"
@@ -94,6 +95,11 @@ struct MultiStartConfig {
   // Thread cap for the fan-out: 0 = shared pool size, 1 = serial in task
   // order. Results are bit-identical at every setting.
   size_t max_parallelism = 0;
+  // Observability: each launched task records a wall-clock span (one trace
+  // track per task index) into this session. Measurement only; whether a
+  // task above the early-exit index ran at all is schedule-dependent, so
+  // solver spans are excluded from the determinism contract.
+  TraceSession trace;
 };
 
 struct MultiStartResult {

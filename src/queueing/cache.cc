@@ -1,24 +1,40 @@
 #include "src/queueing/cache.h"
 
 #include <array>
-#include <atomic>
 #include <bit>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 
+#include "src/obs/metrics.h"
 #include "src/queueing/mdc.h"
 #include "src/queueing/mmc.h"
 
 namespace faro {
 namespace {
 
-// Process-wide accumulators, fed by each thread's cache destructor. Trivially
-// destructible (plain atomics at namespace scope), so late-exiting threads --
-// pool workers joined during static destruction -- can still flush safely.
-std::atomic<uint64_t> g_hits{0};
-std::atomic<uint64_t> g_misses{0};
-std::atomic<uint64_t> g_evictions{0};
+// Registry-backed counters: the per-thread cells the registry hands out are
+// the single source of truth for hit/miss/eviction totals (no more parallel
+// namespace-scope atomics to keep in sync). The registry singleton is leaked,
+// so the cells outlive late-exiting pool threads and the atexit printer.
+Counter& HitsCounter() {
+  static Counter& counter = MetricsRegistry::Global().GetCounter(
+      "faro_queueing_cache_hits_total", "Queueing memo cache hits");
+  return counter;
+}
+
+Counter& MissesCounter() {
+  static Counter& counter = MetricsRegistry::Global().GetCounter(
+      "faro_queueing_cache_misses_total", "Queueing memo cache misses");
+  return counter;
+}
+
+Counter& EvictionsCounter() {
+  static Counter& counter = MetricsRegistry::Global().GetCounter(
+      "faro_queueing_cache_evictions_total",
+      "Queueing memo cache inserts that overwrote a live entry");
+  return counter;
+}
 
 void PrintGlobalCacheStats() {
   const QueueingCacheStats totals = GetGlobalQueueingCacheStats();
@@ -98,19 +114,22 @@ constexpr size_t kMdcSlots = 65536;
 struct ThreadCache {
   ErlangTable<kErlangSlots> erlang;
   MdcTable<kMdcSlots> mdc;
-  QueueingCacheStats stats;
+  // This thread's registry cells, hoisted once so the hot path is a single
+  // relaxed store per counted event. The cells are owned by the (leaked)
+  // registry, so no flush is needed at thread exit.
+  Counter::Cell* hits;
+  Counter::Cell* misses;
+  Counter::Cell* evictions;
   bool enabled = true;
 
-  ~ThreadCache() {
-    g_hits.fetch_add(stats.hits, std::memory_order_relaxed);
-    g_misses.fetch_add(stats.misses, std::memory_order_relaxed);
-    g_evictions.fetch_add(stats.evictions, std::memory_order_relaxed);
-  }
+  ThreadCache()
+      : hits(&HitsCounter().LocalCell()),
+        misses(&MissesCounter().LocalCell()),
+        evictions(&EvictionsCounter().LocalCell()) {}
 };
 
 ThreadCache& Cache() {
-  // Arm the exit-time printer (if requested) before the first cache exists,
-  // so main's thread-local flush precedes the atexit callback.
+  // Arm the exit-time printer (if requested) before the first cache exists.
   CacheStatsRequested();
   thread_local ThreadCache cache;
   return cache;
@@ -126,18 +145,21 @@ void ClearQueueingCache() {
   ThreadCache& cache = Cache();
   cache.erlang.entries.fill({});
   cache.mdc.entries.fill({});
-  cache.stats = QueueingCacheStats{};
+  // Zeroing this thread's cells also removes its contribution from the
+  // process-wide totals, matching the old semantics where cleared per-thread
+  // stats never reached the global accumulators.
+  cache.hits->Store(0);
+  cache.misses->Store(0);
+  cache.evictions->Store(0);
 }
 
-QueueingCacheStats GetQueueingCacheStats() { return Cache().stats; }
+QueueingCacheStats GetQueueingCacheStats() {
+  const ThreadCache& cache = Cache();
+  return {cache.hits->Load(), cache.misses->Load(), cache.evictions->Load()};
+}
 
 QueueingCacheStats GetGlobalQueueingCacheStats() {
-  const QueueingCacheStats& live = Cache().stats;
-  QueueingCacheStats totals;
-  totals.hits = g_hits.load(std::memory_order_relaxed) + live.hits;
-  totals.misses = g_misses.load(std::memory_order_relaxed) + live.misses;
-  totals.evictions = g_evictions.load(std::memory_order_relaxed) + live.evictions;
-  return totals;
+  return {HitsCounter().Value(), MissesCounter().Value(), EvictionsCounter().Value()};
 }
 
 double CachedErlangC(uint32_t servers, double offered) {
@@ -149,12 +171,12 @@ double CachedErlangC(uint32_t servers, double offered) {
   const uint64_t hash = Mix64(offered_bits ^ (uint64_t{servers} << 32));
   auto& entry = cache.erlang.entries[hash & (kErlangSlots - 1)];
   if (entry.valid && entry.servers == servers && entry.offered_bits == offered_bits) {
-    ++cache.stats.hits;
+    cache.hits->Add(1);
     return entry.value;
   }
-  ++cache.stats.misses;
+  cache.misses->Add(1);
   if (entry.valid) {
-    ++cache.stats.evictions;  // direct-mapped collision: overwrite the resident
+    cache.evictions->Add(1);  // direct-mapped collision: overwrite the resident
   }
   const double value = ErlangC(servers, offered);
   entry = {offered_bits, servers, true, value};
@@ -175,12 +197,12 @@ double CachedMdcLatencyPercentile(uint32_t servers, double arrival_rate,
   auto& entry = cache.mdc.entries[hash & (kMdcSlots - 1)];
   if (entry.valid && entry.servers == servers && entry.lambda_bits == lambda_bits &&
       entry.service_bits == service_bits && entry.q_bits == q_bits) {
-    ++cache.stats.hits;
+    cache.hits->Add(1);
     return entry.value;
   }
-  ++cache.stats.misses;
+  cache.misses->Add(1);
   if (entry.valid) {
-    ++cache.stats.evictions;
+    cache.evictions->Add(1);
   }
   const double value = MdcLatencyPercentile(servers, arrival_rate, service_time, q);
   entry = {lambda_bits, service_bits, q_bits, servers, true, value};

@@ -16,10 +16,14 @@
 //     paths agree to the last ulp by construction (tests enforce 1e-12);
 //   - SetQueueingCacheEnabled(false) bypasses lookups on the calling thread
 //     (benchmark baselines, A/B tests);
-//   - hits / misses / evictions are counted per thread (an eviction is an
-//     insert that overwrites a live entry with a different key). Set
-//     FARO_CACHE_STATS=1 to print process-wide totals at exit, so
-//     solver-driven cache behaviour is measurable without code changes.
+//   - hits / misses / evictions are counted in the process-wide metrics
+//     registry (src/obs/metrics.h) as faro_queueing_cache_{hits,misses,
+//     evictions}_total, one lock-free per-thread cell per counter (an
+//     eviction is an insert that overwrites a live entry with a different
+//     key). FARO_CACHE_STATS=1 remains as an alias that prints the totals to
+//     stderr at exit, so solver-driven cache behaviour stays measurable
+//     without code changes; --metrics-out on any bench exports the same
+//     counters through the registry sinks.
 
 #ifndef SRC_QUEUEING_CACHE_H_
 #define SRC_QUEUEING_CACHE_H_
@@ -43,11 +47,9 @@ struct QueueingCacheStats {
 };
 QueueingCacheStats GetQueueingCacheStats();
 
-// Process-wide totals: all exited threads' counters plus the calling thread's
-// live ones. Printed at exit when FARO_CACHE_STATS=1 (workers that outlive
-// the exit handler -- e.g. the shared pool during static destruction -- flush
-// on their own thread exit and may miss the printout; totals read here at any
-// earlier point are exact for all exited threads).
+// Process-wide totals, merged over every thread's registry cells -- live
+// threads included, so a read at any point is exact for every event already
+// counted. Printed at exit when FARO_CACHE_STATS=1.
 QueueingCacheStats GetGlobalQueueingCacheStats();
 
 // ErlangC(servers, offered), memoised per thread.

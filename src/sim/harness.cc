@@ -161,13 +161,25 @@ std::unique_ptr<AutoscalingPolicy> MakePolicy(
   return std::make_unique<FaroAutoscaler>(config, std::move(predictor));
 }
 
+TraceSession StartRunTraceSession(const ExperimentSetup& setup, const std::string& label) {
+  TraceSession session;
+  if (Tracer* tracer = setup.obs.ResolveTracer()) {
+    session.tracer = tracer;
+    session.pid = tracer->NewProcess(label);
+  }
+  return session;
+}
+
 RunResult RunPolicy(const ExperimentSetup& setup, const PreparedWorkload& workload,
-                    AutoscalingPolicy& policy, uint64_t trial_seed) {
+                    AutoscalingPolicy& policy, uint64_t trial_seed,
+                    const TraceSession& trace) {
   SimConfig config;
   config.resources = ClusterResources{setup.capacity, setup.capacity};
   config.processing_jitter = setup.processing_jitter;
   config.cold_start_jitter_s = setup.cold_start_jitter_s;
   config.seed = trial_seed;
+  config.trace = trace;
+  config.obs_metrics = setup.obs.metrics_enabled();
   return RunSimulation(config, workload.jobs, policy);
 }
 
@@ -175,13 +187,22 @@ namespace {
 
 // One trial: fresh policy, per-trial RNG stream, full simulation. Safe to run
 // concurrently with other trials -- the workload is read-only and the shared
-// predictor serialises its (pure) forward passes internally.
+// predictor serialises its (pure) forward passes internally. Only the
+// configured trace trial (default 0) opens a trace session: its sim-domain
+// events are a pure function of the run, so the trace stays deterministic
+// even when the surrounding trials fan out across the pool.
 RunResult RunOneTrial(const ExperimentSetup& setup, const PreparedWorkload& workload,
                       const std::string& policy_name,
                       const std::shared_ptr<NHitsWorkloadPredictor>& predictor,
                       const FaroConfig* faro_overrides, size_t trial) {
-  auto policy = MakePolicy(policy_name, predictor, faro_overrides);
-  return RunPolicy(setup, workload, *policy, setup.seed + 1000 * (trial + 1));
+  TraceSession session;
+  if (setup.obs.tracing() && trial == setup.obs.trace_trial) {
+    session = StartRunTraceSession(setup, policy_name + "/trial" + std::to_string(trial));
+  }
+  FaroConfig faro_config = faro_overrides != nullptr ? *faro_overrides : FaroConfig{};
+  faro_config.trace = session;
+  auto policy = MakePolicy(policy_name, predictor, &faro_config);
+  return RunPolicy(setup, workload, *policy, setup.seed + 1000 * (trial + 1), session);
 }
 
 // Serial, trial-ordered reduction of per-trial results into the paper's

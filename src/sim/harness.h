@@ -20,6 +20,7 @@
 
 #include "src/core/autoscaler.h"
 #include "src/forecast/adapter.h"
+#include "src/obs/obs.h"
 #include "src/sim/simulator.h"
 
 namespace faro {
@@ -49,6 +50,11 @@ struct ExperimentSetup {
   // owns its RNG stream (seed + 1000 * (trial + 1)) and aggregation always
   // runs serially in trial order.
   size_t threads = 0;
+  // Observability sinks (src/obs/): defaults to the process-wide config that
+  // bench --metrics-out / --trace-out flags install -- the null sink unless
+  // asked for. Tracing records only trial `obs.trace_trial` of each policy
+  // (deterministic on its own; see obs.h); metrics cover every trial.
+  ObsConfig obs = DefaultObsConfig();
 };
 
 // Job specs plus train/eval traces, all in simulator units (traces are req
@@ -81,9 +87,19 @@ std::unique_ptr<AutoscalingPolicy> MakePolicy(
 // Every policy name in the order Table 7 reports them.
 const std::vector<std::string>& AllPolicyNames();
 
-// Runs one policy once over the prepared workload.
+// Starts a trace session (one trace "process" named `label`) for a single
+// run when `setup.obs` has tracing enabled; returns the null session
+// otherwise. RunTrials does this per traced trial internally; direct
+// RunPolicy callers opt in with this helper and pass the session both to the
+// policy (FaroConfig::trace) and to RunPolicy.
+TraceSession StartRunTraceSession(const ExperimentSetup& setup, const std::string& label);
+
+// Runs one policy once over the prepared workload. `trace` (optional) binds
+// the simulator's request-lifecycle spans to a session from
+// StartRunTraceSession.
 RunResult RunPolicy(const ExperimentSetup& setup, const PreparedWorkload& workload,
-                    AutoscalingPolicy& policy, uint64_t trial_seed);
+                    AutoscalingPolicy& policy, uint64_t trial_seed,
+                    const TraceSession& trace = {});
 
 // Paper metrics aggregated over `setup.trials` independent runs.
 struct TrialAggregate {

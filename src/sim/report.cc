@@ -4,6 +4,25 @@
 
 namespace faro {
 
+std::string CsvEscape(const std::string& field) {
+  const bool needs_quoting =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quoting) {
+    return field;
+  }
+  std::string out;
+  out.reserve(field.size() + 2);
+  out += '"';
+  for (const char c : field) {
+    if (c == '"') {
+      out += '"';  // RFC 4180: embedded quotes are doubled
+    }
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
 bool WriteTimelineCsv(const std::string& path, const RunResult& result) {
   std::ofstream out(path);
   if (!out) {
@@ -12,8 +31,8 @@ bool WriteTimelineCsv(const std::string& path, const RunResult& result) {
   out << "minute,cluster_utility,total_load";
   for (const JobRunStats& job : result.jobs) {
     const std::string& name = job.name.empty() ? "job" : job.name;
-    out << ',' << name << "_p99," << name << "_utility," << name << "_replicas," << name
-        << "_drop_rate";
+    out << ',' << CsvEscape(name + "_p99") << ',' << CsvEscape(name + "_utility") << ','
+        << CsvEscape(name + "_replicas") << ',' << CsvEscape(name + "_drop_rate");
   }
   out << '\n';
   const size_t minutes = result.cluster_utility_timeline.size();
@@ -39,7 +58,7 @@ bool WriteSummaryCsv(const std::string& path, const RunResult& result) {
   out << "job,arrivals,drops,violations,slo_violation_rate,avg_utility,lost_utility,"
          "avg_effective_utility,avg_replicas\n";
   for (const JobRunStats& job : result.jobs) {
-    out << (job.name.empty() ? "job" : job.name) << ',' << job.arrivals << ',' << job.drops
+    out << CsvEscape(job.name.empty() ? "job" : job.name) << ',' << job.arrivals << ',' << job.drops
         << ',' << job.violations << ',' << job.slo_violation_rate << ',' << job.avg_utility
         << ',' << job.lost_utility << ',' << job.avg_effective_utility << ','
         << job.avg_replicas << '\n';

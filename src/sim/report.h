@@ -10,6 +10,12 @@
 
 namespace faro {
 
+// RFC-4180 field escaping: a field containing a comma, double quote, or
+// newline is wrapped in double quotes with embedded quotes doubled; anything
+// else passes through unchanged. Job names are user-controlled, so every
+// name-derived field below goes through this.
+std::string CsvEscape(const std::string& field);
+
 // Per-minute timeline: one row per minute with the cluster utility, total
 // load, and each job's p99 / utility / replicas / drop rate.
 bool WriteTimelineCsv(const std::string& path, const RunResult& result);

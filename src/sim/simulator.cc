@@ -10,6 +10,7 @@
 #include "src/common/stats.h"
 #include "src/core/penalty.h"
 #include "src/core/utility.h"
+#include "src/obs/metrics.h"
 
 namespace faro {
 namespace {
@@ -97,7 +98,8 @@ class Simulation {
  public:
   Simulation(const SimConfig& config, const std::vector<SimJobConfig>& jobs,
              AutoscalingPolicy& policy)
-      : config_(config), jobs_(jobs), policy_(policy), rng_(config.seed) {}
+      : config_(config), jobs_(jobs), policy_(policy), rng_(config.seed),
+        trace_(config.trace) {}
 
   RunResult Run();
 
@@ -161,6 +163,16 @@ class Simulation {
   const std::vector<SimJobConfig>& jobs_;
   AutoscalingPolicy& policy_;
   Rng rng_;
+  // Observability. The trace session records request-lifecycle spans in sim
+  // time; the cells are this thread's hoisted registry shards (null when
+  // metrics are off, so the hot path costs one branch per site).
+  TraceSession trace_;
+  Counter::Cell* m_requests_ = nullptr;
+  Counter::Cell* m_drops_ = nullptr;
+  Counter::Cell* m_violations_ = nullptr;
+  Histogram::Cell* m_latency_ = nullptr;
+  Histogram::Cell* m_queue_wait_ = nullptr;
+  Histogram::Cell* m_cold_start_ = nullptr;
   std::vector<Event> events_;  // binary heap via std::push_heap/pop_heap
   std::vector<double> scratch_latencies_;
   uint64_t sequence_ = 0;
@@ -180,7 +192,16 @@ class Simulation {
       return false;
     }
     ++state_[j].starting;
-    Push(now_ + ColdStart(), EventKind::kReplicaReady, j);
+    // One ColdStart() draw whether or not observability is on: the RNG
+    // sequence (and hence the run) is identical either way.
+    const double delay = ColdStart();
+    if (m_cold_start_ != nullptr) {
+      m_cold_start_->Record(delay);
+    }
+    if (trace_.on()) {
+      trace_.SimSpan(j, "cold_start", "sim.replica", now_, now_ + delay);
+    }
+    Push(now_ + delay, EventKind::kReplicaReady, j);
     return true;
   }
 
@@ -214,6 +235,12 @@ void Simulation::RecordLatency(uint32_t job, double latency) {
   js.recent_latencies.emplace_back(now_, latency);
   if (latency > jobs_[job].spec.slo) {
     ++js.total_violations;
+    if (m_violations_ != nullptr) {
+      m_violations_->Add(1);
+    }
+  }
+  if (m_latency_ != nullptr && std::isfinite(latency)) {
+    m_latency_->Record(latency);  // drops carry infinite latency; counted above
   }
 }
 
@@ -221,10 +248,19 @@ void Simulation::HandleArrival(const Event& event) {
   JobState& js = state_[event.job];
   ++js.total_arrivals;
   ++js.window_arrivals;
+  if (m_requests_ != nullptr) {
+    m_requests_->Add(1);
+  }
   // Explicit drop as instructed by the autoscaler (Faro-Penalty*).
   if (js.explicit_drop_rate > 0.0 && rng_.Uniform() < js.explicit_drop_rate) {
     ++js.total_drops;
     ++js.window_drops;
+    if (m_drops_ != nullptr) {
+      m_drops_->Add(1);
+    }
+    if (trace_.on()) {
+      trace_.SimInstant(event.job, "drop_explicit", "sim.request", now_);
+    }
     RecordLatency(event.job, kInf);
     return;
   }
@@ -232,6 +268,12 @@ void Simulation::HandleArrival(const Event& event) {
   if (js.queue.size() >= config_.router_queue_limit) {
     ++js.total_drops;
     ++js.window_drops;
+    if (m_drops_ != nullptr) {
+      m_drops_->Add(1);
+    }
+    if (trace_.on()) {
+      trace_.SimInstant(event.job, "drop_tail", "sim.request", now_);
+    }
     RecordLatency(event.job, kInf);
     return;
   }
@@ -247,6 +289,18 @@ void Simulation::StartServiceIfPossible(uint32_t job) {
     ++js.busy;
     const double service = ServiceTime(job);
     js.window_processing.Add(service);
+    const double wait = now_ - request.arrival_time;
+    if (m_queue_wait_ != nullptr) {
+      m_queue_wait_->Record(wait);
+    }
+    if (trace_.on()) {
+      // Request lifecycle on the job's track: the wait span (when the request
+      // actually queued) abuts the service span.
+      if (wait > 0.0) {
+        trace_.SimSpan(job, "queue_wait", "sim.request", request.arrival_time, now_);
+      }
+      trace_.SimSpan(job, "service", "sim.request", now_, now_ + service);
+    }
     Push(now_ + service, EventKind::kCompletion, job, request.arrival_time);
   }
 }
@@ -435,6 +489,33 @@ void Simulation::ApplyAction(const ScalingAction& action) {
 }
 
 RunResult Simulation::Run() {
+  if (config_.obs_metrics) {
+    MetricsRegistry& registry = MetricsRegistry::Global();
+    m_requests_ = &registry
+                       .GetCounter("faro_sim_requests_total",
+                                   "Requests generated by the simulator")
+                       .LocalCell();
+    m_drops_ = &registry
+                    .GetCounter("faro_sim_drops_total",
+                                "Requests dropped (tail drop or explicit drop rate)")
+                    .LocalCell();
+    m_violations_ = &registry
+                         .GetCounter("faro_sim_slo_violations_total",
+                                     "Requests exceeding their job SLO (drops included)")
+                         .LocalCell();
+    m_latency_ = &registry
+                      .GetHistogram("faro_sim_request_latency_seconds",
+                                    "End-to-end request latency (served requests)")
+                      .LocalCell();
+    m_queue_wait_ = &registry
+                         .GetHistogram("faro_sim_queue_wait_seconds",
+                                       "Router queue wait before service starts")
+                         .LocalCell();
+    m_cold_start_ = &registry
+                         .GetHistogram("faro_sim_cold_start_seconds",
+                                       "Replica cold-start provisioning delay")
+                         .LocalCell();
+  }
   state_.assign(jobs_.size(), JobState{});
   pending_placement_.assign(jobs_.size(), 0);
   if (!config_.nodes.empty()) {
@@ -503,8 +584,15 @@ RunResult Simulation::Run() {
         break;
       }
       case EventKind::kDecideTick: {
+        if (trace_.on()) {
+          trace_.SimInstant(kAutoscalerTid, "decide_tick", "sim.control", now_);
+        }
         const auto metrics = CollectMetrics();
-        ApplyAction(policy_.Decide(now_, specs_, metrics, config_.resources));
+        const ScalingAction action = policy_.Decide(now_, specs_, metrics, config_.resources);
+        {
+          ScopedWallSpan actuate(trace_, kAutoscalerTid, "actuate", "autoscaler");
+          ApplyAction(action);
+        }
         Push(now_ + policy_.decision_interval_s(), EventKind::kDecideTick, 0);
         break;
       }

@@ -31,6 +31,7 @@
 
 #include "src/common/series.h"
 #include "src/core/policy.h"
+#include "src/obs/trace.h"
 #include "src/sim/placement.h"
 
 namespace faro {
@@ -67,6 +68,13 @@ struct SimConfig {
   // How many per-minute arrival-rate observations are exposed to predictors.
   size_t history_steps = 30;
   uint64_t seed = 1;
+  // Observability (src/obs/): request-lifecycle spans (queue-wait, cold
+  // start, service, drops) are recorded against *sim time* into this session
+  // when set, so the trace is deterministic; `obs_metrics` additionally feeds
+  // the process-wide metrics registry. Both default off (null sink) and
+  // neither perturbs the simulation -- no RNG draws, no FP changes.
+  TraceSession trace;
+  bool obs_metrics = false;
 };
 
 struct JobRunStats {

@@ -1,0 +1,233 @@
+// The metrics registry's contracts: per-thread sharding merges losslessly
+// (merged totals equal a single-threaded reference on identical input),
+// histogram quantiles track exact sorted nearest-rank percentiles within the
+// documented bucket resolution, and the expositions are well-formed.
+
+#include "src/obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+
+namespace faro {
+namespace {
+
+// Exact nearest-rank percentile over a sorted copy: sample number
+// max(1, ceil(q * n)), the definition Histogram::Quantile approximates.
+double ExactQuantile(std::vector<double> samples, double q) {
+  std::sort(samples.begin(), samples.end());
+  const size_t n = samples.size();
+  const size_t rank = std::max<size_t>(
+      1, static_cast<size_t>(std::ceil(q * static_cast<double>(n))));
+  return samples[std::min(rank, n) - 1];
+}
+
+TEST(CounterTest, AddAndValue) {
+  Counter counter("test_counter_basic", "help");
+  EXPECT_EQ(counter.Value(), 0u);
+  counter.Add();
+  counter.Add(41);
+  EXPECT_EQ(counter.Value(), 42u);
+  counter.Reset();
+  EXPECT_EQ(counter.Value(), 0u);
+}
+
+TEST(CounterTest, MergesShardsAcrossThreads) {
+  Counter counter("test_counter_threads", "help");
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 10000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&counter] {
+      // Hoisted cell: the hot-path idiom the queueing cache uses.
+      Counter::Cell& cell = counter.LocalCell();
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        cell.Add(1);
+      }
+    });
+  }
+  for (std::thread& w : workers) {
+    w.join();
+  }
+  EXPECT_EQ(counter.Value(), kThreads * kPerThread);
+}
+
+TEST(GaugeTest, LastWriteWins) {
+  Gauge gauge("test_gauge", "help");
+  gauge.Set(3.5);
+  EXPECT_EQ(gauge.Value(), 3.5);
+  gauge.Set(-1.0);
+  EXPECT_EQ(gauge.Value(), -1.0);
+}
+
+TEST(HistogramTest, BucketBoundsContainTheirValues) {
+  // Every probed value must land in a bucket whose [lower, upper) range
+  // contains it, across the full covered range plus both overflow directions.
+  std::vector<double> probes = {1e-12, 1e-9,  1e-6, 0.001, 0.01,  0.1, 0.5,
+                                1.0,   1.375, 2.0,  100.0, 1e6,  1e9, 1e12};
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    probes.push_back(std::ldexp(0.5 + rng.Uniform(), static_cast<int>(60 * rng.Uniform()) - 30));
+  }
+  for (const double v : probes) {
+    const size_t index = Histogram::BucketIndex(v);
+    ASSERT_LT(index, Histogram::kBucketCount) << v;
+    if (index > 0) {
+      EXPECT_GE(v, Histogram::BucketLowerBound(index)) << v;
+    }
+    EXPECT_LT(v, Histogram::BucketUpperBound(index)) << v;
+  }
+  // Non-positive and NaN samples all land in the underflow bucket instead of
+  // corrupting a real one.
+  EXPECT_EQ(Histogram::BucketIndex(0.0), 0u);
+  EXPECT_EQ(Histogram::BucketIndex(-1.0), 0u);
+  EXPECT_EQ(Histogram::BucketIndex(std::nan("")), 0u);
+}
+
+TEST(HistogramTest, QuantilesTrackExactSortedPercentiles) {
+  Histogram hist("test_hist_quantiles", "help");
+  // Log-normal-ish latencies spanning several octaves, the shape the
+  // simulator records.
+  Rng rng(42);
+  std::vector<double> samples;
+  samples.reserve(20000);
+  for (int i = 0; i < 20000; ++i) {
+    const double u = rng.Uniform();
+    const double v = rng.Uniform();
+    samples.push_back(0.05 * std::exp(1.2 * (u + v - 1.0)) + 0.002 * i / 20000.0);
+  }
+  for (const double s : samples) {
+    hist.Record(s);
+  }
+  EXPECT_EQ(hist.Count(), samples.size());
+  for (const double q : {0.5, 0.99, 0.999}) {
+    const double exact = ExactQuantile(samples, q);
+    const double estimate = hist.Quantile(q);
+    // The estimate is the midpoint of the bucket holding the nearest-rank
+    // sample; buckets are at most 12.5% wide, so the midpoint sits within
+    // 6.25% of any sample in the bucket.
+    EXPECT_NEAR(estimate, exact, 0.0626 * exact) << "q=" << q;
+  }
+}
+
+TEST(HistogramTest, MergedShardsMatchSingleShardReference) {
+  Histogram sharded("test_hist_sharded", "help");
+  Histogram reference("test_hist_reference", "help");
+  constexpr int kThreads = 8;
+  // Identical multiset of samples: the reference records everything on this
+  // thread; the sharded histogram splits the same samples across 8 threads.
+  std::vector<std::vector<double>> per_thread(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    Rng rng(100 + static_cast<uint64_t>(t));
+    for (int i = 0; i < 5000; ++i) {
+      per_thread[t].push_back(0.01 + rng.Uniform());
+    }
+  }
+  for (const auto& chunk : per_thread) {
+    for (const double s : chunk) {
+      reference.Record(s);
+    }
+  }
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&sharded, &per_thread, t] {
+      for (const double s : per_thread[t]) {
+        sharded.Record(s);
+      }
+    });
+  }
+  for (std::thread& w : workers) {
+    w.join();
+  }
+  EXPECT_EQ(sharded.Count(), reference.Count());
+  EXPECT_EQ(sharded.MergedBuckets(), reference.MergedBuckets());
+  for (const double q : {0.5, 0.9, 0.99, 0.999}) {
+    EXPECT_EQ(sharded.Quantile(q), reference.Quantile(q)) << "q=" << q;
+  }
+  // Sums differ only by floating-point addition order across shards.
+  EXPECT_NEAR(sharded.Sum(), reference.Sum(), 1e-9 * std::abs(reference.Sum()));
+}
+
+TEST(RegistryTest, GetReturnsSameInstrumentForSameName) {
+  MetricsRegistry registry;
+  Counter& a = registry.GetCounter("reg_counter", "first help wins");
+  Counter& b = registry.GetCounter("reg_counter", "ignored");
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(a.help(), "first help wins");
+  Histogram& h1 = registry.GetHistogram("reg_hist");
+  Histogram& h2 = registry.GetHistogram("reg_hist");
+  EXPECT_EQ(&h1, &h2);
+}
+
+TEST(RegistryTest, PrometheusTextIsWellFormed) {
+  MetricsRegistry registry;
+  registry.GetCounter("zz_requests_total", "requests").Add(7);
+  registry.GetGauge("aa_temperature", "degrees").Set(21.5);
+  Histogram& hist = registry.GetHistogram("mm_latency_seconds", "latency");
+  hist.Record(0.1);
+  hist.Record(2.0);
+  const std::string text = registry.PrometheusText();
+  EXPECT_NE(text.find("# TYPE zz_requests_total counter"), std::string::npos);
+  EXPECT_NE(text.find("zz_requests_total 7"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE aa_temperature gauge"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE mm_latency_seconds histogram"), std::string::npos);
+  EXPECT_NE(text.find("mm_latency_seconds_count 2"), std::string::npos);
+  // Exactly one +Inf bucket line per histogram, and it carries the full count.
+  const std::string inf_line = "mm_latency_seconds_bucket{le=\"+Inf\"} 2";
+  const size_t first = text.find(inf_line);
+  ASSERT_NE(first, std::string::npos);
+  EXPECT_EQ(text.find("le=\"+Inf\"", first + inf_line.size()), std::string::npos);
+  // Deterministic order: counters, then gauges, then histograms, name-sorted
+  // within each type.
+  EXPECT_LT(text.find("zz_requests_total"), text.find("aa_temperature"));
+  EXPECT_LT(text.find("aa_temperature"), text.find("mm_latency_seconds"));
+}
+
+TEST(RegistryTest, JsonLinesParse) {
+  MetricsRegistry registry;
+  registry.GetCounter("json_counter\"evil\\name").Add(3);
+  registry.GetHistogram("json_hist", "h").Record(0.25);
+  const std::string lines = registry.JsonLines();
+  // Metric names are escaped into the JSON string.
+  EXPECT_NE(lines.find("json_counter\\\"evil\\\\name"), std::string::npos);
+  EXPECT_NE(lines.find("\"json_hist\""), std::string::npos);
+  EXPECT_NE(lines.find("\"p99\""), std::string::npos);
+  // Every line is brace-balanced (cheap well-formedness check without a
+  // JSON parser; CI validates real output with python3 -m json.tool).
+  size_t start = 0;
+  while (start < lines.size()) {
+    size_t end = lines.find('\n', start);
+    if (end == std::string::npos) {
+      end = lines.size();
+    }
+    const std::string line = lines.substr(start, end - start);
+    if (!line.empty()) {
+      EXPECT_EQ(line.front(), '{') << line;
+      EXPECT_EQ(line.back(), '}') << line;
+    }
+    start = end + 1;
+  }
+}
+
+TEST(RegistryTest, ResetForTestZeroesValuesButKeepsRegistrations) {
+  MetricsRegistry registry;
+  Counter& counter = registry.GetCounter("reset_counter");
+  Histogram& hist = registry.GetHistogram("reset_hist");
+  counter.Add(5);
+  hist.Record(1.0);
+  registry.ResetForTest();
+  EXPECT_EQ(counter.Value(), 0u);
+  EXPECT_EQ(hist.Count(), 0u);
+  EXPECT_EQ(&registry.GetCounter("reset_counter"), &counter);
+}
+
+}  // namespace
+}  // namespace faro

@@ -1,0 +1,148 @@
+// The tracer's contracts: canonical event ordering is append-order
+// independent, the Chrome JSON is well-formed under hostile names, the event
+// cap drops loudly, and -- the load-bearing one -- the sim-domain trace of a
+// harness run is bit-identical whatever the thread count, like every other
+// simulation output.
+
+#include "src/obs/trace.h"
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/obs/obs.h"
+#include "src/sim/harness.h"
+
+namespace faro {
+namespace {
+
+// Pin the shared pool before first use so the parallel runs below are real
+// (same idiom as harness_determinism_test).
+const bool kForcePoolSize = [] {
+  setenv("FARO_THREADS", "4", /*overwrite=*/0);
+  return true;
+}();
+
+TraceEvent SimEvent(uint32_t pid, uint32_t tid, double ts_us, const std::string& name) {
+  TraceEvent event;
+  event.name = name;
+  event.cat = "test";
+  event.phase = 'X';
+  event.clock = TraceClock::kSim;
+  event.pid = pid;
+  event.tid = tid;
+  event.ts_us = ts_us;
+  event.dur_us = 1.0;
+  return event;
+}
+
+TEST(TracerTest, CanonicalOrderIsAppendOrderIndependent) {
+  Tracer forward;
+  Tracer backward;
+  const uint32_t pid_f = forward.NewProcess("run");
+  std::vector<TraceEvent> events;
+  for (int i = 0; i < 20; ++i) {
+    events.push_back(SimEvent(pid_f, static_cast<uint32_t>(i % 3),
+                              static_cast<double>(100 - i), "e" + std::to_string(i)));
+  }
+  for (const TraceEvent& event : events) {
+    forward.Add(event);
+  }
+  // Same pid in the second tracer (first NewProcess call), reversed appends.
+  const uint32_t pid_b = backward.NewProcess("run");
+  ASSERT_EQ(pid_f, pid_b);
+  for (auto it = events.rbegin(); it != events.rend(); ++it) {
+    backward.Add(*it);
+  }
+  EXPECT_EQ(forward.Events(), backward.Events());
+  // Metadata sorts first within its pid.
+  const std::vector<TraceEvent> sorted = forward.Events();
+  ASSERT_FALSE(sorted.empty());
+  EXPECT_EQ(sorted.front().phase, 'M');
+  for (size_t i = 2; i < sorted.size(); ++i) {
+    EXPECT_LE(sorted[i - 1].ts_us, sorted[i].ts_us);
+  }
+}
+
+TEST(TracerTest, EventCapDropsLoudly) {
+  Tracer tracer(/*max_events=*/4);
+  const uint32_t pid = tracer.NewProcess("capped");  // metadata bypasses the cap
+  for (int i = 0; i < 10; ++i) {
+    tracer.Add(SimEvent(pid, 0, static_cast<double>(i), "e"));
+  }
+  // The metadata event bypassed the cap (so the process keeps its name) but
+  // still occupies a slot; 3 of the 10 spans fit, 7 dropped -- and counted.
+  EXPECT_EQ(tracer.size(), 4u);
+  EXPECT_EQ(tracer.dropped_events(), 7u);
+}
+
+TEST(TracerTest, ChromeJsonEscapesHostileNames) {
+  Tracer tracer;
+  const uint32_t pid = tracer.NewProcess("job \"zero\"\nnewline");
+  tracer.Add(SimEvent(pid, 0, 1.0, "span\twith\\escapes\""));
+  const std::string json = tracer.ChromeTraceJson();
+  EXPECT_NE(json.find("\\\"zero\\\"\\nnewline"), std::string::npos);
+  EXPECT_NE(json.find("span\\twith\\\\escapes\\\""), std::string::npos);
+  // No raw control characters survive into the serialized form.
+  for (const char c : json) {
+    EXPECT_TRUE(static_cast<unsigned char>(c) >= 0x20 || c == '\n') << static_cast<int>(c);
+  }
+  EXPECT_EQ(json.rfind("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[", 0), 0u);
+}
+
+TEST(TracerTest, ClockFilterKeepsMetadata) {
+  Tracer tracer;
+  const uint32_t pid = tracer.NewProcess("run");
+  tracer.Add(SimEvent(pid, 0, 1.0, "sim"));
+  TraceEvent wall = SimEvent(pid, 0, 2.0, "wall");
+  wall.clock = TraceClock::kWall;
+  tracer.Add(wall);
+  const std::vector<TraceEvent> sim_only = tracer.Events(TraceClock::kSim);
+  ASSERT_EQ(sim_only.size(), 2u);
+  EXPECT_EQ(sim_only[0].phase, 'M');
+  EXPECT_EQ(sim_only[1].name, "sim");
+}
+
+// The satellite requirement: the canonically sorted sim-domain event list of
+// a traced harness run is identical at 1, 2, and 8 threads. Wall-domain
+// events (which solver tasks ran before an early exit landed) are schedule-
+// dependent by design and excluded.
+TEST(TraceDeterminismTest, SimSpansBitIdenticalAcrossThreadCounts) {
+  ASSERT_TRUE(kForcePoolSize);
+  ExperimentSetup base;
+  base.num_jobs = 3;
+  base.right_size_replicas = 10.0;
+  base.capacity = 8.0;
+  base.trials = 2;
+  base.days = 3;  // 2 train days + eval day: enough cycles, fast enough
+  const PreparedWorkload workload = PrepareWorkload(base);
+
+  std::vector<std::vector<TraceEvent>> per_run;
+  for (const size_t threads : {size_t{1}, size_t{2}, size_t{8}}) {
+    Tracer tracer;
+    ExperimentSetup setup = base;
+    setup.threads = threads;
+    setup.obs.tracer = &tracer;  // record without touching the global tracer
+    FaroConfig overrides;
+    overrides.solve_parallelism = threads;
+    RunTrials(setup, workload, "Faro-FairSum", nullptr, &overrides);
+    per_run.push_back(tracer.Events(TraceClock::kSim));
+  }
+  ASSERT_FALSE(per_run[0].empty());
+  EXPECT_EQ(per_run[0], per_run[1]);
+  EXPECT_EQ(per_run[0], per_run[2]);
+  // The traced trial produced real request-lifecycle spans.
+  bool saw_service = false;
+  for (const TraceEvent& event : per_run[0]) {
+    if (event.name == "service" && event.cat == "sim.request") {
+      saw_service = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(saw_service);
+}
+
+}  // namespace
+}  // namespace faro

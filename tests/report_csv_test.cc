@@ -1,0 +1,115 @@
+// RFC-4180 escaping of user-controlled job names in the CSV reports: a name
+// with commas, quotes, or newlines must round-trip as exactly one field.
+
+#include "src/sim/report.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace faro {
+namespace {
+
+// Minimal RFC-4180 reader for one line: the inverse of CsvEscape, used to
+// prove the round trip.
+std::vector<std::string> ParseCsvLine(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string field;
+  bool quoted = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (quoted) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          field += '"';
+          ++i;
+        } else {
+          quoted = false;
+        }
+      } else {
+        field += c;
+      }
+    } else if (c == '"' && field.empty()) {
+      quoted = true;
+    } else if (c == ',') {
+      fields.push_back(field);
+      field.clear();
+    } else {
+      field += c;
+    }
+  }
+  fields.push_back(field);
+  return fields;
+}
+
+TEST(CsvEscapeTest, PlainFieldsPassThrough) {
+  EXPECT_EQ(CsvEscape("resnet34"), "resnet34");
+  EXPECT_EQ(CsvEscape("job-0_p99"), "job-0_p99");
+  EXPECT_EQ(CsvEscape(""), "");
+}
+
+TEST(CsvEscapeTest, HostileFieldsRoundTrip) {
+  const std::vector<std::string> evil = {
+      "job,with,commas", "job \"quoted\"", "both,\"of\",them", "\"", ",", "\"\"",
+      "trailing,comma,", "a\"b\"c"};
+  for (const std::string& name : evil) {
+    const std::string line = CsvEscape(name) + "," + CsvEscape("second");
+    const std::vector<std::string> fields = ParseCsvLine(line);
+    ASSERT_EQ(fields.size(), 2u) << name;
+    EXPECT_EQ(fields[0], name);
+    EXPECT_EQ(fields[1], "second");
+  }
+}
+
+TEST(CsvEscapeTest, SummaryCsvKeepsColumnCountWithEvilJobNames) {
+  RunResult result;
+  JobRunStats job;
+  job.name = "resnet,34 \"prod\"";
+  job.arrivals = 10;
+  job.drops = 1;
+  result.jobs.push_back(job);
+  const std::string path = ::testing::TempDir() + "report_csv_test_summary.csv";
+  ASSERT_TRUE(WriteSummaryCsv(path, result));
+  std::ifstream in(path);
+  ASSERT_TRUE(in);
+  std::string header;
+  std::string row;
+  ASSERT_TRUE(std::getline(in, header));
+  ASSERT_TRUE(std::getline(in, row));
+  const size_t columns = ParseCsvLine(header).size();
+  const std::vector<std::string> fields = ParseCsvLine(row);
+  ASSERT_EQ(fields.size(), columns);
+  EXPECT_EQ(fields[0], job.name);
+  std::remove(path.c_str());
+}
+
+TEST(CsvEscapeTest, TimelineHeaderQuotesDerivedColumnNames) {
+  RunResult result;
+  JobRunStats job;
+  job.name = "a,b";
+  job.minute_p99 = {0.1};
+  job.minute_utility = {1.0};
+  job.minute_replicas = {2.0};
+  job.minute_drop_rate = {0.0};
+  result.jobs.push_back(job);
+  result.cluster_utility_timeline = {1.0};
+  result.total_load_timeline = {5.0};
+  const std::string path = ::testing::TempDir() + "report_csv_test_timeline.csv";
+  ASSERT_TRUE(WriteTimelineCsv(path, result));
+  std::ifstream in(path);
+  ASSERT_TRUE(in);
+  std::string header;
+  ASSERT_TRUE(std::getline(in, header));
+  const std::vector<std::string> fields = ParseCsvLine(header);
+  ASSERT_EQ(fields.size(), 3u + 4u);  // minute, cluster_utility, total_load + 4 per job
+  EXPECT_EQ(fields[3], "a,b_p99");
+  EXPECT_EQ(fields[6], "a,b_drop_rate");
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace faro
