@@ -6,6 +6,7 @@
 #include <functional>
 #include <limits>
 #include <numeric>
+#include <stdexcept>
 
 #include "src/common/parallel.h"
 #include "src/obs/metrics.h"
@@ -96,8 +97,48 @@ std::vector<double> HeuristicStart(const ClusterObjective& objective,
 
 }  // namespace
 
+std::string ValidateFaroConfig(const FaroConfig& config) {
+  if (config.decision_interval_s <= 0.0) {
+    return "FaroConfig: decision_interval_s must be > 0";
+  }
+  if (config.overload_trigger_s < 0.0) {
+    return "FaroConfig: overload_trigger_s must be >= 0";
+  }
+  if (config.step_seconds <= 0.0) {
+    return "FaroConfig: step_seconds must be > 0";
+  }
+  if (config.cold_start_s < 0.0) {
+    return "FaroConfig: cold_start_s must be >= 0";
+  }
+  if (config.prediction_window_steps == 0) {
+    return "FaroConfig: prediction_window_steps must be >= 1";
+  }
+  if (config.prediction_quantile <= 0.0 || config.prediction_quantile >= 1.0) {
+    return "FaroConfig: prediction_quantile must be in (0, 1)";
+  }
+  if (config.solver_max_evaluations <= 0) {
+    return "FaroConfig: solver_max_evaluations must be > 0";
+  }
+  if (config.switch_margin < 0.0) {
+    return "FaroConfig: switch_margin must be >= 0";
+  }
+  if (config.multistart_jitter < 0.0) {
+    return "FaroConfig: multistart_jitter must be >= 0";
+  }
+  if (config.solve_deadline_s < 0.0) {
+    return "FaroConfig: solve_deadline_s must be >= 0 (0 disables)";
+  }
+  if (config.actuation_retry_backoff_s < 0.0) {
+    return "FaroConfig: actuation_retry_backoff_s must be >= 0 (0 disables)";
+  }
+  return {};
+}
+
 FaroAutoscaler::FaroAutoscaler(FaroConfig config, std::shared_ptr<WorkloadPredictor> predictor)
     : config_(config), predictor_(std::move(predictor)) {
+  if (std::string problem = ValidateFaroConfig(config_); !problem.empty()) {
+    throw std::invalid_argument(problem);
+  }
   if (predictor_ == nullptr) {
     predictor_ = std::make_shared<DampedAveragePredictor>();
   }
@@ -136,6 +177,32 @@ std::vector<std::vector<double>> FaroAutoscaler::PredictLoads(
     if (predicted.empty()) {
       loads[i] = {std::max(0.0, metrics[i].arrival_rate)};
       continue;
+    }
+    // Forecast sanity guard (degradation ladder): a forecast with non-finite
+    // values, all-negative values, or a jump beyond forecast_max_jump x the
+    // largest recently observed rate is replaced by the last observed value.
+    // NaN would otherwise be silently zeroed by the max(0, v) clamp below --
+    // the cluster would scale every job to its floor on a poisoned forecast.
+    if (config_.forecast_max_jump > 1.0) {
+      double observed_max = std::max(1.0, metrics[i].arrival_rate);
+      for (const double v : metrics[i].arrival_history) {
+        observed_max = std::max(observed_max, v);
+      }
+      bool insane = true;  // all-negative counts as insane
+      for (const double v : predicted) {
+        if (!std::isfinite(v) || v > config_.forecast_max_jump * observed_max) {
+          insane = true;
+          break;
+        }
+        if (v >= 0.0) {
+          insane = false;
+        }
+      }
+      if (insane) {
+        ++telemetry_.forecast_fallbacks;
+        predicted.assign(config_.prediction_window_steps,
+                         std::max(0.0, metrics[i].arrival_rate));
+      }
     }
     std::vector<double> window;
     for (size_t k = skip; k < predicted.size(); ++k) {
@@ -440,8 +507,56 @@ ScalingAction FaroAutoscaler::SolveFlat(const std::vector<JobSpec>& job_specs,
   };
 
   Problem problem = objective.BuildProblem();
+
+  // Degradation ladder, rung 1 and 2: when the solve deadline is blown the
+  // cycle is served by the cross-cycle warm-start allocation rescaled into
+  // current capacity, else by the capacity-proportional heuristic. Either way
+  // the cycle completes with a capacity-feasible allocation (Integerize's
+  // greedy repair still runs below).
+  auto fallback_solution = [&]() {
+    std::vector<double> x;
+    if (warm_hit) {
+      x = warm_.x;
+      ++telemetry_.fallback_warm;
+    } else {
+      x = HeuristicStart(objective, resources);
+      ++telemetry_.fallback_heuristic;
+    }
+    // Uniform rescale into current capacity: node loss can leave the cached
+    // allocation oversubscribed, and a proportional trim preserves its shape
+    // better than the greedy per-replica repair alone.
+    double cpu_cost = 0.0;
+    for (size_t i = 0; i < job_specs.size(); ++i) {
+      x[i] = std::max(1.0, x[i]);
+      cpu_cost += objective.jobs()[i].spec.cpu_per_replica * x[i];
+    }
+    if (cpu_cost > resources.cpu && cpu_cost > 0.0) {
+      const double scale = resources.cpu / cpu_cost;
+      for (size_t i = 0; i < job_specs.size(); ++i) {
+        x[i] = std::max(1.0, x[i] * scale);
+      }
+    }
+    problem.ClipToBounds(x);
+    OptimResult result;
+    result.x = std::move(x);
+    result.value = problem.Objective(result.x);
+    result.max_violation = problem.MaxViolation(result.x);
+    result.evaluations = 1;
+    telemetry_.objective_evaluations += 1;
+    return result;
+  };
+  const bool deadline_blown =
+      cycle_deadline_enabled_ && std::chrono::steady_clock::now() >= cycle_deadline_;
+
   OptimResult solution;
-  if (config_.multistart_starts <= 1) {
+  bool degraded = false;
+  if (deadline_blown) {
+    // The budget is already spent (an earlier group solve or the forecast ate
+    // it): skip the solver entirely.
+    ++telemetry_.deadline_misses;
+    solution = fallback_solution();
+    degraded = true;
+  } else if (config_.multistart_starts <= 1) {
     // Legacy serial single-start path, kept for A/B comparison.
     std::vector<double> x0 = has_fairness ? fairness_presolve(x_current) : x_current;
     // Clip the full warm-start vector -- drop-rate coordinates included --
@@ -492,6 +607,8 @@ ScalingAction FaroAutoscaler::SolveFlat(const std::vector<JobSpec>& job_specs,
     ms.seed = solve_seed;
     ms.max_parallelism = config_.solve_parallelism;
     ms.trace = config_.trace;
+    ms.deadline_enabled = cycle_deadline_enabled_;
+    ms.deadline = cycle_deadline_;
     const size_t extra = config_.multistart_starts > starts.size()
                              ? config_.multistart_starts - starts.size()
                              : 0;
@@ -503,19 +620,28 @@ ScalingAction FaroAutoscaler::SolveFlat(const std::vector<JobSpec>& job_specs,
     telemetry_.starts_skipped += ms_result.starts_skipped;
     telemetry_.early_exits += ms_result.early_exit ? 1 : 0;
     telemetry_.objective_evaluations += static_cast<uint64_t>(ms_result.evaluations);
-    switch (ms_result.winner_kind) {
-      case StartKind::kWarmCurrent:
-        ++telemetry_.wins_warm_current;
-        break;
-      case StartKind::kPrevSolution:
-        ++telemetry_.wins_prev_solution;
-        break;
-      case StartKind::kHeuristic:
-        ++telemetry_.wins_heuristic;
-        break;
-      case StartKind::kJitter:
-        ++telemetry_.wins_jitter;
-        break;
+    if (ms_result.deadline_hit) {
+      ++telemetry_.deadline_misses;
+    }
+    if (solution.x.empty()) {
+      // The deadline skipped every start before it ran: drop to the ladder.
+      solution = fallback_solution();
+      degraded = true;
+    } else {
+      switch (ms_result.winner_kind) {
+        case StartKind::kWarmCurrent:
+          ++telemetry_.wins_warm_current;
+          break;
+        case StartKind::kPrevSolution:
+          ++telemetry_.wins_prev_solution;
+          break;
+        case StartKind::kHeuristic:
+          ++telemetry_.wins_heuristic;
+          break;
+        case StartKind::kJitter:
+          ++telemetry_.wins_jitter;
+          break;
+      }
     }
   }
   if (config_.warm_start_cache) {
@@ -540,7 +666,11 @@ ScalingAction FaroAutoscaler::SolveFlat(const std::vector<JobSpec>& job_specs,
         action.drop_rates[i] = drop;
       }
     }
-    ExchangePolish(objective, action.replicas, action.drop_rates, resources);
+    if (!degraded) {
+      // The polish is pure wall-clock spend; a degraded cycle is already
+      // over budget, and Integerize has made the allocation feasible.
+      ExchangePolish(objective, action.replicas, action.drop_rates, resources);
+    }
   }
 
   // Cold-start-aware hysteresis: keep the standing allocation when the new
@@ -573,7 +703,7 @@ ScalingAction FaroAutoscaler::SolveFlat(const std::vector<JobSpec>& job_specs,
     }
   }
 
-  if (config_.enable_shrinking) {
+  if (config_.enable_shrinking && !degraded) {
     ScopedWallSpan shrink_span(config_.trace, kAutoscalerTid, "shrink", "autoscaler");
     Shrink(objective, action.replicas, action.drop_rates);
   }
@@ -754,6 +884,13 @@ ScalingAction FaroAutoscaler::Decide(double now_s, const std::vector<JobSpec>& j
   // decisions at any thread count.
   const uint64_t cycle_seed = HashCombine(config_.seed, ++decision_cycles_);
   const auto solve_start = std::chrono::steady_clock::now();
+  // Arm the per-cycle solve deadline (degradation ladder). Off by default:
+  // cycle_deadline_enabled_ stays false and nothing below consults the clock.
+  cycle_deadline_enabled_ = config_.solve_deadline_s > 0.0;
+  if (cycle_deadline_enabled_) {
+    cycle_deadline_ = solve_start + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                                        std::chrono::duration<double>(config_.solve_deadline_s));
+  }
   ScalingAction action;
   if (config_.hierarchical_groups > 1 && job_specs.size() > config_.hierarchical_groups &&
       job_specs.size() > config_.hierarchical_threshold) {
@@ -763,6 +900,14 @@ ScalingAction FaroAutoscaler::Decide(double now_s, const std::vector<JobSpec>& j
   }
   const double solve_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - solve_start).count();
+  // Remember the target and the capacity it was solved for: FastReact's
+  // actuation-retry and capacity-change triggers compare against these.
+  last_targets_ = action.replicas;
+  last_solve_cpu_ = resources.cpu;
+  retry_backoff_.assign(job_specs.size(), config_.actuation_retry_backoff_s);
+  if (last_retry_.size() != job_specs.size()) {
+    last_retry_.assign(job_specs.size(), -1e18);
+  }
   ++telemetry_.cycles;
   telemetry_.solve_seconds_total += solve_seconds;
   telemetry_.solve_seconds_max = std::max(telemetry_.solve_seconds_max, solve_seconds);
@@ -777,11 +922,30 @@ std::optional<ScalingAction> FaroAutoscaler::FastReact(double now_s,
                                                        const std::vector<JobSpec>& job_specs,
                                                        const std::vector<JobMetrics>& metrics,
                                                        const ClusterResources& resources) {
+  // Capacity-change trigger (degradation ladder): when the cluster shrank
+  // materially since the last solve -- a node crashed or was drained -- the
+  // standing allocation may be oversubscribed or badly shaped, and waiting
+  // out the decision cadence means minutes of avoidable SLO damage. Force an
+  // off-cadence re-solve now. Runs before the enable_hybrid gate: capacity
+  // loss matters to ablation arms without the reactive loop too. Never fires
+  // in a fault-free run (capacity only shrinks under injected node faults).
+  if (config_.capacity_resolve_threshold > 0.0 && last_solve_cpu_ > 0.0 &&
+      resources.cpu < last_solve_cpu_ * (1.0 - config_.capacity_resolve_threshold)) {
+    ++telemetry_.capacity_resolves;
+    if (config_.trace.on()) {
+      config_.trace.SimInstant(kAutoscalerTid, "capacity_resolve", "autoscaler", now_s);
+    }
+    return Decide(now_s, job_specs, metrics, resources);
+  }
   if (!config_.enable_hybrid) {
     return std::nullopt;
   }
   if (last_reactive_up_.size() != metrics.size()) {
     last_reactive_up_.assign(metrics.size(), -1e18);
+  }
+  if (last_retry_.size() != metrics.size()) {
+    last_retry_.assign(metrics.size(), -1e18);
+    retry_backoff_.assign(metrics.size(), config_.actuation_retry_backoff_s);
   }
   double used_cpu = 0.0;
   for (size_t i = 0; i < metrics.size(); ++i) {
@@ -812,6 +976,39 @@ std::optional<ScalingAction> FaroAutoscaler::FastReact(double now_s,
     used_cpu += job_specs[i].cpu_per_replica;
     last_reactive_up_[i] = now_s;
     changed = true;
+  }
+  // Actuation retry (degradation ladder): a fleet below the last long-term
+  // target means a scale-up command was dropped or only partially applied --
+  // the simulator never removes replicas on its own, and deliberate
+  // downscales reset last_targets_ at the next Decide. Re-issue the missing
+  // replicas, doubling the per-job backoff on each consecutive retry so a
+  // persistently failing actuator is not hammered every reactive tick. Never
+  // fires in a fault-free run: without injected actuation faults the fleet
+  // reaches the target before the first backoff elapses.
+  if (config_.actuation_retry_backoff_s > 0.0 && last_targets_.size() == metrics.size()) {
+    for (const size_t i : order) {
+      const uint32_t fleet = metrics[i].ready_replicas + metrics[i].starting_replicas;
+      if (fleet >= last_targets_[i] || action.replicas[i] >= last_targets_[i]) {
+        continue;
+      }
+      if (now_s - last_retry_[i] < retry_backoff_[i]) {
+        continue;
+      }
+      const double extra_cpu =
+          job_specs[i].cpu_per_replica * (last_targets_[i] - action.replicas[i]);
+      if (used_cpu + extra_cpu > resources.cpu + 1e-9) {
+        continue;
+      }
+      action.replicas[i] = last_targets_[i];
+      used_cpu += extra_cpu;
+      last_retry_[i] = now_s;
+      retry_backoff_[i] = std::min(retry_backoff_[i] * 2.0, config_.decision_interval_s);
+      ++telemetry_.actuation_retries;
+      if (config_.trace.on()) {
+        config_.trace.SimInstant(kAutoscalerTid, "actuation_retry", "autoscaler", now_s);
+      }
+      changed = true;
+    }
   }
   if (!changed) {
     return std::nullopt;

@@ -20,6 +20,7 @@
 #ifndef SRC_CORE_AUTOSCALER_H_
 #define SRC_CORE_AUTOSCALER_H_
 
+#include <chrono>
 #include <cstdint>
 #include <memory>
 
@@ -123,6 +124,32 @@ struct FaroConfig {
   // frontier.
   bool warm_start_cache = true;
 
+  // --- Degradation ladder (robustness under faults) ------------------------
+  // Wall-clock budget for one Stage-2 solve; 0 disables (the default). On a
+  // miss the cycle falls back to (1) the cross-cycle warm-start allocation
+  // rescaled into current capacity, then (2) the capacity-proportional
+  // heuristic -- the autoscaler always completes the cycle. Enabling the
+  // deadline trades the bit-determinism contract for bounded decision
+  // latency (which starts ran now depends on wall time).
+  double solve_deadline_s = 0.0;
+  // Forecast sanity guard: a forecast containing non-finite values, only
+  // negative values, or values above this multiple of the largest recently
+  // observed rate is replaced by the last observed value. <= 1 disables (the
+  // default): early cycles have little observed history, so a legitimate
+  // trained forecast can exceed any fixed multiple of it -- arming the guard
+  // therefore perturbs fault-free runs and is an explicit opt-in (the chaos
+  // bench arms it at 8).
+  double forecast_max_jump = 0.0;
+  // Actuation retry: when the fleet (ready + starting) sits below the last
+  // long-term target -- a scale-up was dropped or partially applied -- the
+  // reactive tick re-issues the missing replicas, backing off exponentially
+  // from this interval per consecutive retry. 0 disables. Never fires in a
+  // fault-free run: scale-ups only fail under injected faults.
+  double actuation_retry_backoff_s = 20.0;
+  // Off-cadence re-solve when cluster capacity shrinks by more than this
+  // fraction since the last solve (node crash/drain). <= 0 disables.
+  double capacity_resolve_threshold = 0.05;
+
   uint64_t seed = 7;
 
   // Observability: wall-clock spans for the decision cycle (forecast ->
@@ -131,6 +158,11 @@ struct FaroConfig {
   // only -- decisions are bit-identical with tracing on or off.
   TraceSession trace;
 };
+
+// Empty string when `config` is well formed; otherwise a description of the
+// first problem found. FaroAutoscaler's constructor throws invalid_argument
+// with this message instead of silently misbehaving.
+std::string ValidateFaroConfig(const FaroConfig& config);
 
 class FaroAutoscaler : public AutoscalingPolicy {
  public:
@@ -212,6 +244,19 @@ class FaroAutoscaler : public AutoscalingPolicy {
   // Per-job time of the last reactive upscale: one additive step per trigger
   // period, so the 10 s tick does not fire continuously through a cold start.
   std::vector<double> last_reactive_up_;
+  // --- degradation-ladder state --------------------------------------------
+  // Wall-clock deadline of the cycle currently being solved (set per Decide
+  // when solve_deadline_s > 0; SolveFlat and the hierarchical group solves
+  // all check the same deadline).
+  bool cycle_deadline_enabled_ = false;
+  std::chrono::steady_clock::time_point cycle_deadline_{};
+  // Last long-term target and solve-time capacity, for the actuation-retry
+  // and capacity-change triggers in FastReact.
+  std::vector<uint32_t> last_targets_;
+  double last_solve_cpu_ = 0.0;
+  // Per-job actuation-retry pacing: last retry time and current backoff.
+  std::vector<double> last_retry_;
+  std::vector<double> retry_backoff_;
 };
 
 }  // namespace faro

@@ -62,6 +62,13 @@ struct SolverTelemetry {
   uint64_t group_solves = 0;           // hierarchical per-group sub-solves
   double solve_seconds_total = 0.0;    // wall-clock inside Stage-2 solves
   double solve_seconds_max = 0.0;      // worst single cycle
+  // --- degradation ladder (robustness) -------------------------------------
+  uint64_t deadline_misses = 0;        // Stage-2 solves cut off by the deadline
+  uint64_t fallback_warm = 0;          // cycles served by the rescaled warm start
+  uint64_t fallback_heuristic = 0;     // cycles served by the capacity heuristic
+  uint64_t forecast_fallbacks = 0;     // insane forecasts replaced by last-value
+  uint64_t actuation_retries = 0;      // reactive re-issues of a missed scale-up
+  uint64_t capacity_resolves = 0;      // off-cadence solves after capacity loss
 };
 
 // A scaling decision covering every job. `replicas` are absolute targets;

@@ -1,0 +1,130 @@
+#include "src/faults/faultplan.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace faro {
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNodeCrash:
+      return "node_crash";
+    case FaultKind::kNodeDrain:
+      return "node_drain";
+    case FaultKind::kNodeRecover:
+      return "node_recover";
+    case FaultKind::kReplicaBurst:
+      return "replica_burst";
+  }
+  return "unknown";
+}
+
+bool FaultPlan::active() const {
+  return !events.empty() || burst_mtbf_s > 0.0 || straggler_fraction > 0.0 ||
+         actuation_drop_prob > 0.0 || actuation_delay_prob > 0.0 ||
+         actuation_partial_prob > 0.0;
+}
+
+std::string FaultPlan::Validate() const {
+  for (const FaultEvent& event : events) {
+    if (!(event.time_s >= 0.0) || !std::isfinite(event.time_s)) {
+      return "FaultPlan: event time must be finite and >= 0";
+    }
+    switch (event.kind) {
+      case FaultKind::kNodeCrash:
+      case FaultKind::kNodeDrain:
+      case FaultKind::kNodeRecover:
+        if (event.node.empty()) {
+          return std::string("FaultPlan: ") + FaultKindName(event.kind) +
+                 " event needs a node name";
+        }
+        break;
+      case FaultKind::kReplicaBurst:
+        if (event.fraction < 0.0 || event.fraction > 1.0) {
+          return "FaultPlan: replica_burst fraction must be in [0, 1]";
+        }
+        if (event.fraction == 0.0 && event.count == 0) {
+          return "FaultPlan: replica_burst needs a fraction or a count";
+        }
+        break;
+    }
+  }
+  if (burst_mtbf_s < 0.0) {
+    return "FaultPlan: burst_mtbf_s must be >= 0";
+  }
+  if (burst_mtbf_s > 0.0 && (burst_fraction <= 0.0 || burst_fraction > 1.0)) {
+    return "FaultPlan: burst_fraction must be in (0, 1] when bursts are on";
+  }
+  if (straggler_fraction < 0.0 || straggler_fraction > 1.0) {
+    return "FaultPlan: straggler_fraction must be in [0, 1]";
+  }
+  if (straggler_fraction > 0.0 && straggler_multiplier < 1.0) {
+    return "FaultPlan: straggler_multiplier must be >= 1";
+  }
+  if (actuation_drop_prob < 0.0 || actuation_delay_prob < 0.0 ||
+      actuation_partial_prob < 0.0) {
+    return "FaultPlan: actuation probabilities must be >= 0";
+  }
+  if (actuation_drop_prob + actuation_delay_prob + actuation_partial_prob > 1.0) {
+    return "FaultPlan: actuation probabilities must sum to <= 1";
+  }
+  if (actuation_delay_prob > 0.0 && actuation_delay_s <= 0.0) {
+    return "FaultPlan: actuation_delay_s must be > 0 when delays are on";
+  }
+  return {};
+}
+
+const std::vector<std::string>& FaultScenarioNames() {
+  static const std::vector<std::string> kNames = {"node-crash", "rolling-drain",
+                                                  "replica-burst", "flaky-api"};
+  return kNames;
+}
+
+FaultPlan MakeFaultScenario(const std::string& name, double duration_s,
+                            const std::vector<std::string>& node_names) {
+  FaultPlan plan;
+  if (name == "node-crash") {
+    if (!node_names.empty()) {
+      plan.events.push_back(
+          {0.25 * duration_s, FaultKind::kNodeCrash, node_names.front()});
+      plan.events.push_back(
+          {0.50 * duration_s, FaultKind::kNodeRecover, node_names.front()});
+    }
+  } else if (name == "rolling-drain") {
+    // One node at a time, upgrade-style: drain, hold for 10% of the run,
+    // recover, move on. The stagger keeps at most one node down at once.
+    const double hold = 0.10 * duration_s;
+    double t = 0.20 * duration_s;
+    for (const std::string& node : node_names) {
+      plan.events.push_back({t, FaultKind::kNodeDrain, node});
+      plan.events.push_back({t + hold, FaultKind::kNodeRecover, node});
+      t += 1.5 * hold;
+      if (t + hold >= duration_s) {
+        break;
+      }
+    }
+  } else if (name == "replica-burst") {
+    FaultEvent burst;
+    burst.kind = FaultKind::kReplicaBurst;
+    burst.job = -1;
+    burst.fraction = 0.5;
+    burst.time_s = 0.30 * duration_s;
+    plan.events.push_back(burst);
+    burst.time_s = 0.60 * duration_s;
+    plan.events.push_back(burst);
+    // A background correlated-failure process between the scheduled bursts:
+    // roughly one extra burst per run, killing a quarter of each pool.
+    plan.burst_mtbf_s = duration_s;
+    plan.burst_fraction = 0.25;
+  } else if (name == "flaky-api") {
+    plan.actuation_drop_prob = 0.15;
+    plan.actuation_delay_prob = 0.20;
+    plan.actuation_delay_s = 45.0;
+    plan.actuation_partial_prob = 0.15;
+    plan.straggler_fraction = 0.25;
+    plan.straggler_multiplier = 4.0;
+  }
+  return plan;
+}
+
+}  // namespace faro

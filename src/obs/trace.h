@@ -38,8 +38,9 @@ namespace faro {
 
 enum class TraceClock : uint8_t { kSim = 0, kWall = 1 };
 
-// Autoscaler / solver tracks live above any realistic job index.
+// Autoscaler / solver / fault tracks live above any realistic job index.
 inline constexpr uint32_t kAutoscalerTid = 900;
+inline constexpr uint32_t kFaultTid = 905;
 inline constexpr uint32_t kSolverTidBase = 910;
 
 struct TraceEvent {

@@ -113,6 +113,7 @@ MultiStartResult MultiStartSolve(const Problem& problem, std::vector<StartPoint>
   };
   std::vector<TaskSlot> slots(tasks);
   std::atomic<size_t> first_exit{tasks};
+  std::atomic<bool> deadline_hit{false};
   const MultiStartConfig scout = ScoutBudget(config);
   // Non-scout secondary starts (e.g. the deployed allocation behind a
   // warm-start cache hit) run on a scout-sized budget with a higher floor:
@@ -128,6 +129,11 @@ MultiStartResult MultiStartSolve(const Problem& problem, std::vector<StartPoint>
       [&](size_t t) {
         if (config.early_exit && first_exit.load(std::memory_order_acquire) < t) {
           return;  // cancelled: a lower-indexed task already finished well
+        }
+        if (config.deadline_enabled &&
+            std::chrono::steady_clock::now() >= config.deadline) {
+          deadline_hit.store(true, std::memory_order_relaxed);
+          return;  // skipped: the solve's wall-clock budget is spent
         }
         const size_t s = t / solvers;
         const bool alternate = (t % solvers) == 1;
@@ -184,6 +190,7 @@ MultiStartResult MultiStartSolve(const Problem& problem, std::vector<StartPoint>
       config.max_parallelism);
 
   out.starts_total = tasks;
+  out.deadline_hit = deadline_hit.load(std::memory_order_relaxed);
   size_t winner = tasks;
   const size_t exit_task = first_exit.load(std::memory_order_acquire);
   out.early_exit = config.early_exit && exit_task < tasks;
@@ -206,6 +213,12 @@ MultiStartResult MultiStartSolve(const Problem& problem, std::vector<StartPoint>
          RanksBetter(slot.result, slots[winner].result, config.feasibility_tolerance))) {
       winner = t;
     }
+  }
+  if (winner == tasks) {
+    // Every rankable task was skipped (deadline before any task started):
+    // return an empty best (x stays empty); the caller's degradation ladder
+    // takes over.
+    return out;
   }
   out.winner_start = winner / solvers;
   out.winner_alternate = (winner % solvers) == 1;

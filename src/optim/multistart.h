@@ -43,6 +43,7 @@
 #ifndef SRC_OPTIM_MULTISTART_H_
 #define SRC_OPTIM_MULTISTART_H_
 
+#include <chrono>
 #include <cstdint>
 #include <vector>
 
@@ -95,6 +96,13 @@ struct MultiStartConfig {
   // Thread cap for the fan-out: 0 = shared pool size, 1 = serial in task
   // order. Results are bit-identical at every setting.
   size_t max_parallelism = 0;
+  // Wall-clock deadline for the fan-out (degradation ladder): tasks that have
+  // not started when the deadline passes are skipped and `deadline_hit` is
+  // reported; already-running tasks finish. Off by default -- a deadline
+  // makes which tasks ran (and hence the winner) depend on wall time, trading
+  // the bit-determinism contract for bounded decision latency.
+  bool deadline_enabled = false;
+  std::chrono::steady_clock::time_point deadline{};
   // Observability: each launched task records a wall-clock span (one trace
   // track per task index) into this session. Measurement only; whether a
   // task above the early-exit index ran at all is schedule-dependent, so
@@ -111,6 +119,7 @@ struct MultiStartResult {
   size_t starts_launched = 0;     // tasks that actually ran
   size_t starts_skipped = 0;      // tasks cancelled by early exit
   bool early_exit = false;        // winner came from the early-exit rule
+  bool deadline_hit = false;      // at least one task was skipped by the deadline
   int64_t evaluations = 0;        // objective evaluations across launched tasks
 };
 

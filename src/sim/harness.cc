@@ -180,6 +180,9 @@ RunResult RunPolicy(const ExperimentSetup& setup, const PreparedWorkload& worklo
   config.seed = trial_seed;
   config.trace = trace;
   config.obs_metrics = setup.obs.metrics_enabled();
+  config.nodes = setup.nodes;
+  config.placement_strategy = setup.placement_strategy;
+  config.faults = setup.faults;
   return RunSimulation(config, workload.jobs, policy);
 }
 

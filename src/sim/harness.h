@@ -55,6 +55,12 @@ struct ExperimentSetup {
   // asked for. Tracing records only trial `obs.trace_trial` of each policy
   // (deterministic on its own; see obs.h); metrics cover every trial.
   ObsConfig obs = DefaultObsConfig();
+  // Optional node-level placement model and chaos plan (src/faults/), copied
+  // verbatim into SimConfig. Empty `nodes` keeps the flat capacity-only
+  // model; an inactive plan leaves runs bit-identical to a chaos-free build.
+  std::vector<Node> nodes;
+  PlacementStrategy placement_strategy = PlacementStrategy::kSpread;
+  FaultPlan faults;
 };
 
 // Job specs plus train/eval traces, all in simulator units (traces are req

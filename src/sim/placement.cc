@@ -14,6 +14,68 @@ ClusterResources PlacementTracker::TotalCapacity() const {
   return total;
 }
 
+ClusterResources PlacementTracker::SchedulableCapacity() const {
+  ClusterResources total;
+  for (const Node& node : nodes_) {
+    if (!node.schedulable) {
+      continue;
+    }
+    total.cpu += node.cpu_capacity;
+    total.mem += node.mem_capacity;
+  }
+  return total;
+}
+
+bool PlacementTracker::SetNodeSchedulable(const std::string& node_name,
+                                          bool schedulable) {
+  for (Node& node : nodes_) {
+    if (node.name == node_name) {
+      node.schedulable = schedulable;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<std::pair<std::string, uint32_t>> PlacementTracker::RemoveNodeReplicas(
+    const std::string& node_name) {
+  std::vector<std::pair<std::string, uint32_t>> evicted;
+  size_t node_index = nodes_.size();
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].name == node_name) {
+      node_index = i;
+      break;
+    }
+  }
+  if (node_index == nodes_.size()) {
+    return evicted;
+  }
+  for (size_t i = placements_.size(); i-- > 0;) {
+    const Placement& placement = placements_[i];
+    if (placement.node != node_index) {
+      continue;
+    }
+    nodes_[node_index].cpu_used -= placement.cpu;
+    nodes_[node_index].mem_used -= placement.mem;
+    bool merged = false;
+    for (auto& [job, count] : evicted) {
+      if (job == placement.job) {
+        ++count;
+        merged = true;
+        break;
+      }
+    }
+    if (!merged) {
+      evicted.emplace_back(placement.job, 1u);
+    }
+    placements_.erase(placements_.begin() + static_cast<ptrdiff_t>(i));
+  }
+  // The reverse erase loop above visits last-placed first; flip to
+  // first-placed order so downstream kill order is stable and documented.
+  std::reverse(evicted.begin(), evicted.end());
+  return evicted;
+}
+
 std::optional<size_t> PlacementTracker::PickNode(double cpu, double mem) const {
   std::optional<size_t> best;
   double best_score = 0.0;

@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/core/objectives.h"
@@ -25,11 +26,14 @@ struct Node {
   double mem_capacity = 0.0;
   double cpu_used = 0.0;
   double mem_used = 0.0;
+  // False while the node is crashed or cordoned (chaos injection): existing
+  // placements are evicted separately; no new replicas land here.
+  bool schedulable = true;
 
   double cpu_free() const { return cpu_capacity - cpu_used; }
   double mem_free() const { return mem_capacity - mem_used; }
   bool Fits(double cpu, double mem) const {
-    return cpu_free() + 1e-9 >= cpu && mem_free() + 1e-9 >= mem;
+    return schedulable && cpu_free() + 1e-9 >= cpu && mem_free() + 1e-9 >= mem;
   }
 };
 
@@ -47,8 +51,22 @@ class PlacementTracker {
 
   const std::vector<Node>& nodes() const { return nodes_; }
 
-  // Total schedulable capacity across nodes.
+  // Total capacity across all nodes, cordoned ones included.
   ClusterResources TotalCapacity() const;
+
+  // Capacity of schedulable (up, uncordoned) nodes only.
+  ClusterResources SchedulableCapacity() const;
+
+  // Marks the named node (un)schedulable. Returns false for unknown names.
+  // Existing placements are untouched; pair with RemoveNodeReplicas to model
+  // a crash or drain.
+  bool SetNodeSchedulable(const std::string& node_name, bool schedulable);
+
+  // Evicts every replica placed on the named node, freeing its resources.
+  // Returns (job name, replicas evicted) pairs in first-placed order so the
+  // simulator can kill the matching replicas deterministically.
+  std::vector<std::pair<std::string, uint32_t>> RemoveNodeReplicas(
+      const std::string& node_name);
 
   // Places one replica of the job; returns the node index or nullopt when no
   // node fits (the pod stays Pending).

@@ -1,5 +1,7 @@
 #include "src/sim/report.h"
 
+#include <algorithm>
+#include <cstdint>
 #include <fstream>
 
 namespace faro {
@@ -56,16 +58,33 @@ bool WriteSummaryCsv(const std::string& path, const RunResult& result) {
     return false;
   }
   out << "job,arrivals,drops,violations,slo_violation_rate,avg_utility,lost_utility,"
-         "avg_effective_utility,avg_replicas\n";
+         "avg_effective_utility,avg_replicas,injected_failures,capacity_seconds_lost,"
+         "recovery_s,utility_reconverge_s\n";
+  uint64_t total_failures = 0;
+  double total_capacity_lost = 0.0;
+  double total_recovery = 0.0;
+  double worst_reconverge = 0.0;
   for (const JobRunStats& job : result.jobs) {
     out << CsvEscape(job.name.empty() ? "job" : job.name) << ',' << job.arrivals << ',' << job.drops
         << ',' << job.violations << ',' << job.slo_violation_rate << ',' << job.avg_utility
         << ',' << job.lost_utility << ',' << job.avg_effective_utility << ','
-        << job.avg_replicas << '\n';
+        << job.avg_replicas << ',' << job.injected_failures << ','
+        << job.capacity_seconds_lost << ',' << job.recovery_seconds << ','
+        << job.utility_reconverge_s << '\n';
+    total_failures += job.injected_failures;
+    total_capacity_lost += job.capacity_seconds_lost;
+    total_recovery += job.recovery_seconds;
+    // -1 means "never reconverged" -- the worst possible outcome; propagate it.
+    if (worst_reconverge >= 0.0) {
+      worst_reconverge = job.utility_reconverge_s < 0.0
+                             ? -1.0
+                             : std::max(worst_reconverge, job.utility_reconverge_s);
+    }
   }
   out << "CLUSTER,,,," << result.cluster_slo_violation_rate << ','
       << result.cluster_avg_utility << ',' << result.cluster_lost_utility << ','
-      << result.cluster_avg_effective_utility << ",\n";
+      << result.cluster_avg_effective_utility << ",," << total_failures << ','
+      << total_capacity_lost << ',' << total_recovery << ',' << worst_reconverge << '\n';
   return static_cast<bool>(out);
 }
 
@@ -78,13 +97,30 @@ bool WriteSolverCsv(const std::string& path, const RunResult& result) {
   const double cycles = s.cycles > 0 ? static_cast<double>(s.cycles) : 1.0;
   out << "cycles,starts_launched,starts_skipped,early_exits,warm_start_hits,"
          "wins_warm_current,wins_prev_solution,wins_heuristic,wins_jitter,"
-         "objective_evaluations,group_solves,solve_ms_mean,solve_ms_max\n";
+         "objective_evaluations,group_solves,solve_ms_mean,solve_ms_max,"
+         "deadline_misses,fallback_warm,fallback_heuristic,forecast_fallbacks,"
+         "actuation_retries,capacity_resolves\n";
   out << s.cycles << ',' << s.starts_launched << ',' << s.starts_skipped << ','
       << s.early_exits << ',' << s.warm_start_hits << ',' << s.wins_warm_current << ','
       << s.wins_prev_solution << ',' << s.wins_heuristic << ',' << s.wins_jitter << ','
       << s.objective_evaluations << ',' << s.group_solves << ','
       << 1000.0 * s.solve_seconds_total / cycles << ',' << 1000.0 * s.solve_seconds_max
-      << '\n';
+      << ',' << s.deadline_misses << ',' << s.fallback_warm << ',' << s.fallback_heuristic
+      << ',' << s.forecast_fallbacks << ',' << s.actuation_retries << ','
+      << s.capacity_resolves << '\n';
+  return static_cast<bool>(out);
+}
+
+bool WriteFaultLogCsv(const std::string& path, const RunResult& result) {
+  std::ofstream out(path);
+  if (!out) {
+    return false;
+  }
+  out << "time_s,what,target,count\n";
+  for (const AppliedFault& fault : result.fault_log) {
+    out << fault.time_s << ',' << CsvEscape(fault.what) << ',' << CsvEscape(fault.target)
+        << ',' << fault.count << '\n';
+  }
   return static_cast<bool>(out);
 }
 

@@ -26,8 +26,14 @@ bool WriteSummaryCsv(const std::string& path, const RunResult& result);
 
 // One-row CSV of the policy's Stage-2 solver telemetry: decision cycles,
 // starts launched/skipped/won by kind, early exits, warm-start reuse,
-// objective evaluations, and per-cycle solve wall-clock (mean and max, ms).
+// objective evaluations, per-cycle solve wall-clock (mean and max, ms), and
+// the degradation-ladder counters (deadline misses, fallbacks by rung,
+// forecast fallbacks, actuation retries, capacity re-solves).
 bool WriteSolverCsv(const std::string& path, const RunResult& result);
+
+// One row per injected fault (time, kind, target, replicas affected) -- the
+// deterministic fault log of a chaos run. Empty log writes just the header.
+bool WriteFaultLogCsv(const std::string& path, const RunResult& result);
 
 }  // namespace faro
 

@@ -5,11 +5,13 @@
 #include <deque>
 #include <limits>
 #include <memory>
+#include <stdexcept>
 
 #include "src/common/rng.h"
 #include "src/common/stats.h"
 #include "src/core/penalty.h"
 #include "src/core/utility.h"
+#include "src/faults/injector.h"
 #include "src/obs/metrics.h"
 
 namespace faro {
@@ -24,6 +26,8 @@ enum class EventKind : uint8_t {
   kReactiveTick,
   kDecideTick,
   kMetricsTick,
+  kFaultEvent,      // scheduled FaultPlan event; `job` indexes the plan
+  kDelayedScaleUp,  // actuation fault: a delayed scale-up finally lands
 };
 
 struct Event {
@@ -85,6 +89,19 @@ struct JobState {
   double overloaded_for = 0.0;
   double underloaded_for = 0.0;
 
+  // --- fault bookkeeping ----------------------------------------------------
+  // Replicas killed under this job by any injection path.
+  uint64_t injected_failures = 0;
+  // Ready-replica count the job had when it was last hit; cleared once the
+  // pool climbs back (or the autoscaler deliberately targets lower).
+  uint32_t recover_target = 0;
+  // pending_removal entries whose placement was already freed by a node
+  // eviction; HandleCompletion consumes these instead of freeing again.
+  uint32_t placement_credit = 0;
+  double fault_first_s = -1.0;       // sim time of the first fault hitting this job
+  double capacity_seconds_lost = 0.0;
+  double recovery_seconds = 0.0;
+
   // --- per-minute outputs ---------------------------------------------------
   std::vector<double> minute_p99;
   std::vector<double> minute_utility;
@@ -99,7 +116,7 @@ class Simulation {
   Simulation(const SimConfig& config, const std::vector<SimJobConfig>& jobs,
              AutoscalingPolicy& policy)
       : config_(config), jobs_(jobs), policy_(policy), rng_(config.seed),
-        trace_(config.trace) {}
+        trace_(config.trace), injector_(config.faults, config.seed) {}
 
   RunResult Run();
 
@@ -133,6 +150,32 @@ class Simulation {
   void InjectReplicaFailures();
   void UpdateOverloadTimers();
   std::vector<JobMetrics> CollectMetrics() const;
+
+  // --- chaos-injection hooks (src/faults/) --------------------------------
+  // Kills up to `want` replicas of job j: cold starts are cancelled first,
+  // then idle replicas die immediately, then busy replicas drain out via
+  // pending_removal. `placement_freed` marks node evictions whose placements
+  // RemoveNodeReplicas already released. Returns replicas actually killed.
+  uint32_t KillReplicas(uint32_t j, uint32_t want, bool placement_freed);
+  // Correlated burst against one job (or all jobs when job < 0).
+  void ApplyBurst(int32_t job, double fraction, uint32_t count);
+  void HandleFaultEvent(const FaultEvent& fault);
+  // Stochastic correlated bursts, drawn once per reactive tick.
+  void InjectStochasticFaults();
+  // Integrates the per-job replica deficit left behind by kills (recovery
+  // metrics); pure arithmetic, no RNG, zero work when nothing was killed.
+  void AccountFaultDeficits();
+  void RecordFault(const char* what, const std::string& target, uint32_t count);
+  // Cluster capacity as the policy should see it: the configured resources
+  // minus crashed/drained node capacity. Returns the exact configured object
+  // when every node is up, keeping no-fault runs bit-identical.
+  ClusterResources EffectiveResources() const {
+    if (down_cpu_ <= 0.0 && down_mem_ <= 0.0) {
+      return config_.resources;
+    }
+    return ClusterResources{std::max(0.0, config_.resources.cpu - down_cpu_),
+                            std::max(0.0, config_.resources.mem - down_mem_)};
+  }
 
   double ServiceTime(uint32_t job) {
     const double p = jobs_[job].spec.processing_time;
@@ -184,6 +227,15 @@ class Simulation {
   std::unique_ptr<PlacementTracker> placement_;
   // Replicas requested but not yet placeable (Pending pods), per job.
   std::vector<uint32_t> pending_placement_;
+  // Chaos layer: private RNG stream + counters + applied-fault log. An
+  // inactive plan never draws, so fault-free runs are unchanged.
+  FaultInjector injector_;
+  // Capacity currently lost to crashed/drained nodes.
+  double down_cpu_ = 0.0;
+  double down_mem_ = 0.0;
+  std::vector<std::string> down_nodes_;
+  Counter::Cell* m_fault_events_ = nullptr;
+  Counter::Cell* m_fault_kills_ = nullptr;
 
   // Starts the cold-start clock for one replica of job j if a node has room
   // (or unconditionally without a node model). Returns false when Pending.
@@ -193,8 +245,9 @@ class Simulation {
     }
     ++state_[j].starting;
     // One ColdStart() draw whether or not observability is on: the RNG
-    // sequence (and hence the run) is identical either way.
-    const double delay = ColdStart();
+    // sequence (and hence the run) is identical either way. The straggler
+    // stretch draws from the injector's own stream (and only when enabled).
+    const double delay = injector_.StretchColdStart(ColdStart());
     if (m_cold_start_ != nullptr) {
       m_cold_start_->Record(delay);
     }
@@ -314,7 +367,10 @@ void Simulation::HandleCompletion(const Event& event) {
     // more work.
     --js.pending_removal;
     --js.ready;
-    if (placement_ != nullptr) {
+    if (js.placement_credit > 0) {
+      // A node eviction already freed this replica's placement.
+      --js.placement_credit;
+    } else if (placement_ != nullptr) {
       (void)placement_->RemoveReplica(jobs_[event.job].spec);
     }
   }
@@ -385,6 +441,11 @@ void Simulation::InjectReplicaFailures() {
         ++failures;
       }
     }
+    if (failures == 0) {
+      continue;
+    }
+    const uint32_t ready_before = js.ready - std::min(js.ready, js.pending_removal);
+    uint32_t killed = 0;
     while (failures-- > 0 && js.ready > js.pending_removal) {
       if (js.ready - js.busy > 0 && js.busy + js.pending_removal < js.ready) {
         --js.ready;  // idle replica dies immediately
@@ -394,7 +455,190 @@ void Simulation::InjectReplicaFailures() {
       } else {
         ++js.pending_removal;  // busy replica exits after its request
       }
+      ++killed;
     }
+    if (killed > 0) {
+      js.injected_failures += killed;
+      js.recover_target = std::max(js.recover_target, ready_before);
+      if (js.fault_first_s < 0.0) {
+        js.fault_first_s = now_;
+      }
+      injector_.stats().replicas_killed += killed;
+      if (m_fault_kills_ != nullptr) {
+        m_fault_kills_->Add(killed);
+      }
+      RecordFault("replica_mtbf", jobs_[j].spec.name, killed);
+    }
+  }
+}
+
+uint32_t Simulation::KillReplicas(uint32_t j, uint32_t want, bool placement_freed) {
+  JobState& js = state_[j];
+  // Recovery bar: the replicas that were actually alive (not already
+  // draining toward a pending removal) when this fault hit.
+  const uint32_t ready_before = js.ready - std::min(js.ready, js.pending_removal);
+  uint32_t killed = 0;
+  if (placement_freed) {
+    // Node eviction: cold starts on the node are simply gone. Their
+    // placements were freed with the node; cancelled ReplicaReady events are
+    // ignored when they fire.
+    const uint32_t cancel = std::min(want, js.starting);
+    js.starting -= cancel;
+    js.cancelled_starts += cancel;
+    killed += cancel;
+  }
+  while (killed < want) {
+    if (js.ready > js.busy) {
+      --js.ready;  // idle replica dies immediately
+      if (!placement_freed && placement_ != nullptr) {
+        (void)placement_->RemoveReplica(jobs_[j].spec);
+      }
+    } else if (js.busy > js.pending_removal) {
+      // Busy replica drains its in-flight request, then exits.
+      ++js.pending_removal;
+      if (placement_freed) {
+        ++js.placement_credit;
+      }
+    } else {
+      break;  // nothing left to kill
+    }
+    ++killed;
+  }
+  if (killed > 0) {
+    js.injected_failures += killed;
+    js.recover_target = std::max(js.recover_target, ready_before);
+    if (js.fault_first_s < 0.0) {
+      js.fault_first_s = now_;
+    }
+    injector_.stats().replicas_killed += killed;
+    if (m_fault_kills_ != nullptr) {
+      m_fault_kills_->Add(killed);
+    }
+  }
+  return killed;
+}
+
+void Simulation::ApplyBurst(int32_t job, double fraction, uint32_t count) {
+  uint32_t total = 0;
+  for (uint32_t j = 0; j < jobs_.size(); ++j) {
+    if (job >= 0 && static_cast<uint32_t>(job) != j) {
+      continue;
+    }
+    uint32_t want = count;
+    if (fraction > 0.0) {
+      want = static_cast<uint32_t>(
+          std::floor(fraction * static_cast<double>(state_[j].ready) + 0.5));
+    }
+    total += KillReplicas(j, want, /*placement_freed=*/false);
+  }
+  ++injector_.stats().bursts;
+  const std::string target =
+      (job >= 0 && static_cast<size_t>(job) < jobs_.size())
+          ? jobs_[static_cast<size_t>(job)].spec.name
+          : std::string("all");
+  RecordFault("replica_burst", target, total);
+}
+
+void Simulation::HandleFaultEvent(const FaultEvent& fault) {
+  switch (fault.kind) {
+    case FaultKind::kNodeCrash:
+    case FaultKind::kNodeDrain: {
+      if (std::find(down_nodes_.begin(), down_nodes_.end(), fault.node) !=
+          down_nodes_.end()) {
+        break;  // already down; a second crash/drain is a no-op
+      }
+      down_nodes_.push_back(fault.node);
+      uint32_t total = 0;
+      if (placement_ != nullptr) {
+        (void)placement_->SetNodeSchedulable(fault.node, false);
+        for (const auto& [job_name, evicted] :
+             placement_->RemoveNodeReplicas(fault.node)) {
+          for (uint32_t j = 0; j < jobs_.size(); ++j) {
+            if (jobs_[j].spec.name == job_name) {
+              total += KillReplicas(j, evicted, /*placement_freed=*/true);
+              break;
+            }
+          }
+        }
+      }
+      for (const Node& node : config_.nodes) {
+        if (node.name == fault.node) {
+          down_cpu_ += node.cpu_capacity;
+          down_mem_ += node.mem_capacity;
+          break;
+        }
+      }
+      if (fault.kind == FaultKind::kNodeCrash) {
+        ++injector_.stats().node_crashes;
+      } else {
+        ++injector_.stats().node_drains;
+      }
+      RecordFault(FaultKindName(fault.kind), fault.node, total);
+      break;
+    }
+    case FaultKind::kNodeRecover: {
+      const auto down = std::find(down_nodes_.begin(), down_nodes_.end(), fault.node);
+      if (down == down_nodes_.end()) {
+        break;  // node is not down; nothing to recover
+      }
+      down_nodes_.erase(down);
+      if (placement_ != nullptr) {
+        (void)placement_->SetNodeSchedulable(fault.node, true);
+      }
+      for (const Node& node : config_.nodes) {
+        if (node.name == fault.node) {
+          down_cpu_ = std::max(0.0, down_cpu_ - node.cpu_capacity);
+          down_mem_ = std::max(0.0, down_mem_ - node.mem_capacity);
+          break;
+        }
+      }
+      ++injector_.stats().node_recoveries;
+      RecordFault("node_recover", fault.node, 0);
+      break;
+    }
+    case FaultKind::kReplicaBurst:
+      ApplyBurst(fault.job, fault.fraction, fault.count);
+      break;
+  }
+}
+
+void Simulation::InjectStochasticFaults() {
+  if (!injector_.active()) {
+    return;
+  }
+  if (injector_.DrawBurst(config_.reactive_interval_s)) {
+    ApplyBurst(-1, injector_.plan().burst_fraction, 0);
+  }
+}
+
+void Simulation::AccountFaultDeficits() {
+  for (uint32_t j = 0; j < jobs_.size(); ++j) {
+    JobState& js = state_[j];
+    if (js.recover_target == 0) {
+      continue;
+    }
+    // Replicas draining toward a pending removal still sit in `ready` until
+    // their in-flight request completes, but they are lost capacity already
+    // -- count only the live pool against the recovery target.
+    const uint32_t live = js.ready - std::min(js.ready, js.pending_removal);
+    if (live >= js.recover_target) {
+      js.recover_target = 0;  // pool recovered (or autoscaler re-targeted)
+      continue;
+    }
+    const double deficit = static_cast<double>(js.recover_target - live);
+    js.capacity_seconds_lost += deficit * config_.reactive_interval_s;
+    js.recovery_seconds += config_.reactive_interval_s;
+  }
+}
+
+void Simulation::RecordFault(const char* what, const std::string& target,
+                             uint32_t count) {
+  injector_.Record(now_, what, target, count);
+  if (m_fault_events_ != nullptr) {
+    m_fault_events_->Add(1);
+  }
+  if (trace_.on()) {
+    trace_.SimInstant(kFaultTid, what, "faults", now_);
   }
 }
 
@@ -452,13 +696,39 @@ void Simulation::ApplyAction(const ScalingAction& action) {
     const uint32_t target = std::max<uint32_t>(1, action.replicas[j]);
     const uint32_t current = js.ready + js.starting;
     if (target > current) {
-      const uint32_t add = target - current;
+      uint32_t add = target - current;
+      // Actuation faults (chaos injection): the scale-up command can be
+      // dropped, delayed, or only partially applied. DrawActuation() costs
+      // zero RNG draws when the knobs are off.
+      switch (injector_.DrawActuation()) {
+        case ActuationOutcome::kDrop:
+          RecordFault("actuation_drop", jobs_[j].spec.name, add);
+          add = 0;
+          break;
+        case ActuationOutcome::kDelay:
+          RecordFault("actuation_delay", jobs_[j].spec.name, add);
+          Push(now_ + injector_.plan().actuation_delay_s,
+               EventKind::kDelayedScaleUp, j, static_cast<double>(add));
+          add = 0;
+          break;
+        case ActuationOutcome::kPartial: {
+          const uint32_t applied = (add + 1) / 2;
+          RecordFault("actuation_partial", jobs_[j].spec.name, add - applied);
+          add = applied;
+          break;
+        }
+        case ActuationOutcome::kApply:
+          break;
+      }
       for (uint32_t k = 0; k < add; ++k) {
         if (!TryProvisionReplica(j)) {
           ++pending_placement_[j];  // Pending pod; retried each reactive tick
         }
       }
     } else if (target < current) {
+      // A deliberate downscale lowers the post-fault recovery bar: the
+      // autoscaler no longer owes the pre-kill replica count.
+      js.recover_target = std::min(js.recover_target, target);
       uint32_t remove = current - target;
       // Pending placements are free to abandon.
       const uint32_t unqueue = std::min(remove, pending_placement_[j]);
@@ -515,6 +785,14 @@ RunResult Simulation::Run() {
                          .GetHistogram("faro_sim_cold_start_seconds",
                                        "Replica cold-start provisioning delay")
                          .LocalCell();
+    m_fault_events_ = &registry
+                           .GetCounter("faro_fault_events_total",
+                                       "Chaos events applied (fault-log entries)")
+                           .LocalCell();
+    m_fault_kills_ = &registry
+                          .GetCounter("faro_fault_replicas_killed_total",
+                                      "Replicas killed by fault injection")
+                          .LocalCell();
   }
   state_.assign(jobs_.size(), JobState{});
   pending_placement_.assign(jobs_.size(), 0);
@@ -549,6 +827,15 @@ RunResult Simulation::Run() {
     }
   }
 
+  // Scheduled chaos events (zero pushes -- and zero sequence-number drift --
+  // when the plan is inactive).
+  if (injector_.active()) {
+    const std::vector<FaultEvent>& scheduled = injector_.scheduled();
+    for (uint32_t i = 0; i < scheduled.size(); ++i) {
+      Push(scheduled[i].time_s, EventKind::kFaultEvent, i);
+    }
+  }
+
   // Prime the event queue: first minute of arrivals, ticks, first decision.
   ScheduleMinuteArrivals(0);
   Push(config_.metrics_window_s, EventKind::kMetricsTick, 0);
@@ -573,11 +860,13 @@ RunResult Simulation::Run() {
         HandleReplicaReady(event);
         break;
       case EventKind::kReactiveTick: {
+        InjectStochasticFaults();
         InjectReplicaFailures();
+        AccountFaultDeficits();
         RetryPendingPlacements();
         UpdateOverloadTimers();
         const auto metrics = CollectMetrics();
-        if (auto action = policy_.FastReact(now_, specs_, metrics, config_.resources)) {
+        if (auto action = policy_.FastReact(now_, specs_, metrics, EffectiveResources())) {
           ApplyAction(*action);
         }
         Push(now_ + config_.reactive_interval_s, EventKind::kReactiveTick, 0);
@@ -588,7 +877,7 @@ RunResult Simulation::Run() {
           trace_.SimInstant(kAutoscalerTid, "decide_tick", "sim.control", now_);
         }
         const auto metrics = CollectMetrics();
-        const ScalingAction action = policy_.Decide(now_, specs_, metrics, config_.resources);
+        const ScalingAction action = policy_.Decide(now_, specs_, metrics, EffectiveResources());
         {
           ScopedWallSpan actuate(trace_, kAutoscalerTid, "actuate", "autoscaler");
           ApplyAction(action);
@@ -605,6 +894,20 @@ RunResult Simulation::Run() {
           ++next_minute;
         }
         Push(now_ + config_.metrics_window_s, EventKind::kMetricsTick, 0);
+        break;
+      }
+      case EventKind::kFaultEvent:
+        HandleFaultEvent(injector_.scheduled()[event.job]);
+        break;
+      case EventKind::kDelayedScaleUp: {
+        // A delayed actuation finally lands: provision what was asked for
+        // back then (the next decision corrects any drift since).
+        const uint32_t add = static_cast<uint32_t>(event.payload);
+        for (uint32_t k = 0; k < add; ++k) {
+          if (!TryProvisionReplica(event.job)) {
+            ++pending_placement_[event.job];
+          }
+        }
         break;
       }
     }
@@ -640,11 +943,43 @@ RunResult Simulation::Run() {
     stats.lost_utility = 1.0 - stats.avg_utility;
     stats.avg_effective_utility = Mean(js.minute_eu);
     stats.avg_replicas = Mean(js.minute_replicas);
+    stats.injected_failures = js.injected_failures;
+    stats.capacity_seconds_lost = js.capacity_seconds_lost;
+    stats.recovery_seconds = js.recovery_seconds;
     stats.minute_p99 = std::move(js.minute_p99);
     stats.minute_utility = std::move(js.minute_utility);
     stats.minute_arrivals = std::move(js.minute_arrivals);
     stats.minute_drop_rate = std::move(js.minute_drop_rate);
     stats.minute_replicas = std::move(js.minute_replicas);
+
+    // Utility reconvergence: time from the first fault until the per-minute
+    // utility climbs back to within 0.05 of its pre-fault mean (up to five
+    // minutes of pre-fault history; 1.0 when the fault hit before any full
+    // minute elapsed).
+    if (js.fault_first_s >= 0.0) {
+      const size_t fault_minute = static_cast<size_t>(js.fault_first_s / 60.0);
+      const size_t pre_begin = fault_minute >= 5 ? fault_minute - 5 : 0;
+      double baseline = 1.0;
+      if (fault_minute > pre_begin && pre_begin < stats.minute_utility.size()) {
+        double sum = 0.0;
+        size_t n = 0;
+        for (size_t m = pre_begin; m < fault_minute && m < stats.minute_utility.size(); ++m) {
+          sum += stats.minute_utility[m];
+          ++n;
+        }
+        if (n > 0) {
+          baseline = sum / static_cast<double>(n);
+        }
+      }
+      stats.utility_reconverge_s = -1.0;
+      for (size_t m = fault_minute + 1; m < stats.minute_utility.size(); ++m) {
+        if (stats.minute_utility[m] >= baseline - 0.05) {
+          stats.utility_reconverge_s =
+              (static_cast<double>(m) + 1.0) * 60.0 - js.fault_first_s;
+          break;
+        }
+      }
+    }
 
     for (size_t t = 0; t < minutes; ++t) {
       result.cluster_utility_timeline[t] += stats.minute_utility[t];
@@ -660,13 +995,65 @@ RunResult Simulation::Run() {
   result.cluster_lost_effective_utility = num_jobs - eu_sum;
   result.cluster_slo_violation_rate = jobs_.empty() ? 0.0 : violation_rate_sum / num_jobs;
   result.solver = policy_.solver_telemetry();
+  result.faults = injector_.stats();
+  result.fault_log = injector_.log();
   return result;
 }
 
 }  // namespace
 
+std::string ValidateSimConfig(const SimConfig& config) {
+  if (config.cold_start_s < 0.0) {
+    return "SimConfig: cold_start_s must be >= 0";
+  }
+  if (config.cold_start_jitter_s < 0.0) {
+    return "SimConfig: cold_start_jitter_s must be >= 0";
+  }
+  if (config.processing_jitter < 0.0) {
+    return "SimConfig: processing_jitter must be >= 0";
+  }
+  if (config.router_queue_limit == 0) {
+    return "SimConfig: router_queue_limit must be >= 1 (a zero-length router "
+           "queue drops every request)";
+  }
+  if (config.replica_mtbf_s < 0.0) {
+    return "SimConfig: replica_mtbf_s must be >= 0 (0 disables failures)";
+  }
+  if (config.metrics_window_s <= 0.0) {
+    return "SimConfig: metrics_window_s must be > 0";
+  }
+  if (config.reactive_interval_s <= 0.0) {
+    return "SimConfig: reactive_interval_s must be > 0";
+  }
+  for (const Node& node : config.nodes) {
+    if (node.cpu_capacity <= 0.0 || node.mem_capacity <= 0.0) {
+      return "SimConfig: node '" + node.name + "' needs positive cpu/mem capacity";
+    }
+  }
+  if (std::string problem = config.faults.Validate(); !problem.empty()) {
+    return problem;
+  }
+  for (const FaultEvent& event : config.faults.events) {
+    if (event.kind == FaultKind::kReplicaBurst) {
+      continue;
+    }
+    bool known = false;
+    for (const Node& node : config.nodes) {
+      known = known || node.name == event.node;
+    }
+    if (!known) {
+      return "SimConfig: fault event names unknown node '" + event.node +
+             "' (node faults need a matching SimConfig::nodes entry)";
+    }
+  }
+  return {};
+}
+
 RunResult RunSimulation(const SimConfig& config, const std::vector<SimJobConfig>& jobs,
                         AutoscalingPolicy& policy) {
+  if (std::string problem = ValidateSimConfig(config); !problem.empty()) {
+    throw std::invalid_argument(problem);
+  }
   Simulation simulation(config, jobs, policy);
   return simulation.Run();
 }

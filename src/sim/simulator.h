@@ -31,6 +31,7 @@
 
 #include "src/common/series.h"
 #include "src/core/policy.h"
+#include "src/faults/faultplan.h"
 #include "src/obs/trace.h"
 #include "src/sim/placement.h"
 
@@ -63,6 +64,12 @@ struct SimConfig {
   // paper's stack.
   std::vector<Node> nodes;
   PlacementStrategy placement_strategy = PlacementStrategy::kSpread;
+  // Chaos injection (src/faults/): scheduled node crash/drain/recover events,
+  // correlated replica bursts, cold-start stragglers, and actuation faults.
+  // The injector draws from its own RNG stream (seeded from this config's
+  // seed and the plan's seed), so an inactive plan leaves the run bit-
+  // identical to a build without the fault subsystem.
+  FaultPlan faults;
   double metrics_window_s = 60.0;
   double reactive_interval_s = 10.0;
   // How many per-minute arrival-rate observations are exposed to predictors.
@@ -87,6 +94,19 @@ struct JobRunStats {
   double lost_utility = 0.0;           // 1 - avg_utility
   double avg_effective_utility = 0.0;  // with the drop penalty (Eq. 2)
   double avg_replicas = 0.0;
+  // --- fault / recovery accounting (zeros in fault-free runs) --------------
+  // Replicas killed under this job by any injection path (replica_mtbf_s,
+  // node crash/drain, correlated bursts).
+  uint64_t injected_failures = 0;
+  // Integral of the replica deficit (kill-time target minus live replicas)
+  // over time: how much provisioned capacity the faults actually cost.
+  double capacity_seconds_lost = 0.0;
+  // Total time spent below the kill-time replica target (deficit > 0).
+  double recovery_seconds = 0.0;
+  // Minutes x 60 from the first fault until the job's per-minute utility
+  // first returns to within 0.05 of its pre-fault mean (-1 if it never does,
+  // 0 when no fault touched the job).
+  double utility_reconverge_s = 0.0;
   std::vector<double> minute_p99;
   std::vector<double> minute_utility;
   std::vector<double> minute_arrivals;   // requests per minute
@@ -106,7 +126,16 @@ struct RunResult {
   std::vector<double> total_load_timeline;       // requests per minute
   // Stage-2 solver telemetry reported by the policy (zeros for baselines).
   SolverTelemetry solver;
+  // What the chaos layer actually did (all-zero when the plan was inactive).
+  FaultStats faults;
+  // Chronological applied-fault log for reports and determinism checks.
+  std::vector<AppliedFault> fault_log;
 };
+
+// Empty string when `config` is well formed (fault plan included); otherwise
+// a description of the first problem. RunSimulation throws invalid_argument
+// with this message rather than silently misbehaving.
+std::string ValidateSimConfig(const SimConfig& config);
 
 // Runs the policy against the trace-driven cluster. The run length is the
 // shortest job trace (in minutes).

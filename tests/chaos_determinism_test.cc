@@ -1,0 +1,125 @@
+// Chaos determinism: the same FaultPlan and seed must yield bit-identical
+// fault schedules, applied-fault logs, and RunResults when the autoscaler's
+// solve fan-out runs on 1, 2, or 8 threads. The injector draws from its own
+// RNG stream advanced in simulation-event order, so thread count -- which
+// only affects the solver -- can never perturb the chaos.
+//
+// These tests run under TSan in CI (cmake -DFARO_SANITIZE=thread, then
+// ctest -R Determinism) to prove the combination is also race-free.
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/faults/faultplan.h"
+#include "src/sim/harness.h"
+
+namespace faro {
+namespace {
+
+// Force the shared pool to 4 threads before its first use, so parallelism is
+// real even on single-core CI machines.
+const bool kForcePoolSize = [] {
+  setenv("FARO_THREADS", "4", /*overwrite=*/0);
+  return true;
+}();
+
+ExperimentSetup ChaosSetup(const std::string& scenario) {
+  ExperimentSetup setup;
+  setup.num_jobs = 4;
+  setup.right_size_replicas = 14.0;
+  setup.capacity = 12.0;
+  setup.processing_jitter = 0.05;
+  setup.cold_start_jitter_s = 10.0;
+  // 4 three-replica nodes so node scenarios bite.
+  std::vector<std::string> node_names;
+  for (int n = 0; n < 4; ++n) {
+    const std::string name = "node" + std::to_string(n);
+    node_names.push_back(name);
+    setup.nodes.push_back(Node{name, 3.0, 3.0});
+  }
+  setup.faults = MakeFaultScenario(scenario, 360.0 * 60.0, node_names);
+  return setup;
+}
+
+void ExpectRunsIdentical(const RunResult& a, const RunResult& b, const std::string& label) {
+  // Fault schedule and log, entry by entry.
+  ASSERT_EQ(a.fault_log.size(), b.fault_log.size()) << label;
+  for (size_t i = 0; i < a.fault_log.size(); ++i) {
+    EXPECT_EQ(a.fault_log[i], b.fault_log[i]) << label << " fault " << i;
+  }
+  EXPECT_EQ(a.faults.replicas_killed, b.faults.replicas_killed) << label;
+  EXPECT_EQ(a.faults.node_crashes, b.faults.node_crashes) << label;
+  EXPECT_EQ(a.faults.bursts, b.faults.bursts) << label;
+  EXPECT_EQ(a.faults.actuation_drops, b.faults.actuation_drops) << label;
+  EXPECT_EQ(a.faults.actuation_delays, b.faults.actuation_delays) << label;
+  EXPECT_EQ(a.faults.actuation_partials, b.faults.actuation_partials) << label;
+  EXPECT_EQ(a.faults.cold_start_stragglers, b.faults.cold_start_stragglers) << label;
+  // Simulation outcomes, bitwise.
+  EXPECT_EQ(a.cluster_lost_utility, b.cluster_lost_utility) << label;
+  EXPECT_EQ(a.cluster_slo_violation_rate, b.cluster_slo_violation_rate) << label;
+  ASSERT_EQ(a.jobs.size(), b.jobs.size()) << label;
+  for (size_t j = 0; j < a.jobs.size(); ++j) {
+    EXPECT_EQ(a.jobs[j].arrivals, b.jobs[j].arrivals) << label << " job " << j;
+    EXPECT_EQ(a.jobs[j].injected_failures, b.jobs[j].injected_failures)
+        << label << " job " << j;
+    EXPECT_EQ(a.jobs[j].capacity_seconds_lost, b.jobs[j].capacity_seconds_lost)
+        << label << " job " << j;
+    EXPECT_EQ(a.jobs[j].recovery_seconds, b.jobs[j].recovery_seconds)
+        << label << " job " << j;
+    EXPECT_EQ(a.jobs[j].utility_reconverge_s, b.jobs[j].utility_reconverge_s)
+        << label << " job " << j;
+    ASSERT_EQ(a.jobs[j].minute_p99.size(), b.jobs[j].minute_p99.size())
+        << label << " job " << j;
+    for (size_t t = 0; t < a.jobs[j].minute_p99.size(); ++t) {
+      ASSERT_EQ(a.jobs[j].minute_p99[t], b.jobs[j].minute_p99[t])
+          << label << " job " << j << " minute " << t;
+    }
+  }
+}
+
+TEST(ChaosDeterminismTest, BitIdenticalAcrossSolverThreadCounts) {
+  ASSERT_TRUE(kForcePoolSize);
+  for (const std::string& scenario : FaultScenarioNames()) {
+    const ExperimentSetup setup = ChaosSetup(scenario);
+    const PreparedWorkload workload = PrepareWorkload(setup);
+    std::vector<RunResult> runs;
+    for (const size_t threads : {size_t{1}, size_t{2}, size_t{8}}) {
+      FaroConfig overrides;
+      overrides.solve_parallelism = threads;
+      auto policy = MakePolicy("Faro-FairSum", nullptr, &overrides);
+      runs.push_back(RunPolicy(setup, workload, *policy, setup.seed + 1000));
+    }
+    ExpectRunsIdentical(runs[0], runs[1], scenario + " 1v2");
+    ExpectRunsIdentical(runs[0], runs[2], scenario + " 1v8");
+    // The chaos actually fired (the scenarios are not vacuous).
+    EXPECT_FALSE(runs[0].fault_log.empty()) << scenario;
+  }
+}
+
+TEST(ChaosDeterminismTest, SameSeedSameSchedule) {
+  const ExperimentSetup setup = ChaosSetup("replica-burst");
+  const PreparedWorkload workload = PrepareWorkload(setup);
+  auto policy_a = MakePolicy("Faro-FairSum", nullptr);
+  auto policy_b = MakePolicy("Faro-FairSum", nullptr);
+  const RunResult a = RunPolicy(setup, workload, *policy_a, 4242);
+  const RunResult b = RunPolicy(setup, workload, *policy_b, 4242);
+  ExpectRunsIdentical(a, b, "same-seed");
+}
+
+TEST(ChaosDeterminismTest, PlanSeedChangesStochasticSchedule) {
+  ExperimentSetup setup = ChaosSetup("flaky-api");
+  const PreparedWorkload workload = PrepareWorkload(setup);
+  auto policy_a = MakePolicy("Faro-FairSum", nullptr);
+  const RunResult a = RunPolicy(setup, workload, *policy_a, 4242);
+  setup.faults.seed ^= 0xdecafbadull;
+  auto policy_b = MakePolicy("Faro-FairSum", nullptr);
+  const RunResult b = RunPolicy(setup, workload, *policy_b, 4242);
+  // A different plan seed re-rolls the actuation/straggler draws.
+  EXPECT_NE(a.fault_log, b.fault_log);
+}
+
+}  // namespace
+}  // namespace faro

@@ -1,0 +1,213 @@
+// Graceful-degradation ladder: a Stage-2 deadline miss falls back to the
+// rescaled warm start or the capacity heuristic, insane forecasts are
+// replaced by last-value, a shrinking cluster forces an off-cadence re-solve,
+// and missed scale-ups are retried with backoff. In every case the cycle
+// completes with a capacity-respecting allocation and the fallback is
+// visible in SolverTelemetry.
+
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/autoscaler.h"
+
+namespace faro {
+namespace {
+
+std::vector<JobSpec> MakeSpecs(size_t n) {
+  std::vector<JobSpec> specs(n);
+  for (size_t i = 0; i < n; ++i) {
+    specs[i].name = "job" + std::to_string(i);
+    specs[i].slo = 0.720;
+    specs[i].processing_time = 0.180;
+  }
+  return specs;
+}
+
+JobMetrics MakeMetrics(double rate, uint32_t replicas) {
+  JobMetrics m;
+  m.arrival_rate = rate;
+  m.processing_time = 0.180;
+  m.ready_replicas = replicas;
+  m.arrival_history.assign(15, rate);
+  return m;
+}
+
+uint32_t Total(const std::vector<uint32_t>& v) {
+  return std::accumulate(v.begin(), v.end(), 0u);
+}
+
+// Predictor whose forecasts are garbage: NaN for even jobs, a 1000x jump for
+// odd ones. The sanity guard must catch both.
+class InsanePredictor : public WorkloadPredictor {
+ public:
+  std::vector<double> PredictQuantile(size_t job, std::span<const double> history,
+                                      size_t horizon, double) override {
+    const double last = history.empty() ? 1.0 : history.back();
+    const double value =
+        job % 2 == 0 ? std::numeric_limits<double>::quiet_NaN() : 1000.0 * (last + 1.0);
+    return std::vector<double>(horizon, value);
+  }
+};
+
+TEST(DegradationTest, DeadlineMissFallsBackAndCompletesCycle) {
+  FaroConfig config;
+  // A deadline that has already passed when the solve starts: every cycle
+  // must go down the ladder -- and still produce a usable allocation.
+  config.solve_deadline_s = 1e-9;
+  FaroAutoscaler faro(config);
+  const auto specs = MakeSpecs(4);
+  std::vector<JobMetrics> metrics{MakeMetrics(40.0, 1), MakeMetrics(40.0, 1),
+                                  MakeMetrics(40.0, 1), MakeMetrics(40.0, 1)};
+  const ClusterResources resources{16.0, 16.0};
+  const auto action = faro.Decide(0.0, specs, metrics, resources);
+  ASSERT_EQ(action.replicas.size(), 4u);
+  EXPECT_LE(Total(action.replicas), 16u);
+  for (const uint32_t r : action.replicas) {
+    EXPECT_GE(r, 1u);
+  }
+  const SolverTelemetry t = faro.solver_telemetry();
+  EXPECT_GE(t.deadline_misses, 1u);
+  // First cycle has no warm start, so the heuristic rung serves it.
+  EXPECT_GE(t.fallback_heuristic, 1u);
+}
+
+TEST(DegradationTest, SecondCycleFallsBackToWarmStart) {
+  // With the deadline permanently blown, the first cycle has no cache and
+  // takes the heuristic rung; the fallback still populates the warm-start
+  // cache, so the second cycle takes the (cheaper, better) warm rung.
+  FaroConfig config;
+  config.solve_deadline_s = 1e-9;
+  FaroAutoscaler faro(config);
+  const auto specs = MakeSpecs(3);
+  std::vector<JobMetrics> metrics{MakeMetrics(30.0, 1), MakeMetrics(30.0, 1),
+                                  MakeMetrics(30.0, 1)};
+  const ClusterResources resources{12.0, 12.0};
+  (void)faro.Decide(0.0, specs, metrics, resources);
+  EXPECT_EQ(faro.solver_telemetry().fallback_heuristic, 1u);
+  EXPECT_EQ(faro.solver_telemetry().fallback_warm, 0u);
+  const auto action = faro.Decide(300.0, specs, metrics, resources);
+  EXPECT_EQ(faro.solver_telemetry().fallback_warm, 1u);
+  EXPECT_EQ(faro.solver_telemetry().deadline_misses, 2u);
+  EXPECT_LE(Total(action.replicas), 12u);
+}
+
+TEST(DegradationTest, InsaneForecastFallsBackToLastValue) {
+  FaroConfig config;
+  config.forecast_max_jump = 8.0;
+  FaroAutoscaler faro(config, std::make_shared<InsanePredictor>());
+  const auto specs = MakeSpecs(2);
+  std::vector<JobMetrics> metrics{MakeMetrics(20.0, 2), MakeMetrics(20.0, 2)};
+  const ClusterResources resources{16.0, 16.0};
+  const auto action = faro.Decide(0.0, specs, metrics, resources);
+  ASSERT_EQ(action.replicas.size(), 2u);
+  EXPECT_LE(Total(action.replicas), 16u);
+  // Both jobs' forecasts were insane and replaced.
+  EXPECT_EQ(faro.solver_telemetry().forecast_fallbacks, 2u);
+  // The replacement is the last observed rate, so the allocation is sized
+  // for ~20 req/s per job (4 busy replicas each), not for NaN or 20000.
+  for (const uint32_t r : action.replicas) {
+    EXPECT_LE(r, 8u);
+  }
+}
+
+TEST(DegradationTest, ForecastGuardDisabledLeavesPredictionsAlone) {
+  FaroConfig config;
+  config.forecast_max_jump = 0.0;  // guard off
+  FaroAutoscaler faro(config, std::make_shared<InsanePredictor>());
+  const auto specs = MakeSpecs(2);
+  std::vector<JobMetrics> metrics{MakeMetrics(20.0, 2), MakeMetrics(20.0, 2)};
+  (void)faro.Decide(0.0, specs, metrics, ClusterResources{16.0, 16.0});
+  EXPECT_EQ(faro.solver_telemetry().forecast_fallbacks, 0u);
+}
+
+TEST(DegradationTest, CapacityShrinkForcesOffCadenceResolve) {
+  FaroConfig config;
+  FaroAutoscaler faro(config);
+  const auto specs = MakeSpecs(3);
+  std::vector<JobMetrics> metrics{MakeMetrics(30.0, 4), MakeMetrics(30.0, 4),
+                                  MakeMetrics(30.0, 4)};
+  (void)faro.Decide(0.0, specs, metrics, ClusterResources{16.0, 16.0});
+  ASSERT_EQ(faro.solver_telemetry().capacity_resolves, 0u);
+  // A quarter of the cluster vanishes (node crash): the next reactive tick
+  // must re-solve instead of waiting out the decision interval.
+  const auto reaction = faro.FastReact(10.0, specs, metrics, ClusterResources{12.0, 12.0});
+  ASSERT_TRUE(reaction.has_value());
+  EXPECT_LE(Total(reaction->replicas), 12u);
+  EXPECT_EQ(faro.solver_telemetry().capacity_resolves, 1u);
+  // Unchanged capacity afterwards: no further forced re-solves.
+  (void)faro.FastReact(20.0, specs, metrics, ClusterResources{12.0, 12.0});
+  EXPECT_EQ(faro.solver_telemetry().capacity_resolves, 1u);
+}
+
+TEST(DegradationTest, ActuationRetryReissuesMissedScaleUp) {
+  FaroConfig config;
+  config.actuation_retry_backoff_s = 20.0;
+  FaroAutoscaler faro(config);
+  const auto specs = MakeSpecs(2);
+  std::vector<JobMetrics> metrics{MakeMetrics(40.0, 1), MakeMetrics(40.0, 1)};
+  const ClusterResources resources{16.0, 16.0};
+  const auto action = faro.Decide(0.0, specs, metrics, resources);
+  const uint32_t target0 = action.replicas[0];
+  ASSERT_GT(target0, 1u) << "overloaded job should be scaled up";
+  // The scale-up never lands (dropped by a flaky API): the fleet still sits
+  // at 1 ready / 0 starting at the next reactive tick.
+  const auto retry = faro.FastReact(10.0, specs, metrics, resources);
+  ASSERT_TRUE(retry.has_value());
+  EXPECT_GE(retry->replicas[0], target0);
+  EXPECT_GE(faro.solver_telemetry().actuation_retries, 1u);
+  // Immediately after, the retry is backed off -- no endless hammering.
+  const uint64_t retries_before = faro.solver_telemetry().actuation_retries;
+  (void)faro.FastReact(12.0, specs, metrics, resources);
+  EXPECT_EQ(faro.solver_telemetry().actuation_retries, retries_before);
+}
+
+TEST(DegradationTest, RetryDisabledLeavesFleetAlone) {
+  FaroConfig config;
+  config.actuation_retry_backoff_s = 0.0;
+  FaroAutoscaler faro(config);
+  const auto specs = MakeSpecs(1);
+  std::vector<JobMetrics> metrics{MakeMetrics(40.0, 1)};
+  const ClusterResources resources{16.0, 16.0};
+  (void)faro.Decide(0.0, specs, metrics, resources);
+  (void)faro.FastReact(10.0, specs, metrics, resources);
+  EXPECT_EQ(faro.solver_telemetry().actuation_retries, 0u);
+}
+
+// --- FaroConfig validation (satellite) --------------------------------------
+
+TEST(ValidateFaroConfigTest, AcceptsDefaults) {
+  EXPECT_EQ(ValidateFaroConfig(FaroConfig{}), "");
+}
+
+TEST(ValidateFaroConfigTest, RejectsBadFieldsWithClearMessages) {
+  FaroConfig bad_interval;
+  bad_interval.decision_interval_s = 0.0;
+  EXPECT_NE(ValidateFaroConfig(bad_interval).find("decision_interval_s"), std::string::npos);
+
+  FaroConfig bad_quantile;
+  bad_quantile.prediction_quantile = 1.5;
+  EXPECT_NE(ValidateFaroConfig(bad_quantile).find("prediction_quantile"), std::string::npos);
+
+  FaroConfig bad_deadline;
+  bad_deadline.solve_deadline_s = -1.0;
+  EXPECT_NE(ValidateFaroConfig(bad_deadline).find("solve_deadline_s"), std::string::npos);
+
+  FaroConfig bad_window;
+  bad_window.prediction_window_steps = 0;
+  EXPECT_NE(ValidateFaroConfig(bad_window), "");
+}
+
+TEST(ValidateFaroConfigTest, ConstructorThrowsOnInvalidConfig) {
+  FaroConfig config;
+  config.step_seconds = -5.0;
+  EXPECT_THROW(FaroAutoscaler{config}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace faro
