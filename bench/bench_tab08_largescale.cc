@@ -7,7 +7,10 @@
 // section A/B-compares the multi-start + parallel-group solve driver against
 // the legacy serial single-start path at the largest job count.
 
+#include <cctype>
 #include <cstdio>
+
+#include <string>
 
 #include "bench/bench_util.h"
 #include "src/sim/harness.h"
@@ -15,7 +18,20 @@
 namespace faro {
 namespace {
 
-void RunScale(size_t num_jobs, double capacity, bool noisy, size_t epochs) {
+std::string PolicySlug(const char* name) {
+  std::string slug;
+  for (const char* c = name; *c != '\0'; ++c) {
+    if (*c == '/' || *c == '-' || *c == ' ') {
+      slug.push_back('_');
+    } else {
+      slug.push_back(static_cast<char>(std::tolower(*c)));
+    }
+  }
+  return slug;
+}
+
+void RunScale(BenchJson& json, size_t num_jobs, double capacity, bool noisy,
+              size_t epochs) {
   ExperimentSetup setup;
   setup.num_jobs = num_jobs;
   setup.capacity = capacity;
@@ -39,6 +55,10 @@ void RunScale(size_t num_jobs, double capacity, bool noisy, size_t epochs) {
                 name, agg.lost_utility_mean, agg.lost_utility_sd, agg.violation_rate_mean,
                 agg.violation_rate_sd, agg.solve_ms_per_cycle_mean,
                 agg.solver_evals_per_cycle_mean);
+    const std::string prefix =
+        "scale" + std::to_string(num_jobs) + "_" + PolicySlug(name);
+    json.Set(prefix + "_lost_utility", agg.lost_utility_mean);
+    json.Set(prefix + "_violation_rate", agg.violation_rate_mean);
   }
 }
 
@@ -46,7 +66,8 @@ void RunScale(size_t num_jobs, double capacity, bool noisy, size_t epochs) {
 // serial single-start COBYLA path, on the largest (hierarchical) workload.
 // One trial with the trial loop forced serial so the solver fan-out owns the
 // thread pool -- the shape a production control loop runs in.
-void RunSolverComparison(size_t num_jobs, double capacity, size_t epochs) {
+void RunSolverComparison(BenchJson& json, size_t num_jobs, double capacity,
+                         size_t epochs) {
   ExperimentSetup setup;
   setup.num_jobs = num_jobs;
   setup.capacity = capacity;
@@ -80,9 +101,14 @@ void RunSolverComparison(size_t num_jobs, double capacity, size_t epochs) {
                 agg.solve_ms_per_cycle_mean, agg.solver_evals_per_cycle_mean,
                 agg.lost_utility_mean, utility);
     (use_multistart ? multi_ms : serial_ms) = agg.solve_ms_per_cycle_mean;
+    const char* prefix = use_multistart ? "multistart" : "serial";
+    json.Set(std::string("lost_utility_") + prefix, agg.lost_utility_mean);
+    json.Set(std::string("solve_ms_") + prefix, agg.solve_ms_per_cycle_mean);
+    json.Set(std::string("solver_evals_") + prefix, agg.solver_evals_per_cycle_mean);
   }
   if (multi_ms > 0.0) {
     std::printf("per-cycle solve speedup: %.2fx\n", serial_ms / multi_ms);
+    json.Set("solve_speedup", serial_ms / multi_ms);
   }
 }
 
@@ -92,12 +118,13 @@ void RunSolverComparison(size_t num_jobs, double capacity, size_t epochs) {
 int main(int argc, char** argv) {
   faro::BenchObs obs(argc, argv);
   faro::PrintHeader("Table 8: large-scale workloads");
-  faro::RunScale(20, 70.0, /*noisy=*/true, /*epochs=*/faro::FastBench() ? 3 : 8);
+  faro::RunScale(obs.json(), 20, 70.0, /*noisy=*/true,
+                 /*epochs=*/faro::FastBench() ? 3 : 8);
   const size_t large_jobs = faro::FastBench() ? 40 : 100;
   const double large_capacity = faro::FastBench() ? 130.0 : 320.0;
-  faro::RunScale(large_jobs, large_capacity, /*noisy=*/false,
+  faro::RunScale(obs.json(), large_jobs, large_capacity, /*noisy=*/false,
                  /*epochs=*/faro::FastBench() ? 2 : 5);
-  faro::RunSolverComparison(large_jobs, large_capacity,
+  faro::RunSolverComparison(obs.json(), large_jobs, large_capacity,
                             /*epochs=*/faro::FastBench() ? 2 : 5);
   return 0;
 }

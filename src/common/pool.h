@@ -1,0 +1,110 @@
+// Struct-of-arrays object pools with free-list recycling.
+//
+// The discrete-event simulator used to keep every queued request in a
+// per-job std::deque<PendingRequest>, which scatters the request lifecycle
+// (arrive -> queue -> service -> depart/drop) across chunked heap nodes. At
+// hyperscale (thousands of jobs, millions of requests per simulated day) the
+// allocator traffic and pointer chasing dominate the event loop. This pool
+// keeps all per-request state in parallel flat arrays indexed by a 32-bit
+// slot id; released slots go onto a LIFO free list, so steady-state
+// simulation performs zero allocations per request.
+//
+// RequestQueue is the companion intrusive FIFO: each job's router queue is a
+// (head, tail, size) triple whose links live inside the pool's `next` array.
+// Push/Pop are O(1) and touch only the pool arrays.
+
+#ifndef SRC_COMMON_POOL_H_
+#define SRC_COMMON_POOL_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace faro {
+
+// Pool of queued-request records in struct-of-arrays layout. Slot ids are
+// dense indices into the parallel arrays; kNilRequest terminates FIFO chains.
+inline constexpr uint32_t kNilRequest = 0xffffffffu;
+
+class RequestPool {
+ public:
+  // Pre-sizes the arrays; the pool still grows on demand past the hint.
+  explicit RequestPool(size_t capacity_hint = 0) {
+    arrival_time_.reserve(capacity_hint);
+    next_.reserve(capacity_hint);
+    free_.reserve(capacity_hint);
+  }
+
+  // Takes a slot off the free list (or grows the arrays) and stamps the
+  // request's arrival time. The slot's link starts at kNilRequest.
+  uint32_t Acquire(double arrival_time) {
+    uint32_t id;
+    if (!free_.empty()) {
+      id = free_.back();
+      free_.pop_back();
+      arrival_time_[id] = arrival_time;
+      next_[id] = kNilRequest;
+    } else {
+      id = static_cast<uint32_t>(arrival_time_.size());
+      arrival_time_.push_back(arrival_time);
+      next_.push_back(kNilRequest);
+    }
+    ++live_;
+    return id;
+  }
+
+  // Returns the slot to the free list. The caller must have unlinked it.
+  void Release(uint32_t id) {
+    free_.push_back(id);
+    --live_;
+  }
+
+  double arrival_time(uint32_t id) const { return arrival_time_[id]; }
+  uint32_t next(uint32_t id) const { return next_[id]; }
+  void set_next(uint32_t id, uint32_t next) { next_[id] = next; }
+
+  // Slots currently acquired (for tests and leak checks).
+  size_t live() const { return live_; }
+  // High-water slot count ever allocated.
+  size_t capacity() const { return arrival_time_.size(); }
+
+ private:
+  std::vector<double> arrival_time_;
+  std::vector<uint32_t> next_;
+  std::vector<uint32_t> free_;  // LIFO recycling keeps hot slots cache-warm
+  size_t live_ = 0;
+};
+
+// Intrusive FIFO over RequestPool slots. Plain aggregate so JobState can hold
+// one by value; all operations go through the owning pool's link array.
+struct RequestQueue {
+  uint32_t head = kNilRequest;
+  uint32_t tail = kNilRequest;
+  uint32_t size = 0;
+
+  bool empty() const { return size == 0; }
+
+  void Push(RequestPool& pool, uint32_t id) {
+    if (tail == kNilRequest) {
+      head = id;
+    } else {
+      pool.set_next(tail, id);
+    }
+    tail = id;
+    ++size;
+  }
+
+  // Pops the front slot id; the caller reads its fields and Release()s it.
+  uint32_t Pop(RequestPool& pool) {
+    const uint32_t id = head;
+    head = pool.next(id);
+    if (head == kNilRequest) {
+      tail = kNilRequest;
+    }
+    --size;
+    return id;
+  }
+};
+
+}  // namespace faro
+
+#endif  // SRC_COMMON_POOL_H_

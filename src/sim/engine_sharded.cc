@@ -1,0 +1,608 @@
+// Sharded event engine: jobs partitioned across N shards, each shard running
+// its own calendar queue over its own struct-of-arrays request pool, with
+// deterministic merges at every control boundary.
+//
+// Why this is exact. Between two control boundaries, job subclusters are
+// completely independent: an arrival, completion, or replica-ready event for
+// job A reads and writes only A's state and draws only from A's RNG stream.
+// Cross-job coupling exists solely at control boundaries -- the policy sees
+// all jobs' metrics, scaling actions touch many jobs, the chaos injector
+// draws from its shared stream -- and those all run on the coordinator
+// thread, serially, in job order. So the only freedom the scheduler has is
+// the interleaving of *different* jobs' events inside a shard segment, and
+// that interleaving is unobservable: per-job event order is preserved (each
+// job's pushes are causally ordered by its own pops), and equal-time events
+// of different jobs commute. Hence the result is a pure function of (config,
+// jobs, seed) -- bit-identical at 1, 2, or 64 shards; the shard/thread count
+// only changes wall-clock. tests/sharded_determinism_test.cc enforces this.
+//
+// The sample path differs from the classic engine's (per-job RNG streams
+// instead of one shared stream), which is why kSharded is opt-in.
+//
+// Boundary schedule at a coincident time T: scheduled faults due by T, then
+// delayed scale-ups due by T, then the metrics window close, then the
+// reactive tick, then the long-term decision -- each only if due at T.
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "src/common/parallel.h"
+#include "src/common/pool.h"
+#include "src/common/rng.h"
+#include "src/common/stats.h"
+#include "src/faults/injector.h"
+#include "src/sim/event_queue.h"
+#include "src/sim/sim_internal.h"
+#include "src/sim/simulator.h"
+
+namespace faro {
+namespace {
+
+using sim_internal::CloseMetricsWindowCore;
+using sim_internal::CollectJobMetrics;
+using sim_internal::FinalizeJobStats;
+using sim_internal::JobState;
+using sim_internal::kInfLatency;
+using sim_internal::UpdateOverloadTimerCore;
+
+// One shard: a private future-event set, request pool, and scratch buffers.
+// Only its owning worker touches it between barriers; the coordinator touches
+// it only while the workers are parked at a barrier.
+struct Shard {
+  std::unique_ptr<EventScheduler> events;
+  RequestPool pool;
+  std::vector<double> scratch;
+  std::vector<uint32_t> jobs;  // job indices owned by this shard
+  uint64_t sequence = 0;
+  uint64_t events_processed = 0;
+};
+
+// An actuation-delayed scale-up waiting for its first control boundary.
+struct DeferredScaleUp {
+  double due = 0.0;
+  uint32_t job = 0;
+  uint32_t add = 0;
+};
+
+class ShardedSimulation {
+ public:
+  ShardedSimulation(const SimConfig& config, const std::vector<SimJobConfig>& jobs,
+                    AutoscalingPolicy& policy)
+      : config_(config), jobs_(jobs), policy_(policy),
+        injector_(config.faults, config.seed) {}
+
+  RunResult Run();
+
+ private:
+  void PushJob(uint32_t job, double time, EventKind kind, double payload = 0.0) {
+    Shard& sh = shards_[shard_of_[job]];
+    sh.events->Push(Event{time, kind, job, sh.sequence++, payload});
+  }
+
+  double ServiceTime(uint32_t job) {
+    const double p = jobs_[job].spec.processing_time;
+    if (config_.processing_jitter <= 0.0) {
+      return p;
+    }
+    return std::max(0.2 * p,
+                    p * (1.0 + config_.processing_jitter * rng_[job].Normal()));
+  }
+
+  double ColdStart(uint32_t job) {
+    if (config_.cold_start_jitter_s <= 0.0) {
+      return config_.cold_start_s;
+    }
+    return std::max(1.0, config_.cold_start_s +
+                             rng_[job].Uniform(-config_.cold_start_jitter_s,
+                                               config_.cold_start_jitter_s));
+  }
+
+  void RecordLatency(uint32_t job, double now, double latency) {
+    JobState& js = state_[job];
+    js.window_latencies.push_back(latency);
+    js.recent_latencies.emplace_back(now, latency);
+    if (latency > jobs_[job].spec.slo) {
+      ++js.total_violations;
+    }
+  }
+
+  void HandleArrival(uint32_t job, double now) {
+    JobState& js = state_[job];
+    Shard& sh = shards_[shard_of_[job]];
+    ++js.total_arrivals;
+    ++js.window_arrivals;
+    if (js.explicit_drop_rate > 0.0 && rng_[job].Uniform() < js.explicit_drop_rate) {
+      ++js.total_drops;
+      ++js.window_drops;
+      RecordLatency(job, now, kInfLatency);
+      return;
+    }
+    if (js.queue.size >= config_.router_queue_limit) {
+      ++js.total_drops;
+      ++js.window_drops;
+      RecordLatency(job, now, kInfLatency);
+      return;
+    }
+    js.queue.Push(sh.pool, sh.pool.Acquire(now));
+    StartServiceIfPossible(job, now);
+  }
+
+  void StartServiceIfPossible(uint32_t job, double now) {
+    JobState& js = state_[job];
+    Shard& sh = shards_[shard_of_[job]];
+    while (!js.queue.empty() && js.busy < js.ready) {
+      const uint32_t request = js.queue.Pop(sh.pool);
+      const double arrival_time = sh.pool.arrival_time(request);
+      sh.pool.Release(request);
+      ++js.busy;
+      const double service = ServiceTime(job);
+      js.window_processing.Add(service);
+      PushJob(job, now + service, EventKind::kCompletion, arrival_time);
+    }
+  }
+
+  void HandleCompletion(uint32_t job, double now, double arrival_time) {
+    JobState& js = state_[job];
+    --js.busy;
+    RecordLatency(job, now, now - arrival_time);
+    if (js.pending_removal > 0) {
+      --js.pending_removal;
+      --js.ready;
+    }
+    StartServiceIfPossible(job, now);
+  }
+
+  void HandleReplicaReady(uint32_t job, double now) {
+    JobState& js = state_[job];
+    if (js.cancelled_starts > 0) {
+      --js.cancelled_starts;
+      return;
+    }
+    if (js.starting > 0) {
+      --js.starting;
+    }
+    ++js.ready;
+    StartServiceIfPossible(job, now);
+  }
+
+  // Drains one shard up to `limit`: strictly-before for inter-barrier
+  // segments, inclusive for the final drain at the end of the run.
+  void Advance(Shard& sh, double limit, bool inclusive) {
+    while (!sh.events->Empty()) {
+      const double t = sh.events->NextTime();
+      if (inclusive ? t > limit : t >= limit) {
+        return;
+      }
+      const Event event = sh.events->Pop();
+      ++sh.events_processed;
+      switch (event.kind) {
+        case EventKind::kArrival:
+          HandleArrival(event.job, event.time);
+          break;
+        case EventKind::kCompletion:
+          HandleCompletion(event.job, event.time, event.payload);
+          break;
+        case EventKind::kReplicaReady:
+          HandleReplicaReady(event.job, event.time);
+          break;
+        default:
+          break;  // control ticks never enter shard queues
+      }
+    }
+  }
+
+  // Poisson arrivals for `minute`, one job at a time from its own stream.
+  // Runs inside the shard's worker (each job pushes only into its own shard).
+  void ScheduleMinuteArrivals(Shard& sh, size_t minute) {
+    for (const uint32_t j : sh.jobs) {
+      const Series& trace = jobs_[j].arrival_rate_per_min;
+      if (minute >= trace.size()) {
+        continue;
+      }
+      const double rate = std::max(0.0, trace[minute]);
+      const uint64_t count = rng_[j].Poisson(rate);
+      const double start = static_cast<double>(minute) * 60.0;
+      for (uint64_t k = 0; k < count; ++k) {
+        PushJob(j, start + rng_[j].Uniform() * 60.0, EventKind::kArrival);
+      }
+    }
+  }
+
+  // Starts `add` cold starts for one job at barrier time `now`. Coordinator
+  // only (straggler stretching draws from the injector's shared stream).
+  void Provision(uint32_t job, uint32_t add, double now) {
+    for (uint32_t k = 0; k < add; ++k) {
+      ++state_[job].starting;
+      const double delay = injector_.StretchColdStart(ColdStart(job));
+      PushJob(job, now + delay, EventKind::kReplicaReady);
+    }
+  }
+
+  // Kills up to `want` replicas of one job (chaos injection; coordinator).
+  uint32_t KillReplicas(uint32_t j, uint32_t want) {
+    JobState& js = state_[j];
+    const uint32_t ready_before = js.ready - std::min(js.ready, js.pending_removal);
+    uint32_t killed = 0;
+    while (killed < want) {
+      if (js.ready > js.busy) {
+        --js.ready;  // idle replica dies immediately
+      } else if (js.busy > js.pending_removal) {
+        ++js.pending_removal;  // busy replica drains out
+      } else {
+        break;
+      }
+      ++killed;
+    }
+    if (killed > 0) {
+      js.injected_failures += killed;
+      js.recover_target = std::max(js.recover_target, ready_before);
+      if (js.fault_first_s < 0.0) {
+        js.fault_first_s = now_;
+      }
+      injector_.stats().replicas_killed += killed;
+    }
+    return killed;
+  }
+
+  void ApplyBurst(int32_t job, double fraction, uint32_t count) {
+    uint32_t total = 0;
+    for (uint32_t j = 0; j < jobs_.size(); ++j) {
+      if (job >= 0 && static_cast<uint32_t>(job) != j) {
+        continue;
+      }
+      uint32_t want = count;
+      if (fraction > 0.0) {
+        want = static_cast<uint32_t>(
+            std::floor(fraction * static_cast<double>(state_[j].ready) + 0.5));
+      }
+      total += KillReplicas(j, want);
+    }
+    ++injector_.stats().bursts;
+    const std::string target =
+        (job >= 0 && static_cast<size_t>(job) < jobs_.size())
+            ? jobs_[static_cast<size_t>(job)].spec.name
+            : std::string("all");
+    injector_.Record(now_, "replica_burst", target, total);
+  }
+
+  void InjectReplicaFailures() {
+    if (config_.replica_mtbf_s <= 0.0) {
+      return;
+    }
+    const double failure_prob = config_.reactive_interval_s / config_.replica_mtbf_s;
+    for (uint32_t j = 0; j < jobs_.size(); ++j) {
+      JobState& js = state_[j];
+      uint32_t failures = 0;
+      for (uint32_t r = 0; r < js.ready; ++r) {
+        if (rng_[j].Uniform() < failure_prob) {
+          ++failures;
+        }
+      }
+      if (failures > 0) {
+        const uint32_t killed = KillReplicas(j, failures);
+        if (killed > 0) {
+          injector_.Record(now_, "replica_mtbf", jobs_[j].spec.name, killed);
+        }
+      }
+    }
+  }
+
+  void AccountFaultDeficits() {
+    for (uint32_t j = 0; j < jobs_.size(); ++j) {
+      JobState& js = state_[j];
+      if (js.recover_target == 0) {
+        continue;
+      }
+      const uint32_t live = js.ready - std::min(js.ready, js.pending_removal);
+      if (live >= js.recover_target) {
+        js.recover_target = 0;
+        continue;
+      }
+      const double deficit = static_cast<double>(js.recover_target - live);
+      js.capacity_seconds_lost += deficit * config_.reactive_interval_s;
+      js.recovery_seconds += config_.reactive_interval_s;
+    }
+  }
+
+  const std::vector<JobMetrics>& CollectMetrics() {
+    metrics_.resize(jobs_.size());
+    ParallelFor(
+        shards_.size(),
+        [&](size_t s) {
+          for (const uint32_t j : shards_[s].jobs) {
+            CollectJobMetrics(state_[j], jobs_[j].spec, /*pending_placement=*/0,
+                              metrics_[j]);
+          }
+        },
+        shards_.size());
+    return metrics_;
+  }
+
+  void ApplyAction(const ScalingAction& action) {
+    if (action.replicas.size() != jobs_.size()) {
+      return;
+    }
+    for (uint32_t j = 0; j < jobs_.size(); ++j) {
+      JobState& js = state_[j];
+      const uint32_t target = std::max<uint32_t>(1, action.replicas[j]);
+      const uint32_t current = js.ready + js.starting;
+      if (target > current) {
+        uint32_t add = target - current;
+        switch (injector_.DrawActuation()) {
+          case ActuationOutcome::kDrop:
+            injector_.Record(now_, "actuation_drop", jobs_[j].spec.name, add);
+            add = 0;
+            break;
+          case ActuationOutcome::kDelay:
+            injector_.Record(now_, "actuation_delay", jobs_[j].spec.name, add);
+            deferred_.push_back(
+                {now_ + injector_.plan().actuation_delay_s, j, add});
+            add = 0;
+            break;
+          case ActuationOutcome::kPartial: {
+            const uint32_t applied = (add + 1) / 2;
+            injector_.Record(now_, "actuation_partial", jobs_[j].spec.name,
+                             add - applied);
+            add = applied;
+            break;
+          }
+          case ActuationOutcome::kApply:
+            break;
+        }
+        Provision(j, add, now_);
+      } else if (target < current) {
+        js.recover_target = std::min(js.recover_target, target);
+        uint32_t remove = current - target;
+        const uint32_t cancel = std::min(remove, js.starting);
+        js.starting -= cancel;
+        js.cancelled_starts += cancel;
+        remove -= cancel;
+        const uint32_t idle = js.ready - js.busy;
+        const uint32_t drop_idle = std::min(remove, idle);
+        js.ready -= drop_idle;
+        remove -= drop_idle;
+        js.pending_removal += remove;
+      }
+      if (!action.drop_rates.empty() && action.drop_rates.size() == jobs_.size()) {
+        js.explicit_drop_rate = std::clamp(action.drop_rates[j], 0.0, 1.0);
+      }
+    }
+  }
+
+  const SimConfig& config_;
+  const std::vector<SimJobConfig>& jobs_;
+  AutoscalingPolicy& policy_;
+  FaultInjector injector_;
+  std::vector<JobState> state_;
+  std::vector<Rng> rng_;  // one stream per job: HashCombine(seed, job)
+  std::vector<uint32_t> shard_of_;
+  std::vector<Shard> shards_;
+  std::vector<JobSpec> specs_;
+  std::vector<JobMetrics> metrics_;
+  std::vector<DeferredScaleUp> deferred_;
+  double now_ = 0.0;
+  double peak_replicas_ = 0.0;
+};
+
+RunResult ShardedSimulation::Run() {
+  const size_t num_jobs = jobs_.size();
+  size_t threads = config_.shard_threads > 0 ? config_.shard_threads
+                                             : DefaultThreadCount();
+  threads = std::max<size_t>(1, std::min(threads, std::max<size_t>(1, num_jobs)));
+
+  state_.assign(num_jobs, JobState{});
+  shard_of_.resize(num_jobs);
+  shards_.clear();
+  shards_.resize(threads);
+  rng_.clear();
+  rng_.reserve(num_jobs);
+  specs_.clear();
+  specs_.reserve(num_jobs);
+  for (uint32_t j = 0; j < num_jobs; ++j) {
+    rng_.emplace_back(HashCombine(config_.seed, j));
+    specs_.push_back(jobs_[j].spec);
+    shard_of_[j] = j % threads;
+    shards_[j % threads].jobs.push_back(j);
+  }
+  for (Shard& sh : shards_) {
+    sh.events = MakeScheduler(config_.scheduler, 4096);
+  }
+
+  size_t total_minutes = std::numeric_limits<size_t>::max();
+  for (const SimJobConfig& job : jobs_) {
+    total_minutes = std::min(total_minutes, job.arrival_rate_per_min.size());
+  }
+  if (num_jobs == 0 || total_minutes == std::numeric_limits<size_t>::max()) {
+    total_minutes = 0;
+  }
+  const double duration = static_cast<double>(total_minutes) * 60.0;
+
+  if (config_.record_minute_series) {
+    for (JobState& js : state_) {
+      js.minute_p99.reserve(total_minutes);
+      js.minute_utility.reserve(total_minutes);
+      js.minute_eu.reserve(total_minutes);
+      js.minute_arrivals.reserve(total_minutes);
+      js.minute_drop_rate.reserve(total_minutes);
+      js.minute_replicas.reserve(total_minutes);
+    }
+  }
+  for (uint32_t j = 0; j < num_jobs; ++j) {
+    state_[j].ready = std::max<uint32_t>(1, jobs_[j].initial_replicas);
+  }
+
+  // Minute-0 arrivals, in parallel per shard (per-job streams).
+  ParallelFor(
+      shards_.size(), [&](size_t s) { ScheduleMinuteArrivals(shards_[s], 0); },
+      shards_.size());
+
+  const std::vector<FaultEvent>& scheduled = injector_.scheduled();
+  size_t next_fault = 0;
+
+  // Control boundaries. reactive/metrics start after one interval, the
+  // long-term decision fires at t = 0 like the classic engine.
+  const double reactive_s = config_.reactive_interval_s;
+  const double window_s = config_.metrics_window_s;
+  const double decide_s = policy_.decision_interval_s();
+  double next_reactive = reactive_s;
+  double next_metrics = window_s;
+  double next_decide = 0.0;
+  size_t next_minute = 1;
+
+  while (total_minutes > 0) {
+    const double T = std::min({next_reactive, next_metrics, next_decide});
+    if (T > duration) {
+      break;
+    }
+    now_ = T;
+    // Drain every shard up to (but excluding) the boundary.
+    ParallelFor(
+        shards_.size(), [&](size_t s) { Advance(shards_[s], T, false); },
+        shards_.size());
+
+    // Scheduled chaos events due by now (kReplicaBurst only; validated).
+    while (injector_.active() && next_fault < scheduled.size() &&
+           scheduled[next_fault].time_s <= T) {
+      const FaultEvent& fault = scheduled[next_fault];
+      ApplyBurst(fault.job, fault.fraction, fault.count);
+      ++next_fault;
+    }
+    // Delayed scale-ups due by now, in the order they were deferred.
+    if (!deferred_.empty()) {
+      size_t keep = 0;
+      for (size_t i = 0; i < deferred_.size(); ++i) {
+        if (deferred_[i].due <= T) {
+          Provision(deferred_[i].job, deferred_[i].add, T);
+        } else {
+          deferred_[keep++] = deferred_[i];
+        }
+      }
+      deferred_.resize(keep);
+    }
+
+    if (T == next_metrics) {
+      ParallelFor(
+          shards_.size(),
+          [&](size_t s) {
+            Shard& sh = shards_[s];
+            for (const uint32_t j : sh.jobs) {
+              CloseMetricsWindowCore(state_[j], jobs_[j].spec, window_s,
+                                     config_.history_steps,
+                                     config_.record_minute_series, sh.scratch);
+            }
+            if (next_minute < total_minutes) {
+              ScheduleMinuteArrivals(sh, next_minute);
+            }
+          },
+          shards_.size());
+      double minute_replicas = 0.0;
+      for (uint32_t j = 0; j < num_jobs; ++j) {
+        minute_replicas += static_cast<double>(state_[j].ready + state_[j].starting);
+      }
+      peak_replicas_ = std::max(peak_replicas_, minute_replicas);
+      if (next_minute < total_minutes) {
+        ++next_minute;
+      }
+      next_metrics += window_s;
+    }
+
+    if (T == next_reactive) {
+      if (injector_.active() && injector_.DrawBurst(reactive_s)) {
+        ApplyBurst(-1, injector_.plan().burst_fraction, 0);
+      }
+      InjectReplicaFailures();
+      AccountFaultDeficits();
+      ParallelFor(
+          shards_.size(),
+          [&](size_t s) {
+            Shard& sh = shards_[s];
+            for (const uint32_t j : sh.jobs) {
+              UpdateOverloadTimerCore(state_[j], jobs_[j].spec, now_, window_s,
+                                      reactive_s, sh.scratch);
+            }
+          },
+          shards_.size());
+      const auto& metrics = CollectMetrics();
+      if (auto action = policy_.FastReact(now_, specs_, metrics, config_.resources)) {
+        ApplyAction(*action);
+      }
+      next_reactive += reactive_s;
+    }
+
+    if (T == next_decide) {
+      const auto& metrics = CollectMetrics();
+      const ScalingAction action =
+          policy_.Decide(now_, specs_, metrics, config_.resources);
+      ApplyAction(action);
+      next_decide += decide_s > 0.0 ? decide_s : duration + 1.0;
+    }
+  }
+
+  // Tail events at exactly t = duration (classic processes time <= duration).
+  now_ = duration;
+  ParallelFor(
+      shards_.size(), [&](size_t s) { Advance(shards_[s], duration, true); },
+      shards_.size());
+
+  // --- aggregate (serial, job order: shard-count invariant) -----------------
+  RunResult result;
+  result.jobs.resize(num_jobs);
+  for (const Shard& sh : shards_) {
+    result.events_processed += sh.events_processed;
+  }
+  result.cluster_peak_replicas = peak_replicas_;
+  size_t minutes = std::numeric_limits<size_t>::max();
+  for (const JobState& js : state_) {
+    minutes = std::min(minutes, js.minute_count);
+  }
+  if (minutes == std::numeric_limits<size_t>::max()) {
+    minutes = 0;
+  }
+  const bool record = config_.record_minute_series;
+  if (record) {
+    result.cluster_utility_timeline.assign(minutes, 0.0);
+    result.total_load_timeline.assign(minutes, 0.0);
+  }
+  double violation_rate_sum = 0.0;
+  double eu_sum = 0.0;
+  double utility_mean_sum = 0.0;
+  for (uint32_t j = 0; j < num_jobs; ++j) {
+    JobState& js = state_[j];
+    JobRunStats& stats = result.jobs[j];
+    FinalizeJobStats(js, jobs_[j].spec.name, record, stats);
+    if (record) {
+      for (size_t t = 0; t < minutes; ++t) {
+        result.cluster_utility_timeline[t] += stats.minute_utility[t];
+        result.total_load_timeline[t] += stats.minute_arrivals[t];
+      }
+    }
+    utility_mean_sum += stats.avg_utility;
+    violation_rate_sum += stats.slo_violation_rate;
+    eu_sum += stats.avg_effective_utility;
+  }
+  const double n_jobs = static_cast<double>(num_jobs);
+  result.cluster_avg_utility =
+      record ? Mean(result.cluster_utility_timeline) : utility_mean_sum;
+  result.cluster_lost_utility = n_jobs - result.cluster_avg_utility;
+  result.cluster_avg_effective_utility = eu_sum;
+  result.cluster_lost_effective_utility = n_jobs - eu_sum;
+  result.cluster_slo_violation_rate = num_jobs == 0 ? 0.0 : violation_rate_sum / n_jobs;
+  result.solver = policy_.solver_telemetry();
+  result.faults = injector_.stats();
+  result.fault_log = injector_.log();
+  return result;
+}
+
+}  // namespace
+
+RunResult RunSimulationSharded(const SimConfig& config,
+                               const std::vector<SimJobConfig>& jobs,
+                               AutoscalingPolicy& policy) {
+  ShardedSimulation simulation(config, jobs, policy);
+  return simulation.Run();
+}
+
+}  // namespace faro

@@ -183,6 +183,10 @@ RunResult RunPolicy(const ExperimentSetup& setup, const PreparedWorkload& worklo
   config.nodes = setup.nodes;
   config.placement_strategy = setup.placement_strategy;
   config.faults = setup.faults;
+  config.engine = setup.engine;
+  config.shard_threads = setup.shard_threads;
+  config.scheduler = setup.scheduler;
+  config.record_minute_series = setup.record_minute_series;
   return RunSimulation(config, workload.jobs, policy);
 }
 

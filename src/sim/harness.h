@@ -61,6 +61,14 @@ struct ExperimentSetup {
   std::vector<Node> nodes;
   PlacementStrategy placement_strategy = PlacementStrategy::kSpread;
   FaultPlan faults;
+  // Event-engine selection, copied verbatim into SimConfig: classic vs
+  // sharded engine (sharded requires empty `nodes`), shard worker count,
+  // future-event-set implementation, and whether per-minute output series are
+  // recorded (hyperscale runs turn them off to keep memory flat).
+  SimEngine engine = SimEngine::kClassic;
+  size_t shard_threads = 0;
+  SchedulerKind scheduler = SchedulerKind::kCalendar;
+  bool record_minute_series = true;
 };
 
 // Job specs plus train/eval traces, all in simulator units (traces are req

@@ -50,9 +50,17 @@ std::vector<std::pair<std::string, uint32_t>> PlacementTracker::RemoveNodeReplic
   if (node_index == nodes_.size()) {
     return evicted;
   }
-  for (size_t i = placements_.size(); i-- > 0;) {
+  // Single-pass compaction: one O(n) sweep instead of erase-per-placement
+  // (which is O(n^2) when a big node drains). Forward order groups `evicted`
+  // by first placement, the stable kill order downstream code documents.
+  size_t keep = 0;
+  for (size_t i = 0; i < placements_.size(); ++i) {
     const Placement& placement = placements_[i];
     if (placement.node != node_index) {
+      if (keep != i) {
+        placements_[keep] = std::move(placements_[i]);
+      }
+      ++keep;
       continue;
     }
     nodes_[node_index].cpu_used -= placement.cpu;
@@ -68,11 +76,8 @@ std::vector<std::pair<std::string, uint32_t>> PlacementTracker::RemoveNodeReplic
     if (!merged) {
       evicted.emplace_back(placement.job, 1u);
     }
-    placements_.erase(placements_.begin() + static_cast<ptrdiff_t>(i));
   }
-  // The reverse erase loop above visits last-placed first; flip to
-  // first-placed order so downstream kill order is stable and documented.
-  std::reverse(evicted.begin(), evicted.end());
+  placements_.resize(keep);
   return evicted;
 }
 

@@ -47,7 +47,11 @@ enum class PlacementStrategy : uint8_t {
 class PlacementTracker {
  public:
   PlacementTracker(std::vector<Node> nodes, PlacementStrategy strategy)
-      : nodes_(std::move(nodes)), strategy_(strategy) {}
+      : nodes_(std::move(nodes)), strategy_(strategy) {
+    // Head off early regrowth churn: a pool this size typically hosts a few
+    // replicas per node.
+    placements_.reserve(4 * nodes_.size());
+  }
 
   const std::vector<Node>& nodes() const { return nodes_; }
 

@@ -2,139 +2,53 @@
 
 #include <algorithm>
 #include <cmath>
-#include <deque>
 #include <limits>
 #include <memory>
 #include <stdexcept>
 
+#include "src/common/pool.h"
 #include "src/common/rng.h"
 #include "src/common/stats.h"
-#include "src/core/penalty.h"
-#include "src/core/utility.h"
 #include "src/faults/injector.h"
 #include "src/obs/metrics.h"
+#include "src/sim/event_queue.h"
+#include "src/sim/sim_internal.h"
 
 namespace faro {
+
+// Sharded engine entry point (engine_sharded.cc). Shares ValidateSimConfig
+// and all per-job semantics via sim_internal.h.
+RunResult RunSimulationSharded(const SimConfig& config,
+                               const std::vector<SimJobConfig>& jobs,
+                               AutoscalingPolicy& policy);
+
 namespace {
 
-constexpr double kInf = std::numeric_limits<double>::infinity();
+using sim_internal::CloseMetricsWindowCore;
+using sim_internal::CollectJobMetrics;
+using sim_internal::FinalizeJobStats;
+using sim_internal::JobState;
+using sim_internal::kInfLatency;
+using sim_internal::UpdateOverloadTimerCore;
 
-enum class EventKind : uint8_t {
-  kArrival,
-  kCompletion,
-  kReplicaReady,
-  kReactiveTick,
-  kDecideTick,
-  kMetricsTick,
-  kFaultEvent,      // scheduled FaultPlan event; `job` indexes the plan
-  kDelayedScaleUp,  // actuation fault: a delayed scale-up finally lands
-};
-
-struct Event {
-  double time = 0.0;
-  EventKind kind = EventKind::kArrival;
-  uint32_t job = 0;
-  uint64_t sequence = 0;  // FIFO tie-break for equal timestamps
-  // Completion events carry the arrival time of the request being served so
-  // latency can be computed without tracking per-replica identity.
-  double payload = 0.0;
-};
-
-struct EventLater {
-  bool operator()(const Event& a, const Event& b) const {
-    if (a.time != b.time) {
-      return a.time > b.time;
-    }
-    return a.sequence > b.sequence;
-  }
-};
-
-// One request waiting in (or being served from) a router queue.
-struct PendingRequest {
-  double arrival_time = 0.0;
-};
-
-struct JobState {
-  // --- replica pool -------------------------------------------------------
-  uint32_t ready = 0;     // provisioned replicas (busy + idle)
-  uint32_t busy = 0;      // replicas serving a request right now
-  uint32_t starting = 0;  // replicas still cold-starting
-  // Busy replicas slated for removal once their in-flight request finishes.
-  uint32_t pending_removal = 0;
-  // Cold starts that were cancelled by a later downscale; ReplicaReady events
-  // for them are ignored.
-  uint32_t cancelled_starts = 0;
-
-  // --- router -------------------------------------------------------------
-  std::deque<PendingRequest> queue;
-  double explicit_drop_rate = 0.0;
-
-  // --- rolling latency window for the reactive overload detector -----------
-  std::deque<std::pair<double, double>> recent_latencies;  // (time, latency)
-
-  // --- per-window accumulators ---------------------------------------------
-  uint64_t window_arrivals = 0;
-  uint64_t window_drops = 0;
-  std::vector<double> window_latencies;
-  RunningStats window_processing;
-
-  // --- totals and history --------------------------------------------------
-  uint64_t total_arrivals = 0;
-  uint64_t total_drops = 0;
-  uint64_t total_violations = 0;
-  std::vector<double> arrival_history;  // req/s per completed window
-  double last_window_rate = 0.0;        // req/s
-  double last_window_drop_rate = 0.0;
-  double smoothed_processing = 0.0;
-  double overloaded_for = 0.0;
-  double underloaded_for = 0.0;
-
-  // --- fault bookkeeping ----------------------------------------------------
-  // Replicas killed under this job by any injection path.
-  uint64_t injected_failures = 0;
-  // Ready-replica count the job had when it was last hit; cleared once the
-  // pool climbs back (or the autoscaler deliberately targets lower).
-  uint32_t recover_target = 0;
-  // pending_removal entries whose placement was already freed by a node
-  // eviction; HandleCompletion consumes these instead of freeing again.
-  uint32_t placement_credit = 0;
-  double fault_first_s = -1.0;       // sim time of the first fault hitting this job
-  double capacity_seconds_lost = 0.0;
-  double recovery_seconds = 0.0;
-
-  // --- per-minute outputs ---------------------------------------------------
-  std::vector<double> minute_p99;
-  std::vector<double> minute_utility;
-  std::vector<double> minute_eu;
-  std::vector<double> minute_arrivals;
-  std::vector<double> minute_drop_rate;
-  std::vector<double> minute_replicas;
-};
-
+// Classic engine: one event loop, one RNG stream shared by every job. The
+// future-event set sits behind EventScheduler (calendar queue by default,
+// binary heap as reference -- both pop in the identical (time, sequence)
+// order, so the choice never changes results); per-request state lives in a
+// struct-of-arrays RequestPool instead of per-job deques.
 class Simulation {
  public:
   Simulation(const SimConfig& config, const std::vector<SimJobConfig>& jobs,
              AutoscalingPolicy& policy)
       : config_(config), jobs_(jobs), policy_(policy), rng_(config.seed),
-        trace_(config.trace), injector_(config.faults, config.seed) {}
+        trace_(config.trace), events_(MakeScheduler(config.scheduler, 4096)),
+        injector_(config.faults, config.seed) {}
 
   RunResult Run();
 
  private:
-  // The event queue is a manually managed binary heap over a reserved vector
-  // (std::priority_queue hides its container, so it can neither be reserved
-  // nor reused across runs). Ordering is identical: earliest time first,
-  // FIFO sequence tie-break.
   void Push(double time, EventKind kind, uint32_t job, double payload = 0.0) {
-    events_.push_back(Event{time, kind, job, sequence_++, payload});
-    std::push_heap(events_.begin(), events_.end(), EventLater{});
-  }
-
-  Event PopEvent() {
-    std::pop_heap(events_.begin(), events_.end(), EventLater{});
-    const Event event = events_.back();
-    events_.pop_back();
-    return event;
+    events_->Push(Event{time, kind, job, sequence_++, payload});
   }
 
   // Generates the next minute's Poisson arrivals for every job.
@@ -145,11 +59,10 @@ class Simulation {
   void HandleReplicaReady(const Event& event);
   void StartServiceIfPossible(uint32_t job);
   void RecordLatency(uint32_t job, double latency);
-  void CloseMetricsWindow(uint32_t job);
   void ApplyAction(const ScalingAction& action);
   void InjectReplicaFailures();
   void UpdateOverloadTimers();
-  std::vector<JobMetrics> CollectMetrics() const;
+  const std::vector<JobMetrics>& CollectMetrics();
 
   // --- chaos-injection hooks (src/faults/) --------------------------------
   // Kills up to `want` replicas of job j: cold starts are cancelled first,
@@ -194,14 +107,6 @@ class Simulation {
                                           config_.cold_start_jitter_s));
   }
 
-  // Percentile over `values` without allocating per call (the two tail
-  // estimates run every metrics window and every reactive tick).
-  double ScratchPercentile(std::span<const double> values, double q) {
-    scratch_latencies_.assign(values.begin(), values.end());
-    std::sort(scratch_latencies_.begin(), scratch_latencies_.end());
-    return PercentileSorted(scratch_latencies_, q);
-  }
-
   const SimConfig& config_;
   const std::vector<SimJobConfig>& jobs_;
   AutoscalingPolicy& policy_;
@@ -216,9 +121,13 @@ class Simulation {
   Histogram::Cell* m_latency_ = nullptr;
   Histogram::Cell* m_queue_wait_ = nullptr;
   Histogram::Cell* m_cold_start_ = nullptr;
-  std::vector<Event> events_;  // binary heap via std::push_heap/pop_heap
+  std::unique_ptr<EventScheduler> events_;
+  RequestPool pool_;
   std::vector<double> scratch_latencies_;
+  std::vector<JobMetrics> metrics_scratch_;
   uint64_t sequence_ = 0;
+  uint64_t events_processed_ = 0;
+  double peak_replicas_ = 0.0;
   double now_ = 0.0;
   std::vector<JobState> state_;
   std::vector<JobSpec> specs_;
@@ -314,11 +223,11 @@ void Simulation::HandleArrival(const Event& event) {
     if (trace_.on()) {
       trace_.SimInstant(event.job, "drop_explicit", "sim.request", now_);
     }
-    RecordLatency(event.job, kInf);
+    RecordLatency(event.job, kInfLatency);
     return;
   }
   // Tail drop: full router queue returns HTTP 503 (§5).
-  if (js.queue.size() >= config_.router_queue_limit) {
+  if (js.queue.size >= config_.router_queue_limit) {
     ++js.total_drops;
     ++js.window_drops;
     if (m_drops_ != nullptr) {
@@ -327,22 +236,23 @@ void Simulation::HandleArrival(const Event& event) {
     if (trace_.on()) {
       trace_.SimInstant(event.job, "drop_tail", "sim.request", now_);
     }
-    RecordLatency(event.job, kInf);
+    RecordLatency(event.job, kInfLatency);
     return;
   }
-  js.queue.push_back(PendingRequest{now_});
+  js.queue.Push(pool_, pool_.Acquire(now_));
   StartServiceIfPossible(event.job);
 }
 
 void Simulation::StartServiceIfPossible(uint32_t job) {
   JobState& js = state_[job];
   while (!js.queue.empty() && js.busy < js.ready) {
-    const PendingRequest request = js.queue.front();
-    js.queue.pop_front();
+    const uint32_t request = js.queue.Pop(pool_);
+    const double arrival_time = pool_.arrival_time(request);
+    pool_.Release(request);
     ++js.busy;
     const double service = ServiceTime(job);
     js.window_processing.Add(service);
-    const double wait = now_ - request.arrival_time;
+    const double wait = now_ - arrival_time;
     if (m_queue_wait_ != nullptr) {
       m_queue_wait_->Record(wait);
     }
@@ -350,11 +260,11 @@ void Simulation::StartServiceIfPossible(uint32_t job) {
       // Request lifecycle on the job's track: the wait span (when the request
       // actually queued) abuts the service span.
       if (wait > 0.0) {
-        trace_.SimSpan(job, "queue_wait", "sim.request", request.arrival_time, now_);
+        trace_.SimSpan(job, "queue_wait", "sim.request", arrival_time, now_);
       }
       trace_.SimSpan(job, "service", "sim.request", now_, now_ + service);
     }
-    Push(now_ + service, EventKind::kCompletion, job, request.arrival_time);
+    Push(now_ + service, EventKind::kCompletion, job, arrival_time);
   }
 }
 
@@ -388,44 +298,6 @@ void Simulation::HandleReplicaReady(const Event& event) {
   }
   ++js.ready;
   StartServiceIfPossible(event.job);
-}
-
-void Simulation::CloseMetricsWindow(uint32_t job) {
-  JobState& js = state_[job];
-  const JobSpec& spec = jobs_[job].spec;
-  const double window = config_.metrics_window_s;
-
-  const double rate = static_cast<double>(js.window_arrivals) / window;  // req/s
-  js.arrival_history.push_back(rate);
-  if (js.arrival_history.size() > config_.history_steps) {
-    js.arrival_history.erase(js.arrival_history.begin());
-  }
-  js.last_window_rate = rate;
-  js.last_window_drop_rate =
-      js.window_arrivals > 0
-          ? static_cast<double>(js.window_drops) / static_cast<double>(js.window_arrivals)
-          : 0.0;
-  if (js.window_processing.count() > 0) {
-    js.smoothed_processing = js.window_processing.mean();
-  }
-
-  const double p99 = js.window_latencies.empty()
-                         ? 0.0
-                         : ScratchPercentile(js.window_latencies, spec.percentile);
-  const double utility = RelaxedUtility(p99, spec.slo);
-  const double eu = StepPenaltyMultiplier(js.last_window_drop_rate) * utility;
-
-  js.minute_p99.push_back(p99);
-  js.minute_utility.push_back(utility);
-  js.minute_eu.push_back(eu);
-  js.minute_arrivals.push_back(static_cast<double>(js.window_arrivals));
-  js.minute_drop_rate.push_back(js.last_window_drop_rate);
-  js.minute_replicas.push_back(static_cast<double>(js.ready + js.starting));
-
-  js.window_arrivals = 0;
-  js.window_drops = 0;
-  js.window_latencies.clear();
-  js.window_processing = RunningStats();
 }
 
 void Simulation::InjectReplicaFailures() {
@@ -643,48 +515,19 @@ void Simulation::RecordFault(const char* what, const std::string& target,
 }
 
 void Simulation::UpdateOverloadTimers() {
-  const double horizon = now_ - config_.metrics_window_s;
   for (uint32_t j = 0; j < jobs_.size(); ++j) {
-    JobState& js = state_[j];
-    while (!js.recent_latencies.empty() && js.recent_latencies.front().first < horizon) {
-      js.recent_latencies.pop_front();
-    }
-    scratch_latencies_.clear();
-    for (const auto& [time, latency] : js.recent_latencies) {
-      scratch_latencies_.push_back(latency);
-    }
-    std::sort(scratch_latencies_.begin(), scratch_latencies_.end());
-    const double p99 = scratch_latencies_.empty()
-                           ? 0.0
-                           : PercentileSorted(scratch_latencies_, jobs_[j].spec.percentile);
-    if (p99 > jobs_[j].spec.slo) {
-      js.overloaded_for += config_.reactive_interval_s;
-      js.underloaded_for = 0.0;
-    } else {
-      js.overloaded_for = 0.0;
-      js.underloaded_for += config_.reactive_interval_s;
-    }
+    UpdateOverloadTimerCore(state_[j], jobs_[j].spec, now_, config_.metrics_window_s,
+                            config_.reactive_interval_s, scratch_latencies_);
   }
 }
 
-std::vector<JobMetrics> Simulation::CollectMetrics() const {
-  std::vector<JobMetrics> metrics(jobs_.size());
+const std::vector<JobMetrics>& Simulation::CollectMetrics() {
+  metrics_scratch_.resize(jobs_.size());
   for (uint32_t j = 0; j < jobs_.size(); ++j) {
-    const JobState& js = state_[j];
-    JobMetrics& m = metrics[j];
-    m.arrival_rate = js.last_window_rate;
-    m.processing_time =
-        js.smoothed_processing > 0.0 ? js.smoothed_processing : jobs_[j].spec.processing_time;
-    m.p99_latency = js.minute_p99.empty() ? 0.0 : js.minute_p99.back();
-    m.mean_latency = m.p99_latency;  // conservative: tail as proxy when idle
-    m.drop_rate = js.last_window_drop_rate;
-    m.ready_replicas = std::max<uint32_t>(js.ready, 1);
-    m.starting_replicas = js.starting + pending_placement_[j];
-    m.arrival_history = js.arrival_history;
-    m.overloaded_for = js.overloaded_for;
-    m.underloaded_for = js.underloaded_for;
+    CollectJobMetrics(state_[j], jobs_[j].spec, pending_placement_[j],
+                      metrics_scratch_[j]);
   }
-  return metrics;
+  return metrics_scratch_;
 }
 
 void Simulation::ApplyAction(const ScalingAction& action) {
@@ -809,14 +652,15 @@ RunResult Simulation::Run() {
     total_minutes_ = std::min(total_minutes_, job.arrival_rate_per_min.size());
   }
   const double duration = static_cast<double>(total_minutes_) * 60.0;
-  events_.reserve(4096);
-  for (JobState& js : state_) {
-    js.minute_p99.reserve(total_minutes_);
-    js.minute_utility.reserve(total_minutes_);
-    js.minute_eu.reserve(total_minutes_);
-    js.minute_arrivals.reserve(total_minutes_);
-    js.minute_drop_rate.reserve(total_minutes_);
-    js.minute_replicas.reserve(total_minutes_);
+  if (config_.record_minute_series) {
+    for (JobState& js : state_) {
+      js.minute_p99.reserve(total_minutes_);
+      js.minute_utility.reserve(total_minutes_);
+      js.minute_eu.reserve(total_minutes_);
+      js.minute_arrivals.reserve(total_minutes_);
+      js.minute_drop_rate.reserve(total_minutes_);
+      js.minute_replicas.reserve(total_minutes_);
+    }
   }
   for (uint32_t j = 0; j < jobs_.size(); ++j) {
     state_[j].ready = std::max<uint32_t>(1, jobs_[j].initial_replicas);
@@ -843,11 +687,12 @@ RunResult Simulation::Run() {
   Push(0.0, EventKind::kDecideTick, 0);
   size_t next_minute = 1;
 
-  while (!events_.empty()) {
-    const Event event = PopEvent();
+  while (!events_->Empty()) {
+    const Event event = events_->Pop();
     if (event.time > duration) {
       break;
     }
+    ++events_processed_;
     now_ = event.time;
     switch (event.kind) {
       case EventKind::kArrival:
@@ -865,7 +710,7 @@ RunResult Simulation::Run() {
         AccountFaultDeficits();
         RetryPendingPlacements();
         UpdateOverloadTimers();
-        const auto metrics = CollectMetrics();
+        const auto& metrics = CollectMetrics();
         if (auto action = policy_.FastReact(now_, specs_, metrics, EffectiveResources())) {
           ApplyAction(*action);
         }
@@ -876,7 +721,7 @@ RunResult Simulation::Run() {
         if (trace_.on()) {
           trace_.SimInstant(kAutoscalerTid, "decide_tick", "sim.control", now_);
         }
-        const auto metrics = CollectMetrics();
+        const auto& metrics = CollectMetrics();
         const ScalingAction action = policy_.Decide(now_, specs_, metrics, EffectiveResources());
         {
           ScopedWallSpan actuate(trace_, kAutoscalerTid, "actuate", "autoscaler");
@@ -886,9 +731,15 @@ RunResult Simulation::Run() {
         break;
       }
       case EventKind::kMetricsTick: {
+        double minute_replicas = 0.0;
         for (uint32_t j = 0; j < jobs_.size(); ++j) {
-          CloseMetricsWindow(j);
+          sim_internal::CloseMetricsWindowCore(
+              state_[j], jobs_[j].spec, config_.metrics_window_s,
+              config_.history_steps, config_.record_minute_series,
+              scratch_latencies_);
+          minute_replicas += static_cast<double>(state_[j].ready + state_[j].starting);
         }
+        peak_replicas_ = std::max(peak_replicas_, minute_replicas);
         if (next_minute < total_minutes_) {
           ScheduleMinuteArrivals(next_minute);
           ++next_minute;
@@ -916,80 +767,44 @@ RunResult Simulation::Run() {
   // --- aggregate ------------------------------------------------------------
   RunResult result;
   result.jobs.resize(jobs_.size());
+  result.events_processed = events_processed_;
+  result.cluster_peak_replicas = peak_replicas_;
   size_t minutes = std::numeric_limits<size_t>::max();
   for (const JobState& js : state_) {
-    minutes = std::min(minutes, js.minute_utility.size());
+    minutes = std::min(minutes, js.minute_count);
   }
   if (minutes == std::numeric_limits<size_t>::max()) {
     minutes = 0;
   }
-  result.cluster_utility_timeline.assign(minutes, 0.0);
-  result.total_load_timeline.assign(minutes, 0.0);
+  const bool record = config_.record_minute_series;
+  if (record) {
+    result.cluster_utility_timeline.assign(minutes, 0.0);
+    result.total_load_timeline.assign(minutes, 0.0);
+  }
 
   double violation_rate_sum = 0.0;
   double eu_sum = 0.0;
+  double utility_mean_sum = 0.0;
   for (uint32_t j = 0; j < jobs_.size(); ++j) {
     JobState& js = state_[j];
     JobRunStats& stats = result.jobs[j];
-    stats.name = jobs_[j].spec.name;
-    stats.arrivals = js.total_arrivals;
-    stats.drops = js.total_drops;
-    stats.violations = js.total_violations;
-    stats.slo_violation_rate =
-        js.total_arrivals > 0
-            ? static_cast<double>(js.total_violations) / static_cast<double>(js.total_arrivals)
-            : 0.0;
-    stats.avg_utility = Mean(js.minute_utility);
-    stats.lost_utility = 1.0 - stats.avg_utility;
-    stats.avg_effective_utility = Mean(js.minute_eu);
-    stats.avg_replicas = Mean(js.minute_replicas);
-    stats.injected_failures = js.injected_failures;
-    stats.capacity_seconds_lost = js.capacity_seconds_lost;
-    stats.recovery_seconds = js.recovery_seconds;
-    stats.minute_p99 = std::move(js.minute_p99);
-    stats.minute_utility = std::move(js.minute_utility);
-    stats.minute_arrivals = std::move(js.minute_arrivals);
-    stats.minute_drop_rate = std::move(js.minute_drop_rate);
-    stats.minute_replicas = std::move(js.minute_replicas);
-
-    // Utility reconvergence: time from the first fault until the per-minute
-    // utility climbs back to within 0.05 of its pre-fault mean (up to five
-    // minutes of pre-fault history; 1.0 when the fault hit before any full
-    // minute elapsed).
-    if (js.fault_first_s >= 0.0) {
-      const size_t fault_minute = static_cast<size_t>(js.fault_first_s / 60.0);
-      const size_t pre_begin = fault_minute >= 5 ? fault_minute - 5 : 0;
-      double baseline = 1.0;
-      if (fault_minute > pre_begin && pre_begin < stats.minute_utility.size()) {
-        double sum = 0.0;
-        size_t n = 0;
-        for (size_t m = pre_begin; m < fault_minute && m < stats.minute_utility.size(); ++m) {
-          sum += stats.minute_utility[m];
-          ++n;
-        }
-        if (n > 0) {
-          baseline = sum / static_cast<double>(n);
-        }
-      }
-      stats.utility_reconverge_s = -1.0;
-      for (size_t m = fault_minute + 1; m < stats.minute_utility.size(); ++m) {
-        if (stats.minute_utility[m] >= baseline - 0.05) {
-          stats.utility_reconverge_s =
-              (static_cast<double>(m) + 1.0) * 60.0 - js.fault_first_s;
-          break;
-        }
+    FinalizeJobStats(js, jobs_[j].spec.name, record, stats);
+    if (record) {
+      for (size_t t = 0; t < minutes; ++t) {
+        result.cluster_utility_timeline[t] += stats.minute_utility[t];
+        result.total_load_timeline[t] += stats.minute_arrivals[t];
       }
     }
-
-    for (size_t t = 0; t < minutes; ++t) {
-      result.cluster_utility_timeline[t] += stats.minute_utility[t];
-      result.total_load_timeline[t] += stats.minute_arrivals[t];
-    }
+    utility_mean_sum += stats.avg_utility;
     violation_rate_sum += stats.slo_violation_rate;
     eu_sum += stats.avg_effective_utility;
   }
   const double num_jobs = static_cast<double>(jobs_.size());
-  result.cluster_avg_utility = Mean(result.cluster_utility_timeline);
+  // With the minute series on, the cluster utility is averaged exactly as it
+  // always was (mean over minutes of the per-minute job sum). Without it,
+  // the mathematically equal sum of per-job means stands in.
+  result.cluster_avg_utility =
+      record ? Mean(result.cluster_utility_timeline) : utility_mean_sum;
   result.cluster_lost_utility = num_jobs - result.cluster_avg_utility;
   result.cluster_avg_effective_utility = eu_sum;
   result.cluster_lost_effective_utility = num_jobs - eu_sum;
@@ -1025,6 +840,19 @@ std::string ValidateSimConfig(const SimConfig& config) {
   if (config.reactive_interval_s <= 0.0) {
     return "SimConfig: reactive_interval_s must be > 0";
   }
+  if (config.engine == SimEngine::kSharded) {
+    if (!config.nodes.empty()) {
+      return "SimConfig: the sharded engine has no node-placement model "
+             "(engine=kSharded requires empty nodes; use kClassic)";
+    }
+    for (const FaultEvent& event : config.faults.events) {
+      if (event.kind != FaultKind::kReplicaBurst) {
+        return "SimConfig: the sharded engine supports only kReplicaBurst "
+               "scheduled fault events (node crash/drain/recover need the "
+               "classic engine's node model)";
+      }
+    }
+  }
   for (const Node& node : config.nodes) {
     if (node.cpu_capacity <= 0.0 || node.mem_capacity <= 0.0) {
       return "SimConfig: node '" + node.name + "' needs positive cpu/mem capacity";
@@ -1053,6 +881,9 @@ RunResult RunSimulation(const SimConfig& config, const std::vector<SimJobConfig>
                         AutoscalingPolicy& policy) {
   if (std::string problem = ValidateSimConfig(config); !problem.empty()) {
     throw std::invalid_argument(problem);
+  }
+  if (config.engine == SimEngine::kSharded) {
+    return RunSimulationSharded(config, jobs, policy);
   }
   Simulation simulation(config, jobs, policy);
   return simulation.Run();

@@ -33,9 +33,30 @@
 #include "src/core/policy.h"
 #include "src/faults/faultplan.h"
 #include "src/obs/trace.h"
+#include "src/sim/event_queue.h"
 #include "src/sim/placement.h"
 
 namespace faro {
+
+// Which event-loop implementation runs the cluster.
+//
+//  - kClassic: one event loop, one RNG stream shared by every job -- the
+//    original engine, bit-compatible with all releases since PR 1.
+//  - kSharded: jobs are partitioned across `shard_threads` shards, each with
+//    its own event scheduler and per-job RNG streams; shards synchronise at
+//    every control boundary (reactive tick, metrics window, long-term
+//    decision) where the coordinator runs the policy and applies actions in
+//    job order. Results are bit-identical at any shard/thread count, but --
+//    because RNG streams are per-job rather than shared -- they are a
+//    *different* (equally valid) sample path than kClassic produces.
+//    Restrictions: the node-placement model and node-level fault events are
+//    not supported (ValidateSimConfig rejects them), scheduled replica-burst
+//    faults and delayed scale-ups land on the first control boundary at or
+//    after their nominal time, and per-request trace spans are not emitted.
+enum class SimEngine : uint8_t {
+  kClassic,
+  kSharded,
+};
 
 struct SimJobConfig {
   JobSpec spec;
@@ -82,6 +103,19 @@ struct SimConfig {
   // neither perturbs the simulation -- no RNG draws, no FP changes.
   TraceSession trace;
   bool obs_metrics = false;
+  // Event engine selection (see SimEngine above) and, for kSharded, the
+  // number of shard worker threads (0 = DefaultThreadCount()). The shard
+  // count never changes results -- only wall-clock.
+  SimEngine engine = SimEngine::kClassic;
+  size_t shard_threads = 0;
+  // Future-event-set implementation. Both kinds pop in the identical total
+  // order (time, then push sequence), so this is a pure performance knob:
+  // the calendar queue is O(1) amortised, the binary heap is the reference.
+  SchedulerKind scheduler = SchedulerKind::kCalendar;
+  // Per-minute output series (JobRunStats::minute_*, the cluster timelines).
+  // Hyperscale runs switch this off to keep memory flat: averages are then
+  // maintained as running sums and the timelines come back empty.
+  bool record_minute_series = true;
 };
 
 struct JobRunStats {
@@ -130,6 +164,11 @@ struct RunResult {
   FaultStats faults;
   // Chronological applied-fault log for reports and determinism checks.
   std::vector<AppliedFault> fault_log;
+  // Engine telemetry: discrete events processed (arrivals, completions,
+  // replica readies, ticks) and the peak per-minute provisioned replica
+  // count summed across jobs. Measurement, not simulation state.
+  uint64_t events_processed = 0;
+  double cluster_peak_replicas = 0.0;
 };
 
 // Empty string when `config` is well formed (fault plan included); otherwise

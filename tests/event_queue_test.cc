@@ -1,0 +1,186 @@
+// Calendar queue vs reference binary heap: both EventScheduler
+// implementations must pop the exact same (time, sequence) total order for
+// any event stream, so swapping them is bit-invisible to the simulation.
+// The property tests drive both with identical randomized interleaved
+// push/pop streams -- ties, bucket-jumping time gaps, every EventKind
+// including kFaultEvent and kDelayedScaleUp, grow and shrink resizes -- and
+// the full-simulation test asserts identical JobRunStats end to end.
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/sim/event_queue.h"
+#include "src/sim/harness.h"
+
+namespace faro {
+namespace {
+
+void ExpectSameEvent(const Event& a, const Event& b, const std::string& label) {
+  ASSERT_EQ(a.time, b.time) << label;
+  ASSERT_EQ(a.kind, b.kind) << label;
+  ASSERT_EQ(a.job, b.job) << label;
+  ASSERT_EQ(a.sequence, b.sequence) << label;
+  ASSERT_EQ(a.payload, b.payload) << label;
+}
+
+// Drives both schedulers with one randomized stream of pushes and pops and
+// asserts the pop sequences are identical. `tie_prob` controls how often a
+// pushed event reuses the current time exactly (sequence tie-break);
+// `jump_prob` injects large time gaps that force the calendar queue through
+// its sparse-population cursor jump.
+void RunEquivalenceStream(uint64_t seed, size_t ops, double tie_prob,
+                          double jump_prob) {
+  BinaryHeapScheduler heap;
+  CalendarQueueScheduler calendar;
+  Rng rng(seed);
+  uint64_t sequence = 0;
+  double now = 0.0;
+  const EventKind kinds[] = {
+      EventKind::kArrival,     EventKind::kCompletion, EventKind::kReplicaReady,
+      EventKind::kReactiveTick, EventKind::kDecideTick, EventKind::kMetricsTick,
+      EventKind::kFaultEvent,  EventKind::kDelayedScaleUp,
+  };
+  const std::string label = "seed=" + std::to_string(seed);
+  for (size_t op = 0; op < ops; ++op) {
+    const bool can_pop = !heap.Empty();
+    if (!can_pop || rng.Uniform() < 0.55) {
+      // Push a batch of 1-4 events at or after `now`.
+      const int batch = 1 + static_cast<int>(rng.Uniform() * 4.0);
+      for (int b = 0; b < batch; ++b) {
+        double time = now;
+        const double u = rng.Uniform();
+        if (u < tie_prob) {
+          // exact tie with the current time
+        } else if (u < tie_prob + jump_prob) {
+          time = now + 1000.0 + rng.Uniform() * 100000.0;  // far-future year
+        } else {
+          time = now + rng.Uniform() * 90.0;
+        }
+        const Event event{time, kinds[static_cast<size_t>(rng.Uniform() * 8.0) % 8],
+                          static_cast<uint32_t>(rng.Uniform() * 64.0), sequence++,
+                          rng.Uniform()};
+        heap.Push(event);
+        calendar.Push(event);
+      }
+    } else {
+      const Event a = heap.Pop();
+      const Event b = calendar.Pop();
+      ExpectSameEvent(a, b, label);
+      ASSERT_GE(a.time, now) << label;  // pops are time-monotone
+      now = a.time;
+    }
+    ASSERT_EQ(heap.size(), calendar.size()) << label;
+    ASSERT_EQ(heap.NextTime(), calendar.NextTime()) << label;
+  }
+  // Drain both completely: the tails must match too.
+  while (!heap.Empty()) {
+    ASSERT_FALSE(calendar.Empty()) << label;
+    ExpectSameEvent(heap.Pop(), calendar.Pop(), label + " drain");
+  }
+  EXPECT_TRUE(calendar.Empty()) << label;
+}
+
+TEST(EventQueueTest, RandomizedStreamsPopIdentically) {
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    RunEquivalenceStream(seed, 4000, /*tie_prob=*/0.15, /*jump_prob=*/0.02);
+  }
+}
+
+TEST(EventQueueTest, HeavyTiesPopIdentically) {
+  // Mostly simultaneous events: the order is carried by sequence alone.
+  RunEquivalenceStream(99, 3000, /*tie_prob=*/0.9, /*jump_prob=*/0.0);
+}
+
+TEST(EventQueueTest, SparseFarFutureJumpsPopIdentically) {
+  // Mostly huge gaps: exercises the full-lap cursor jump and resizing.
+  RunEquivalenceStream(7, 2500, /*tie_prob=*/0.05, /*jump_prob=*/0.6);
+}
+
+TEST(EventQueueTest, GrowAndShrinkKeepOrder) {
+  // Push a large population (grow), then drain to nearly empty (shrink),
+  // repeatedly, checking order throughout.
+  BinaryHeapScheduler heap;
+  CalendarQueueScheduler calendar;
+  Rng rng(4242);
+  uint64_t sequence = 0;
+  double now = 0.0;
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 20000; ++i) {
+      const Event event{now + rng.Uniform() * 500.0, EventKind::kArrival,
+                        static_cast<uint32_t>(i % 97), sequence++, 0.0};
+      heap.Push(event);
+      calendar.Push(event);
+    }
+    for (int i = 0; i < 19995; ++i) {
+      const Event a = heap.Pop();
+      ExpectSameEvent(a, calendar.Pop(), "round " + std::to_string(round));
+      now = a.time;
+    }
+  }
+  while (!heap.Empty()) {
+    ExpectSameEvent(heap.Pop(), calendar.Pop(), "final drain");
+  }
+  EXPECT_TRUE(calendar.Empty());
+}
+
+TEST(EventQueueTest, ClearEmptiesBothKinds) {
+  for (const SchedulerKind kind : {SchedulerKind::kCalendar, SchedulerKind::kBinaryHeap}) {
+    auto scheduler = MakeScheduler(kind);
+    for (int i = 0; i < 100; ++i) {
+      scheduler->Push(Event{static_cast<double>(i), EventKind::kArrival, 0,
+                            static_cast<uint64_t>(i), 0.0});
+    }
+    EXPECT_EQ(scheduler->size(), 100u);
+    scheduler->Clear();
+    EXPECT_TRUE(scheduler->Empty());
+    EXPECT_EQ(scheduler->size(), 0u);
+    // Reusable after Clear.
+    scheduler->Push(Event{1.0, EventKind::kCompletion, 3, 7, 0.5});
+    EXPECT_EQ(scheduler->Pop().job, 3u);
+  }
+}
+
+// End-to-end: the classic engine must produce bit-identical results under
+// either scheduler -- the whole point of the exact-total-order contract.
+TEST(EventQueueTest, FullSimulationIdenticalUnderBothSchedulers) {
+  ExperimentSetup setup;
+  setup.num_jobs = 3;
+  setup.capacity = 12.0;
+  setup.right_size_replicas = 11.0;
+  setup.days = 2;
+  setup.trials = 1;
+  const PreparedWorkload workload = PrepareWorkload(setup);
+
+  std::vector<RunResult> runs;
+  for (const SchedulerKind kind : {SchedulerKind::kCalendar, SchedulerKind::kBinaryHeap}) {
+    setup.scheduler = kind;
+    auto policy = MakePolicy("AIAD", nullptr);
+    runs.push_back(RunPolicy(setup, workload, *policy, setup.seed + 1000));
+  }
+  const RunResult& a = runs[0];
+  const RunResult& b = runs[1];
+  EXPECT_EQ(a.events_processed, b.events_processed);
+  EXPECT_GT(a.events_processed, 0u);
+  EXPECT_EQ(a.cluster_lost_utility, b.cluster_lost_utility);
+  EXPECT_EQ(a.cluster_slo_violation_rate, b.cluster_slo_violation_rate);
+  EXPECT_EQ(a.cluster_peak_replicas, b.cluster_peak_replicas);
+  ASSERT_EQ(a.jobs.size(), b.jobs.size());
+  for (size_t j = 0; j < a.jobs.size(); ++j) {
+    EXPECT_EQ(a.jobs[j].arrivals, b.jobs[j].arrivals) << j;
+    EXPECT_EQ(a.jobs[j].drops, b.jobs[j].drops) << j;
+    EXPECT_EQ(a.jobs[j].violations, b.jobs[j].violations) << j;
+    EXPECT_EQ(a.jobs[j].avg_utility, b.jobs[j].avg_utility) << j;
+    EXPECT_EQ(a.jobs[j].avg_replicas, b.jobs[j].avg_replicas) << j;
+    ASSERT_EQ(a.jobs[j].minute_p99.size(), b.jobs[j].minute_p99.size()) << j;
+    for (size_t t = 0; t < a.jobs[j].minute_p99.size(); ++t) {
+      ASSERT_EQ(a.jobs[j].minute_p99[t], b.jobs[j].minute_p99[t]) << j << "@" << t;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace faro

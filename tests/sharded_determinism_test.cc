@@ -1,0 +1,200 @@
+// Sharded-engine determinism: the sharded event engine must produce
+// bit-identical RunResults at 1, 2, and 8 shard threads -- including under an
+// active chaos plan -- because per-job state, per-job RNG streams, and
+// job-ordered coordinator merges make the shard partition unobservable.
+//
+// These tests run under TSan in CI (cmake -DFARO_SANITIZE=thread, then
+// ctest -R Determinism) to prove the shard fan-out is also race-free.
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/faults/faultplan.h"
+#include "src/sim/harness.h"
+
+namespace faro {
+namespace {
+
+// Force the shared pool to 4 threads before its first use, so parallelism is
+// real even on single-core CI machines.
+const bool kForcePoolSize = [] {
+  setenv("FARO_THREADS", "4", /*overwrite=*/0);
+  return true;
+}();
+
+ExperimentSetup ShardedSetup() {
+  ExperimentSetup setup;
+  setup.engine = SimEngine::kSharded;
+  setup.num_jobs = 6;
+  setup.capacity = 24.0;
+  setup.right_size_replicas = 22.0;
+  setup.days = 2;
+  setup.trials = 1;
+  setup.processing_jitter = 0.05;
+  setup.cold_start_jitter_s = 10.0;
+  return setup;
+}
+
+// A chaos plan that exercises every injection path the sharded engine
+// supports: scheduled replica bursts, stochastic bursts, cold-start
+// stragglers, and all three actuation faults.
+FaultPlan ShardedChaos() {
+  FaultPlan plan;
+  FaultEvent burst;
+  burst.time_s = 95.0 * 60.0;
+  burst.kind = FaultKind::kReplicaBurst;
+  burst.job = -1;
+  burst.fraction = 0.5;
+  plan.events.push_back(burst);
+  plan.burst_mtbf_s = 3.0 * 3600.0;
+  plan.burst_fraction = 0.3;
+  plan.straggler_fraction = 0.2;
+  plan.straggler_multiplier = 4.0;
+  plan.actuation_drop_prob = 0.05;
+  plan.actuation_delay_prob = 0.05;
+  plan.actuation_partial_prob = 0.05;
+  return plan;
+}
+
+void ExpectRunsIdentical(const RunResult& a, const RunResult& b,
+                         const std::string& label) {
+  EXPECT_EQ(a.events_processed, b.events_processed) << label;
+  EXPECT_EQ(a.cluster_peak_replicas, b.cluster_peak_replicas) << label;
+  EXPECT_EQ(a.cluster_lost_utility, b.cluster_lost_utility) << label;
+  EXPECT_EQ(a.cluster_avg_utility, b.cluster_avg_utility) << label;
+  EXPECT_EQ(a.cluster_slo_violation_rate, b.cluster_slo_violation_rate) << label;
+  ASSERT_EQ(a.fault_log.size(), b.fault_log.size()) << label;
+  for (size_t i = 0; i < a.fault_log.size(); ++i) {
+    EXPECT_EQ(a.fault_log[i], b.fault_log[i]) << label << " fault " << i;
+  }
+  EXPECT_EQ(a.faults.replicas_killed, b.faults.replicas_killed) << label;
+  EXPECT_EQ(a.faults.bursts, b.faults.bursts) << label;
+  EXPECT_EQ(a.faults.actuation_drops, b.faults.actuation_drops) << label;
+  EXPECT_EQ(a.faults.actuation_delays, b.faults.actuation_delays) << label;
+  EXPECT_EQ(a.faults.actuation_partials, b.faults.actuation_partials) << label;
+  EXPECT_EQ(a.faults.cold_start_stragglers, b.faults.cold_start_stragglers) << label;
+  ASSERT_EQ(a.jobs.size(), b.jobs.size()) << label;
+  for (size_t j = 0; j < a.jobs.size(); ++j) {
+    EXPECT_EQ(a.jobs[j].arrivals, b.jobs[j].arrivals) << label << " job " << j;
+    EXPECT_EQ(a.jobs[j].drops, b.jobs[j].drops) << label << " job " << j;
+    EXPECT_EQ(a.jobs[j].violations, b.jobs[j].violations) << label << " job " << j;
+    EXPECT_EQ(a.jobs[j].avg_utility, b.jobs[j].avg_utility) << label << " job " << j;
+    EXPECT_EQ(a.jobs[j].avg_replicas, b.jobs[j].avg_replicas) << label << " job " << j;
+    EXPECT_EQ(a.jobs[j].injected_failures, b.jobs[j].injected_failures)
+        << label << " job " << j;
+    ASSERT_EQ(a.jobs[j].minute_p99.size(), b.jobs[j].minute_p99.size())
+        << label << " job " << j;
+    for (size_t t = 0; t < a.jobs[j].minute_p99.size(); ++t) {
+      ASSERT_EQ(a.jobs[j].minute_p99[t], b.jobs[j].minute_p99[t])
+          << label << " job " << j << " minute " << t;
+    }
+  }
+}
+
+TEST(ShardedDeterminismTest, BitIdenticalAcrossShardCounts) {
+  ASSERT_TRUE(kForcePoolSize);
+  ExperimentSetup setup = ShardedSetup();
+  const PreparedWorkload workload = PrepareWorkload(setup);
+  std::vector<RunResult> runs;
+  for (const size_t shards : {size_t{1}, size_t{2}, size_t{8}}) {
+    setup.shard_threads = shards;
+    auto policy = MakePolicy("AIAD", nullptr);
+    runs.push_back(RunPolicy(setup, workload, *policy, setup.seed + 1000));
+  }
+  ExpectRunsIdentical(runs[0], runs[1], "1v2");
+  ExpectRunsIdentical(runs[0], runs[2], "1v8");
+  EXPECT_GT(runs[0].events_processed, 0u);
+}
+
+TEST(ShardedDeterminismTest, BitIdenticalAcrossShardCountsUnderChaos) {
+  ASSERT_TRUE(kForcePoolSize);
+  ExperimentSetup setup = ShardedSetup();
+  setup.faults = ShardedChaos();
+  const PreparedWorkload workload = PrepareWorkload(setup);
+  std::vector<RunResult> runs;
+  for (const size_t shards : {size_t{1}, size_t{2}, size_t{8}}) {
+    setup.shard_threads = shards;
+    auto policy = MakePolicy("AIAD", nullptr);
+    runs.push_back(RunPolicy(setup, workload, *policy, setup.seed + 1000));
+  }
+  ExpectRunsIdentical(runs[0], runs[1], "chaos 1v2");
+  ExpectRunsIdentical(runs[0], runs[2], "chaos 1v8");
+  // The chaos actually fired (the scenario is not vacuous).
+  EXPECT_FALSE(runs[0].fault_log.empty());
+  EXPECT_GT(runs[0].faults.replicas_killed, 0u);
+}
+
+TEST(ShardedDeterminismTest, BitIdenticalUnderBothSchedulers) {
+  ExperimentSetup setup = ShardedSetup();
+  setup.shard_threads = 2;
+  const PreparedWorkload workload = PrepareWorkload(setup);
+  std::vector<RunResult> runs;
+  for (const SchedulerKind kind : {SchedulerKind::kCalendar, SchedulerKind::kBinaryHeap}) {
+    setup.scheduler = kind;
+    auto policy = MakePolicy("AIAD", nullptr);
+    runs.push_back(RunPolicy(setup, workload, *policy, setup.seed + 1000));
+  }
+  ExpectRunsIdentical(runs[0], runs[1], "calendar-vs-heap");
+}
+
+// An inactive chaos plan must draw nothing from any stream: the run is
+// bit-identical to one with the default (empty) plan.
+TEST(ShardedDeterminismTest, InactivePlanLeavesRunsUntouched) {
+  ExperimentSetup setup = ShardedSetup();
+  setup.shard_threads = 4;
+  const PreparedWorkload workload = PrepareWorkload(setup);
+  auto policy_a = MakePolicy("AIAD", nullptr);
+  const RunResult a = RunPolicy(setup, workload, *policy_a, 777);
+  setup.faults = FaultPlan{};
+  setup.faults.seed ^= 0xabcdefull;  // inactive: the seed must not matter
+  auto policy_b = MakePolicy("AIAD", nullptr);
+  const RunResult b = RunPolicy(setup, workload, *policy_b, 777);
+  ExpectRunsIdentical(a, b, "inactive-plan");
+  EXPECT_TRUE(a.fault_log.empty());
+}
+
+// record_minute_series=false keeps memory flat; the running-sum averages
+// must match the recorded-series averages bit-for-bit (same additions in the
+// same order), and the per-minute vectors come back empty.
+TEST(ShardedDeterminismTest, RunningSumsMatchRecordedSeries) {
+  ExperimentSetup setup = ShardedSetup();
+  setup.shard_threads = 2;
+  const PreparedWorkload workload = PrepareWorkload(setup);
+  auto policy_a = MakePolicy("AIAD", nullptr);
+  const RunResult recorded = RunPolicy(setup, workload, *policy_a, 555);
+  setup.record_minute_series = false;
+  auto policy_b = MakePolicy("AIAD", nullptr);
+  const RunResult summed = RunPolicy(setup, workload, *policy_b, 555);
+
+  EXPECT_EQ(recorded.events_processed, summed.events_processed);
+  ASSERT_EQ(recorded.jobs.size(), summed.jobs.size());
+  for (size_t j = 0; j < recorded.jobs.size(); ++j) {
+    EXPECT_EQ(recorded.jobs[j].arrivals, summed.jobs[j].arrivals) << j;
+    EXPECT_EQ(recorded.jobs[j].avg_utility, summed.jobs[j].avg_utility) << j;
+    EXPECT_EQ(recorded.jobs[j].avg_effective_utility,
+              summed.jobs[j].avg_effective_utility)
+        << j;
+    EXPECT_EQ(recorded.jobs[j].avg_replicas, summed.jobs[j].avg_replicas) << j;
+    EXPECT_TRUE(summed.jobs[j].minute_p99.empty()) << j;
+    EXPECT_TRUE(summed.jobs[j].minute_utility.empty()) << j;
+  }
+  // The cluster average folds the same per-job means in a different
+  // (mathematically equal) order; allow FP slack there only.
+  EXPECT_NEAR(recorded.cluster_avg_utility, summed.cluster_avg_utility, 1e-9);
+  EXPECT_TRUE(summed.cluster_utility_timeline.empty());
+}
+
+// The sharded engine refuses configs it cannot honor deterministically.
+TEST(ShardedDeterminismTest, RejectsNodeModelConfigs) {
+  ExperimentSetup setup = ShardedSetup();
+  setup.nodes.push_back(Node{"node0", 8.0, 8.0});
+  const PreparedWorkload workload = PrepareWorkload(setup);
+  auto policy = MakePolicy("AIAD", nullptr);
+  EXPECT_THROW(RunPolicy(setup, workload, *policy, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace faro
