@@ -2,8 +2,16 @@
 // the four baselines at right-sized (36), slightly-oversubscribed (32), and
 // heavily-oversubscribed (16) clusters. The figure's Faro variant is FairSum
 // at RS/SO and Sum at HO, as in the paper.
+//
+// With --race / FARO_RACE the policy sweep at each capacity races: clearly
+// beaten baselines stop drawing trials once separated from the incumbent
+// (see DESIGN.md's BAI section). --bench-json records per-capacity winners
+// and race telemetry either way.
 
+#include <cctype>
 #include <cstdio>
+
+#include <string>
 
 #include "bench/bench_util.h"
 #include "src/sim/harness.h"
@@ -11,10 +19,14 @@
 namespace faro {
 namespace {
 
-void Run() {
+void Run(BenchJson& json) {
   PrintHeader("Figure 10: Faro vs baselines at RS(36) / SO(32) / HO(16)");
   ExperimentSetup setup;
   setup.trials = BenchTrials(3);
+  // Racing affords a higher trial cap: the stopping rule, not the cap,
+  // decides the spend, so raced sweeps get 2x headroom for the surviving
+  // arms while separated losers stop at the 2-trial minimum.
+  setup.race.max_trials = 2 * setup.trials;
   const PreparedWorkload workload = PrepareWorkload(setup);
   const auto predictor = TrainPredictor(workload, setup.seed);
 
@@ -32,11 +44,40 @@ void Run() {
                 "SLO violation rate (SD)");
     const std::vector<std::string> names = {"FairShare", "Oneshot", "AIAD",
                                             "MArk/Cocktail/Barista", cap.faro};
-    // Policies x trials fan out over the shared thread pool.
-    for (const TrialAggregate& agg : RunAllPolicies(setup, workload, predictor, names)) {
+    // Policies x trials fan out over the shared thread pool (raced under
+    // --race: each round draws one trial for every arm still active).
+    RaceReport report;
+    std::string best;
+    double best_lost = 0.0;
+    for (const TrialAggregate& agg :
+         RunAllPolicies(setup, workload, predictor, names, nullptr, &report)) {
       std::printf("%-24s %6.2f (%.2f)       %6.3f (%.3f)\n", agg.policy.c_str(),
                   agg.lost_utility_mean, agg.lost_utility_sd, agg.violation_rate_mean,
                   agg.violation_rate_sd);
+      if (best.empty() || agg.lost_utility_mean < best_lost) {
+        best = agg.policy;
+        best_lost = agg.lost_utility_mean;
+      }
+      std::string slug = agg.policy;
+      for (char& c : slug) {
+        c = (c == '/' || c == '-' || c == ' ') ? '_'
+                                               : static_cast<char>(std::tolower(c));
+      }
+      json.Set(std::string(cap.label) + "_" + slug + "_lost_utility",
+               agg.lost_utility_mean);
+    }
+    json.Set(std::string(cap.label) + "_winner", best);
+    if (report.raced) {
+      std::printf("race: winner %s, trials %llu (saved %llu), arms pruned %llu\n",
+                  report.winner_policy.c_str(),
+                  static_cast<unsigned long long>(report.telemetry.evaluations_spent),
+                  static_cast<unsigned long long>(report.telemetry.evaluations_saved),
+                  static_cast<unsigned long long>(report.telemetry.arms_pruned));
+      json.Set(std::string(cap.label) + "_race_winner", report.winner_policy);
+      json.Set(std::string(cap.label) + "_race_trials_spent",
+               static_cast<double>(report.telemetry.evaluations_spent));
+      json.Set(std::string(cap.label) + "_race_trials_saved",
+               static_cast<double>(report.telemetry.evaluations_saved));
     }
   }
 }
@@ -46,6 +87,6 @@ void Run() {
 
 int main(int argc, char** argv) {
   faro::BenchObs obs(argc, argv);
-  faro::Run();
+  faro::Run(obs.json());
   return 0;
 }

@@ -37,6 +37,9 @@ void RunScale(BenchJson& json, size_t num_jobs, double capacity, bool noisy,
   setup.capacity = capacity;
   setup.right_size_replicas = capacity;
   setup.trials = BenchTrials(noisy ? 2 : 1);
+  // Raced sweeps get 2x trial headroom: losers stop at the 2-trial minimum,
+  // surviving arms sharpen their estimate (the cap is a bound, not the spend).
+  setup.race.max_trials = 2 * setup.trials;
   if (!noisy) {
     setup.processing_jitter = 0.0;
     setup.cold_start_jitter_s = 0.0;
@@ -48,17 +51,37 @@ void RunScale(BenchJson& json, size_t num_jobs, double capacity, bool noisy,
               noisy ? "cluster" : "simulation");
   std::printf("%-24s %-22s %-24s %-14s %-12s\n", "policy", "lost utility (SD)",
               "SLO violation rate (SD)", "solve ms/cyc", "evals/cyc");
-  for (const char* name :
-       {"FairShare", "Oneshot", "AIAD", "MArk/Cocktail/Barista", "Faro-FairSum"}) {
-    const TrialAggregate agg = RunTrials(setup, workload, name, predictor);
+  const std::vector<std::string> names = {"FairShare", "Oneshot", "AIAD",
+                                          "MArk/Cocktail/Barista", "Faro-FairSum"};
+  // Full sweep by default; with --race / FARO_RACE the policies race each
+  // other and losing arms stop drawing trials once separated.
+  RaceReport report;
+  const std::vector<TrialAggregate> aggregates =
+      RunAllPolicies(setup, workload, predictor, names, nullptr, &report);
+  for (const TrialAggregate& agg : aggregates) {
     std::printf("%-24s %6.2f (%.2f)         %6.3f (%.3f)          %9.2f      %9.0f\n",
-                name, agg.lost_utility_mean, agg.lost_utility_sd, agg.violation_rate_mean,
-                agg.violation_rate_sd, agg.solve_ms_per_cycle_mean,
-                agg.solver_evals_per_cycle_mean);
+                agg.policy.c_str(), agg.lost_utility_mean, agg.lost_utility_sd,
+                agg.violation_rate_mean, agg.violation_rate_sd,
+                agg.solve_ms_per_cycle_mean, agg.solver_evals_per_cycle_mean);
     const std::string prefix =
-        "scale" + std::to_string(num_jobs) + "_" + PolicySlug(name);
+        "scale" + std::to_string(num_jobs) + "_" + PolicySlug(agg.policy.c_str());
     json.Set(prefix + "_lost_utility", agg.lost_utility_mean);
     json.Set(prefix + "_violation_rate", agg.violation_rate_mean);
+  }
+  if (report.raced) {
+    const std::string prefix = "scale" + std::to_string(num_jobs) + "_race";
+    std::printf("race: winner %s, trials %llu/%llu (saved %llu), arms pruned %llu\n",
+                report.winner_policy.c_str(),
+                static_cast<unsigned long long>(report.telemetry.evaluations_spent),
+                static_cast<unsigned long long>(report.telemetry.evaluations_spent +
+                                                report.telemetry.evaluations_saved),
+                static_cast<unsigned long long>(report.telemetry.evaluations_saved),
+                static_cast<unsigned long long>(report.telemetry.arms_pruned));
+    json.Set(prefix + "_trials_spent",
+             static_cast<double>(report.telemetry.evaluations_spent));
+    json.Set(prefix + "_trials_saved",
+             static_cast<double>(report.telemetry.evaluations_saved));
+    json.Set(prefix + "_winner", report.winner_policy);
   }
 }
 
@@ -79,36 +102,63 @@ void RunSolverComparison(BenchJson& json, size_t num_jobs, double capacity,
   const PreparedWorkload workload = PrepareWorkload(setup);
   const auto predictor = TrainPredictor(workload, setup.seed, epochs);
 
+  // Three-way A/B: legacy serial single-start, the PR-2 static-tier
+  // multi-start driver, and the BAI racing driver (the production default).
+  // The committed `lost_utility_multistart` / `solve_ms_multistart` keys
+  // track the production driver, so CI keeps asserting the racing path's
+  // quality; `*_multistart_static` keeps the static tiers visible for the
+  // racing speedup column.
   FaroConfig serial;
   serial.multistart_starts = 1;     // legacy single-start path
   serial.warm_start_cache = false;  // no cross-cycle reuse
   serial.solve_parallelism = 1;     // groups solved one after another
-  FaroConfig multistart;  // defaults: K starts, warm cache, parallel groups
+  FaroConfig static_tiers;  // K starts, warm cache -- racing disabled
+  static_tiers.multistart_racing = false;
+  FaroConfig racing;  // defaults: BAI racing on
 
-  std::printf("\n-- solve cost, %zu jobs, %.0f replicas: multi-start vs serial --\n",
+  struct Row {
+    const char* label;
+    const char* key;
+    const FaroConfig* overrides;
+  };
+  const Row rows[] = {{"serial single-start", "serial", &serial},
+                      {"multi-start static tiers", "multistart_static", &static_tiers},
+                      {"multi-start + BAI racing", "multistart", &racing}};
+  std::printf("\n-- solve cost, %zu jobs, %.0f replicas: racing vs static vs serial --\n",
               num_jobs, capacity);
   std::printf("%-28s %-14s %-12s %-12s %-14s\n", "solver path", "solve ms/cyc",
               "evals/cyc", "lost util", "mean utility");
   double serial_ms = 0.0;
-  double multi_ms = 0.0;
-  for (const bool use_multistart : {false, true}) {
-    const FaroConfig& overrides = use_multistart ? multistart : serial;
+  double static_ms = 0.0;
+  double racing_ms = 0.0;
+  for (const Row& row : rows) {
     const TrialAggregate agg =
-        RunTrials(setup, workload, "Faro-FairSum", predictor, &overrides);
+        RunTrials(setup, workload, "Faro-FairSum", predictor, row.overrides);
     const double utility = static_cast<double>(num_jobs) - agg.lost_utility_mean;
-    std::printf("%-28s %9.2f      %9.0f    %8.2f     %9.2f\n",
-                use_multistart ? "multi-start + parallel" : "serial single-start",
+    std::printf("%-28s %9.2f      %9.0f    %8.2f     %9.2f\n", row.label,
                 agg.solve_ms_per_cycle_mean, agg.solver_evals_per_cycle_mean,
                 agg.lost_utility_mean, utility);
-    (use_multistart ? multi_ms : serial_ms) = agg.solve_ms_per_cycle_mean;
-    const char* prefix = use_multistart ? "multistart" : "serial";
-    json.Set(std::string("lost_utility_") + prefix, agg.lost_utility_mean);
-    json.Set(std::string("solve_ms_") + prefix, agg.solve_ms_per_cycle_mean);
-    json.Set(std::string("solver_evals_") + prefix, agg.solver_evals_per_cycle_mean);
+    json.Set(std::string("lost_utility_") + row.key, agg.lost_utility_mean);
+    json.Set(std::string("solve_ms_") + row.key, agg.solve_ms_per_cycle_mean);
+    json.Set(std::string("solver_evals_") + row.key, agg.solver_evals_per_cycle_mean);
+    if (row.overrides == &serial) {
+      serial_ms = agg.solve_ms_per_cycle_mean;
+    } else if (row.overrides == &static_tiers) {
+      static_ms = agg.solve_ms_per_cycle_mean;
+    } else {
+      racing_ms = agg.solve_ms_per_cycle_mean;
+      json.Set("racing_evals_saved_per_cycle", agg.solver_race_evals_saved_per_cycle_mean);
+      json.Set("racing_starts_pruned_per_cycle", agg.solver_starts_pruned_per_cycle_mean);
+      json.Set("racing_rounds_per_cycle", agg.solver_race_rounds_per_cycle_mean);
+    }
   }
-  if (multi_ms > 0.0) {
-    std::printf("per-cycle solve speedup: %.2fx\n", serial_ms / multi_ms);
-    json.Set("solve_speedup", serial_ms / multi_ms);
+  if (racing_ms > 0.0) {
+    std::printf("per-cycle solve speedup vs serial: %.2fx\n", serial_ms / racing_ms);
+    json.Set("solve_speedup", serial_ms / racing_ms);
+  }
+  if (racing_ms > 0.0 && static_ms > 0.0) {
+    std::printf("racing speedup vs static tiers:    %.2fx\n", static_ms / racing_ms);
+    json.Set("racing_speedup", static_ms / racing_ms);
   }
 }
 

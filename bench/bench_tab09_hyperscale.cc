@@ -17,6 +17,8 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 #include <algorithm>
 #include <chrono>
@@ -76,7 +78,8 @@ struct BenchRun {
   double replicas_avg = 0.0;
 };
 
-BenchRun RunFleet(const std::vector<SimJobConfig>& jobs, SimEngine engine) {
+BenchRun RunFleet(const std::vector<SimJobConfig>& jobs, SimEngine engine,
+                  size_t shard_threads = 0) {
   SimConfig config;
   double total_initial = 0.0;
   for (const SimJobConfig& job : jobs) {
@@ -86,6 +89,7 @@ BenchRun RunFleet(const std::vector<SimJobConfig>& jobs, SimEngine engine) {
   config.processing_jitter = 0.05;
   config.cold_start_jitter_s = 10.0;
   config.engine = engine;
+  config.shard_threads = shard_threads;
   config.record_minute_series = false;  // flat memory at fleet scale
   config.seed = 20250808;
 
@@ -123,6 +127,30 @@ int main(int argc, char** argv) {
   const bool fast = faro::FastBench();
   const size_t num_jobs = fast ? 500 : 5000;
   const size_t minutes = fast ? 240 : 1440;  // 4 hours vs one full day
+  // --threads=1,2,4 runs the sharded engine once per worker count and
+  // records wall-ms + speedup vs the single-thread run (ROADMAP item 1's
+  // multi-core measurement). Defaults to 1,2,4 in fast mode; results are
+  // bit-identical across counts by the engine's merge-barrier contract, so
+  // only wall time varies.
+  std::vector<size_t> thread_sweep = fast ? std::vector<size_t>{1, 2, 4}
+                                          : std::vector<size_t>{};
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      thread_sweep.clear();
+      const char* p = argv[i] + 10;
+      while (*p != '\0') {
+        char* end = nullptr;
+        const unsigned long v = std::strtoul(p, &end, 10);
+        if (end == p) {
+          break;
+        }
+        if (v > 0) {
+          thread_sweep.push_back(static_cast<size_t>(v));
+        }
+        p = *end == ',' ? end + 1 : end;
+      }
+    }
+  }
   faro::PrintHeader("Table 9: hyperscale engine throughput (sharded event engine)");
   std::printf("%zu jobs, %zu simulated minutes, AIAD, record_minute_series=off\n\n",
               num_jobs, minutes);
@@ -145,6 +173,29 @@ int main(int argc, char** argv) {
   json.Set("replicas_peak", sharded.result.cluster_peak_replicas);
   json.Set("lost_utility", sharded.result.cluster_lost_utility);
   json.Set("violation_rate", sharded.result.cluster_slo_violation_rate);
+
+  if (!thread_sweep.empty()) {
+    // Shard-worker scaling: same fleet, same (bit-identical) results, only
+    // the worker count varies. On a single-CPU container the speedup column
+    // documents the overhead floor rather than a win; on wide machines it is
+    // the multi-core headline.
+    std::printf("\n-- shard-thread sweep --\n");
+    double base_wall_s = 0.0;
+    for (const size_t threads : thread_sweep) {
+      const faro::BenchRun run =
+          faro::RunFleet(jobs, faro::SimEngine::kSharded, threads);
+      if (base_wall_s == 0.0) {
+        base_wall_s = run.wall_s;
+      }
+      const double speedup = run.wall_s > 0.0 ? base_wall_s / run.wall_s : 0.0;
+      std::printf("threads=%-3zu %8.2f s   %8.0f ms   speedup %.2fx   lost utility %.3f\n",
+                  threads, run.wall_s, 1000.0 * run.wall_s, speedup,
+                  run.result.cluster_lost_utility);
+      const std::string prefix = "threads" + std::to_string(threads);
+      json.Set(prefix + "_wall_ms", 1000.0 * run.wall_s);
+      json.Set(prefix + "_speedup", speedup);
+    }
+  }
 
   if (fast) {
     // Cross-check: the classic single-stream engine on the same fleet. A

@@ -134,6 +134,11 @@ class BenchObs {
         json_path = "BENCH_" + name + ".json";
       } else if (std::strncmp(arg, "--bench-json=", 13) == 0) {
         json_path = arg + 13;
+      } else if (std::strcmp(arg, "--race") == 0) {
+        // Trial racing opt-in (see src/sim/harness.h TrialRaceConfig). The
+        // env var is the process-wide switch DefaultTrialRace() reads, so
+        // every ExperimentSetup constructed after this inherits it.
+        setenv("FARO_RACE", "1", 1);
       } else {
         argv[kept++] = argv[i];
       }
@@ -185,7 +190,18 @@ inline bool FastBench() {
   return fast != nullptr && fast[0] == '1';
 }
 
-inline size_t BenchTrials(size_t normal) { return FastBench() ? 1 : normal; }
+inline bool RaceBench() {
+  const char* race = std::getenv("FARO_RACE");
+  return race != nullptr && race[0] == '1';
+}
+
+// Fast mode cuts sweeps to one trial -- except under --race, where the trial
+// cap stays at the normal count and the BAI stopping rule decides how many
+// trials each arm actually draws (that is the point of racing: the full cap
+// is an upper bound, not the spend).
+inline size_t BenchTrials(size_t normal) {
+  return FastBench() && !RaceBench() ? 1 : normal;
+}
 
 inline void PrintRule(int width = 78) {
   for (int i = 0; i < width; ++i) {

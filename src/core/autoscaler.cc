@@ -128,6 +128,15 @@ std::string ValidateFaroConfig(const FaroConfig& config) {
   if (config.solve_deadline_s < 0.0) {
     return "FaroConfig: solve_deadline_s must be >= 0 (0 disables)";
   }
+  if (config.racing_probe_evals < 0) {
+    return "FaroConfig: racing_probe_evals must be >= 0 (0 = auto)";
+  }
+  if (config.racing_confirm_evals < 0) {
+    return "FaroConfig: racing_confirm_evals must be >= 0 (0 disables)";
+  }
+  if (config.racing_delta <= 0.0 || config.racing_delta >= 1.0) {
+    return "FaroConfig: racing_delta must be in (0, 1)";
+  }
   if (config.actuation_retry_backoff_s < 0.0) {
     return "FaroConfig: actuation_retry_backoff_s must be >= 0 (0 disables)";
   }
@@ -603,6 +612,11 @@ ScalingAction FaroAutoscaler::SolveFlat(const std::vector<JobSpec>& job_specs,
     ms.use_alternate = config_.multistart_alternate;
     ms.early_exit = config_.multistart_early_exit;
     ms.early_exit_improvement = config_.multistart_exit_improvement;
+    ms.racing = config_.multistart_racing;
+    ms.racing_probe_evals = config_.racing_probe_evals;
+    ms.racing_confirm_evals = config_.racing_confirm_evals;
+    ms.racing_confirm_rerun = config_.racing_confirm_rerun;
+    ms.racing_delta = config_.racing_delta;
     ms.jitter = config_.multistart_jitter;
     ms.seed = solve_seed;
     ms.max_parallelism = config_.solve_parallelism;
@@ -617,8 +631,12 @@ ScalingAction FaroAutoscaler::SolveFlat(const std::vector<JobSpec>& job_specs,
         MultiStartSolve(problem, std::move(starts), extra, ms);
     solution = ms_result.best;
     telemetry_.starts_launched += ms_result.starts_launched;
-    telemetry_.starts_skipped += ms_result.starts_skipped;
+    telemetry_.starts_cancelled += ms_result.starts_cancelled;
+    telemetry_.starts_deadline_skipped += ms_result.starts_deadline_skipped;
+    telemetry_.starts_pruned += ms_result.starts_pruned;
     telemetry_.early_exits += ms_result.early_exit ? 1 : 0;
+    telemetry_.race_rounds += ms_result.race.rounds;
+    telemetry_.race_evals_saved += ms_result.race.evaluations_saved;
     telemetry_.objective_evaluations += static_cast<uint64_t>(ms_result.evaluations);
     if (ms_result.deadline_hit) {
       ++telemetry_.deadline_misses;

@@ -51,8 +51,16 @@ struct JobMetrics {
 struct SolverTelemetry {
   uint64_t cycles = 0;                 // long-term Decide() calls
   uint64_t starts_launched = 0;        // solver tasks actually run
-  uint64_t starts_skipped = 0;         // tasks cancelled by early exit
+  // Tasks that did not run to their budget, by cause: cancelled by the
+  // early-exit rule, skipped by the wall-clock deadline, or stopped by the
+  // BAI racing rule (pruned arms still ran their probe).
+  uint64_t starts_cancelled = 0;
+  uint64_t starts_deadline_skipped = 0;
+  uint64_t starts_pruned = 0;
   uint64_t early_exits = 0;            // solves won by the early-exit rule
+  // --- BAI racing (multi-start arms race; see src/optim/bai.h) -------------
+  uint64_t race_rounds = 0;            // probe + extension rounds across solves
+  uint64_t race_evals_saved = 0;       // evaluations saved vs the static tiers
   uint64_t warm_start_hits = 0;        // solves starting from the cached solution
   uint64_t wins_warm_current = 0;      // winner provenance counts
   uint64_t wins_prev_solution = 0;

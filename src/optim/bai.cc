@@ -1,0 +1,137 @@
+#include "src/optim/bai.h"
+
+#include <cmath>
+
+namespace faro {
+
+void ArmStats::Add(double value) {
+  ++n;
+  const double delta = value - mean;
+  mean += delta / static_cast<double>(n);
+  m2 += delta * (value - mean);
+  min = std::min(min, value);
+  max = std::max(max, value);
+}
+
+double ArmStats::Variance() const {
+  if (n < 2) {
+    return 0.0;
+  }
+  return m2 / static_cast<double>(n - 1);
+}
+
+double ArmStats::Range() const {
+  if (n < 2) {
+    return 0.0;
+  }
+  return max - min;
+}
+
+double BaiBeta(uint64_t n, double delta) {
+  const double looks = 1.0 + std::log2(static_cast<double>(n) + 1.0);
+  return std::log(1.0 / delta) + 2.0 * std::log(looks);
+}
+
+double ConfidenceRadius(const ArmStats& stats, double delta) {
+  if (stats.n < 2) {
+    return std::numeric_limits<double>::infinity();
+  }
+  const double n = static_cast<double>(stats.n);
+  const double beta = BaiBeta(stats.n, delta);
+  return std::sqrt(2.0 * stats.Variance() * beta / n) + 3.0 * stats.Range() * beta / n;
+}
+
+bool Separated(const ArmStats& better, const ArmStats& worse, double delta) {
+  const double rb = ConfidenceRadius(better, delta);
+  const double rw = ConfidenceRadius(worse, delta);
+  if (!std::isfinite(rb) || !std::isfinite(rw)) {
+    return false;
+  }
+  return better.mean + rb < worse.mean - rw;
+}
+
+RacingTelemetry& RacingTelemetry::operator+=(const RacingTelemetry& other) {
+  races += other.races;
+  rounds += other.rounds;
+  arms_total += other.arms_total;
+  arms_pruned += other.arms_pruned;
+  evaluations_spent += other.evaluations_spent;
+  evaluations_saved += other.evaluations_saved;
+  return *this;
+}
+
+BaiRace::BaiRace(size_t arms)
+    : stats_(arms), active_(arms, true), active_count_(arms) {}
+
+void BaiRace::Add(size_t arm, double value) { stats_[arm].Add(value); }
+
+void BaiRace::Retire(size_t arm) {
+  if (active_[arm]) {
+    active_[arm] = false;
+    --active_count_;
+  }
+}
+
+size_t BaiRace::Leader() const {
+  size_t leader = arms();
+  for (size_t a = 0; a < arms(); ++a) {
+    if (!active_[a] || stats_[a].n == 0) {
+      continue;
+    }
+    if (leader == arms() || stats_[a].mean < stats_[leader].mean) {
+      leader = a;
+    }
+  }
+  if (leader == arms()) {
+    // No active arm has an observation yet: the lowest active index leads.
+    for (size_t a = 0; a < arms(); ++a) {
+      if (active_[a]) {
+        return a;
+      }
+    }
+  }
+  return leader;
+}
+
+size_t BaiRace::Challenger() const {
+  const size_t leader = Leader();
+  if (leader == arms()) {
+    return arms();
+  }
+  size_t challenger = arms();
+  double challenger_bound = std::numeric_limits<double>::infinity();
+  for (size_t a = 0; a < arms(); ++a) {
+    if (a == leader || !active_[a]) {
+      continue;
+    }
+    // Optimistic value: an unobserved arm is maximally optimistic.
+    const double bound =
+        stats_[a].n == 0 ? -std::numeric_limits<double>::infinity()
+                         : stats_[a].mean - ConfidenceRadius(stats_[a], 0.05);
+    if (challenger == arms() || bound < challenger_bound) {
+      challenger = a;
+      challenger_bound = bound;
+    }
+  }
+  return challenger;
+}
+
+size_t BaiRace::PruneSeparated(double delta) {
+  const size_t leader = Leader();
+  if (leader == arms()) {
+    return 0;
+  }
+  size_t pruned = 0;
+  for (size_t a = 0; a < arms(); ++a) {
+    if (a == leader || !active_[a]) {
+      continue;
+    }
+    if (Separated(stats_[leader], stats_[a], delta)) {
+      Retire(a);
+      ++pruned;
+    }
+  }
+  return pruned;
+}
+
+}  // namespace faro

@@ -1,0 +1,141 @@
+// Best-arm identification (BAI) core: adaptive budget allocation for racing
+// a finite set of alternatives ("arms") whose quality is only revealed by
+// spending evaluations on them.
+//
+// Two consumers share this core:
+//   - the Stage-2 multi-start driver (src/optim/multistart.cc) races solver
+//     start points: every start gets a cheap probe solve, then rounds extend
+//     only the starts whose optimistic value could still beat the leader;
+//   - the experiment harness (src/sim/harness.cc) races policies across
+//     trials: per-trial lost utility streams into the same arm statistics and
+//     a (policy, scenario) arm stops drawing trials once it is statistically
+//     separated from the incumbent.
+//
+// The machinery follows the top-two / successive-halving family with
+// unknown-variance stopping (arXiv 2210.00974, arXiv 2205.12086): arms keep
+// Welford mean/variance statistics, the confidence radius combines a
+// variance term with an empirical-range term (empirical-Bernstein shape, so
+// no sub-Gaussian constant has to be guessed), and the threshold function
+// beta(n, delta) grows with log log n so the rule is anytime-valid under
+// repeated looks.
+//
+// Determinism contract: everything here is a pure function of the observation
+// sequence. Arms are identified by index; every tie (leader, challenger,
+// round plans) breaks toward the lower index; no wall-clock, no RNG. Feeding
+// the same observations in the same (arm-index) order always yields the same
+// decisions, which is what lets both consumers keep their bit-identical
+// winner guarantees at any thread count.
+
+#ifndef SRC_OPTIM_BAI_H_
+#define SRC_OPTIM_BAI_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace faro {
+
+// Streaming moments for one arm (Welford). Lower observations are better
+// throughout this file (both consumers minimise: objective value, lost
+// utility).
+struct ArmStats {
+  uint64_t n = 0;
+  double mean = 0.0;
+  double m2 = 0.0;  // sum of squared deviations from the running mean
+  double min = std::numeric_limits<double>::infinity();
+  double max = -std::numeric_limits<double>::infinity();
+
+  void Add(double value);
+  // Unbiased sample variance; 0 until two observations exist.
+  double Variance() const;
+  // Empirical range (max - min); 0 until two observations exist.
+  double Range() const;
+};
+
+// Anytime-valid confidence level for the n-th look at an arm:
+//   beta(n, delta) = log(1/delta) + 2 log(1 + log2(n + 1)).
+// The log-log term pays for peeking after every observation (law of the
+// iterated logarithm correction), per the unknown-variance stopping rules of
+// arXiv 2210.00974.
+double BaiBeta(uint64_t n, double delta);
+
+// Unknown-variance confidence radius around an arm's mean:
+//   radius = sqrt(2 Var beta / n) + 3 Range beta / n.
+// Empirical-Bernstein shape: the variance term dominates asymptotically, the
+// range term keeps the first looks honest without assuming a known bound.
+// Infinite until the arm has two observations (one sample says nothing about
+// spread).
+double ConfidenceRadius(const ArmStats& stats, double delta);
+
+// True when `better` is statistically below `worse` at confidence delta:
+// the confidence intervals are disjoint (better.mean + r_b < worse.mean -
+// r_w). Symmetric radii, so Separated(a, b) with a.mean < b.mean is the
+// standard two-arm unknown-variance test.
+bool Separated(const ArmStats& better, const ArmStats& worse, double delta);
+
+// Telemetry for one or more races, merged with +=. "Evaluations" are in the
+// consumer's unit: solver objective evaluations for the multi-start race,
+// simulation trials for the experiment race.
+struct RacingTelemetry {
+  uint64_t races = 0;         // races run
+  uint64_t rounds = 0;        // scheduling rounds across all races
+  uint64_t arms_total = 0;    // arms entered across all races
+  uint64_t arms_pruned = 0;   // arms stopped by the rule before their cap
+  uint64_t evaluations_spent = 0;  // evaluations actually consumed
+  uint64_t evaluations_saved = 0;  // cap total minus spent (>= 0)
+
+  RacingTelemetry& operator+=(const RacingTelemetry& other);
+};
+
+// One racing run over a fixed set of arms, lower mean is better.
+//
+// Usage: construct with the arm count, feed observations via Add (in a
+// deterministic order -- the caller's merge barrier), then ask for the
+// leader / challenger / active set and prune with the stopping rule between
+// rounds. The class never decides *how much* an extension costs -- the
+// caller owns budgets -- it only decides *who* is still worth extending.
+class BaiRace {
+ public:
+  explicit BaiRace(size_t arms);
+
+  size_t arms() const { return stats_.size(); }
+  const ArmStats& stats(size_t arm) const { return stats_[arm]; }
+  bool active(size_t arm) const { return active_[arm]; }
+  size_t active_count() const { return active_count_; }
+
+  // Records one observation for an arm. Observing a pruned arm is allowed
+  // (late results still improve the estimate) but never re-activates it.
+  void Add(size_t arm, double value);
+
+  // Deactivates an arm without a statistical verdict (budget cap, caller
+  // policy). Not counted as a statistical prune.
+  void Retire(size_t arm);
+
+  // Active arm with the lowest mean; ties break to the lower index. Arms
+  // with no observations rank last. Returns arms() when nothing is active.
+  size_t Leader() const;
+
+  // Active non-leader arm with the lowest optimistic value (mean - radius):
+  // the "top-two" challenger that adaptive racing extends alongside the
+  // leader. Returns arms() when fewer than two arms are active.
+  size_t Challenger() const;
+
+  // Prunes every active non-leader arm that is Separated from the leader at
+  // confidence delta (the leader must have >= 2 observations; an arm with a
+  // one-sided radius is never pruned). Returns how many arms were pruned by
+  // this call.
+  size_t PruneSeparated(double delta);
+
+  // True once at most one arm remains active.
+  bool Decided() const { return active_count_ <= 1; }
+
+ private:
+  std::vector<ArmStats> stats_;
+  std::vector<bool> active_;
+  size_t active_count_ = 0;
+};
+
+}  // namespace faro
+
+#endif  // SRC_OPTIM_BAI_H_

@@ -50,6 +50,17 @@ bool IsScout(StartKind kind) {
   return kind == StartKind::kHeuristic || kind == StartKind::kJitter;
 }
 
+// Static-tier evaluation cap for one start: the racing path races toward the
+// exact budgets the static driver would have granted, so a fully extended arm
+// reproduces the static result bit-for-bit (COBYLA prefix property).
+int TierCap(const std::vector<StartPoint>& starts, size_t s, const MultiStartConfig& config) {
+  if (IsScout(starts[s].kind)) {
+    return std::max(200, config.cobyla.max_evaluations / 4);
+  }
+  return s == 0 ? config.cobyla.max_evaluations
+                : std::max(300, config.cobyla.max_evaluations / 4);
+}
+
 // Schedule-independent ranking: feasible beats infeasible, then lower
 // objective value, then lower task index (the caller iterates in index order).
 bool RanksBetter(const OptimResult& challenger, const OptimResult& incumbent,
@@ -63,6 +74,276 @@ bool RanksBetter(const OptimResult& challenger, const OptimResult& incumbent,
     return challenger.max_violation < incumbent.max_violation;
   }
   return challenger.value < incumbent.value;
+}
+
+// The BAI racing driver (see the header's racing-mode contract). `starts` is
+// already jitter-expanded and clipped. Races COBYLA arms only.
+MultiStartResult RaceSolve(const Problem& problem, const std::vector<StartPoint>& starts,
+                           const MultiStartConfig& config) {
+  MultiStartResult out;
+  const size_t n = starts.size();
+  out.starts_total = n;
+  out.raced = true;
+  out.race.races = 1;
+  out.race.arms_total = n;
+  const double tol = config.feasibility_tolerance;
+
+  struct Arm {
+    OptimResult result;        // latest prefix run from the arm's start point
+    double start_value = 0.0;  // objective at the start (for bar and gains)
+    bool has_start_value = false;
+    bool ran = false;
+    bool rankable = false;  // result is final (tier cap, or confirm-final)
+    bool pruned = false;
+    bool deadline_skipped = false;
+  };
+  std::vector<Arm> arms(n);
+  std::vector<int> cap(n);
+  int64_t static_equivalent = 0;
+  for (size_t s = 0; s < n; ++s) {
+    cap[s] = TierCap(starts, s, config);
+  }
+
+  auto deadline_passed = [&] {
+    return config.deadline_enabled && std::chrono::steady_clock::now() >= config.deadline;
+  };
+  // Deterministic prefix run: COBYLA from the original start at a budget.
+  // Extension = re-run at a larger budget (exact superset of the trajectory).
+  auto run_prefix = [&](size_t s, int evals) {
+    CobylaConfig cobyla = config.cobyla;
+    cobyla.max_evaluations = evals;
+    const double task_start_us = config.trace.WallNowUs();
+    OptimResult result = Cobyla(problem, starts[s].x, cobyla);
+    if (config.trace.on()) {
+      std::string label = StartKindName(starts[s].kind);
+      label += '#';
+      label += std::to_string(s);
+      label += "@";
+      label += std::to_string(evals);
+      config.trace.WallSpanSince(kSolverTidBase + static_cast<uint32_t>(s), label,
+                                 "solver", task_start_us);
+    }
+    return result;
+  };
+  // Feasibility-penalised scalar for the BAI math only; the final ranking
+  // stays the exact lexicographic RanksBetter rule.
+  auto merit = [&](const OptimResult& result) {
+    return result.value + 1e3 * std::max(0.0, result.max_violation - tol);
+  };
+  auto start_value = [&](size_t s) {
+    if (!arms[s].has_start_value) {
+      arms[s].start_value = problem.Objective(starts[s].x);
+      arms[s].has_start_value = true;
+      out.evaluations += 1;
+    }
+    return arms[s].start_value;
+  };
+  // The static driver's early-exit stability bar, verbatim (non-scout start,
+  // feasible start and result, improvement at most the bar).
+  auto exit_quality = [&](size_t s, const OptimResult& result) {
+    if (!config.early_exit || IsScout(starts[s].kind) || result.max_violation > tol) {
+      return false;
+    }
+    const double sv = start_value(s);
+    return problem.MaxViolation(starts[s].x) <= tol &&
+           sv - result.value <= config.early_exit_improvement * (1.0 + std::abs(sv));
+  };
+
+  // --- Phase 1: anchors (non-scout starts) in index order. Serial by design:
+  // the early-exit rule then degenerates to "lowest index wins", which is
+  // trivially schedule-invariant, and production fans out at most two anchors.
+  size_t exit_arm = n;
+  bool anchors_deadlined = false;
+  for (size_t s = 0; s < n && exit_arm == n; ++s) {
+    if (IsScout(starts[s].kind)) {
+      continue;
+    }
+    if (deadline_passed()) {
+      anchors_deadlined = true;
+      for (size_t r = s; r < n; ++r) {
+        if (!IsScout(starts[r].kind)) {
+          arms[r].deadline_skipped = true;
+        }
+      }
+      break;
+    }
+    static_equivalent += cap[s];
+    const bool confirm = s == 0 && config.racing_confirm_evals > 0 &&
+                         config.racing_confirm_evals < cap[s];
+    arms[s].result = run_prefix(s, confirm ? config.racing_confirm_evals : cap[s]);
+    arms[s].ran = true;
+    out.evaluations += arms[s].result.evaluations;
+    bool exits = exit_quality(s, arms[s].result);
+    if (confirm && !exits && config.racing_confirm_rerun &&
+        arms[s].result.evaluations >= config.racing_confirm_evals) {
+      // Confirmation failed with the budget exhausted: the landscape moved.
+      // Pay for the full tier so quality in shift cycles matches the static
+      // driver exactly. (A confirmation that stopped below its budget
+      // converged at rho_end -- the full tier would replay it bit-identically,
+      // so the re-run is skipped.)
+      arms[s].result = run_prefix(s, cap[s]);
+      out.evaluations += arms[s].result.evaluations;
+      exits = exit_quality(s, arms[s].result);
+    }
+    arms[s].rankable = true;
+    if (exits) {
+      exit_arm = s;
+    }
+  }
+
+  // --- Phase 2: scout probes + racing rounds, only when no anchor exited.
+  if (exit_arm == n && !anchors_deadlined) {
+    std::vector<size_t> scouts;
+    for (size_t s = 0; s < n; ++s) {
+      if (IsScout(starts[s].kind)) {
+        scouts.push_back(s);
+        static_equivalent += cap[s];
+      }
+    }
+    if (!scouts.empty() && deadline_passed()) {
+      for (size_t s : scouts) {
+        arms[s].deadline_skipped = true;
+      }
+      scouts.clear();
+    }
+    if (!scouts.empty()) {
+      const int dim = static_cast<int>(starts[0].x.size());
+      const int auto_probe = std::max(64, 2 * dim + 24);
+      const int probe =
+          config.racing_probe_evals > 0 ? config.racing_probe_evals : auto_probe;
+      // Probe round: every scout in parallel, each a pure function of its
+      // index; the stats merge below runs serially in index order.
+      ParallelFor(
+          scouts.size(),
+          [&](size_t i) {
+            const size_t s = scouts[i];
+            const int budget = std::min(probe, cap[s]);
+            arms[s].result = run_prefix(s, budget);
+            arms[s].ran = true;
+            // A probe that stops below its budget hit COBYLA's rho_end: the
+            // run converged, and an extension would replay the identical
+            // trajectory to the same stop (prefix property). Final as-is.
+            arms[s].rankable =
+                budget >= cap[s] || arms[s].result.evaluations < budget;
+          },
+          config.max_parallelism);
+      // Gain statistics: how much a scout improves from its start through the
+      // probe, pooled across scouts. The unknown-variance radius over this
+      // pool is the slack an arm gets before the rule may prune it.
+      ArmStats gains;
+      std::vector<double> probe_gain(n, 0.0);
+      for (size_t s : scouts) {
+        out.evaluations += arms[s].result.evaluations;
+        OptimResult start_point;
+        start_point.value = start_value(s);
+        start_point.max_violation = problem.MaxViolation(starts[s].x);
+        probe_gain[s] = std::max(0.0, merit(start_point) - merit(arms[s].result));
+        gains.Add(probe_gain[s]);
+        out.race.rounds = 1;
+      }
+      // Racing rounds: prune what cannot beat the leader, extend the best
+      // remaining challenger to its full tier cap, repeat. Leader, challenger
+      // and prune decisions are pure functions of the accumulated stats.
+      while (true) {
+        size_t leader = n;
+        for (size_t s = 0; s < n; ++s) {
+          if (arms[s].rankable &&
+              (leader == n || RanksBetter(arms[s].result, arms[leader].result, tol))) {
+            leader = s;
+          }
+        }
+        const double radius = ConfidenceRadius(gains, config.racing_delta);
+        size_t challenger = n;
+        double challenger_bound = 0.0;
+        for (size_t s : scouts) {
+          if (arms[s].rankable || arms[s].pruned || arms[s].deadline_skipped) {
+            continue;
+          }
+          const double optimistic = merit(arms[s].result) -
+                                    config.racing_extend_factor * probe_gain[s] -
+                                    (std::isfinite(radius) ? radius : probe_gain[s]);
+          if (leader != n && optimistic > merit(arms[leader].result)) {
+            // Even an optimistic extension cannot beat the leader: stop.
+            arms[s].pruned = true;
+            ++out.race.arms_pruned;
+            continue;
+          }
+          if (challenger == n || optimistic < challenger_bound) {
+            challenger = s;
+            challenger_bound = optimistic;
+          }
+        }
+        if (challenger == n) {
+          break;  // every scout is capped, pruned, or skipped
+        }
+        if (deadline_passed()) {
+          for (size_t s : scouts) {
+            if (!arms[s].rankable && !arms[s].pruned) {
+              arms[s].deadline_skipped = true;
+            }
+          }
+          break;
+        }
+        if (out.evaluations + cap[challenger] > static_equivalent) {
+          // Total-budget guard: racing never spends more than the static
+          // tiers would have. Remaining arms stop at their probes.
+          for (size_t s : scouts) {
+            if (!arms[s].rankable && !arms[s].pruned && !arms[s].deadline_skipped) {
+              arms[s].pruned = true;
+              ++out.race.arms_pruned;
+            }
+          }
+          break;
+        }
+        const double before = merit(arms[challenger].result);
+        arms[challenger].result = run_prefix(challenger, cap[challenger]);
+        out.evaluations += arms[challenger].result.evaluations;
+        arms[challenger].rankable = true;
+        gains.Add(std::max(0.0, before - merit(arms[challenger].result)));
+        ++out.race.rounds;
+      }
+    }
+  }
+  // (On an early exit, scouts never run -- the same cancellation the static
+  // driver's serial schedule produces -- and the saved-evaluations ledger
+  // compares against the static tiers for the arms that would have run.)
+
+  // --- Ranking: the static rule over final results. With an early exit at
+  // anchor e, only arms 0..e are candidates (all of them ran, serially).
+  out.early_exit = exit_arm < n;
+  out.deadline_hit = false;
+  const size_t rank_limit = out.early_exit ? exit_arm : n - 1;
+  size_t winner = n;
+  for (size_t s = 0; s < n; ++s) {
+    const Arm& arm = arms[s];
+    if (arm.ran) {
+      ++out.starts_launched;
+    }
+    if (arm.deadline_skipped) {
+      ++out.starts_deadline_skipped;
+      out.deadline_hit = true;
+    } else if (arm.pruned) {
+      ++out.starts_pruned;
+    } else if (!arm.ran) {
+      ++out.starts_cancelled;  // cancelled by the early exit
+    }
+    if (arm.rankable && s <= rank_limit &&
+        (winner == n || RanksBetter(arm.result, arms[winner].result, tol))) {
+      winner = s;
+    }
+  }
+  out.race.evaluations_spent = static_cast<uint64_t>(std::max<int64_t>(0, out.evaluations));
+  if (static_equivalent > out.evaluations) {
+    out.race.evaluations_saved = static_cast<uint64_t>(static_equivalent - out.evaluations);
+  }
+  if (winner == n) {
+    return out;  // deadline hit before any anchor ran; degradation ladder
+  }
+  out.winner_start = winner;
+  out.winner_alternate = false;
+  out.winner_kind = starts[winner].kind;
+  out.best = arms[winner].result;
+  return out;
 }
 
 }  // namespace
@@ -104,11 +385,16 @@ MultiStartResult MultiStartSolve(const Problem& problem, std::vector<StartPoint>
     problem.ClipToBounds(start.x);
   }
 
+  if (config.racing && !config.use_alternate) {
+    return RaceSolve(problem, starts, config);
+  }
+
   const size_t solvers = config.use_alternate ? 2 : 1;
   const size_t tasks = starts.size() * solvers;
   struct TaskSlot {
     OptimResult result;
     bool launched = false;
+    bool deadline_skipped = false;
     bool exit_quality = false;
   };
   std::vector<TaskSlot> slots(tasks);
@@ -133,6 +419,7 @@ MultiStartResult MultiStartSolve(const Problem& problem, std::vector<StartPoint>
         if (config.deadline_enabled &&
             std::chrono::steady_clock::now() >= config.deadline) {
           deadline_hit.store(true, std::memory_order_relaxed);
+          slots[t].deadline_skipped = true;
           return;  // skipped: the solve's wall-clock budget is spent
         }
         const size_t s = t / solvers;
@@ -203,7 +490,11 @@ MultiStartResult MultiStartSolve(const Problem& problem, std::vector<StartPoint>
   for (size_t t = 0; t < tasks; ++t) {
     const TaskSlot& slot = slots[t];
     if (!slot.launched) {
-      ++out.starts_skipped;
+      if (slot.deadline_skipped) {
+        ++out.starts_deadline_skipped;
+      } else {
+        ++out.starts_cancelled;
+      }
       continue;
     }
     ++out.starts_launched;

@@ -39,6 +39,28 @@
 //   - With no early-exit-quality task, every task runs and the winner is the
 //     best feasible result (lowest objective; ties broken by task index, i.e.
 //     by start index first and COBYLA before the alternate chain).
+//
+// Racing mode (`racing = true`, the production default via FaroConfig):
+// instead of the static full/quarter budget tiers, the driver runs a
+// best-arm-identification race (src/optim/bai.h). Non-scout ("anchor")
+// starts keep their tier budgets and the early-exit stability bar; scout
+// starts first run a cheap probe solve, then rounds extend only the scout
+// whose optimistic value (probe value minus the predicted extension gain
+// minus an unknown-variance confidence radius over the observed gains) could
+// still beat the leader. Extension is a deterministic re-run from the
+// original start point at the full tier cap: COBYLA's trajectory never
+// consults `max_evaluations` except to stop, so a capped run is an exact
+// prefix of a longer run and an extended scout's final result is
+// bit-identical to the result the static-tier driver would have produced.
+// Pruned scouts are never ranked (their probe results are discarded), so the
+// raced winner differs from the static winner only when the rule prunes a
+// scout that would have won at its full budget -- which the confidence
+// radius makes deliberately rare. The schedule (which arm extends in which
+// round) is a pure function of the round index and the accumulated arm
+// statistics, never of thread interleaving, so racing keeps the bit-identical
+// winner contract at every `max_parallelism`. Racing assumes the standard
+// start layout (non-scout starts first); it currently races the COBYLA tasks
+// only (`use_alternate` falls back to the static tiers).
 
 #ifndef SRC_OPTIM_MULTISTART_H_
 #define SRC_OPTIM_MULTISTART_H_
@@ -49,6 +71,7 @@
 
 #include "src/obs/trace.h"
 #include "src/optim/auglag.h"
+#include "src/optim/bai.h"
 #include "src/optim/cobyla.h"
 #include "src/optim/neldermead.h"
 #include "src/optim/problem.h"
@@ -103,6 +126,26 @@ struct MultiStartConfig {
   // the bit-determinism contract for bounded decision latency.
   bool deadline_enabled = false;
   std::chrono::steady_clock::time_point deadline{};
+  // --- BAI racing knobs (see the racing-mode comment above). Racing replaces
+  // the static budget tiers with probe + adaptive-extension rounds; it only
+  // engages when `use_alternate` is off (the race runs COBYLA arms).
+  bool racing = false;
+  // Probe budget (objective evaluations) for each scout arm's first look.
+  // 0 = auto: max(64, 2*dim + 24), clamped below the scout tier cap.
+  int racing_probe_evals = 0;
+  // When > 0 and below the primary tier cap, the primary start first runs a
+  // short confirmation solve; if it passes the early-exit stability bar the
+  // cycle ends there (the common steady-state case, at a fraction of the
+  // static cost). On failure the primary re-runs at its full tier when
+  // `racing_confirm_rerun` is set (quality identical to static, at the cost
+  // of the confirmation prefix), else the confirmation result stands and the
+  // race decides whether a scout basin beats it.
+  int racing_confirm_evals = 0;
+  bool racing_confirm_rerun = true;
+  // Confidence for the stopping rule's radius over observed extension gains.
+  double racing_delta = 0.05;
+  // Predicted extension gain = factor x the arm's observed probe improvement.
+  double racing_extend_factor = 1.0;
   // Observability: each launched task records a wall-clock span (one trace
   // track per task index) into this session. Measurement only; whether a
   // task above the early-exit index ran at all is schedule-dependent, so
@@ -115,12 +158,20 @@ struct MultiStartResult {
   size_t winner_start = 0;  // index into the expanded start list
   StartKind winner_kind = StartKind::kHeuristic;
   bool winner_alternate = false;  // won by the NelderMead->AugLag chain
-  size_t starts_total = 0;        // tasks in the fan-out (starts x solvers)
-  size_t starts_launched = 0;     // tasks that actually ran
-  size_t starts_skipped = 0;      // tasks cancelled by early exit
-  bool early_exit = false;        // winner came from the early-exit rule
-  bool deadline_hit = false;      // at least one task was skipped by the deadline
-  int64_t evaluations = 0;        // objective evaluations across launched tasks
+  size_t starts_total = 0;     // tasks in the fan-out (starts x solvers)
+  size_t starts_launched = 0;  // tasks that consumed any evaluations
+  // Tasks that did not run to their budget, by cause (disjoint): cancelled by
+  // the early-exit rule before starting, skipped/abandoned by the wall-clock
+  // deadline, or stopped by the BAI stopping rule (pruned arms ran a probe,
+  // so they also count as launched).
+  size_t starts_cancelled = 0;
+  size_t starts_deadline_skipped = 0;
+  size_t starts_pruned = 0;
+  bool early_exit = false;   // winner came from the early-exit rule
+  bool deadline_hit = false; // at least one task was skipped by the deadline
+  bool raced = false;        // the BAI racing path produced this result
+  int64_t evaluations = 0;   // objective evaluations across launched tasks
+  RacingTelemetry race;      // all-zero unless `raced`
 };
 
 // Appends `extra_jittered` seeded perturbations of the given starts, clips

@@ -1,6 +1,8 @@
 #include "src/sim/harness.h"
 
+#include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <span>
 
 #include "src/baselines/baselines.h"
@@ -10,6 +12,16 @@
 #include "src/workload/synthetic.h"
 
 namespace faro {
+
+const TrialRaceConfig& DefaultTrialRace() {
+  static const TrialRaceConfig config = [] {
+    TrialRaceConfig c;
+    const char* env = std::getenv("FARO_RACE");
+    c.enabled = env != nullptr && env[0] == '1';
+    return c;
+  }();
+  return config;
+}
 
 JobSpec ResNet34Spec(const std::string& name) {
   JobSpec spec;
@@ -223,6 +235,7 @@ TrialAggregate AggregateTrials(const std::string& policy_name, size_t num_jobs,
   std::vector<double> violations;
   std::vector<double> eu_lost;
   aggregate.per_job_lost_utility.assign(num_jobs, 0.0);
+  aggregate.trials_run = results.size();
   const double trials = static_cast<double>(results.size());
   for (const RunResult& result : results) {
     lost.push_back(result.cluster_lost_utility);
@@ -244,6 +257,9 @@ TrialAggregate AggregateTrials(const std::string& policy_name, size_t num_jobs,
   uint64_t starts = 0;
   uint64_t early_exits = 0;
   uint64_t warm_hits = 0;
+  uint64_t race_rounds = 0;
+  uint64_t race_saved = 0;
+  uint64_t pruned = 0;
   for (const RunResult& result : results) {
     cycles += result.solver.cycles;
     solve_seconds += result.solver.solve_seconds_total;
@@ -251,6 +267,9 @@ TrialAggregate AggregateTrials(const std::string& policy_name, size_t num_jobs,
     starts += result.solver.starts_launched;
     early_exits += result.solver.early_exits;
     warm_hits += result.solver.warm_start_hits;
+    race_rounds += result.solver.race_rounds;
+    race_saved += result.solver.race_evals_saved;
+    pruned += result.solver.starts_pruned;
   }
   if (cycles > 0) {
     const double c = static_cast<double>(cycles);
@@ -259,6 +278,9 @@ TrialAggregate AggregateTrials(const std::string& policy_name, size_t num_jobs,
     aggregate.solver_starts_per_cycle_mean = static_cast<double>(starts) / c;
     aggregate.early_exit_rate = static_cast<double>(early_exits) / c;
     aggregate.warm_start_rate = static_cast<double>(warm_hits) / c;
+    aggregate.solver_race_rounds_per_cycle_mean = static_cast<double>(race_rounds) / c;
+    aggregate.solver_race_evals_saved_per_cycle_mean = static_cast<double>(race_saved) / c;
+    aggregate.solver_starts_pruned_per_cycle_mean = static_cast<double>(pruned) / c;
   }
   return aggregate;
 }
@@ -282,9 +304,16 @@ std::vector<TrialAggregate> RunAllPolicies(const ExperimentSetup& setup,
                                            const PreparedWorkload& workload,
                                            std::shared_ptr<NHitsWorkloadPredictor> predictor,
                                            const std::vector<std::string>& policy_names,
-                                           const FaroConfig* faro_overrides) {
+                                           const FaroConfig* faro_overrides,
+                                           RaceReport* race_report) {
   const std::vector<std::string>& names =
       policy_names.empty() ? AllPolicyNames() : policy_names;
+  if (setup.race.enabled && names.size() >= 2) {
+    return RacePolicies(setup, workload, predictor, names, faro_overrides, race_report);
+  }
+  if (race_report != nullptr) {
+    *race_report = {};
+  }
   // Flatten to policies x trials so small trial counts still fill the pool.
   const size_t trials = setup.trials;
   const std::vector<RunResult> results = ParallelMap(
@@ -300,6 +329,76 @@ std::vector<TrialAggregate> RunAllPolicies(const ExperimentSetup& setup,
     aggregates.push_back(AggregateTrials(
         names[p], workload.jobs.size(),
         std::span<const RunResult>(results).subspan(p * trials, trials)));
+  }
+  return aggregates;
+}
+
+std::vector<TrialAggregate> RacePolicies(const ExperimentSetup& setup,
+                                         const PreparedWorkload& workload,
+                                         std::shared_ptr<NHitsWorkloadPredictor> predictor,
+                                         const std::vector<std::string>& policy_names,
+                                         const FaroConfig* faro_overrides,
+                                         RaceReport* race_report) {
+  const std::vector<std::string>& names =
+      policy_names.empty() ? AllPolicyNames() : policy_names;
+  const size_t arms = names.size();
+  const size_t cap =
+      std::max<size_t>(1, setup.race.max_trials != 0 ? setup.race.max_trials : setup.trials);
+  const size_t min_trials = std::clamp<size_t>(setup.race.min_trials, 1, cap);
+  std::vector<std::vector<RunResult>> per_arm(arms);
+  BaiRace race(arms);
+  RaceReport report;
+  report.raced = true;
+  report.telemetry.races = 1;
+  report.telemetry.arms_total = arms;
+  // Round k draws trial index k for every arm still racing, so an arm's
+  // trials are always the prefix 0..n-1 of the full run's trial sequence
+  // (trial seeds depend only on the index). The round fan-out parallelises;
+  // the stats merge below is serial in arm order -- same bit-identical
+  // contract as the full sweep.
+  for (size_t trial = 0; trial < cap; ++trial) {
+    std::vector<size_t> batch;
+    for (size_t a = 0; a < arms; ++a) {
+      if (race.active(a)) {
+        batch.push_back(a);
+      }
+    }
+    if (batch.empty()) {
+      break;
+    }
+    ++report.telemetry.rounds;
+    const std::vector<RunResult> round = ParallelMap(
+        batch.size(),
+        [&](size_t i) {
+          return RunOneTrial(setup, workload, names[batch[i]], predictor, faro_overrides,
+                             trial);
+        },
+        setup.threads);
+    for (size_t i = 0; i < batch.size(); ++i) {
+      per_arm[batch[i]].push_back(round[i]);
+      race.Add(batch[i], round[i].cluster_lost_utility);
+      ++report.telemetry.evaluations_spent;
+    }
+    if (trial + 1 < min_trials) {
+      continue;
+    }
+    report.telemetry.arms_pruned += race.PruneSeparated(setup.race.delta);
+    if (race.Decided()) {
+      break;  // the incumbent has separated every rival: stop drawing trials
+    }
+  }
+  report.telemetry.evaluations_saved =
+      static_cast<uint64_t>(arms) * cap - report.telemetry.evaluations_spent;
+  const size_t leader = race.Leader();
+  report.winner = leader < arms ? leader : 0;
+  report.winner_policy = names[report.winner];
+  if (race_report != nullptr) {
+    *race_report = report;
+  }
+  std::vector<TrialAggregate> aggregates;
+  aggregates.reserve(arms);
+  for (size_t a = 0; a < arms; ++a) {
+    aggregates.push_back(AggregateTrials(names[a], workload.jobs.size(), per_arm[a]));
   }
   return aggregates;
 }

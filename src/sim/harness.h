@@ -21,9 +21,43 @@
 #include "src/core/autoscaler.h"
 #include "src/forecast/adapter.h"
 #include "src/obs/obs.h"
+#include "src/optim/bai.h"
 #include "src/sim/simulator.h"
 
 namespace faro {
+
+// Trial racing (BAI; see src/optim/bai.h): RunAllPolicies streams per-trial
+// lost utility into per-policy arm statistics and stops drawing trials for a
+// policy once the incumbent (lowest-mean arm) is statistically separated from
+// it at the configured confidence. Rounds are barriers -- every arm still
+// racing draws trial k before any arm draws trial k+1 -- and the stats merge
+// is serial in arm order, so raced results are bit-identical at every thread
+// count, and a raced arm's aggregate equals the full run's aggregate over its
+// first n trials (trial seeds depend only on the trial index). Full-run mode
+// stays the default for the committed tables; benches opt in with --race or
+// FARO_RACE=1.
+struct TrialRaceConfig {
+  bool enabled = false;
+  // Trials every arm draws before the stopping rule may stop it (the radius
+  // is infinite below two observations anyway).
+  size_t min_trials = 2;
+  // Trial cap per arm; 0 = ExperimentSetup::trials.
+  size_t max_trials = 0;
+  // Stopping-rule confidence.
+  double delta = 0.05;
+};
+
+// Process-wide default, read once from the FARO_RACE environment variable
+// ("1" enables; BenchObs translates --race into it).
+const TrialRaceConfig& DefaultTrialRace();
+
+// Outcome of one raced sweep (see RunAllPolicies).
+struct RaceReport {
+  bool raced = false;
+  RacingTelemetry telemetry;  // evaluations are trials here
+  size_t winner = 0;          // index into the returned aggregates
+  std::string winner_policy;
+};
 
 struct ExperimentSetup {
   size_t num_jobs = 10;
@@ -69,6 +103,9 @@ struct ExperimentSetup {
   size_t shard_threads = 0;
   SchedulerKind scheduler = SchedulerKind::kCalendar;
   bool record_minute_series = true;
+  // Trial racing, defaulting from the process-wide --race / FARO_RACE switch
+  // so existing benches inherit it without code changes.
+  TrialRaceConfig race = DefaultTrialRace();
 };
 
 // Job specs plus train/eval traces, all in simulator units (traces are req
@@ -118,6 +155,7 @@ RunResult RunPolicy(const ExperimentSetup& setup, const PreparedWorkload& worklo
 // Paper metrics aggregated over `setup.trials` independent runs.
 struct TrialAggregate {
   std::string policy;
+  size_t trials_run = 0;  // trials behind the means (racing may stop early)
   double lost_utility_mean = 0.0;
   double lost_utility_sd = 0.0;
   double violation_rate_mean = 0.0;
@@ -134,6 +172,10 @@ struct TrialAggregate {
   double solver_starts_per_cycle_mean = 0.0;
   double early_exit_rate = 0.0;   // fraction of solves won by early exit
   double warm_start_rate = 0.0;   // fraction of solves reusing the cached solution
+  // BAI racing inside the multi-start driver (zeros when racing is off).
+  double solver_race_rounds_per_cycle_mean = 0.0;
+  double solver_race_evals_saved_per_cycle_mean = 0.0;
+  double solver_starts_pruned_per_cycle_mean = 0.0;
 };
 
 TrialAggregate RunTrials(const ExperimentSetup& setup, const PreparedWorkload& workload,
@@ -145,11 +187,26 @@ TrialAggregate RunTrials(const ExperimentSetup& setup, const PreparedWorkload& w
 // pool (the Table-7 / Fig. 10-13 shape) and returns one aggregate per policy,
 // in `policy_names` order. Equivalent to -- and bit-identical with -- calling
 // RunTrials once per name serially; an empty name list means AllPolicyNames().
+// With `setup.race.enabled` (and at least two policies) the sweep is raced
+// via RacePolicies instead; `race_report` (optional) receives the outcome
+// either way (`raced = false` for a full run).
 std::vector<TrialAggregate> RunAllPolicies(const ExperimentSetup& setup,
                                            const PreparedWorkload& workload,
                                            std::shared_ptr<NHitsWorkloadPredictor> predictor,
                                            const std::vector<std::string>& policy_names = {},
-                                           const FaroConfig* faro_overrides = nullptr);
+                                           const FaroConfig* faro_overrides = nullptr,
+                                           RaceReport* race_report = nullptr);
+
+// Trial racing entry point: rounds of one trial per still-active policy arm,
+// stopping arms the incumbent has separated at `setup.race.delta` (see
+// TrialRaceConfig above). Ignores `setup.race.enabled` -- callers that want
+// the full sweep call RunAllPolicies with racing off.
+std::vector<TrialAggregate> RacePolicies(const ExperimentSetup& setup,
+                                         const PreparedWorkload& workload,
+                                         std::shared_ptr<NHitsWorkloadPredictor> predictor,
+                                         const std::vector<std::string>& policy_names = {},
+                                         const FaroConfig* faro_overrides = nullptr,
+                                         RaceReport* race_report = nullptr);
 
 }  // namespace faro
 

@@ -95,12 +95,15 @@ bool WriteSolverCsv(const std::string& path, const RunResult& result) {
   }
   const SolverTelemetry& s = result.solver;
   const double cycles = s.cycles > 0 ? static_cast<double>(s.cycles) : 1.0;
-  out << "cycles,starts_launched,starts_skipped,early_exits,warm_start_hits,"
+  out << "cycles,starts_launched,starts_cancelled,starts_deadline_skipped,"
+         "starts_pruned,race_rounds,race_evals_saved,early_exits,warm_start_hits,"
          "wins_warm_current,wins_prev_solution,wins_heuristic,wins_jitter,"
          "objective_evaluations,group_solves,solve_ms_mean,solve_ms_max,"
          "deadline_misses,fallback_warm,fallback_heuristic,forecast_fallbacks,"
          "actuation_retries,capacity_resolves\n";
-  out << s.cycles << ',' << s.starts_launched << ',' << s.starts_skipped << ','
+  out << s.cycles << ',' << s.starts_launched << ',' << s.starts_cancelled << ','
+      << s.starts_deadline_skipped << ',' << s.starts_pruned << ',' << s.race_rounds
+      << ',' << s.race_evals_saved << ','
       << s.early_exits << ',' << s.warm_start_hits << ',' << s.wins_warm_current << ','
       << s.wins_prev_solution << ',' << s.wins_heuristic << ',' << s.wins_jitter << ','
       << s.objective_evaluations << ',' << s.group_solves << ','

@@ -118,6 +118,78 @@ TEST(DeterminismTest, RunAllPoliciesMatchesPerPolicyRunTrials) {
   }
 }
 
+TEST(DeterminismTest, RacedPoliciesBitIdenticalAcrossThreads) {
+  // Trial racing draws trial k for every active arm before trial k+1 and
+  // merges lost-utility observations serially in arm order, so the raced
+  // sweep inherits the full sweep's bit-identical contract: same winner,
+  // same per-arm aggregates, same telemetry at any thread count.
+  ExperimentSetup base = SmallSetup();
+  base.race.enabled = true;
+  const PreparedWorkload workload = PrepareWorkload(base);
+  const std::vector<std::string> names = {"FairShare", "Oneshot", "AIAD"};
+  ExperimentSetup serial_setup = base;
+  serial_setup.threads = 1;
+  ExperimentSetup parallel_setup = base;
+  parallel_setup.threads = 0;  // shared pool (4 threads via FARO_THREADS)
+  RaceReport serial_report;
+  RaceReport parallel_report;
+  const std::vector<TrialAggregate> serial =
+      RunAllPolicies(serial_setup, workload, nullptr, names, nullptr, &serial_report);
+  const std::vector<TrialAggregate> parallel =
+      RunAllPolicies(parallel_setup, workload, nullptr, names, nullptr, &parallel_report);
+  ASSERT_EQ(serial.size(), names.size());
+  ASSERT_EQ(parallel.size(), names.size());
+  EXPECT_TRUE(serial_report.raced);
+  EXPECT_TRUE(parallel_report.raced);
+  EXPECT_EQ(serial_report.winner, parallel_report.winner);
+  EXPECT_EQ(serial_report.winner_policy, parallel_report.winner_policy);
+  EXPECT_EQ(serial_report.telemetry.rounds, parallel_report.telemetry.rounds);
+  EXPECT_EQ(serial_report.telemetry.arms_pruned, parallel_report.telemetry.arms_pruned);
+  EXPECT_EQ(serial_report.telemetry.evaluations_spent,
+            parallel_report.telemetry.evaluations_spent);
+  for (size_t p = 0; p < names.size(); ++p) {
+    EXPECT_EQ(serial[p].trials_run, parallel[p].trials_run) << names[p];
+    ExpectAggregatesIdentical(serial[p], parallel[p]);
+  }
+}
+
+TEST(DeterminismTest, RacedArmsAreTrialPrefixesAndWinnerMatchesFullSweep) {
+  // Every raced arm's trials are the prefix 0..n-1 of the full sweep's trial
+  // sequence (seeds depend only on the trial index), so re-running a plain
+  // sweep capped at the arm's trial count reproduces its aggregate bitwise.
+  // The race winner must also be the full sweep's argmin lost utility --
+  // racing saves trials, never changes the answer.
+  ExperimentSetup raced_setup = SmallSetup();
+  raced_setup.race.enabled = true;
+  const PreparedWorkload workload = PrepareWorkload(raced_setup);
+  const std::vector<std::string> names = {"FairShare", "Oneshot", "AIAD"};
+  RaceReport report;
+  const std::vector<TrialAggregate> raced =
+      RunAllPolicies(raced_setup, workload, nullptr, names, nullptr, &report);
+  ASSERT_TRUE(report.raced);
+  EXPECT_EQ(report.telemetry.evaluations_spent + report.telemetry.evaluations_saved,
+            static_cast<uint64_t>(names.size()) * raced_setup.trials);
+
+  ExperimentSetup full_setup = SmallSetup();
+  full_setup.threads = 1;
+  ASSERT_FALSE(full_setup.race.enabled);  // plain sweeps never race by default
+  size_t best = 0;
+  std::vector<TrialAggregate> full;
+  for (size_t p = 0; p < names.size(); ++p) {
+    full.push_back(RunTrials(full_setup, workload, names[p], nullptr));
+    if (full[p].lost_utility_mean < full[best].lost_utility_mean) {
+      best = p;
+    }
+    ExperimentSetup prefix_setup = full_setup;
+    prefix_setup.trials = raced[p].trials_run;
+    ASSERT_GE(raced[p].trials_run, raced_setup.race.min_trials) << names[p];
+    const TrialAggregate prefix = RunTrials(prefix_setup, workload, names[p], nullptr);
+    ExpectAggregatesIdentical(prefix, raced[p]);
+  }
+  EXPECT_EQ(report.winner, best);
+  EXPECT_EQ(report.winner_policy, names[best]);
+}
+
 TEST(DeterminismTest, SharedTrainedPredictorIsRaceFreeAndDeterministic) {
   // The N-HiTS predictor is shared by every concurrently running trial; its
   // forward pass mutates scratch state and is serialised by a mutex. One

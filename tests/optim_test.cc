@@ -454,7 +454,8 @@ TEST(MultiStartTest, FindsConstrainedOptimum) {
   EXPECT_NEAR(result.best.value, 2.0, 0.05);
   EXPECT_LE(result.best.max_violation, 1e-2);
   EXPECT_EQ(result.starts_total, 8u);  // 4 starts x 2 solvers
-  EXPECT_EQ(result.starts_launched + result.starts_skipped, result.starts_total);
+  EXPECT_EQ(result.starts_launched + result.starts_cancelled + result.starts_deadline_skipped,
+            result.starts_total);
   EXPECT_GT(result.evaluations, 0);
 }
 
@@ -501,7 +502,7 @@ TEST(MultiStartTest, SerialEarlyExitSkipsTailFromNearOptimalStart) {
   EXPECT_EQ(result.winner_start, 0u);
   EXPECT_FALSE(result.winner_alternate);
   EXPECT_EQ(result.starts_launched, 1u);
-  EXPECT_EQ(result.starts_skipped, result.starts_total - 1);
+  EXPECT_EQ(result.starts_cancelled, result.starts_total - 1);
 }
 
 TEST(MultiStartTest, StabilityBarBlocksEarlyExitFromFarStart) {
@@ -515,7 +516,8 @@ TEST(MultiStartTest, StabilityBarBlocksEarlyExitFromFarStart) {
   starts.push_back({{0.5, 0.5}, StartKind::kWarmCurrent});
   const MultiStartResult result = MultiStartSolve(p, starts, 3, config);
   EXPECT_FALSE(result.early_exit);
-  EXPECT_EQ(result.starts_skipped, 0u);
+  EXPECT_EQ(result.starts_cancelled, 0u);
+  EXPECT_EQ(result.starts_deadline_skipped, 0u);
   EXPECT_NEAR(result.best.value, 2.0, 0.05);
 }
 
