@@ -14,6 +14,9 @@
 //   --solver-out=PATH    solver-telemetry CSV (degradation counters included)
 //                        of the same run
 //   --faults-out=PATH    applied-fault log CSV of the same run
+//   --slo-out=PATH       SLO attribution timeline CSV (per job per window,
+//                        causal buckets + burn rates) of the same run
+//   --audit-out=PATH     decision audit JSONL of every run (via BenchObs)
 
 #include <algorithm>
 #include <cstdint>
@@ -24,6 +27,7 @@
 
 #include "bench/bench_util.h"
 #include "src/faults/faultplan.h"
+#include "src/obs/slo.h"
 #include "src/sim/harness.h"
 #include "src/sim/report.h"
 
@@ -55,7 +59,8 @@ Recovery FoldRecovery(const RunResult& result) {
 }
 
 void Run(const std::string& only_scenario, const std::string& summary_out,
-         const std::string& solver_out, const std::string& faults_out) {
+         const std::string& solver_out, const std::string& faults_out,
+         const std::string& slo_out) {
   PrintHeader("Figure 17: resilience under chaos injection, 32 replicas / 8 nodes");
 
   ExperimentSetup setup;
@@ -107,12 +112,20 @@ void Run(const std::string& only_scenario, const std::string& summary_out,
     setup.faults = plan;
 
     std::printf("\nscenario: %s\n", scenario.c_str());
-    std::printf("%-24s %-10s %-8s %-12s %-12s %-14s\n", "policy", "lost_util", "killed",
-                "cap_lost(s)", "recovery(s)", "reconverge(s)");
+    std::printf("%-24s %-10s %-8s %-12s %-12s %-12s %-7s %-7s %-7s %-7s %-6s\n", "policy",
+                "lost_util", "killed", "cap_lost(s)", "recovery(s)", "reconverge", "queue",
+                "cold", "drop", "fault", "alerts");
     for (const std::string& name : policies) {
       const TraceSession session = StartRunTraceSession(setup, scenario + "/" + name);
       FaroConfig overrides;
       overrides.trace = session;
+      // Decision audit (--audit-out / FARO_AUDIT_OUT): this bench drives
+      // RunPolicy directly, so it wires the audit sink itself, one label per
+      // scenario x policy run.
+      if (setup.obs.auditing()) {
+        overrides.audit = &GlobalAuditLog();
+        overrides.audit_label = scenario + "/" + name;
+      }
       // Arm the forecast sanity guard: off by default (it can fire on
       // legitimate early-cycle forecasts), deterministic once enabled.
       overrides.forecast_max_jump = 8.0;
@@ -123,10 +136,18 @@ void Run(const std::string& only_scenario, const std::string& summary_out,
                   result.cluster_lost_utility, static_cast<unsigned long long>(r.injected),
                   r.capacity_lost, r.recovery_s);
       if (r.reconverge_s < 0.0) {
-        std::printf("%-14s\n", "never");
+        std::printf("%-12s ", "never");
       } else {
-        std::printf("%-14.0f\n", r.reconverge_s);
+        std::printf("%-12.0f ", r.reconverge_s);
       }
+      const auto& by_cause = result.cluster_lost_by_cause;
+      std::printf("%-7.3f %-7.3f %-7.3f %-7.3f %-6llu\n",
+                  by_cause[CauseIndex(LossCause::kQueueWait)],
+                  by_cause[CauseIndex(LossCause::kColdStart)],
+                  by_cause[CauseIndex(LossCause::kDropAdmission)],
+                  by_cause[CauseIndex(LossCause::kFaultCapacity)],
+                  static_cast<unsigned long long>(result.cluster_burn_alerts_fast +
+                                                  result.cluster_burn_alerts_slow));
       if (name == "Faro-FairSum") {
         if (!summary_out.empty()) {
           WriteSummaryCsv(summary_out, result);
@@ -136,6 +157,9 @@ void Run(const std::string& only_scenario, const std::string& summary_out,
         }
         if (!faults_out.empty()) {
           WriteFaultLogCsv(faults_out, result);
+        }
+        if (!slo_out.empty()) {
+          WriteSloCsv(slo_out, result);
         }
       }
     }
@@ -147,7 +171,7 @@ void Run(const std::string& only_scenario, const std::string& summary_out,
 
 int main(int argc, char** argv) {
   faro::BenchObs obs(argc, argv);
-  std::string scenario, summary_out, solver_out, faults_out;
+  std::string scenario, summary_out, solver_out, faults_out, slo_out;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     if (std::strncmp(arg, "--scenario=", 11) == 0) {
@@ -158,8 +182,10 @@ int main(int argc, char** argv) {
       solver_out = arg + 13;
     } else if (std::strncmp(arg, "--faults-out=", 13) == 0) {
       faults_out = arg + 13;
+    } else if (std::strncmp(arg, "--slo-out=", 10) == 0) {
+      slo_out = arg + 10;
     }
   }
-  faro::Run(scenario, summary_out, solver_out, faults_out);
+  faro::Run(scenario, summary_out, solver_out, faults_out, slo_out);
   return 0;
 }

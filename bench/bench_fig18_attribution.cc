@@ -1,0 +1,157 @@
+// Figure 18 (extension): causal attribution of lost utility. Runs
+// Faro-FairSum under a fault-free baseline and the four named chaos
+// scenarios (src/faults/faultplan.h) and prints, per scenario, the full
+// per-cause decomposition of the cluster's lost utility (src/obs/
+// attribution.h) next to the SLO error-budget ledger (budget consumed,
+// fast/slow burn-rate alert onsets, first alert time).
+//
+// The decomposition is additive by construction: within every metrics
+// window the seven buckets sum bit-exactly to that window's lost utility,
+// so the per-cause columns below sum to the lost-utility column up to
+// run-level averaging. The table answers "where did the utility go" --
+// queue wait vs cold starts vs drops vs fault-induced capacity loss vs
+// actuation faults vs degraded autoscaler decisions.
+//
+// Flags (besides the BenchObs set: --metrics-out/--trace-out/--audit-out/
+// --bench-json):
+//   --scenario=NAME   run one scenario (or "none") instead of all five
+//   --slo-out=PATH    SLO attribution timeline CSV of the last run
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/faults/faultplan.h"
+#include "src/obs/slo.h"
+#include "src/sim/harness.h"
+#include "src/sim/report.h"
+
+namespace faro {
+namespace {
+
+void Run(BenchJson& json, const std::string& only_scenario, const std::string& slo_out) {
+  PrintHeader("Figure 18: causal attribution of lost utility under chaos");
+
+  ExperimentSetup setup;
+  setup.capacity = 32.0;
+  // Same node model as the Fig. 17 chaos bench: 8 four-replica nodes, so the
+  // node scenarios have real capacity to take away.
+  const size_t kNodes = 8;
+  std::vector<std::string> node_names;
+  for (size_t n = 0; n < kNodes; ++n) {
+    const std::string name = "node" + std::to_string(n);
+    node_names.push_back(name);
+    setup.nodes.push_back(Node{name, setup.capacity / kNodes, setup.capacity / kNodes});
+  }
+  PreparedWorkload workload = PrepareWorkload(setup);
+  const auto predictor = TrainPredictor(workload, setup.seed);
+  if (FastBench()) {
+    constexpr size_t kFastMinutes = 240;
+    for (SimJobConfig& job : workload.jobs) {
+      if (job.arrival_rate_per_min.size() > kFastMinutes) {
+        job.arrival_rate_per_min = job.arrival_rate_per_min.Slice(0, kFastMinutes);
+      }
+    }
+  }
+  const double duration_s = 60.0 * static_cast<double>(
+      workload.jobs.empty() ? 0 : workload.jobs[0].arrival_rate_per_min.size());
+
+  // "none" = fault-free baseline: every fault-linked bucket must be zero, so
+  // the row doubles as a self-check of the attribution plumbing.
+  std::vector<std::string> scenarios{"none"};
+  for (const std::string& name : FaultScenarioNames()) {
+    scenarios.push_back(name);
+  }
+  if (!only_scenario.empty()) {
+    scenarios.assign(1, only_scenario);
+  } else if (FastBench()) {
+    scenarios.resize(2);  // "none" + the first chaos scenario
+  }
+
+  std::printf("%-14s %-9s", "scenario", "lost");
+  for (size_t c = 0; c < kNumLossCauses; ++c) {
+    std::printf(" %-9.9s", LossCauseName(c));
+  }
+  std::printf(" %-8s %-8s %-10s\n", "budget", "alerts", "first(s)");
+
+  for (const std::string& scenario : scenarios) {
+    setup.faults = scenario == "none" ? FaultPlan{}
+                                      : MakeFaultScenario(scenario, duration_s, node_names);
+    if (scenario != "none" && !setup.faults.active()) {
+      std::printf("unknown scenario \"%s\" (known: none", scenario.c_str());
+      for (const std::string& name : FaultScenarioNames()) {
+        std::printf(" %s", name.c_str());
+      }
+      std::printf(")\n");
+      return;
+    }
+
+    const TraceSession session = StartRunTraceSession(setup, scenario);
+    FaroConfig overrides;
+    overrides.trace = session;
+    overrides.forecast_max_jump = 8.0;
+    if (setup.obs.auditing()) {
+      overrides.audit = &GlobalAuditLog();
+      overrides.audit_label = scenario;
+    }
+    auto policy = MakePolicy("Faro-FairSum", predictor, &overrides);
+    const RunResult result = RunPolicy(setup, workload, *policy, 5150, session);
+
+    double budget_consumed = 0.0;
+    double first_alert = -1.0;
+    for (const JobRunStats& job : result.jobs) {
+      budget_consumed += job.error_budget_consumed;
+      if (job.first_burn_alert_s >= 0.0 &&
+          (first_alert < 0.0 || job.first_burn_alert_s < first_alert)) {
+        first_alert = job.first_burn_alert_s;
+      }
+    }
+    const unsigned long long alerts = static_cast<unsigned long long>(
+        result.cluster_burn_alerts_fast + result.cluster_burn_alerts_slow);
+
+    std::printf("%-14s %-9.3f", scenario.c_str(), result.cluster_lost_utility);
+    for (size_t c = 0; c < kNumLossCauses; ++c) {
+      std::printf(" %-9.3f", result.cluster_lost_by_cause[c]);
+    }
+    std::printf(" %-8.0f %-8llu ", budget_consumed, alerts);
+    if (first_alert < 0.0) {
+      std::printf("%-10s\n", "never");
+    } else {
+      std::printf("%-10.0f\n", first_alert);
+    }
+
+    std::string prefix = "attr_";
+    for (const char ch : scenario) {
+      prefix.push_back(ch == '-' ? '_' : ch);
+    }
+    json.Set(prefix + "_lost_utility", result.cluster_lost_utility);
+    for (size_t c = 0; c < kNumLossCauses; ++c) {
+      json.Set(prefix + "_" + LossCauseName(c), result.cluster_lost_by_cause[c]);
+    }
+    json.Set(prefix + "_burn_alerts", static_cast<double>(alerts));
+
+    if (!slo_out.empty()) {
+      WriteSloCsv(slo_out, result);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace faro
+
+int main(int argc, char** argv) {
+  faro::BenchObs obs(argc, argv);
+  std::string scenario, slo_out;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--scenario=", 11) == 0) {
+      scenario = arg + 11;
+    } else if (std::strncmp(arg, "--slo-out=", 10) == 0) {
+      slo_out = arg + 10;
+    }
+  }
+  faro::Run(obs.json(), scenario, slo_out);
+  return 0;
+}

@@ -49,8 +49,9 @@ void RunScale(BenchJson& json, size_t num_jobs, double capacity, bool noisy,
 
   std::printf("\n-- %zu jobs, %.0f replicas (%s mode) --\n", num_jobs, capacity,
               noisy ? "cluster" : "simulation");
-  std::printf("%-24s %-22s %-24s %-14s %-12s\n", "policy", "lost utility (SD)",
-              "SLO violation rate (SD)", "solve ms/cyc", "evals/cyc");
+  std::printf("%-24s %-22s %-24s %-14s %-12s %-7s %-7s %-7s\n", "policy",
+              "lost utility (SD)", "SLO violation rate (SD)", "solve ms/cyc", "evals/cyc",
+              "queue", "cold", "drop");
   const std::vector<std::string> names = {"FairShare", "Oneshot", "AIAD",
                                           "MArk/Cocktail/Barista", "Faro-FairSum"};
   // Full sweep by default; with --race / FARO_RACE the policies race each
@@ -59,14 +60,26 @@ void RunScale(BenchJson& json, size_t num_jobs, double capacity, bool noisy,
   const std::vector<TrialAggregate> aggregates =
       RunAllPolicies(setup, workload, predictor, names, nullptr, &report);
   for (const TrialAggregate& agg : aggregates) {
-    std::printf("%-24s %6.2f (%.2f)         %6.3f (%.3f)          %9.2f      %9.0f\n",
-                agg.policy.c_str(), agg.lost_utility_mean, agg.lost_utility_sd,
-                agg.violation_rate_mean, agg.violation_rate_sd,
-                agg.solve_ms_per_cycle_mean, agg.solver_evals_per_cycle_mean);
+    std::printf(
+        "%-24s %6.2f (%.2f)         %6.3f (%.3f)          %9.2f      %9.0f    %-7.2f %-7.2f "
+        "%-7.2f\n",
+        agg.policy.c_str(), agg.lost_utility_mean, agg.lost_utility_sd,
+        agg.violation_rate_mean, agg.violation_rate_sd, agg.solve_ms_per_cycle_mean,
+        agg.solver_evals_per_cycle_mean,
+        agg.lost_by_cause_mean[CauseIndex(LossCause::kQueueWait)],
+        agg.lost_by_cause_mean[CauseIndex(LossCause::kColdStart)],
+        agg.lost_by_cause_mean[CauseIndex(LossCause::kDropAdmission)]);
     const std::string prefix =
         "scale" + std::to_string(num_jobs) + "_" + PolicySlug(agg.policy.c_str());
     json.Set(prefix + "_lost_utility", agg.lost_utility_mean);
     json.Set(prefix + "_violation_rate", agg.violation_rate_mean);
+    // Causal decomposition of the lost utility (enum order; sums to the lost
+    // utility up to trial averaging) plus the SLO burn-alert totals.
+    for (size_t c = 0; c < kNumLossCauses; ++c) {
+      json.Set(prefix + "_attr_" + LossCauseName(c), agg.lost_by_cause_mean[c]);
+    }
+    json.Set(prefix + "_burn_alerts_fast", agg.burn_alerts_fast_mean);
+    json.Set(prefix + "_burn_alerts_slow", agg.burn_alerts_slow_mean);
   }
   if (report.raced) {
     const std::string prefix = "scale" + std::to_string(num_jobs) + "_race";

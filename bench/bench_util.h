@@ -98,7 +98,8 @@ class BenchJson {
 };
 
 // Observability wiring for bench mains. Construct first thing in main():
-// parses --metrics-out=PATH / --trace-out=PATH / --bench-json[=PATH]
+// parses --metrics-out=PATH / --trace-out=PATH / --audit-out=PATH /
+// --bench-json[=PATH]
 // (stripping them from argv so downstream flag parsers such as
 // google-benchmark's never see them), layers them over the FARO_METRICS_OUT /
 // FARO_TRACE_OUT / FARO_BENCH_JSON environment defaults, and installs the
@@ -130,6 +131,8 @@ class BenchObs {
         config.metrics_out = arg + 14;
       } else if (std::strncmp(arg, "--trace-out=", 12) == 0) {
         config.trace_out = arg + 12;
+      } else if (std::strncmp(arg, "--audit-out=", 12) == 0) {
+        config.audit_out = arg + 12;
       } else if (std::strcmp(arg, "--bench-json") == 0) {
         json_path = "BENCH_" + name + ".json";
       } else if (std::strncmp(arg, "--bench-json=", 13) == 0) {

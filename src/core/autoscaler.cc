@@ -10,6 +10,7 @@
 
 #include "src/common/parallel.h"
 #include "src/obs/metrics.h"
+#include "src/obs/slo.h"
 #include "src/optim/cobyla.h"
 #include "src/optim/multistart.h"
 
@@ -933,6 +934,52 @@ ScalingAction FaroAutoscaler::Decide(double now_s, const std::vector<JobSpec>& j
   EvaluationsCounter().Add(telemetry_.objective_evaluations - before.objective_evaluations);
   StartsCounter().Add(telemetry_.starts_launched - before.starts_launched);
   SolveSecondsHistogram().Record(solve_seconds);
+  if (config_.audit != nullptr) {
+    // Per-cycle decision audit record. Deterministic fields only: wall-clock
+    // solve time is deliberately excluded so the JSONL is byte-identical at
+    // any thread count.
+    DecisionAuditRecord record;
+    record.label = config_.audit_label;
+    record.time_s = now_s;
+    record.cycle = decision_cycles_;
+    record.num_jobs = job_specs.size();
+    for (const std::vector<double>& load : loads) {
+      double peak = 0.0;
+      double sum = 0.0;
+      for (const double v : load) {
+        peak = std::max(peak, v);
+        sum += v;
+      }
+      record.forecast_peak_total += peak;
+      record.forecast_mean_total += load.empty() ? 0.0 : sum / static_cast<double>(load.size());
+    }
+    // Degradation-ladder rung taken this cycle, from the telemetry deltas.
+    if (telemetry_.fallback_heuristic > before.fallback_heuristic) {
+      record.rung = "heuristic";
+    } else if (telemetry_.fallback_warm > before.fallback_warm) {
+      record.rung = "warm_rescale";
+    } else {
+      record.rung = "solve";
+    }
+    record.hierarchical = config_.hierarchical_groups > 1 &&
+                          job_specs.size() > config_.hierarchical_groups &&
+                          job_specs.size() > config_.hierarchical_threshold;
+    record.forecast_fallback = telemetry_.forecast_fallbacks > before.forecast_fallbacks;
+    record.starts = telemetry_.starts_launched - before.starts_launched;
+    record.evaluations = telemetry_.objective_evaluations - before.objective_evaluations;
+    record.deadline_misses = telemetry_.deadline_misses - before.deadline_misses;
+    for (const uint32_t r : action.replicas) {
+      record.replicas_total += static_cast<double>(r);
+    }
+    if (!action.drop_rates.empty()) {
+      double drop_sum = 0.0;
+      for (const double d : action.drop_rates) {
+        drop_sum += d;
+      }
+      record.drop_rate_mean = drop_sum / static_cast<double>(action.drop_rates.size());
+    }
+    config_.audit->Append(std::move(record));
+  }
   return action;
 }
 

@@ -23,6 +23,7 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
+#include <string>
 
 #include "src/common/rng.h"
 #include "src/core/objectives.h"
@@ -31,6 +32,8 @@
 #include "src/obs/trace.h"
 
 namespace faro {
+
+class AuditLog;  // src/obs/slo.h -- decision audit sink (pointer-only here).
 
 struct FaroConfig {
   ObjectiveKind objective = ObjectiveKind::kFairSum;
@@ -183,6 +186,12 @@ struct FaroConfig {
   // multi-start driver) are recorded into this session when set. Measurement
   // only -- decisions are bit-identical with tracing on or off.
   TraceSession trace;
+  // Decision audit log (src/obs/slo.h): when set, every Decide() appends one
+  // DecisionAuditRecord (forecast totals, ladder rung, per-cycle telemetry
+  // deltas) under `audit_label`. Deterministic fields only, and recording
+  // never perturbs the decision.
+  AuditLog* audit = nullptr;
+  std::string audit_label;
 };
 
 // Empty string when `config` is well formed; otherwise a description of the

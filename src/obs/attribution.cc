@@ -1,0 +1,58 @@
+#include "src/obs/attribution.h"
+
+namespace faro {
+
+const char* LossCauseName(size_t index) {
+  static const char* const kNames[kNumLossCauses] = {
+      "queue_wait",     "cold_start", "drop_admission", "fault_capacity",
+      "actuation",      "ladder_fallback", "unattributed",
+  };
+  return index < kNumLossCauses ? kNames[index] : "invalid";
+}
+
+std::array<double, kNumLossCauses> AttributeLostUtility(
+    double lost, const AttributionInputs& in) {
+  std::array<double, kNumLossCauses> out{};
+  if (!(lost > 0.0)) {
+    return out;
+  }
+  // Dimensionless, non-negative evidence weights, one per attributable cause
+  // (enum order). Normalisers guard against empty windows and zero SLOs.
+  double w[kNumLossCauses - 1] = {};
+  if (in.arrivals > 0.0 && in.slo_s > 0.0) {
+    w[static_cast<size_t>(LossCause::kQueueWait)] =
+        in.wait_seconds / (in.arrivals * in.slo_s);
+  }
+  if (in.window_s > 0.0) {
+    w[static_cast<size_t>(LossCause::kColdStart)] =
+        in.cold_start_seconds / in.window_s;
+    w[static_cast<size_t>(LossCause::kFaultCapacity)] =
+        in.fault_deficit_seconds / in.window_s;
+  }
+  if (in.arrivals > 0.0) {
+    w[static_cast<size_t>(LossCause::kDropAdmission)] = in.drops / in.arrivals;
+  }
+  w[static_cast<size_t>(LossCause::kActuation)] = in.actuation_units;
+  w[static_cast<size_t>(LossCause::kLadderFallback)] = in.ladder_units;
+
+  double total = 0.0;
+  for (size_t i = 0; i + 1 < kNumLossCauses; ++i) {
+    total += w[i];
+  }
+  const size_t unattributed = static_cast<size_t>(LossCause::kUnattributed);
+  if (!(total > 0.0)) {
+    out[unattributed] = lost;
+    return out;
+  }
+  // Proportional split. The shares sum to `lost` up to a few ulp, so the
+  // Sterbenz residual below closes the sum bit-exactly (see header).
+  double attributed = 0.0;
+  for (size_t i = 0; i + 1 < kNumLossCauses; ++i) {
+    out[i] = lost * (w[i] / total);
+    attributed += out[i];
+  }
+  out[unattributed] = lost - attributed;
+  return out;
+}
+
+}  // namespace faro

@@ -1,0 +1,84 @@
+// Causal attribution of lost utility: decomposes each metrics window's lost
+// utility (1 - utility, clamped at 0) into additive cause buckets so a run
+// can report not just *that* a job missed its SLO but *why*.
+//
+// Buckets (enum order is the canonical summation order everywhere):
+//   queue-wait        requests waited in the router queue before service
+//   cold-start        replica provisioning delay (incl. fault stragglers)
+//   drop/admission    requests tail-dropped at the router queue limit
+//   fault-capacity    replica-seconds lost to injected faults
+//   actuation         scale-up replicas denied/deferred by actuation faults
+//   ladder-fallback   degraded autoscaler decisions (warm rescale, capacity
+//                     heuristic, forecast sanity fallback)
+//   unattributed      residual (loss with no recorded evidence, plus the
+//                     floating-point closure term; see below)
+//
+// Attribution model: each window accumulates non-negative *evidence weights*
+// per cause (normalised counters: wait mass per SLO-second of arrivals, drop
+// fraction, cold-start / fault seconds per window second, denied-replica and
+// degraded-decision counts). The window's lost utility is split across the
+// six causes in proportion to their weights; with no evidence at all the
+// whole loss is unattributed.
+//
+// Bit-exactness invariant: the *left-to-right* sum of the returned array is
+// bit-identical to `lost`. The six proportional shares mathematically sum to
+// `lost`, so their floating-point sum S6 lies within a few ulp of it -- in
+// particular within [lost/2, 2*lost] -- and by Sterbenz's lemma `lost - S6`
+// is then computed exactly. Storing that difference as the unattributed
+// residual makes S6 + (lost - S6) reconstruct `lost` with no rounding.
+// Consumers (tests, CI scripts, `awk`/Python `sum()`) must therefore sum in
+// enum order; the residual can be a negative value of ulp magnitude when S6
+// rounded up.
+
+#ifndef SRC_OBS_ATTRIBUTION_H_
+#define SRC_OBS_ATTRIBUTION_H_
+
+#include <array>
+#include <cstddef>
+
+namespace faro {
+
+enum class LossCause : int {
+  kQueueWait = 0,
+  kColdStart = 1,
+  kDropAdmission = 2,
+  kFaultCapacity = 3,
+  kActuation = 4,
+  kLadderFallback = 5,
+  kUnattributed = 6,
+};
+
+inline constexpr size_t kNumLossCauses = 7;
+
+// Array index for a cause (the enum is scoped, so arrays need the cast).
+inline constexpr size_t CauseIndex(LossCause cause) { return static_cast<size_t>(cause); }
+
+// Stable snake_case identifier, usable in metric names and CSV headers.
+const char* LossCauseName(size_t index);
+inline const char* LossCauseName(LossCause cause) {
+  return LossCauseName(static_cast<size_t>(cause));
+}
+
+// Per-window evidence accumulated by the engines between window closes.
+struct AttributionInputs {
+  double arrivals = 0.0;               // requests that arrived this window
+  double drops = 0.0;                  // requests tail-dropped this window
+  double wait_seconds = 0.0;           // summed queue wait of served requests
+  double cold_start_seconds = 0.0;     // provisioning delay incurred
+  double fault_deficit_seconds = 0.0;  // replica-seconds lost to faults
+  double actuation_units = 0.0;        // replicas denied/deferred by actuation
+  double ladder_units = 0.0;           // degraded decision cycles
+  double window_s = 60.0;              // metrics window length
+  double slo_s = 1.0;                  // the job's latency SLO
+};
+
+// Splits `lost` (the window's lost utility, >= 0) across the seven buckets in
+// proportion to the evidence weights. Guarantees the left-to-right sum of the
+// result is bit-identical to `lost` (see file header). `lost <= 0` returns
+// all zeros.
+std::array<double, kNumLossCauses> AttributeLostUtility(
+    double lost, const AttributionInputs& inputs);
+
+}  // namespace faro
+
+#endif  // SRC_OBS_ATTRIBUTION_H_

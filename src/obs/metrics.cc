@@ -231,9 +231,17 @@ double Histogram::Quantile(double q) const {
         return 0.5 * BucketUpperBound(0);
       }
       if (b == kBucketCount - 1) {
-        return BucketLowerBound(b);  // overflow: no finite midpoint
+        return BucketLowerBound(b);  // overflow: no finite upper bound
       }
-      return 0.5 * (BucketLowerBound(b) + BucketUpperBound(b));
+      // Linear interpolation within the bucket: place the rank-th sample at
+      // the centre of its 1/n slot assuming the bucket's samples are evenly
+      // spread, so a single-sample bucket still lands on the midpoint. Depends
+      // only on the merged counts, keeping the shard-merge equality exact.
+      const uint64_t before = cumulative - merged[b];
+      const double position =
+          (static_cast<double>(rank - before) - 0.5) / static_cast<double>(merged[b]);
+      const double lower = BucketLowerBound(b);
+      return lower + position * (BucketUpperBound(b) - lower);
     }
   }
   return BucketLowerBound(kBucketCount - 1);

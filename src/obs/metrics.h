@@ -15,10 +15,10 @@
 //     octave (HdrHistogram-style), so bucketing is bit twiddling on the
 //     double's exponent/mantissa -- no std::log on the record path -- and
 //     every bucket's relative width is at most 1/2^kSubBucketBits (12.5%).
-//     Quantile(q) returns the midpoint of the bucket holding the nearest-rank
-//     sample, so it matches the exact sorted percentile within half a bucket
-//     width (tests/obs_metrics_test.cc validates p50/p99/p999 against exact
-//     sorted percentiles);
+//     Quantile(q) linearly interpolates the nearest-rank sample's position
+//     within its bucket, so it matches the exact sorted percentile within a
+//     bucket width (tests/obs_metrics_test.cc validates p50/p99/p999 against
+//     exact sorted percentiles);
 //   - MetricsRegistry::Global() is a leaked singleton: cells stay valid for
 //     late-exiting threads (pool workers joined during static destruction)
 //     and for atexit dumpers, the same lifetime rule the queueing cache's
@@ -135,11 +135,13 @@ class Histogram {
     std::atomic<uint64_t> count{0};
     std::atomic<double> sum{0.0};
 
+    // Relaxed fetch_add (C++20 supports it for atomic<double> too): cells are
+    // normally thread-exclusive like Counter's, but an update can never be
+    // lost even if a caller shares a histogram reference across threads.
     void Record(double v) {
-      auto& slot = buckets[BucketIndex(v)];
-      slot.store(slot.load(std::memory_order_relaxed) + 1, std::memory_order_relaxed);
-      count.store(count.load(std::memory_order_relaxed) + 1, std::memory_order_relaxed);
-      sum.store(sum.load(std::memory_order_relaxed) + v, std::memory_order_relaxed);
+      buckets[BucketIndex(v)].fetch_add(1, std::memory_order_relaxed);
+      count.fetch_add(1, std::memory_order_relaxed);
+      sum.fetch_add(v, std::memory_order_relaxed);
     }
   };
 
@@ -160,8 +162,10 @@ class Histogram {
   double Sum() const;
   // Per-bucket counts merged over every thread's cell.
   std::vector<uint64_t> MergedBuckets() const;
-  // Nearest-rank quantile over the merged buckets: the midpoint of the bucket
-  // holding sample number max(1, ceil(q * count)). 0 when empty.
+  // Nearest-rank quantile over the merged buckets: linearly interpolates the
+  // position of sample number max(1, ceil(q * count)) within its bucket
+  // (a pure function of the merged bucket counts, so shard-merge invariant).
+  // 0 when empty.
   double Quantile(double q) const;
 
   void Reset();

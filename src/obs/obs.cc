@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <mutex>
 
+#include "src/obs/slo.h"
+
 namespace faro {
 namespace {
 
@@ -17,6 +19,9 @@ ObsConfig& MutableDefault() {
     }
     if (const char* env = std::getenv("FARO_TRACE_OUT")) {
       c->trace_out = env;
+    }
+    if (const char* env = std::getenv("FARO_AUDIT_OUT")) {
+      c->audit_out = env;
     }
     if (const char* env = std::getenv("FARO_TRACE_MAX_EVENTS")) {
       const long long parsed = std::atoll(env);
@@ -80,6 +85,17 @@ bool WriteObsOutputs(const ObsConfig& config) {
     } else {
       std::fprintf(stderr, "[faro-obs] FAILED to write trace to %s\n",
                    config.trace_out.c_str());
+      ok = false;
+    }
+  }
+  if (!config.audit_out.empty()) {
+    const AuditLog& audit = GlobalAuditLog();
+    if (audit.WriteJsonl(config.audit_out)) {
+      std::fprintf(stderr, "[faro-obs] wrote decision audit to %s (%zu records)\n",
+                   config.audit_out.c_str(), audit.size());
+    } else {
+      std::fprintf(stderr, "[faro-obs] FAILED to write decision audit to %s\n",
+                   config.audit_out.c_str());
       ok = false;
     }
   }

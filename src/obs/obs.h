@@ -5,7 +5,7 @@
 // predictable branch per site. Benches install a process-wide default from
 // `--metrics-out` / `--trace-out` flags (bench/bench_util.h) before building
 // their setups, and the same flags are honoured as FARO_METRICS_OUT /
-// FARO_TRACE_OUT environment variables.
+// FARO_TRACE_OUT / FARO_AUDIT_OUT environment variables.
 
 #ifndef SRC_OBS_OBS_H_
 #define SRC_OBS_OBS_H_
@@ -41,7 +41,14 @@ struct ObsConfig {
   // created global one (and independent of trace_out).
   Tracer* tracer = nullptr;
 
+  // Decision audit JSONL sink (src/obs/slo.h); empty = no audit sink. Like
+  // trace_out, only trial `trace_trial` of each policy run is audited, so the
+  // log stays deterministic under parallel trial fan-out. Also settable via
+  // FARO_AUDIT_OUT.
+  std::string audit_out;
+
   bool tracing() const { return tracer != nullptr || !trace_out.empty(); }
+  bool auditing() const { return !audit_out.empty(); }
   bool metrics_enabled() const { return metrics || !metrics_out.empty(); }
   // The tracer sessions should record into: the override if set, else the
   // process-global tracer. nullptr when tracing is off.

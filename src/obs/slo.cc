@@ -1,0 +1,178 @@
+#include "src/obs/slo.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace faro {
+namespace {
+
+// Shortest decimal form that round-trips the double (same policy as the
+// metrics exposition, local copy because that helper is file-internal).
+std::string AuditFormatDouble(double v) {
+  char buf[64];
+  for (int precision = 15; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
+    double parsed = 0.0;
+    std::sscanf(buf, "%lf", &parsed);
+    if (parsed == v) {
+      break;
+    }
+  }
+  return buf;
+}
+
+std::string AuditJsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+SloLedger::Observation SloLedger::Observe(double end_s, double arrivals,
+                                          double violations) {
+  total_arrivals_ += arrivals;
+  total_violations_ += violations;
+  samples_.push_back(Sample{end_s, arrivals, violations});
+  // Trim everything whose window ended at or before the slow-window horizon.
+  const double horizon = end_s - config_.slow_window_s;
+  while (!samples_.empty() && samples_.front().end_s <= horizon) {
+    samples_.pop_front();
+  }
+
+  Observation obs;
+  obs.burn_fast = TrailingBurn(end_s, config_.fast_window_s);
+  obs.burn_slow = TrailingBurn(end_s, config_.slow_window_s);
+  obs.alert_fast = obs.burn_fast >= config_.fast_threshold;
+  obs.alert_slow = obs.burn_slow >= config_.slow_threshold;
+  max_burn_fast_ = std::max(max_burn_fast_, obs.burn_fast);
+  max_burn_slow_ = std::max(max_burn_slow_, obs.burn_slow);
+  // Count alert onsets (below -> at-or-above transitions), not firing windows.
+  if (obs.alert_fast && !fast_firing_) {
+    ++alerts_fast_;
+    if (first_alert_s_ < 0.0) first_alert_s_ = end_s;
+  }
+  if (obs.alert_slow && !slow_firing_) {
+    ++alerts_slow_;
+    if (first_alert_s_ < 0.0) first_alert_s_ = end_s;
+  }
+  fast_firing_ = obs.alert_fast;
+  slow_firing_ = obs.alert_slow;
+  return obs;
+}
+
+double SloLedger::TrailingBurn(double now_s, double window_s) const {
+  const double horizon = now_s - window_s;
+  double arrivals = 0.0;
+  double violations = 0.0;
+  // Front-to-back scan: the deque holds at most slow_window_s / window-length
+  // entries (360 for 6 h of one-minute windows), and the fixed order keeps
+  // the floating-point sums deterministic.
+  for (const Sample& s : samples_) {
+    if (s.end_s <= horizon) continue;
+    arrivals += s.arrivals;
+    violations += s.violations;
+  }
+  const double budget = config_.allowance * arrivals;
+  if (!(budget > 0.0)) {
+    return 0.0;
+  }
+  return violations / budget;
+}
+
+double SloLedger::budget_remaining_frac() const {
+  const double allowed = budget_allowed();
+  if (!(allowed > 0.0)) {
+    return 1.0;
+  }
+  return 1.0 - total_violations_ / allowed;
+}
+
+void AuditLog::Append(DecisionAuditRecord record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  records_.push_back(std::move(record));
+}
+
+size_t AuditLog::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_.size();
+}
+
+void AuditLog::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  records_.clear();
+}
+
+std::string AuditLog::ToJsonl() const {
+  std::vector<DecisionAuditRecord> snapshot;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    snapshot = records_;
+  }
+  std::stable_sort(snapshot.begin(), snapshot.end(),
+                   [](const DecisionAuditRecord& a, const DecisionAuditRecord& b) {
+                     if (a.label != b.label) return a.label < b.label;
+                     return a.cycle < b.cycle;
+                   });
+  std::ostringstream out;
+  for (const DecisionAuditRecord& r : snapshot) {
+    out << "{\"label\":\"" << AuditJsonEscape(r.label) << "\""
+        << ",\"time_s\":" << AuditFormatDouble(r.time_s)
+        << ",\"cycle\":" << r.cycle
+        << ",\"num_jobs\":" << r.num_jobs
+        << ",\"forecast_peak_total\":" << AuditFormatDouble(r.forecast_peak_total)
+        << ",\"forecast_mean_total\":" << AuditFormatDouble(r.forecast_mean_total)
+        << ",\"rung\":\"" << AuditJsonEscape(r.rung) << "\""
+        << ",\"hierarchical\":" << (r.hierarchical ? "true" : "false")
+        << ",\"forecast_fallback\":" << (r.forecast_fallback ? "true" : "false")
+        << ",\"starts\":" << r.starts
+        << ",\"evaluations\":" << r.evaluations
+        << ",\"deadline_misses\":" << r.deadline_misses
+        << ",\"replicas_total\":" << AuditFormatDouble(r.replicas_total)
+        << ",\"drop_rate_mean\":" << AuditFormatDouble(r.drop_rate_mean)
+        << "}\n";
+  }
+  return out.str();
+}
+
+bool AuditLog::WriteJsonl(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    return false;
+  }
+  out << ToJsonl();
+  return static_cast<bool>(out);
+}
+
+AuditLog& GlobalAuditLog() {
+  static AuditLog* log = new AuditLog();
+  return *log;
+}
+
+}  // namespace faro

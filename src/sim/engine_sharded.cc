@@ -140,6 +140,7 @@ class ShardedSimulation {
       ++js.busy;
       const double service = ServiceTime(job);
       js.window_processing.Add(service);
+      js.attr_wait_s += now - arrival_time;
       PushJob(job, now + service, EventKind::kCompletion, arrival_time);
     }
   }
@@ -217,6 +218,7 @@ class ShardedSimulation {
     for (uint32_t k = 0; k < add; ++k) {
       ++state_[job].starting;
       const double delay = injector_.StretchColdStart(ColdStart(job));
+      state_[job].attr_cold_s += delay;
       PushJob(job, now + delay, EventKind::kReplicaReady);
     }
   }
@@ -303,7 +305,20 @@ class ShardedSimulation {
       }
       const double deficit = static_cast<double>(js.recover_target - live);
       js.capacity_seconds_lost += deficit * config_.reactive_interval_s;
+      js.attr_fault_s += deficit * config_.reactive_interval_s;
       js.recovery_seconds += config_.reactive_interval_s;
+    }
+  }
+
+  // Attribution: a degraded decision cycle (deadline miss, warm rescale,
+  // capacity heuristic, forecast fallback) marks every job's open window --
+  // the decision is cluster-wide. Coordinator-serial, so shard-count
+  // invariant.
+  void MarkLadderDegradations(uint64_t ladder_before) {
+    if (sim_internal::LadderDegradations(policy_.solver_telemetry()) > ladder_before) {
+      for (JobState& js : state_) {
+        js.attr_ladder_units += 1.0;
+      }
     }
   }
 
@@ -334,10 +349,12 @@ class ShardedSimulation {
         switch (injector_.DrawActuation()) {
           case ActuationOutcome::kDrop:
             injector_.Record(now_, "actuation_drop", jobs_[j].spec.name, add);
+            js.attr_act_units += static_cast<double>(add);
             add = 0;
             break;
           case ActuationOutcome::kDelay:
             injector_.Record(now_, "actuation_delay", jobs_[j].spec.name, add);
+            js.attr_act_units += static_cast<double>(add);
             deferred_.push_back(
                 {now_ + injector_.plan().actuation_delay_s, j, add});
             add = 0;
@@ -346,6 +363,7 @@ class ShardedSimulation {
             const uint32_t applied = (add + 1) / 2;
             injector_.Record(now_, "actuation_partial", jobs_[j].spec.name,
                              add - applied);
+            js.attr_act_units += static_cast<double>(add - applied);
             add = applied;
             break;
           }
@@ -428,6 +446,12 @@ RunResult ShardedSimulation::Run() {
       js.minute_arrivals.reserve(total_minutes);
       js.minute_drop_rate.reserve(total_minutes);
       js.minute_replicas.reserve(total_minutes);
+      for (auto& series : js.minute_lost_by_cause) {
+        series.reserve(total_minutes);
+      }
+      js.minute_violations.reserve(total_minutes);
+      js.minute_burn_fast.reserve(total_minutes);
+      js.minute_burn_slow.reserve(total_minutes);
     }
   }
   for (uint32_t j = 0; j < num_jobs; ++j) {
@@ -489,7 +513,7 @@ RunResult ShardedSimulation::Run() {
           [&](size_t s) {
             Shard& sh = shards_[s];
             for (const uint32_t j : sh.jobs) {
-              CloseMetricsWindowCore(state_[j], jobs_[j].spec, window_s,
+              CloseMetricsWindowCore(state_[j], jobs_[j].spec, now_, window_s,
                                      config_.history_steps,
                                      config_.record_minute_series, sh.scratch);
             }
@@ -526,16 +550,22 @@ RunResult ShardedSimulation::Run() {
           },
           shards_.size());
       const auto& metrics = CollectMetrics();
+      const uint64_t ladder_before =
+          sim_internal::LadderDegradations(policy_.solver_telemetry());
       if (auto action = policy_.FastReact(now_, specs_, metrics, config_.resources)) {
         ApplyAction(*action);
       }
+      MarkLadderDegradations(ladder_before);
       next_reactive += reactive_s;
     }
 
     if (T == next_decide) {
       const auto& metrics = CollectMetrics();
+      const uint64_t ladder_before =
+          sim_internal::LadderDegradations(policy_.solver_telemetry());
       const ScalingAction action =
           policy_.Decide(now_, specs_, metrics, config_.resources);
+      MarkLadderDegradations(ladder_before);
       ApplyAction(action);
       next_decide += decide_s > 0.0 ? decide_s : duration + 1.0;
     }
@@ -582,6 +612,11 @@ RunResult ShardedSimulation::Run() {
     utility_mean_sum += stats.avg_utility;
     violation_rate_sum += stats.slo_violation_rate;
     eu_sum += stats.avg_effective_utility;
+    for (size_t c = 0; c < kNumLossCauses; ++c) {
+      result.cluster_lost_by_cause[c] += stats.lost_by_cause[c];
+    }
+    result.cluster_burn_alerts_fast += stats.burn_alerts_fast;
+    result.cluster_burn_alerts_slow += stats.burn_alerts_slow;
   }
   const double n_jobs = static_cast<double>(num_jobs);
   result.cluster_avg_utility =

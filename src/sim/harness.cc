@@ -9,6 +9,7 @@
 #include "src/baselines/cilantro.h"
 #include "src/common/parallel.h"
 #include "src/common/stats.h"
+#include "src/obs/slo.h"
 #include "src/workload/synthetic.h"
 
 namespace faro {
@@ -220,6 +221,13 @@ RunResult RunOneTrial(const ExperimentSetup& setup, const PreparedWorkload& work
   }
   FaroConfig faro_config = faro_overrides != nullptr ? *faro_overrides : FaroConfig{};
   faro_config.trace = session;
+  // Decision audit mirrors the trace-trial rule: only the configured trial of
+  // each policy appends records, so the JSONL stays deterministic under the
+  // parallel trial fan-out (AuditLog sorts by label before writing).
+  if (setup.obs.auditing() && trial == setup.obs.trace_trial) {
+    faro_config.audit = &GlobalAuditLog();
+    faro_config.audit_label = policy_name + "/trial" + std::to_string(trial);
+  }
   auto policy = MakePolicy(policy_name, predictor, &faro_config);
   return RunPolicy(setup, workload, *policy, setup.seed + 1000 * (trial + 1), session);
 }
@@ -244,6 +252,13 @@ TrialAggregate AggregateTrials(const std::string& policy_name, size_t num_jobs,
     for (size_t i = 0; i < result.jobs.size(); ++i) {
       aggregate.per_job_lost_utility[i] += result.jobs[i].lost_utility / trials;
     }
+    for (size_t c = 0; c < kNumLossCauses; ++c) {
+      aggregate.lost_by_cause_mean[c] += result.cluster_lost_by_cause[c] / trials;
+    }
+    aggregate.burn_alerts_fast_mean +=
+        static_cast<double>(result.cluster_burn_alerts_fast) / trials;
+    aggregate.burn_alerts_slow_mean +=
+        static_cast<double>(result.cluster_burn_alerts_slow) / trials;
   }
   aggregate.lost_utility_mean = Mean(lost);
   aggregate.lost_utility_sd = StdDev(lost);

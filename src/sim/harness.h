@@ -176,6 +176,12 @@ struct TrialAggregate {
   double solver_race_rounds_per_cycle_mean = 0.0;
   double solver_race_evals_saved_per_cycle_mean = 0.0;
   double solver_starts_pruned_per_cycle_mean = 0.0;
+  // Cluster-level causal decomposition of lost utility (enum order from
+  // src/obs/attribution.h), averaged over trials; SLO burn-alert onset totals
+  // likewise.
+  std::array<double, kNumLossCauses> lost_by_cause_mean{};
+  double burn_alerts_fast_mean = 0.0;
+  double burn_alerts_slow_mean = 0.0;
 };
 
 TrialAggregate RunTrials(const ExperimentSetup& setup, const PreparedWorkload& workload,

@@ -21,8 +21,18 @@ std::string CsvEscape(const std::string& field);
 bool WriteTimelineCsv(const std::string& path, const RunResult& result);
 
 // One row per job with the run-level summary metrics (plus a final CLUSTER
-// row).
+// row). The SLO-ledger and attribution columns (error budget, burn alerts,
+// per-cause lost utility) are appended after the original columns so field
+// positions stay stable for existing consumers.
 bool WriteSummaryCsv(const std::string& path, const RunResult& result);
+
+// SLO attribution timeline: one row per job per metric window with arrivals,
+// violations, utility, lost utility, the seven causal buckets (enum order
+// from src/obs/attribution.h), and the fast/slow burn rates. Doubles are
+// printed with 17 significant digits so parsed values round-trip exactly:
+// summing the bucket columns left to right reproduces the lost_utility
+// column bit for bit. Requires SimConfig::record_minute_series.
+bool WriteSloCsv(const std::string& path, const RunResult& result);
 
 // One-row CSV of the policy's Stage-2 solver telemetry: decision cycles,
 // starts launched/skipped/won by kind, early exits, warm-start reuse,

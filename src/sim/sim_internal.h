@@ -16,6 +16,7 @@
 #define SRC_SIM_SIM_INTERNAL_H_
 
 #include <algorithm>
+#include <array>
 #include <cstdint>
 #include <deque>
 #include <limits>
@@ -29,6 +30,8 @@
 #include "src/core/penalty.h"
 #include "src/core/policy.h"
 #include "src/core/utility.h"
+#include "src/obs/attribution.h"
+#include "src/obs/slo.h"
 #include "src/sim/simulator.h"
 
 namespace faro {
@@ -88,6 +91,19 @@ struct JobState {
   double capacity_seconds_lost = 0.0;
   double recovery_seconds = 0.0;
 
+  // --- SLO ledger & causal attribution (src/obs/slo.h, attribution.h) ------
+  // Evidence weights for the open metrics window; reset on every close.
+  // All of these are shard-local JobState fields, so the sharded engine's
+  // merge barriers keep them bit-identical at any thread count for free.
+  double attr_wait_s = 0.0;        // queue wait of requests entering service
+  double attr_cold_s = 0.0;        // cold-start delay incurred by provisions
+  double attr_fault_s = 0.0;       // replica-seconds of fault-induced deficit
+  double attr_act_units = 0.0;     // replicas denied/deferred by actuation
+  double attr_ladder_units = 0.0;  // degraded autoscaler decisions
+  // Run totals of the per-window buckets (enum order; see attribution.h).
+  std::array<double, kNumLossCauses> attr_totals{};
+  SloLedger slo_ledger;
+
   // --- per-minute outputs ---------------------------------------------------
   // Running sums are always maintained; the vectors fill only when
   // SimConfig::record_minute_series is set (hyperscale runs switch them off
@@ -102,7 +118,19 @@ struct JobState {
   std::vector<double> minute_arrivals;
   std::vector<double> minute_drop_rate;
   std::vector<double> minute_replicas;
+  std::array<std::vector<double>, kNumLossCauses> minute_lost_by_cause;
+  std::vector<double> minute_violations;
+  std::vector<double> minute_burn_fast;
+  std::vector<double> minute_burn_slow;
 };
+
+// The degradation-ladder counters that mark a decision cycle as degraded for
+// attribution (actuation retries have their own bucket via ApplyAction, and
+// capacity re-solves are adaptive responses, not losses).
+inline uint64_t LadderDegradations(const SolverTelemetry& t) {
+  return t.deadline_misses + t.fallback_warm + t.fallback_heuristic +
+         t.forecast_fallbacks;
+}
 
 // Sorted-copy percentile without allocating per call: `scratch` is reused
 // across invocations by the owning engine (one per shard in sharded mode).
@@ -114,11 +142,12 @@ inline double ScratchPercentile(std::vector<double>& scratch,
 }
 
 // Closes one metrics window for one job: arrival-rate history, p99, utility,
-// effective utility, replica gauge; resets the window accumulators. Pure
-// per-job arithmetic -- no RNG -- so both engines share it bit-exactly.
+// effective utility, replica gauge, SLO-ledger fold, lost-utility attribution;
+// resets the window accumulators. Pure per-job arithmetic -- no RNG -- so
+// both engines share it bit-exactly. `end_s` is the sim time of the close.
 inline void CloseMetricsWindowCore(JobState& js, const JobSpec& spec,
-                                   double window_s, size_t history_steps,
-                                   bool record_series,
+                                   double end_s, double window_s,
+                                   size_t history_steps, bool record_series,
                                    std::vector<double>& scratch) {
   const double rate = static_cast<double>(js.window_arrivals) / window_s;  // req/s
   js.arrival_history.push_back(rate);
@@ -146,6 +175,37 @@ inline void CloseMetricsWindowCore(JobState& js, const JobSpec& spec,
   js.utility_sum += utility;
   js.eu_sum += eu;
   js.replicas_sum += replicas;
+
+  // --- SLO ledger + causal attribution. Everything below only reads the
+  // window state and writes *new* fields, so pre-existing outputs (and
+  // fault-free bit-identity across PRs) are untouched.
+  uint64_t window_violations = 0;
+  for (const double latency : js.window_latencies) {
+    if (latency > spec.slo) {
+      ++window_violations;
+    }
+  }
+  js.slo_ledger.set_allowance(1.0 - spec.percentile);
+  const SloLedger::Observation slo_obs =
+      js.slo_ledger.Observe(end_s, static_cast<double>(js.window_arrivals),
+                            static_cast<double>(window_violations));
+  const double lost = std::max(0.0, 1.0 - utility);
+  AttributionInputs attr_in;
+  attr_in.arrivals = static_cast<double>(js.window_arrivals);
+  attr_in.drops = static_cast<double>(js.window_drops);
+  attr_in.wait_seconds = js.attr_wait_s;
+  attr_in.cold_start_seconds = js.attr_cold_s;
+  attr_in.fault_deficit_seconds = js.attr_fault_s;
+  attr_in.actuation_units = js.attr_act_units;
+  attr_in.ladder_units = js.attr_ladder_units;
+  attr_in.window_s = window_s;
+  attr_in.slo_s = spec.slo;
+  const std::array<double, kNumLossCauses> buckets =
+      AttributeLostUtility(lost, attr_in);
+  for (size_t c = 0; c < kNumLossCauses; ++c) {
+    js.attr_totals[c] += buckets[c];
+  }
+
   if (record_series) {
     js.minute_p99.push_back(p99);
     js.minute_utility.push_back(utility);
@@ -153,12 +213,23 @@ inline void CloseMetricsWindowCore(JobState& js, const JobSpec& spec,
     js.minute_arrivals.push_back(static_cast<double>(js.window_arrivals));
     js.minute_drop_rate.push_back(js.last_window_drop_rate);
     js.minute_replicas.push_back(replicas);
+    for (size_t c = 0; c < kNumLossCauses; ++c) {
+      js.minute_lost_by_cause[c].push_back(buckets[c]);
+    }
+    js.minute_violations.push_back(static_cast<double>(window_violations));
+    js.minute_burn_fast.push_back(slo_obs.burn_fast);
+    js.minute_burn_slow.push_back(slo_obs.burn_slow);
   }
 
   js.window_arrivals = 0;
   js.window_drops = 0;
   js.window_latencies.clear();
   js.window_processing = RunningStats();
+  js.attr_wait_s = 0.0;
+  js.attr_cold_s = 0.0;
+  js.attr_fault_s = 0.0;
+  js.attr_act_units = 0.0;
+  js.attr_ladder_units = 0.0;
 }
 
 // Advances one job's overload/underload timers from its rolling latency
@@ -232,11 +303,34 @@ inline void FinalizeJobStats(JobState& js, const std::string& name,
   stats.injected_failures = js.injected_failures;
   stats.capacity_seconds_lost = js.capacity_seconds_lost;
   stats.recovery_seconds = js.recovery_seconds;
+  // Per-cause lost utility, averaged over windows so the causes sum to
+  // (approximately, up to summation reassociation) stats.lost_utility. The
+  // bit-exact invariant lives per window in minute_lost_by_cause.
+  {
+    const double n = js.minute_count > 0 ? static_cast<double>(js.minute_count) : 1.0;
+    for (size_t c = 0; c < kNumLossCauses; ++c) {
+      stats.lost_by_cause[c] = js.attr_totals[c] / n;
+    }
+  }
+  stats.error_budget_allowed = js.slo_ledger.budget_allowed();
+  stats.error_budget_consumed = js.slo_ledger.budget_consumed();
+  stats.error_budget_remaining_frac = js.slo_ledger.budget_remaining_frac();
+  stats.burn_alerts_fast = js.slo_ledger.alerts_fast();
+  stats.burn_alerts_slow = js.slo_ledger.alerts_slow();
+  stats.first_burn_alert_s = js.slo_ledger.first_alert_s();
+  stats.max_burn_fast = js.slo_ledger.max_burn_fast();
+  stats.max_burn_slow = js.slo_ledger.max_burn_slow();
   stats.minute_p99 = std::move(js.minute_p99);
   stats.minute_utility = std::move(js.minute_utility);
   stats.minute_arrivals = std::move(js.minute_arrivals);
   stats.minute_drop_rate = std::move(js.minute_drop_rate);
   stats.minute_replicas = std::move(js.minute_replicas);
+  for (size_t c = 0; c < kNumLossCauses; ++c) {
+    stats.minute_lost_by_cause[c] = std::move(js.minute_lost_by_cause[c]);
+  }
+  stats.minute_violations = std::move(js.minute_violations);
+  stats.minute_burn_fast = std::move(js.minute_burn_fast);
+  stats.minute_burn_slow = std::move(js.minute_burn_slow);
 
   // Utility reconvergence: time from the first fault until the per-minute
   // utility climbs back to within 0.05 of its pre-fault mean (up to five

@@ -157,6 +157,7 @@ class Simulation {
     // sequence (and hence the run) is identical either way. The straggler
     // stretch draws from the injector's own stream (and only when enabled).
     const double delay = injector_.StretchColdStart(ColdStart());
+    state_[j].attr_cold_s += delay;
     if (m_cold_start_ != nullptr) {
       m_cold_start_->Record(delay);
     }
@@ -171,6 +172,18 @@ class Simulation {
     for (uint32_t j = 0; j < jobs_.size(); ++j) {
       while (pending_placement_[j] > 0 && TryProvisionReplica(j)) {
         --pending_placement_[j];
+      }
+    }
+  }
+
+  // Attribution: a decision cycle that fell down the degradation ladder
+  // (deadline miss, warm rescale, capacity heuristic, forecast fallback)
+  // marks every job's open window -- the decision is cluster-wide, so the
+  // evidence cannot be narrowed to single jobs.
+  void MarkLadderDegradations(uint64_t ladder_before) {
+    if (sim_internal::LadderDegradations(policy_.solver_telemetry()) > ladder_before) {
+      for (JobState& js : state_) {
+        js.attr_ladder_units += 1.0;
       }
     }
   }
@@ -253,6 +266,7 @@ void Simulation::StartServiceIfPossible(uint32_t job) {
     const double service = ServiceTime(job);
     js.window_processing.Add(service);
     const double wait = now_ - arrival_time;
+    js.attr_wait_s += wait;
     if (m_queue_wait_ != nullptr) {
       m_queue_wait_->Record(wait);
     }
@@ -499,6 +513,7 @@ void Simulation::AccountFaultDeficits() {
     }
     const double deficit = static_cast<double>(js.recover_target - live);
     js.capacity_seconds_lost += deficit * config_.reactive_interval_s;
+    js.attr_fault_s += deficit * config_.reactive_interval_s;
     js.recovery_seconds += config_.reactive_interval_s;
   }
 }
@@ -546,10 +561,12 @@ void Simulation::ApplyAction(const ScalingAction& action) {
       switch (injector_.DrawActuation()) {
         case ActuationOutcome::kDrop:
           RecordFault("actuation_drop", jobs_[j].spec.name, add);
+          js.attr_act_units += static_cast<double>(add);
           add = 0;
           break;
         case ActuationOutcome::kDelay:
           RecordFault("actuation_delay", jobs_[j].spec.name, add);
+          js.attr_act_units += static_cast<double>(add);
           Push(now_ + injector_.plan().actuation_delay_s,
                EventKind::kDelayedScaleUp, j, static_cast<double>(add));
           add = 0;
@@ -557,6 +574,7 @@ void Simulation::ApplyAction(const ScalingAction& action) {
         case ActuationOutcome::kPartial: {
           const uint32_t applied = (add + 1) / 2;
           RecordFault("actuation_partial", jobs_[j].spec.name, add - applied);
+          js.attr_act_units += static_cast<double>(add - applied);
           add = applied;
           break;
         }
@@ -660,6 +678,12 @@ RunResult Simulation::Run() {
       js.minute_arrivals.reserve(total_minutes_);
       js.minute_drop_rate.reserve(total_minutes_);
       js.minute_replicas.reserve(total_minutes_);
+      for (auto& series : js.minute_lost_by_cause) {
+        series.reserve(total_minutes_);
+      }
+      js.minute_violations.reserve(total_minutes_);
+      js.minute_burn_fast.reserve(total_minutes_);
+      js.minute_burn_slow.reserve(total_minutes_);
     }
   }
   for (uint32_t j = 0; j < jobs_.size(); ++j) {
@@ -711,9 +735,12 @@ RunResult Simulation::Run() {
         RetryPendingPlacements();
         UpdateOverloadTimers();
         const auto& metrics = CollectMetrics();
+        const uint64_t ladder_before =
+            sim_internal::LadderDegradations(policy_.solver_telemetry());
         if (auto action = policy_.FastReact(now_, specs_, metrics, EffectiveResources())) {
           ApplyAction(*action);
         }
+        MarkLadderDegradations(ladder_before);
         Push(now_ + config_.reactive_interval_s, EventKind::kReactiveTick, 0);
         break;
       }
@@ -722,7 +749,10 @@ RunResult Simulation::Run() {
           trace_.SimInstant(kAutoscalerTid, "decide_tick", "sim.control", now_);
         }
         const auto& metrics = CollectMetrics();
+        const uint64_t ladder_before =
+            sim_internal::LadderDegradations(policy_.solver_telemetry());
         const ScalingAction action = policy_.Decide(now_, specs_, metrics, EffectiveResources());
+        MarkLadderDegradations(ladder_before);
         {
           ScopedWallSpan actuate(trace_, kAutoscalerTid, "actuate", "autoscaler");
           ApplyAction(action);
@@ -734,7 +764,7 @@ RunResult Simulation::Run() {
         double minute_replicas = 0.0;
         for (uint32_t j = 0; j < jobs_.size(); ++j) {
           sim_internal::CloseMetricsWindowCore(
-              state_[j], jobs_[j].spec, config_.metrics_window_s,
+              state_[j], jobs_[j].spec, now_, config_.metrics_window_s,
               config_.history_steps, config_.record_minute_series,
               scratch_latencies_);
           minute_replicas += static_cast<double>(state_[j].ready + state_[j].starting);
@@ -798,6 +828,30 @@ RunResult Simulation::Run() {
     utility_mean_sum += stats.avg_utility;
     violation_rate_sum += stats.slo_violation_rate;
     eu_sum += stats.avg_effective_utility;
+    for (size_t c = 0; c < kNumLossCauses; ++c) {
+      result.cluster_lost_by_cause[c] += stats.lost_by_cause[c];
+    }
+    result.cluster_burn_alerts_fast += stats.burn_alerts_fast;
+    result.cluster_burn_alerts_slow += stats.burn_alerts_slow;
+  }
+  if (config_.obs_metrics) {
+    MetricsRegistry& registry = MetricsRegistry::Global();
+    for (size_t c = 0; c < kNumLossCauses; ++c) {
+      Histogram& hist = registry.GetHistogram(
+          std::string("faro_attr_lost_utility_") + LossCauseName(c),
+          "Per-job run-average lost utility attributed to this cause");
+      for (const JobRunStats& stats : result.jobs) {
+        hist.Record(stats.lost_by_cause[c]);
+      }
+    }
+    registry
+        .GetCounter("faro_slo_burn_alerts_fast_total",
+                    "Fast-window (1h) error-budget burn-rate alert onsets")
+        .Add(result.cluster_burn_alerts_fast);
+    registry
+        .GetCounter("faro_slo_burn_alerts_slow_total",
+                    "Slow-window (6h) error-budget burn-rate alert onsets")
+        .Add(result.cluster_burn_alerts_slow);
   }
   const double num_jobs = static_cast<double>(jobs_.size());
   // With the minute series on, the cluster utility is averaged exactly as it

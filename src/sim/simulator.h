@@ -25,6 +25,7 @@
 #ifndef SRC_SIM_SIMULATOR_H_
 #define SRC_SIM_SIMULATOR_H_
 
+#include <array>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -32,6 +33,7 @@
 #include "src/common/series.h"
 #include "src/core/policy.h"
 #include "src/faults/faultplan.h"
+#include "src/obs/attribution.h"
 #include "src/obs/trace.h"
 #include "src/sim/event_queue.h"
 #include "src/sim/placement.h"
@@ -141,11 +143,31 @@ struct JobRunStats {
   // first returns to within 0.05 of its pre-fault mean (-1 if it never does,
   // 0 when no fault touched the job).
   double utility_reconverge_s = 0.0;
+  // --- SLO ledger & causal attribution (src/obs/) ---------------------------
+  // Per-cause lost utility, averaged over metric windows (enum order from
+  // attribution.h). Their left-to-right sum matches lost_utility up to
+  // floating-point reassociation; the bit-exact per-window invariant is
+  // carried by minute_lost_by_cause.
+  std::array<double, kNumLossCauses> lost_by_cause{};
+  double error_budget_allowed = 0.0;        // allowance x arrivals
+  double error_budget_consumed = 0.0;       // violating requests
+  double error_budget_remaining_frac = 1.0;  // negative when overspent
+  uint64_t burn_alerts_fast = 0;  // 1 h-window alert onsets (burn >= 14.4)
+  uint64_t burn_alerts_slow = 0;  // 6 h-window alert onsets (burn >= 6)
+  double first_burn_alert_s = -1.0;
+  double max_burn_fast = 0.0;
+  double max_burn_slow = 0.0;
   std::vector<double> minute_p99;
   std::vector<double> minute_utility;
   std::vector<double> minute_arrivals;   // requests per minute
   std::vector<double> minute_drop_rate;  // fraction of the minute's arrivals
   std::vector<double> minute_replicas;
+  // Per-window attribution buckets: for every window w, the left-to-right
+  // sum over causes is bit-identical to max(0, 1 - minute_utility[w]).
+  std::array<std::vector<double>, kNumLossCauses> minute_lost_by_cause;
+  std::vector<double> minute_violations;
+  std::vector<double> minute_burn_fast;
+  std::vector<double> minute_burn_slow;
 };
 
 struct RunResult {
@@ -164,6 +186,12 @@ struct RunResult {
   FaultStats faults;
   // Chronological applied-fault log for reports and determinism checks.
   std::vector<AppliedFault> fault_log;
+  // Cluster-level causal decomposition: per-cause sums of the jobs'
+  // lost_by_cause averages (comparable to cluster_lost_utility).
+  std::array<double, kNumLossCauses> cluster_lost_by_cause{};
+  // Cluster burn-alert totals across jobs.
+  uint64_t cluster_burn_alerts_fast = 0;
+  uint64_t cluster_burn_alerts_slow = 0;
   // Engine telemetry: discrete events processed (arrivals, completions,
   // replica readies, ticks) and the peak per-minute provisioned replica
   // count summed across jobs. Measurement, not simulation state.

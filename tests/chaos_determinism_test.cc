@@ -7,7 +7,10 @@
 // These tests run under TSan in CI (cmake -DFARO_SANITIZE=thread, then
 // ctest -R Determinism) to prove the combination is also race-free.
 
+#include <algorithm>
 #include <cstdlib>
+#include <fstream>
+#include <iterator>
 #include <string>
 #include <vector>
 
@@ -15,6 +18,7 @@
 
 #include "src/faults/faultplan.h"
 #include "src/sim/harness.h"
+#include "src/sim/report.h"
 
 namespace faro {
 namespace {
@@ -44,6 +48,25 @@ ExperimentSetup ChaosSetup(const std::string& scenario) {
   return setup;
 }
 
+// The SLO-attribution bit-exactness invariant (src/obs/attribution.h): in
+// every metrics window, the left-to-right (enum-order) sum of the seven cause
+// buckets reconstructs that window's lost utility exactly.
+void ExpectAttributionExact(const RunResult& result, const std::string& label) {
+  for (size_t j = 0; j < result.jobs.size(); ++j) {
+    const JobRunStats& job = result.jobs[j];
+    ASSERT_EQ(job.minute_lost_by_cause[0].size(), job.minute_utility.size())
+        << label << " job " << j;
+    for (size_t w = 0; w < job.minute_utility.size(); ++w) {
+      const double lost = std::max(0.0, 1.0 - job.minute_utility[w]);
+      double sum = 0.0;
+      for (size_t c = 0; c < kNumLossCauses; ++c) {
+        sum += job.minute_lost_by_cause[c][w];
+      }
+      ASSERT_EQ(sum, lost) << label << " job " << j << " window " << w;
+    }
+  }
+}
+
 void ExpectRunsIdentical(const RunResult& a, const RunResult& b, const std::string& label) {
   // Fault schedule and log, entry by entry.
   ASSERT_EQ(a.fault_log.size(), b.fault_log.size()) << label;
@@ -71,6 +94,23 @@ void ExpectRunsIdentical(const RunResult& a, const RunResult& b, const std::stri
         << label << " job " << j;
     EXPECT_EQ(a.jobs[j].utility_reconverge_s, b.jobs[j].utility_reconverge_s)
         << label << " job " << j;
+    // SLO ledger and causal attribution, bitwise.
+    for (size_t c = 0; c < kNumLossCauses; ++c) {
+      EXPECT_EQ(a.jobs[j].lost_by_cause[c], b.jobs[j].lost_by_cause[c])
+          << label << " job " << j << " cause " << LossCauseName(c);
+      ASSERT_EQ(a.jobs[j].minute_lost_by_cause[c], b.jobs[j].minute_lost_by_cause[c])
+          << label << " job " << j << " cause " << LossCauseName(c);
+    }
+    EXPECT_EQ(a.jobs[j].error_budget_consumed, b.jobs[j].error_budget_consumed)
+        << label << " job " << j;
+    EXPECT_EQ(a.jobs[j].burn_alerts_fast, b.jobs[j].burn_alerts_fast) << label << " job " << j;
+    EXPECT_EQ(a.jobs[j].burn_alerts_slow, b.jobs[j].burn_alerts_slow) << label << " job " << j;
+    EXPECT_EQ(a.jobs[j].first_burn_alert_s, b.jobs[j].first_burn_alert_s)
+        << label << " job " << j;
+    ASSERT_EQ(a.jobs[j].minute_burn_fast, b.jobs[j].minute_burn_fast) << label << " job " << j;
+    ASSERT_EQ(a.jobs[j].minute_burn_slow, b.jobs[j].minute_burn_slow) << label << " job " << j;
+    ASSERT_EQ(a.jobs[j].minute_violations, b.jobs[j].minute_violations)
+        << label << " job " << j;
     ASSERT_EQ(a.jobs[j].minute_p99.size(), b.jobs[j].minute_p99.size())
         << label << " job " << j;
     for (size_t t = 0; t < a.jobs[j].minute_p99.size(); ++t) {
@@ -78,6 +118,12 @@ void ExpectRunsIdentical(const RunResult& a, const RunResult& b, const std::stri
           << label << " job " << j << " minute " << t;
     }
   }
+  for (size_t c = 0; c < kNumLossCauses; ++c) {
+    EXPECT_EQ(a.cluster_lost_by_cause[c], b.cluster_lost_by_cause[c])
+        << label << " cause " << LossCauseName(c);
+  }
+  EXPECT_EQ(a.cluster_burn_alerts_fast, b.cluster_burn_alerts_fast) << label;
+  EXPECT_EQ(a.cluster_burn_alerts_slow, b.cluster_burn_alerts_slow) << label;
 }
 
 TEST(ChaosDeterminismTest, BitIdenticalAcrossSolverThreadCounts) {
@@ -96,7 +142,31 @@ TEST(ChaosDeterminismTest, BitIdenticalAcrossSolverThreadCounts) {
     ExpectRunsIdentical(runs[0], runs[2], scenario + " 1v8");
     // The chaos actually fired (the scenarios are not vacuous).
     EXPECT_FALSE(runs[0].fault_log.empty()) << scenario;
+    // Bucket sums reconstruct each window's lost utility bit for bit, and the
+    // exported attribution CSV is byte-identical at every thread count.
+    ExpectAttributionExact(runs[0], scenario);
+    std::vector<std::string> csvs;
+    for (size_t i = 0; i < runs.size(); ++i) {
+      const std::string path = testing::TempDir() + "slo_" + scenario + "_" +
+                               std::to_string(i) + ".csv";
+      ASSERT_TRUE(WriteSloCsv(path, runs[i])) << path;
+      std::ifstream in(path);
+      csvs.emplace_back(std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>{});
+    }
+    EXPECT_EQ(csvs[0], csvs[1]) << scenario;
+    EXPECT_EQ(csvs[0], csvs[2]) << scenario;
   }
+}
+
+TEST(ChaosDeterminismTest, AttributionExactFaultFree) {
+  ExperimentSetup setup = ChaosSetup("node-crash");
+  setup.faults = FaultPlan{};  // fault-free: same cluster, no chaos
+  const PreparedWorkload workload = PrepareWorkload(setup);
+  auto policy = MakePolicy("Faro-FairSum", nullptr);
+  const RunResult result = RunPolicy(setup, workload, *policy, setup.seed + 1000);
+  ExpectAttributionExact(result, "fault-free");
+  // Without injected faults the fault-capacity bucket must stay empty.
+  EXPECT_EQ(result.cluster_lost_by_cause[CauseIndex(LossCause::kFaultCapacity)], 0.0);
 }
 
 TEST(ChaosDeterminismTest, SameSeedSameSchedule) {

@@ -110,10 +110,11 @@ TEST(HistogramTest, QuantilesTrackExactSortedPercentiles) {
   for (const double q : {0.5, 0.99, 0.999}) {
     const double exact = ExactQuantile(samples, q);
     const double estimate = hist.Quantile(q);
-    // The estimate is the midpoint of the bucket holding the nearest-rank
-    // sample; buckets are at most 12.5% wide, so the midpoint sits within
-    // 6.25% of any sample in the bucket.
-    EXPECT_NEAR(estimate, exact, 0.0626 * exact) << "q=" << q;
+    // The estimate interpolates the nearest-rank sample's position within its
+    // bucket (assuming in-bucket uniformity), so on a smooth distribution it
+    // tracks the exact sorted percentile well inside the 12.5% bucket width --
+    // a 3x tighter bound than the old bucket-midpoint rule could meet.
+    EXPECT_NEAR(estimate, exact, 0.02 * exact) << "q=" << q;
   }
 }
 

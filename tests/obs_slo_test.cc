@@ -1,0 +1,180 @@
+// Unit tests for the SLO ledger, the causal attribution kernel, and the
+// decision audit log (src/obs/slo.h, src/obs/attribution.h).
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/obs/attribution.h"
+#include "src/obs/slo.h"
+
+namespace faro {
+namespace {
+
+double EnumOrderSum(const std::array<double, kNumLossCauses>& buckets) {
+  double sum = 0.0;
+  for (size_t c = 0; c < kNumLossCauses; ++c) {
+    sum += buckets[c];
+  }
+  return sum;
+}
+
+TEST(AttributionTest, ZeroLossIsAllZero) {
+  AttributionInputs inputs;
+  inputs.arrivals = 100.0;
+  inputs.wait_seconds = 5.0;
+  const auto buckets = AttributeLostUtility(0.0, inputs);
+  for (size_t c = 0; c < kNumLossCauses; ++c) {
+    EXPECT_EQ(buckets[c], 0.0) << LossCauseName(c);
+  }
+  const auto negative = AttributeLostUtility(-0.25, inputs);
+  EXPECT_EQ(EnumOrderSum(negative), 0.0);
+}
+
+TEST(AttributionTest, NoEvidenceGoesToUnattributed) {
+  const auto buckets = AttributeLostUtility(0.4, AttributionInputs{});
+  EXPECT_EQ(buckets[CauseIndex(LossCause::kUnattributed)], 0.4);
+  EXPECT_EQ(EnumOrderSum(buckets), 0.4);
+}
+
+TEST(AttributionTest, SingleCauseTakesEverything) {
+  AttributionInputs inputs;
+  inputs.arrivals = 200.0;
+  inputs.drops = 50.0;  // only drop evidence
+  const auto buckets = AttributeLostUtility(0.3, inputs);
+  EXPECT_GT(buckets[CauseIndex(LossCause::kDropAdmission)], 0.0);
+  EXPECT_EQ(buckets[CauseIndex(LossCause::kQueueWait)], 0.0);
+  EXPECT_EQ(buckets[CauseIndex(LossCause::kColdStart)], 0.0);
+  EXPECT_EQ(EnumOrderSum(buckets), 0.3);
+}
+
+// The bit-exactness contract, fuzzed: for any non-negative evidence mix the
+// left-to-right sum of the buckets reconstructs `lost` with zero error.
+TEST(AttributionTest, EnumOrderSumIsBitExactFuzzed) {
+  Rng rng(20260808);
+  for (int trial = 0; trial < 20000; ++trial) {
+    AttributionInputs inputs;
+    inputs.arrivals = rng.Uniform() < 0.1 ? 0.0 : 1000.0 * rng.Uniform();
+    inputs.drops = inputs.arrivals * rng.Uniform();
+    inputs.wait_seconds = rng.Uniform() < 0.2 ? 0.0 : 100.0 * rng.Uniform();
+    inputs.cold_start_seconds = rng.Uniform() < 0.2 ? 0.0 : 300.0 * rng.Uniform();
+    inputs.fault_deficit_seconds = rng.Uniform() < 0.5 ? 0.0 : 600.0 * rng.Uniform();
+    inputs.actuation_units = rng.Uniform() < 0.5 ? 0.0 : 8.0 * rng.Uniform();
+    inputs.ladder_units = rng.Uniform() < 0.5 ? 0.0 : 3.0 * rng.Uniform();
+    inputs.slo_s = 0.1 + rng.Uniform();
+    const double lost = rng.Uniform();
+    const auto buckets = AttributeLostUtility(lost, inputs);
+    ASSERT_EQ(EnumOrderSum(buckets), lost) << "trial " << trial;
+    for (size_t c = 0; c + 1 < kNumLossCauses; ++c) {
+      ASSERT_GE(buckets[c], 0.0) << "trial " << trial << " " << LossCauseName(c);
+    }
+  }
+}
+
+TEST(SloLedgerTest, BudgetAccounting) {
+  SloLedger ledger;
+  ledger.set_allowance(0.01);
+  ledger.Observe(60.0, 1000.0, 5.0);
+  ledger.Observe(120.0, 1000.0, 0.0);
+  EXPECT_EQ(ledger.budget_allowed(), 0.01 * 2000.0);
+  EXPECT_EQ(ledger.budget_consumed(), 5.0);
+  EXPECT_NEAR(ledger.budget_remaining_frac(), 1.0 - 5.0 / 20.0, 1e-12);
+}
+
+TEST(SloLedgerTest, BurnRateAndAlertOnsets) {
+  SloLedger ledger;
+  ledger.set_allowance(0.01);
+  // Clean hour, then a violating hour at burn 50 (0.5 violation rate / 0.01).
+  double t = 0.0;
+  for (int w = 0; w < 60; ++w) {
+    t += 60.0;
+    const auto obs = ledger.Observe(t, 100.0, 0.0);
+    EXPECT_FALSE(obs.alert_fast);
+  }
+  uint64_t onsets_before = ledger.alerts_fast();
+  EXPECT_EQ(onsets_before, 0u);
+  for (int w = 0; w < 60; ++w) {
+    t += 60.0;
+    ledger.Observe(t, 100.0, 50.0);
+  }
+  // One *onset* even though the alert held for many windows.
+  EXPECT_EQ(ledger.alerts_fast(), 1u);
+  EXPECT_GE(ledger.max_burn_fast(), 14.4);
+  EXPECT_GT(ledger.first_alert_s(), 3600.0);
+  // Recovery then a second violating stretch -> a second onset.
+  for (int w = 0; w < 120; ++w) {
+    t += 60.0;
+    ledger.Observe(t, 100.0, 0.0);
+  }
+  for (int w = 0; w < 60; ++w) {
+    t += 60.0;
+    ledger.Observe(t, 100.0, 50.0);
+  }
+  EXPECT_EQ(ledger.alerts_fast(), 2u);
+  // The slow 6 h window saw sustained burn >= 6 as well.
+  EXPECT_GE(ledger.max_burn_slow(), 6.0);
+}
+
+TEST(SloLedgerTest, NoTrafficMeansNoBurn) {
+  SloLedger ledger;
+  const auto obs = ledger.Observe(60.0, 0.0, 0.0);
+  EXPECT_EQ(obs.burn_fast, 0.0);
+  EXPECT_EQ(obs.burn_slow, 0.0);
+  EXPECT_EQ(ledger.budget_remaining_frac(), 1.0);
+}
+
+TEST(AuditLogTest, SortsByLabelThenCycleAndEscapes) {
+  AuditLog log;
+  DecisionAuditRecord b2;
+  b2.label = "b";
+  b2.cycle = 2;
+  DecisionAuditRecord a1;
+  a1.label = "a\"quote";
+  a1.cycle = 1;
+  a1.rung = "warm_rescale";
+  a1.time_s = 600.0;
+  a1.replicas_total = 12.0;
+  DecisionAuditRecord b1;
+  b1.label = "b";
+  b1.cycle = 1;
+  log.Append(b2);
+  log.Append(a1);
+  log.Append(b1);
+  EXPECT_EQ(log.size(), 3u);
+  const std::string jsonl = log.ToJsonl();
+  // One JSON object per line, ordered a/1, b/1, b/2 regardless of append order.
+  const size_t first = jsonl.find('\n');
+  const size_t second = jsonl.find('\n', first + 1);
+  const std::string line0 = jsonl.substr(0, first);
+  const std::string line1 = jsonl.substr(first + 1, second - first - 1);
+  EXPECT_NE(line0.find("a\\\"quote"), std::string::npos) << line0;
+  EXPECT_NE(line0.find("\"cycle\":1"), std::string::npos) << line0;
+  EXPECT_NE(line0.find("\"rung\":\"warm_rescale\""), std::string::npos) << line0;
+  EXPECT_NE(line1.find("\"label\":\"b\""), std::string::npos) << line1;
+  EXPECT_NE(line1.find("\"cycle\":1"), std::string::npos) << line1;
+  log.Clear();
+  EXPECT_EQ(log.size(), 0u);
+  EXPECT_TRUE(log.ToJsonl().empty());
+}
+
+TEST(AuditLogTest, ToJsonlIsDeterministic) {
+  AuditLog log;
+  for (uint64_t c = 5; c > 0; --c) {
+    DecisionAuditRecord record;
+    record.label = "policy/trial0";
+    record.cycle = c;
+    record.time_s = 300.0 * static_cast<double>(c);
+    record.forecast_peak_total = 1.0 / 3.0 * static_cast<double>(c);
+    log.Append(record);
+  }
+  const std::string first = log.ToJsonl();
+  EXPECT_EQ(first, log.ToJsonl());
+  // Cycles come out ascending.
+  EXPECT_LT(first.find("\"cycle\":1"), first.find("\"cycle\":2"));
+}
+
+}  // namespace
+}  // namespace faro

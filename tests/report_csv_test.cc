@@ -87,6 +87,54 @@ TEST(CsvEscapeTest, SummaryCsvKeepsColumnCountWithEvilJobNames) {
   std::remove(path.c_str());
 }
 
+TEST(CsvEscapeTest, SloCsvEscapesNamesAndRoundTripsBuckets) {
+  RunResult result;
+  JobRunStats job;
+  job.name = "evil,\"job\"";
+  job.minute_utility = {0.25};
+  job.minute_arrivals = {100.0};
+  job.minute_violations = {3.0};
+  job.minute_burn_fast = {5.0};
+  job.minute_burn_slow = {1.0};
+  // A real attribution split (awkward weights on purpose) whose enum-order
+  // sum must survive the text round trip.
+  AttributionInputs inputs;
+  inputs.arrivals = 100.0;
+  inputs.drops = 3.0;
+  inputs.wait_seconds = 41.0 / 7.0;
+  inputs.cold_start_seconds = 13.0 / 3.0;
+  const double lost = 0.75;  // = max(0, 1 - minute_utility[0])
+  const auto buckets = AttributeLostUtility(lost, inputs);
+  for (size_t c = 0; c < kNumLossCauses; ++c) {
+    job.minute_lost_by_cause[c] = {buckets[c]};
+  }
+  result.jobs.push_back(job);
+  const std::string path = ::testing::TempDir() + "report_csv_test_slo.csv";
+  ASSERT_TRUE(WriteSloCsv(path, result));
+  std::ifstream in(path);
+  ASSERT_TRUE(in);
+  std::string header;
+  std::string row;
+  ASSERT_TRUE(std::getline(in, header));
+  ASSERT_TRUE(std::getline(in, row));
+  const std::vector<std::string> head = ParseCsvLine(header);
+  const std::vector<std::string> fields = ParseCsvLine(row);
+  ASSERT_EQ(fields.size(), head.size());
+  EXPECT_EQ(fields[0], job.name);
+  // 17-digit output: parsing the bucket columns back and summing in order
+  // reproduces the lost_utility column exactly.
+  double sum = 0.0;
+  size_t lost_col = 0;
+  for (size_t i = 0; i < head.size(); ++i) {
+    if (head[i] == "lost_utility") lost_col = i;
+    if (head[i].rfind("lost_", 0) == 0 && head[i] != "lost_utility") {
+      sum += std::stod(fields[i]);
+    }
+  }
+  EXPECT_EQ(sum, std::stod(fields[lost_col]));
+  std::remove(path.c_str());
+}
+
 TEST(CsvEscapeTest, TimelineHeaderQuotesDerivedColumnNames) {
   RunResult result;
   JobRunStats job;

@@ -6,7 +6,10 @@
 // These tests run under TSan in CI (cmake -DFARO_SANITIZE=thread, then
 // ctest -R Determinism) to prove the shard fan-out is also race-free.
 
+#include <algorithm>
 #include <cstdlib>
+#include <fstream>
+#include <iterator>
 #include <string>
 #include <vector>
 
@@ -14,6 +17,7 @@
 
 #include "src/faults/faultplan.h"
 #include "src/sim/harness.h"
+#include "src/sim/report.h"
 
 namespace faro {
 namespace {
@@ -85,12 +89,57 @@ void ExpectRunsIdentical(const RunResult& a, const RunResult& b,
     EXPECT_EQ(a.jobs[j].avg_replicas, b.jobs[j].avg_replicas) << label << " job " << j;
     EXPECT_EQ(a.jobs[j].injected_failures, b.jobs[j].injected_failures)
         << label << " job " << j;
+    // SLO ledger and causal attribution, bitwise.
+    for (size_t c = 0; c < kNumLossCauses; ++c) {
+      EXPECT_EQ(a.jobs[j].lost_by_cause[c], b.jobs[j].lost_by_cause[c])
+          << label << " job " << j << " cause " << LossCauseName(c);
+      ASSERT_EQ(a.jobs[j].minute_lost_by_cause[c], b.jobs[j].minute_lost_by_cause[c])
+          << label << " job " << j << " cause " << LossCauseName(c);
+    }
+    EXPECT_EQ(a.jobs[j].error_budget_consumed, b.jobs[j].error_budget_consumed)
+        << label << " job " << j;
+    EXPECT_EQ(a.jobs[j].burn_alerts_fast, b.jobs[j].burn_alerts_fast) << label << " job " << j;
+    EXPECT_EQ(a.jobs[j].burn_alerts_slow, b.jobs[j].burn_alerts_slow) << label << " job " << j;
+    ASSERT_EQ(a.jobs[j].minute_burn_fast, b.jobs[j].minute_burn_fast) << label << " job " << j;
+    ASSERT_EQ(a.jobs[j].minute_violations, b.jobs[j].minute_violations)
+        << label << " job " << j;
     ASSERT_EQ(a.jobs[j].minute_p99.size(), b.jobs[j].minute_p99.size())
         << label << " job " << j;
     for (size_t t = 0; t < a.jobs[j].minute_p99.size(); ++t) {
       ASSERT_EQ(a.jobs[j].minute_p99[t], b.jobs[j].minute_p99[t])
           << label << " job " << j << " minute " << t;
     }
+  }
+  for (size_t c = 0; c < kNumLossCauses; ++c) {
+    EXPECT_EQ(a.cluster_lost_by_cause[c], b.cluster_lost_by_cause[c])
+        << label << " cause " << LossCauseName(c);
+  }
+}
+
+// Per-window bit-exactness of the causal decomposition (src/obs/attribution.h)
+// plus byte-identity of the exported attribution CSV across a set of runs.
+void ExpectAttributionExactAndCsvStable(const std::vector<RunResult>& runs,
+                                        const std::string& label) {
+  for (const JobRunStats& job : runs[0].jobs) {
+    for (size_t w = 0; w < job.minute_utility.size(); ++w) {
+      const double lost = std::max(0.0, 1.0 - job.minute_utility[w]);
+      double sum = 0.0;
+      for (size_t c = 0; c < kNumLossCauses; ++c) {
+        sum += job.minute_lost_by_cause[c][w];
+      }
+      ASSERT_EQ(sum, lost) << label << " job " << job.name << " window " << w;
+    }
+  }
+  std::vector<std::string> csvs;
+  for (size_t i = 0; i < runs.size(); ++i) {
+    const std::string path =
+        testing::TempDir() + "slo_sharded_" + label + "_" + std::to_string(i) + ".csv";
+    ASSERT_TRUE(WriteSloCsv(path, runs[i])) << path;
+    std::ifstream in(path);
+    csvs.emplace_back(std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>{});
+  }
+  for (size_t i = 1; i < csvs.size(); ++i) {
+    EXPECT_EQ(csvs[0], csvs[i]) << label << " csv " << i;
   }
 }
 
@@ -107,6 +156,7 @@ TEST(ShardedDeterminismTest, BitIdenticalAcrossShardCounts) {
   ExpectRunsIdentical(runs[0], runs[1], "1v2");
   ExpectRunsIdentical(runs[0], runs[2], "1v8");
   EXPECT_GT(runs[0].events_processed, 0u);
+  ExpectAttributionExactAndCsvStable(runs, "plain");
 }
 
 TEST(ShardedDeterminismTest, BitIdenticalAcrossShardCountsUnderChaos) {
@@ -125,6 +175,7 @@ TEST(ShardedDeterminismTest, BitIdenticalAcrossShardCountsUnderChaos) {
   // The chaos actually fired (the scenario is not vacuous).
   EXPECT_FALSE(runs[0].fault_log.empty());
   EXPECT_GT(runs[0].faults.replicas_killed, 0u);
+  ExpectAttributionExactAndCsvStable(runs, "chaos");
 }
 
 TEST(ShardedDeterminismTest, BitIdenticalUnderBothSchedulers) {
@@ -180,6 +231,16 @@ TEST(ShardedDeterminismTest, RunningSumsMatchRecordedSeries) {
     EXPECT_EQ(recorded.jobs[j].avg_replicas, summed.jobs[j].avg_replicas) << j;
     EXPECT_TRUE(summed.jobs[j].minute_p99.empty()) << j;
     EXPECT_TRUE(summed.jobs[j].minute_utility.empty()) << j;
+    // Attribution averages come from running totals, so they are independent
+    // of whether the per-window series were recorded.
+    for (size_t c = 0; c < kNumLossCauses; ++c) {
+      EXPECT_EQ(recorded.jobs[j].lost_by_cause[c], summed.jobs[j].lost_by_cause[c])
+          << j << " cause " << LossCauseName(c);
+      EXPECT_TRUE(summed.jobs[j].minute_lost_by_cause[c].empty()) << j;
+    }
+    EXPECT_EQ(recorded.jobs[j].error_budget_consumed, summed.jobs[j].error_budget_consumed)
+        << j;
+    EXPECT_EQ(recorded.jobs[j].burn_alerts_fast, summed.jobs[j].burn_alerts_fast) << j;
   }
   // The cluster average folds the same per-job means in a different
   // (mathematically equal) order; allow FP slack there only.
