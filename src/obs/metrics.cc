@@ -99,6 +99,88 @@ std::string JsonEscape(const std::string& s) {
 
 }  // namespace
 
+std::string SanitizeMetricName(const std::string& name) {
+  std::string out;
+  out.reserve(name.size() + 1);
+  for (size_t i = 0; i < name.size(); ++i) {
+    const char c = name[i];
+    const bool alpha = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z');
+    const bool digit = c >= '0' && c <= '9';
+    if (alpha || c == '_' || c == ':' || (digit && i > 0)) {
+      out.push_back(c);
+    } else if (digit) {
+      out.push_back('_');  // leading digit
+      out.push_back(c);
+    } else {
+      out.push_back('_');
+    }
+  }
+  if (out.empty()) {
+    out = "_";
+  }
+  return out;
+}
+
+std::string SanitizeLabelName(const std::string& name) {
+  std::string out = SanitizeMetricName(name);
+  for (char& c : out) {
+    if (c == ':') {
+      c = '_';  // label names have no colon in their charset
+    }
+  }
+  return out;
+}
+
+std::string EscapeHelpText(const std::string& help) {
+  std::string out;
+  out.reserve(help.size());
+  for (const char c : help) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string EscapeLabelValue(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '"') {
+      out += "\\\"";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string FormatLabels(const MetricLabels& labels) {
+  if (labels.empty()) {
+    return "";
+  }
+  std::string out = "{";
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) {
+      out += ',';
+    }
+    out += SanitizeLabelName(labels[i].first);
+    out += "=\"";
+    out += EscapeLabelValue(labels[i].second);
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
 Counter::Cell& Counter::LocalCell() {
   if (void* cell = obs_internal::TlsCell(id_)) {
     return *static_cast<Cell*>(cell);
@@ -265,28 +347,37 @@ MetricsRegistry& MetricsRegistry::Global() {
 }
 
 Counter& MetricsRegistry::GetCounter(const std::string& name, const std::string& help) {
+  const std::string clean = SanitizeMetricName(name);
   std::lock_guard<std::mutex> lock(mu_);
-  auto& slot = counters_[name];
+  auto& slot = counters_[clean];
   if (slot == nullptr) {
-    slot = std::make_unique<Counter>(name, help);
+    slot = std::make_unique<Counter>(clean, help);
   }
   return *slot;
 }
 
 Gauge& MetricsRegistry::GetGauge(const std::string& name, const std::string& help) {
+  return GetGauge(name, MetricLabels{}, help);
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name, const MetricLabels& labels,
+                                 const std::string& help) {
+  const std::string clean = SanitizeMetricName(name);
+  const std::string label_str = FormatLabels(labels);
   std::lock_guard<std::mutex> lock(mu_);
-  auto& slot = gauges_[name];
+  auto& slot = gauges_[{clean, label_str}];
   if (slot == nullptr) {
-    slot = std::make_unique<Gauge>(name, help);
+    slot = std::make_unique<Gauge>(clean, help, labels);
   }
   return *slot;
 }
 
 Histogram& MetricsRegistry::GetHistogram(const std::string& name, const std::string& help) {
+  const std::string clean = SanitizeMetricName(name);
   std::lock_guard<std::mutex> lock(mu_);
-  auto& slot = histograms_[name];
+  auto& slot = histograms_[clean];
   if (slot == nullptr) {
-    slot = std::make_unique<Histogram>(name, help);
+    slot = std::make_unique<Histogram>(clean, help);
   }
   return *slot;
 }
@@ -296,21 +387,28 @@ std::string MetricsRegistry::PrometheusText() const {
   std::ostringstream out;
   for (const auto& [name, counter] : counters_) {
     if (!counter->help().empty()) {
-      out << "# HELP " << name << ' ' << counter->help() << '\n';
+      out << "# HELP " << name << ' ' << EscapeHelpText(counter->help()) << '\n';
     }
     out << "# TYPE " << name << " counter\n";
     out << name << ' ' << counter->Value() << '\n';
   }
-  for (const auto& [name, gauge] : gauges_) {
-    if (!gauge->help().empty()) {
-      out << "# HELP " << name << ' ' << gauge->help() << '\n';
+  // Gauges are keyed (family, labels): HELP/TYPE once per family, then every
+  // labeled sample of that family.
+  const std::string* last_family = nullptr;
+  for (const auto& [key, gauge] : gauges_) {
+    const std::string& name = key.first;
+    if (last_family == nullptr || *last_family != name) {
+      if (!gauge->help().empty()) {
+        out << "# HELP " << name << ' ' << EscapeHelpText(gauge->help()) << '\n';
+      }
+      out << "# TYPE " << name << " gauge\n";
+      last_family = &name;
     }
-    out << "# TYPE " << name << " gauge\n";
-    out << name << ' ' << FormatDouble(gauge->Value()) << '\n';
+    out << name << key.second << ' ' << FormatDouble(gauge->Value()) << '\n';
   }
   for (const auto& [name, hist] : histograms_) {
     if (!hist->help().empty()) {
-      out << "# HELP " << name << ' ' << hist->help() << '\n';
+      out << "# HELP " << name << ' ' << EscapeHelpText(hist->help()) << '\n';
     }
     out << "# TYPE " << name << " histogram\n";
     const std::vector<uint64_t> buckets = hist->MergedBuckets();
@@ -338,13 +436,13 @@ std::string MetricsRegistry::JsonLines() const {
     out << "{\"metric\":\"" << JsonEscape(name) << "\",\"type\":\"counter\",\"value\":"
         << counter->Value() << "}\n";
   }
-  for (const auto& [name, gauge] : gauges_) {
+  for (const auto& [key, gauge] : gauges_) {
     double v = gauge->Value();
     if (!std::isfinite(v)) {
       v = 0.0;  // keep the line valid JSON
     }
-    out << "{\"metric\":\"" << JsonEscape(name) << "\",\"type\":\"gauge\",\"value\":"
-        << FormatDouble(v) << "}\n";
+    out << "{\"metric\":\"" << JsonEscape(key.first + key.second)
+        << "\",\"type\":\"gauge\",\"value\":" << FormatDouble(v) << "}\n";
   }
   for (const auto& [name, hist] : histograms_) {
     out << "{\"metric\":\"" << JsonEscape(name) << "\",\"type\":\"histogram\",\"count\":"
@@ -376,7 +474,7 @@ void MetricsRegistry::ResetForTest() {
   for (auto& [name, counter] : counters_) {
     counter->Reset();
   }
-  for (auto& [name, gauge] : gauges_) {
+  for (auto& [key, gauge] : gauges_) {
     gauge->Reset();
   }
   for (auto& [name, hist] : histograms_) {

@@ -40,9 +40,28 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace faro {
+
+// One metric label set, e.g. {{"job", "resnet34-0"}}. Order is preserved in
+// the exposition output.
+using MetricLabels = std::vector<std::pair<std::string, std::string>>;
+
+// Prometheus exposition-format conformance helpers (exposed for tests).
+// Metric names must match [a-zA-Z_:][a-zA-Z0-9_:]*, label names
+// [a-zA-Z_][a-zA-Z0-9_]*; out-of-charset bytes become '_' and a leading
+// digit gets a '_' prefix. Registration sanitizes names, so every emitted
+// family is valid no matter what call sites pass in.
+std::string SanitizeMetricName(const std::string& name);
+std::string SanitizeLabelName(const std::string& name);
+// HELP text escaping: backslash -> \\ and line feed -> \n (spec rules).
+std::string EscapeHelpText(const std::string& help);
+// Label value escaping: backslash -> \\, double quote -> \", line feed -> \n.
+std::string EscapeLabelValue(const std::string& value);
+// Serializes sanitized/escaped labels as {k1="v1",k2="v2"}; "" when empty.
+std::string FormatLabels(const MetricLabels& labels);
 
 namespace obs_internal {
 
@@ -97,14 +116,18 @@ class Counter {
   std::forward_list<Cell> cells_;        // stable addresses, one per thread
 };
 
-// Last-write-wins instantaneous value.
+// Last-write-wins instantaneous value. Optionally carries a label set (the
+// registry keys labeled gauges by (family, labels), so one family can hold
+// e.g. a per-job series); Set/Value are plain relaxed atomics either way, so
+// a live scraper thread can read while the engine thread writes.
 class Gauge {
  public:
-  Gauge(std::string name, std::string help)
-      : name_(std::move(name)), help_(std::move(help)) {}
+  Gauge(std::string name, std::string help, MetricLabels labels = {})
+      : name_(std::move(name)), help_(std::move(help)), labels_(std::move(labels)) {}
 
   const std::string& name() const { return name_; }
   const std::string& help() const { return help_; }
+  const MetricLabels& labels() const { return labels_; }
 
   void Set(double v) { value_.store(v, std::memory_order_relaxed); }
   double Value() const { return value_.load(std::memory_order_relaxed); }
@@ -113,6 +136,7 @@ class Gauge {
  private:
   const std::string name_;
   const std::string help_;
+  const MetricLabels labels_;
   std::atomic<double> value_{0.0};
 };
 
@@ -194,6 +218,11 @@ class MetricsRegistry {
 
   Counter& GetCounter(const std::string& name, const std::string& help = "");
   Gauge& GetGauge(const std::string& name, const std::string& help = "");
+  // Labeled gauge: one instrument per (family, label set). Same first-help-
+  // wins rule per family; the exposition emits HELP/TYPE once per family
+  // followed by every labeled sample.
+  Gauge& GetGauge(const std::string& name, const MetricLabels& labels,
+                  const std::string& help);
   Histogram& GetHistogram(const std::string& name, const std::string& help = "");
 
   // Prometheus text exposition of every instrument, sorted by name.
@@ -211,9 +240,12 @@ class MetricsRegistry {
 
  private:
   mutable std::mutex mu_;
-  // std::map keeps exposition output deterministically name-sorted.
+  // std::map keeps exposition output deterministically name-sorted. Gauges
+  // are keyed (family, serialized labels) so one family's label sets stay
+  // contiguous -- HELP/TYPE must be emitted exactly once per family even when
+  // another family name sorts between "name" and "name{...}".
   std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::pair<std::string, std::string>, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
 };
 

@@ -55,20 +55,65 @@ std::string AuditJsonEscape(const std::string& s) {
 
 }  // namespace
 
+void SloLedger::PushSample(const Sample& sample) {
+  if (count_ == ring_.size()) {
+    // Grow by re-laying the retained window out from position 0. Eviction by
+    // horizon bounds the steady-state size (360 for 6 h of one-minute
+    // windows), so growth happens O(log) times per run.
+    std::vector<Sample> bigger(std::max<size_t>(64, ring_.size() * 2));
+    for (size_t i = 0; i < count_; ++i) {
+      bigger[i] = At(i);
+    }
+    ring_ = std::move(bigger);
+    begin_ = 0;
+  }
+  ring_[(begin_ + count_) % ring_.size()] = sample;
+  ++count_;
+  slow_arrivals_ += sample.arrivals;
+  slow_violations_ += sample.violations;
+  fast_arrivals_ += sample.arrivals;
+  fast_violations_ += sample.violations;
+}
+
+void SloLedger::EvictExpired(double end_s) {
+  // A sample contributes to a window iff end_s > horizon; evict the rest. The
+  // slow eviction drops the sample entirely (subtracting it from the fast
+  // sums too if it was still counted there -- only possible when
+  // fast_window_s >= slow_window_s, where the old scan was also capped at the
+  // retained set); the fast eviction merely advances the suffix boundary.
+  const double slow_horizon = end_s - config_.slow_window_s;
+  while (count_ > 0 && ring_[begin_].end_s <= slow_horizon) {
+    const Sample& oldest = ring_[begin_];
+    slow_arrivals_ -= oldest.arrivals;
+    slow_violations_ -= oldest.violations;
+    if (fast_lag_ == 0) {
+      fast_arrivals_ -= oldest.arrivals;
+      fast_violations_ -= oldest.violations;
+    } else {
+      --fast_lag_;
+    }
+    begin_ = (begin_ + 1) % ring_.size();
+    --count_;
+  }
+  const double fast_horizon = end_s - config_.fast_window_s;
+  while (fast_lag_ < count_ && At(fast_lag_).end_s <= fast_horizon) {
+    const Sample& expired = At(fast_lag_);
+    fast_arrivals_ -= expired.arrivals;
+    fast_violations_ -= expired.violations;
+    ++fast_lag_;
+  }
+}
+
 SloLedger::Observation SloLedger::Observe(double end_s, double arrivals,
                                           double violations) {
   total_arrivals_ += arrivals;
   total_violations_ += violations;
-  samples_.push_back(Sample{end_s, arrivals, violations});
-  // Trim everything whose window ended at or before the slow-window horizon.
-  const double horizon = end_s - config_.slow_window_s;
-  while (!samples_.empty() && samples_.front().end_s <= horizon) {
-    samples_.pop_front();
-  }
+  PushSample(Sample{end_s, arrivals, violations});
+  EvictExpired(end_s);
 
   Observation obs;
-  obs.burn_fast = TrailingBurn(end_s, config_.fast_window_s);
-  obs.burn_slow = TrailingBurn(end_s, config_.slow_window_s);
+  obs.burn_fast = Burn(fast_violations_, fast_arrivals_, config_.allowance);
+  obs.burn_slow = Burn(slow_violations_, slow_arrivals_, config_.allowance);
   obs.alert_fast = obs.burn_fast >= config_.fast_threshold;
   obs.alert_slow = obs.burn_slow >= config_.slow_threshold;
   max_burn_fast_ = std::max(max_burn_fast_, obs.burn_fast);
@@ -85,25 +130,6 @@ SloLedger::Observation SloLedger::Observe(double end_s, double arrivals,
   fast_firing_ = obs.alert_fast;
   slow_firing_ = obs.alert_slow;
   return obs;
-}
-
-double SloLedger::TrailingBurn(double now_s, double window_s) const {
-  const double horizon = now_s - window_s;
-  double arrivals = 0.0;
-  double violations = 0.0;
-  // Front-to-back scan: the deque holds at most slow_window_s / window-length
-  // entries (360 for 6 h of one-minute windows), and the fixed order keeps
-  // the floating-point sums deterministic.
-  for (const Sample& s : samples_) {
-    if (s.end_s <= horizon) continue;
-    arrivals += s.arrivals;
-    violations += s.violations;
-  }
-  const double budget = config_.allowance * arrivals;
-  if (!(budget > 0.0)) {
-    return 0.0;
-  }
-  return violations / budget;
 }
 
 double SloLedger::budget_remaining_frac() const {

@@ -21,7 +21,6 @@
 #define SRC_OBS_SLO_H_
 
 #include <cstdint>
-#include <deque>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -67,6 +66,9 @@ class SloLedger {
   double max_burn_fast() const { return max_burn_fast_; }
   double max_burn_slow() const { return max_burn_slow_; }
 
+  // Retained per-minute samples (everything inside the slow window).
+  size_t window_samples() const { return count_; }
+
  private:
   struct Sample {
     double end_s;
@@ -74,10 +76,36 @@ class SloLedger {
     double violations;
   };
 
-  double TrailingBurn(double now_s, double window_s) const;
+  // O(1)-per-Observe rolling evaluation over a ring buffer of the violation
+  // series. The slow window is the whole retained ring; the fast window is
+  // its trailing suffix (`fast_lag_` counts the retained-but-expired-for-fast
+  // prefix). Sums are maintained incrementally by add-on-push and
+  // subtract-on-evict; the simulator feeds integer request counts, whose
+  // partial sums stay exact in doubles (< 2^53), so every burn rate -- and
+  // every alert onset -- is bit-identical to a fresh front-to-back scan
+  // (tests/obs_slo_test.cc cross-checks against a reference batch evaluator).
+  const Sample& At(size_t logical) const {
+    return ring_[(begin_ + logical) % ring_.size()];
+  }
+  void PushSample(const Sample& sample);
+  void EvictExpired(double end_s);
+  static double Burn(double violations, double arrivals, double allowance) {
+    const double budget = allowance * arrivals;
+    if (!(budget > 0.0)) {
+      return 0.0;
+    }
+    return violations / budget;
+  }
 
   SloLedgerConfig config_;
-  std::deque<Sample> samples_;  // trimmed to the slow window
+  std::vector<Sample> ring_;  // circular; grows only when a window overflows it
+  size_t begin_ = 0;          // position of the oldest retained sample
+  size_t count_ = 0;          // retained samples (== the slow-window set)
+  size_t fast_lag_ = 0;       // oldest retained samples outside the fast window
+  double slow_arrivals_ = 0.0;
+  double slow_violations_ = 0.0;
+  double fast_arrivals_ = 0.0;
+  double fast_violations_ = 0.0;
   double total_arrivals_ = 0.0;
   double total_violations_ = 0.0;
   uint64_t alerts_fast_ = 0;

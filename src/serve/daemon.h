@@ -1,0 +1,126 @@
+// faro_serve replay daemon: streams a simulated run in scaled wall-clock
+// time behind a live telemetry plane.
+//
+// The daemon owns a SimStepper for the configured run and advances it to the
+// pacing clock's target in a polling loop; because stepping is a pure prefix
+// of the batch event loop (src/sim/simulator.h), the finished run -- and
+// every derived artifact, the summary CSV included -- is bit-identical to
+// RunSimulation of the same config and seed at any speed. Concurrently an
+// embedded HTTP server exposes:
+//
+//   GET  /metrics  Prometheus exposition of the live registry, including the
+//                  per-job SLO budget-remaining and burn-rate gauges this
+//                  daemon maintains from each closed minute window
+//   GET  /alerts   streaming JSONL feed of burn-rate alert onsets and clears,
+//                  evaluated incrementally as each sim-minute closes
+//   GET  /audit    tail of the decision-audit JSONL (?tail=N, default 64)
+//   GET  /healthz  JSON liveness: sim time, wall speed, done flag
+//   POST /speed    set the replay speed multiplier (clamped to 1..10000)
+//
+// Threading: the replay thread (the caller of Run) is the only writer of
+// simulation state; it publishes observations through relaxed-atomic gauges,
+// a mutexed alert feed, and an atomic sim-time cell. The HTTP accept thread
+// only reads those (and flips the pacing speed, itself mutexed), so the
+// daemon is clean under ThreadSanitizer and a slow scraper can never stall
+// the replay.
+
+#ifndef SRC_SERVE_DAEMON_H_
+#define SRC_SERVE_DAEMON_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/core/policy.h"
+#include "src/obs/metrics.h"
+#include "src/obs/slo.h"
+#include "src/serve/http.h"
+#include "src/serve/pacing.h"
+#include "src/sim/simulator.h"
+
+namespace faro {
+
+struct ServeOptions {
+  // Sim seconds replayed per wall second (clamped to 1..10000 by the clock).
+  double speed = 60.0;
+  // HTTP port on 127.0.0.1; 0 picks an ephemeral port (see port()).
+  uint16_t port = 0;
+  // Batch mode: no pacing, run at full speed (the byte-identity reference).
+  bool batch = false;
+  // Keep the HTTP server up after the run completes until RequestStop().
+  bool linger = false;
+  // Decision-audit log served at /audit and flushed to audit_out (optional).
+  AuditLog* audit = nullptr;
+  // Flush targets written once the run completes (empty = skip).
+  std::string summary_out;  // per-job summary CSV (WriteSummaryCsv)
+  std::string metrics_out;  // final Prometheus exposition
+  std::string audit_out;    // decision-audit JSONL
+  std::string alerts_out;   // burn-rate alert feed JSONL
+  // Wall-clock sleep between pacing polls.
+  int poll_ms = 10;
+};
+
+class ReplayDaemon : public SimMinuteObserver {
+ public:
+  // Borrows config/jobs/policy for its lifetime (RunSimulation's contract).
+  // The daemon registers itself as the run's minute observer; any observer
+  // already set on `config` is replaced.
+  ReplayDaemon(const SimConfig& config, const std::vector<SimJobConfig>& jobs,
+               AutoscalingPolicy& policy, const ServeOptions& options);
+  ~ReplayDaemon() override;
+
+  // Binds the HTTP server. Call before Run; false when the port is taken.
+  bool StartServer();
+  uint16_t port() const { return server_.port(); }
+
+  // Drives the replay to completion (or until RequestStop), writes the flush
+  // targets, then lingers if asked. Returns the finished run's result --
+  // bit-identical to the batch RunSimulation of the same config and seed.
+  RunResult Run();
+
+  // Asks the replay loop to wind down (signal handlers store-release a flag).
+  void RequestStop() { stop_.store(true, std::memory_order_release); }
+  bool run_complete() const { return complete_.load(std::memory_order_acquire); }
+
+  // SimMinuteObserver: called by the engine as each job's window closes.
+  void OnMinute(const MinuteSnapshot& snapshot) override;
+
+  // Alert feed snapshot (JSONL) and its line count.
+  std::string AlertsJsonl() const;
+  uint64_t alert_onsets() const { return alert_onsets_.load(std::memory_order_relaxed); }
+
+ private:
+  HttpResponse Handle(const HttpRequest& request);
+
+  SimConfig config_;  // private copy with minute_observer = this
+  const std::vector<SimJobConfig>& jobs_;
+  AutoscalingPolicy& policy_;
+  ServeOptions options_;
+
+  PacingClock pacing_;
+  HttpServer server_;
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> complete_{false};
+  std::atomic<double> sim_time_s_{0.0};
+
+  // Per-job live gauges (registered at construction, written by OnMinute).
+  std::vector<Gauge*> budget_gauges_;
+  std::vector<Gauge*> burn_fast_gauges_;
+  std::vector<Gauge*> burn_slow_gauges_;
+  Gauge* sim_time_gauge_ = nullptr;
+  Gauge* speed_gauge_ = nullptr;
+  Counter* windows_closed_ = nullptr;
+
+  // Alert state per job (previous firing flags) and the JSONL feed.
+  std::vector<bool> fast_firing_;
+  std::vector<bool> slow_firing_;
+  mutable std::mutex alerts_mu_;
+  std::string alerts_jsonl_;
+  std::atomic<uint64_t> alert_onsets_{0};
+};
+
+}  // namespace faro
+
+#endif  // SRC_SERVE_DAEMON_H_

@@ -1,0 +1,244 @@
+#include "src/serve/http.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+namespace faro {
+namespace {
+
+constexpr size_t kMaxRequestBytes = 1 << 20;  // 1 MiB: /speed bodies are tiny
+
+const char* StatusText(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 204: return "No Content";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    default: return "Error";
+  }
+}
+
+// Blocking full write (handles short writes; bails on error).
+bool WriteAll(int fd, const char* data, size_t len) {
+  size_t sent = 0;
+  while (sent < len) {
+    const ssize_t n = ::send(fd, data + sent, len - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+// Case-insensitive header lookup in the raw header block; returns the value
+// (trimmed of leading spaces) or "".
+std::string HeaderValue(const std::string& headers, const std::string& name) {
+  size_t pos = 0;
+  while (pos < headers.size()) {
+    size_t eol = headers.find("\r\n", pos);
+    if (eol == std::string::npos) {
+      eol = headers.size();
+    }
+    const size_t colon = headers.find(':', pos);
+    if (colon != std::string::npos && colon < eol && colon - pos == name.size()) {
+      bool match = true;
+      for (size_t i = 0; i < name.size(); ++i) {
+        if (std::tolower(static_cast<unsigned char>(headers[pos + i])) !=
+            std::tolower(static_cast<unsigned char>(name[i]))) {
+          match = false;
+          break;
+        }
+      }
+      if (match) {
+        size_t begin = colon + 1;
+        while (begin < eol && headers[begin] == ' ') {
+          ++begin;
+        }
+        return headers.substr(begin, eol - begin);
+      }
+    }
+    pos = eol + 2;
+  }
+  return "";
+}
+
+}  // namespace
+
+bool HttpServer::Start(uint16_t port, HttpHandler handler) {
+  if (listen_fd_ >= 0) {
+    return false;  // already running
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return false;
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd, 16) != 0) {
+    ::close(fd);
+    return false;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    ::close(fd);
+    return false;
+  }
+  port_ = ntohs(addr.sin_port);
+  listen_fd_ = fd;
+  handler_ = std::move(handler);
+  stop_.store(false, std::memory_order_relaxed);
+  thread_ = std::thread([this] { AcceptLoop(); });
+  return true;
+}
+
+void HttpServer::Stop() {
+  if (listen_fd_ < 0) {
+    return;
+  }
+  stop_.store(true, std::memory_order_relaxed);
+  // Unblock accept(): shutdown makes the pending accept fail on Linux, and
+  // close releases the port.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  ::close(listen_fd_);
+  if (thread_.joinable()) {
+    thread_.join();
+  }
+  listen_fd_ = -1;
+  port_ = 0;
+}
+
+void HttpServer::AcceptLoop() {
+  while (!stop_.load(std::memory_order_relaxed)) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (stop_.load(std::memory_order_relaxed)) {
+        return;
+      }
+      continue;  // transient accept failure (EINTR etc.)
+    }
+    HandleConnection(fd);
+    ::close(fd);
+  }
+}
+
+void HttpServer::HandleConnection(int fd) {
+  std::string raw;
+  char buf[4096];
+  size_t header_end = std::string::npos;
+  // Read until the blank line terminating the headers.
+  while (header_end == std::string::npos && raw.size() < kMaxRequestBytes) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) {
+      return;
+    }
+    raw.append(buf, static_cast<size_t>(n));
+    header_end = raw.find("\r\n\r\n");
+  }
+  if (header_end == std::string::npos) {
+    return;
+  }
+  const size_t line_end = raw.find("\r\n");
+  const std::string request_line = raw.substr(0, line_end);
+  const size_t sp1 = request_line.find(' ');
+  const size_t sp2 = request_line.find(' ', sp1 + 1);
+  if (sp1 == std::string::npos || sp2 == std::string::npos) {
+    return;
+  }
+  HttpRequest request;
+  request.method = request_line.substr(0, sp1);
+  std::string target = request_line.substr(sp1 + 1, sp2 - sp1 - 1);
+  const size_t qmark = target.find('?');
+  if (qmark != std::string::npos) {
+    request.query = target.substr(qmark + 1);
+    target.resize(qmark);
+  }
+  request.path = std::move(target);
+
+  const std::string headers = raw.substr(line_end + 2, header_end - line_end - 2);
+  size_t content_length = 0;
+  const std::string length_text = HeaderValue(headers, "Content-Length");
+  if (!length_text.empty()) {
+    content_length = static_cast<size_t>(
+        std::min<unsigned long>(std::strtoul(length_text.c_str(), nullptr, 10),
+                                kMaxRequestBytes));
+  }
+  request.body = raw.substr(header_end + 4);
+  while (request.body.size() < content_length) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) {
+      return;
+    }
+    request.body.append(buf, static_cast<size_t>(n));
+  }
+  request.body.resize(std::min(request.body.size(), content_length));
+
+  const HttpResponse response = handler_(request);
+  requests_served_.fetch_add(1, std::memory_order_relaxed);
+  std::string out = "HTTP/1.1 " + std::to_string(response.status) + " " +
+                    StatusText(response.status) +
+                    "\r\nContent-Type: " + response.content_type +
+                    "\r\nContent-Length: " + std::to_string(response.body.size()) +
+                    "\r\nConnection: close\r\n\r\n" + response.body;
+  WriteAll(fd, out.data(), out.size());
+}
+
+bool HttpFetch(uint16_t port, const std::string& method, const std::string& target,
+               const std::string& request_body, int* status, std::string* body) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return false;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return false;
+  }
+  const std::string request =
+      method + " " + target + " HTTP/1.1\r\nHost: 127.0.0.1\r\nContent-Length: " +
+      std::to_string(request_body.size()) + "\r\nConnection: close\r\n\r\n" +
+      request_body;
+  if (!WriteAll(fd, request.data(), request.size())) {
+    ::close(fd);
+    return false;
+  }
+  std::string raw;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+    raw.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  const size_t sp = raw.find(' ');
+  if (sp == std::string::npos) {
+    return false;
+  }
+  if (status != nullptr) {
+    *status = std::atoi(raw.c_str() + sp + 1);
+  }
+  const size_t header_end = raw.find("\r\n\r\n");
+  if (body != nullptr) {
+    *body = header_end == std::string::npos ? "" : raw.substr(header_end + 4);
+  }
+  return true;
+}
+
+}  // namespace faro

@@ -1,0 +1,78 @@
+// Embedded dependency-free HTTP/1.1 server for the telemetry plane.
+//
+// Scope is deliberately tiny: loopback only, one accept thread handling
+// connections serially, close-delimited responses (Connection: close), and
+// just enough request parsing for GET/POST with an optional Content-Length
+// body -- what curl, promtool, and the smoke tests need to scrape /metrics
+// and poke /speed. Serving never touches the simulation: handlers read
+// shared state behind their own synchronisation, so a slow or hostile
+// scraper can delay its own response, never the replay.
+
+#ifndef SRC_SERVE_HTTP_H_
+#define SRC_SERVE_HTTP_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+
+namespace faro {
+
+struct HttpRequest {
+  std::string method;  // "GET", "POST", ...
+  std::string path;    // path only, query string split off
+  std::string query;   // raw text after '?' (may be empty)
+  std::string body;
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+using HttpHandler = std::function<HttpResponse(const HttpRequest&)>;
+
+class HttpServer {
+ public:
+  HttpServer() = default;
+  ~HttpServer() { Stop(); }
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  // Binds 127.0.0.1:`port` (0 picks an ephemeral port) and starts the accept
+  // thread. Returns false when the socket cannot be bound.
+  bool Start(uint16_t port, HttpHandler handler);
+  // Joins the accept thread; idempotent.
+  void Stop();
+
+  // The bound port (useful with port 0); 0 when not running.
+  uint16_t port() const { return port_; }
+  bool running() const { return listen_fd_ >= 0; }
+  // Requests served so far (handler invocations).
+  uint64_t requests_served() const {
+    return requests_served_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void AcceptLoop();
+  void HandleConnection(int fd);
+
+  HttpHandler handler_;
+  std::thread thread_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> stop_{false};
+  std::atomic<uint64_t> requests_served_{0};
+};
+
+// Minimal loopback HTTP client for tests and the daemon's own smoke checks:
+// one request, close-delimited response. Returns false on connect/IO errors;
+// otherwise fills `status` and `body`.
+bool HttpFetch(uint16_t port, const std::string& method, const std::string& target,
+               const std::string& request_body, int* status, std::string* body);
+
+}  // namespace faro
+
+#endif  // SRC_SERVE_HTTP_H_

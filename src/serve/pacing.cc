@@ -1,0 +1,44 @@
+#include "src/serve/pacing.h"
+
+#include <algorithm>
+
+namespace faro {
+namespace {
+
+double ClampSpeed(double speed) {
+  return std::clamp(speed, PacingClock::kMinSpeed, PacingClock::kMaxSpeed);
+}
+
+}  // namespace
+
+void PacingClock::Reset(double speed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  wall_anchor_ = Clock::now();
+  sim_anchor_ = 0.0;
+  speed_ = ClampSpeed(speed);
+}
+
+double PacingClock::SetSpeed(double speed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const Clock::time_point now = Clock::now();
+  const std::chrono::duration<double> elapsed = now - wall_anchor_;
+  sim_anchor_ += elapsed.count() * speed_;
+  wall_anchor_ = now;
+  speed_ = ClampSpeed(speed);
+  return speed_;
+}
+
+double PacingClock::speed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return speed_;
+}
+
+double PacingClock::TargetSimTimeAt(Clock::time_point wall_now) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::chrono::duration<double> elapsed = wall_now - wall_anchor_;
+  // A wall clock handed in from before the anchor (tests) maps to the anchor
+  // itself: the target never goes backwards.
+  return sim_anchor_ + std::max(0.0, elapsed.count()) * speed_;
+}
+
+}  // namespace faro

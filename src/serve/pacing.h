@@ -1,0 +1,55 @@
+// Wall-clock pacing for replaying a simulated run in (scaled) real time.
+//
+// A PacingClock maps wall time onto sim time: at speed S, one wall second
+// corresponds to S simulated seconds. The replay daemon polls
+// TargetSimTime() and steps the simulator up to that target -- pacing only
+// throttles *when* events are delivered, never which events or in what
+// order, so a paced run is bit-identical to the batch run of the same
+// config and seed (DESIGN.md, "Pacing-clock determinism contract").
+//
+// Speed changes re-anchor the mapping at the current target, so the sim-time
+// target is continuous and non-decreasing across SetSpeed calls (a replay
+// can never be asked to step backwards). All methods are thread-safe: the
+// HTTP control thread adjusts speed while the replay thread polls.
+
+#ifndef SRC_SERVE_PACING_H_
+#define SRC_SERVE_PACING_H_
+
+#include <chrono>
+#include <mutex>
+
+namespace faro {
+
+class PacingClock {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  // Speeds are clamped to [kMinSpeed, kMaxSpeed] (1x .. 10000x).
+  static constexpr double kMinSpeed = 1.0;
+  static constexpr double kMaxSpeed = 10000.0;
+
+  explicit PacingClock(double speed = 1.0) { Reset(speed); }
+
+  // Restarts the mapping: sim time 0 corresponds to "now".
+  void Reset(double speed);
+
+  // Re-anchors at the current target so the target stays continuous, then
+  // switches the rate. Returns the clamped speed actually applied.
+  double SetSpeed(double speed);
+  double speed() const;
+
+  // The sim time the replay should have reached by wall-clock now.
+  double TargetSimTime() const { return TargetSimTimeAt(Clock::now()); }
+  // Deterministic variant for tests: target at an explicit wall instant.
+  double TargetSimTimeAt(Clock::time_point wall_now) const;
+
+ private:
+  mutable std::mutex mu_;
+  Clock::time_point wall_anchor_;
+  double sim_anchor_ = 0.0;  // sim time corresponding to wall_anchor_
+  double speed_ = 1.0;
+};
+
+}  // namespace faro
+
+#endif  // SRC_SERVE_PACING_H_

@@ -67,14 +67,23 @@ struct DeferredScaleUp {
   uint32_t add = 0;
 };
 
-class ShardedSimulation {
+// Stepper shape mirrors the classic engine: Init() primes, StepUntil()
+// processes control boundaries at or before the target (plus an eager
+// intra-segment drain of shard-local events, which is order-equivalent
+// because jobs are independent between boundaries), Finish() aggregates.
+class ShardedSimulation final : public SimStepper {
  public:
   ShardedSimulation(const SimConfig& config, const std::vector<SimJobConfig>& jobs,
                     AutoscalingPolicy& policy)
       : config_(config), jobs_(jobs), policy_(policy),
         injector_(config.faults, config.seed) {}
 
-  RunResult Run();
+  void Init();
+  void StepUntil(double until_s) override;
+  RunResult Finish() override;
+  double duration_s() const override { return duration_; }
+  double now_s() const override { return now_; }
+  bool done() const override { return done_; }
 
  private:
   void PushJob(uint32_t job, double time, EventKind kind, double payload = 0.0) {
@@ -401,11 +410,22 @@ class ShardedSimulation {
   std::vector<JobSpec> specs_;
   std::vector<JobMetrics> metrics_;
   std::vector<DeferredScaleUp> deferred_;
+  std::vector<MinuteSnapshot> snaps_;  // per-job slots, observer runs only
   double now_ = 0.0;
   double peak_replicas_ = 0.0;
+  // Stepping state (see StepUntil): run length, pending control boundaries,
+  // the fault-plan cursor, and the next arrival minute to generate.
+  size_t total_minutes_ = 0;
+  double duration_ = 0.0;
+  size_t next_fault_ = 0;
+  double next_reactive_ = 0.0;
+  double next_metrics_ = 0.0;
+  double next_decide_ = 0.0;
+  size_t next_minute_ = 1;
+  bool done_ = false;
 };
 
-RunResult ShardedSimulation::Run() {
+void ShardedSimulation::Init() {
   const size_t num_jobs = jobs_.size();
   size_t threads = config_.shard_threads > 0 ? config_.shard_threads
                                              : DefaultThreadCount();
@@ -429,29 +449,29 @@ RunResult ShardedSimulation::Run() {
     sh.events = MakeScheduler(config_.scheduler, 4096);
   }
 
-  size_t total_minutes = std::numeric_limits<size_t>::max();
+  total_minutes_ = std::numeric_limits<size_t>::max();
   for (const SimJobConfig& job : jobs_) {
-    total_minutes = std::min(total_minutes, job.arrival_rate_per_min.size());
+    total_minutes_ = std::min(total_minutes_, job.arrival_rate_per_min.size());
   }
-  if (num_jobs == 0 || total_minutes == std::numeric_limits<size_t>::max()) {
-    total_minutes = 0;
+  if (num_jobs == 0 || total_minutes_ == std::numeric_limits<size_t>::max()) {
+    total_minutes_ = 0;
   }
-  const double duration = static_cast<double>(total_minutes) * 60.0;
+  duration_ = static_cast<double>(total_minutes_) * 60.0;
 
   if (config_.record_minute_series) {
     for (JobState& js : state_) {
-      js.minute_p99.reserve(total_minutes);
-      js.minute_utility.reserve(total_minutes);
-      js.minute_eu.reserve(total_minutes);
-      js.minute_arrivals.reserve(total_minutes);
-      js.minute_drop_rate.reserve(total_minutes);
-      js.minute_replicas.reserve(total_minutes);
+      js.minute_p99.reserve(total_minutes_);
+      js.minute_utility.reserve(total_minutes_);
+      js.minute_eu.reserve(total_minutes_);
+      js.minute_arrivals.reserve(total_minutes_);
+      js.minute_drop_rate.reserve(total_minutes_);
+      js.minute_replicas.reserve(total_minutes_);
       for (auto& series : js.minute_lost_by_cause) {
-        series.reserve(total_minutes);
+        series.reserve(total_minutes_);
       }
-      js.minute_violations.reserve(total_minutes);
-      js.minute_burn_fast.reserve(total_minutes);
-      js.minute_burn_slow.reserve(total_minutes);
+      js.minute_violations.reserve(total_minutes_);
+      js.minute_burn_fast.reserve(total_minutes_);
+      js.minute_burn_slow.reserve(total_minutes_);
     }
   }
   for (uint32_t j = 0; j < num_jobs; ++j) {
@@ -463,22 +483,29 @@ RunResult ShardedSimulation::Run() {
       shards_.size(), [&](size_t s) { ScheduleMinuteArrivals(shards_[s], 0); },
       shards_.size());
 
-  const std::vector<FaultEvent>& scheduled = injector_.scheduled();
-  size_t next_fault = 0;
-
   // Control boundaries. reactive/metrics start after one interval, the
   // long-term decision fires at t = 0 like the classic engine.
+  next_reactive_ = config_.reactive_interval_s;
+  next_metrics_ = config_.metrics_window_s;
+  next_decide_ = 0.0;
+  next_minute_ = 1;
+  next_fault_ = 0;
+}
+
+void ShardedSimulation::StepUntil(double until_s) {
+  if (done_) {
+    return;
+  }
+  const size_t num_jobs = jobs_.size();
+  const std::vector<FaultEvent>& scheduled = injector_.scheduled();
   const double reactive_s = config_.reactive_interval_s;
   const double window_s = config_.metrics_window_s;
   const double decide_s = policy_.decision_interval_s();
-  double next_reactive = reactive_s;
-  double next_metrics = window_s;
-  double next_decide = 0.0;
-  size_t next_minute = 1;
+  const double limit = std::min(until_s, duration_);
 
-  while (total_minutes > 0) {
-    const double T = std::min({next_reactive, next_metrics, next_decide});
-    if (T > duration) {
+  while (total_minutes_ > 0) {
+    const double T = std::min({next_reactive_, next_metrics_, next_decide_});
+    if (T > limit) {
       break;
     }
     now_ = T;
@@ -488,11 +515,11 @@ RunResult ShardedSimulation::Run() {
         shards_.size());
 
     // Scheduled chaos events due by now (kReplicaBurst only; validated).
-    while (injector_.active() && next_fault < scheduled.size() &&
-           scheduled[next_fault].time_s <= T) {
-      const FaultEvent& fault = scheduled[next_fault];
+    while (injector_.active() && next_fault_ < scheduled.size() &&
+           scheduled[next_fault_].time_s <= T) {
+      const FaultEvent& fault = scheduled[next_fault_];
       ApplyBurst(fault.job, fault.fraction, fault.count);
-      ++next_fault;
+      ++next_fault_;
     }
     // Delayed scale-ups due by now, in the order they were deferred.
     if (!deferred_.empty()) {
@@ -507,7 +534,14 @@ RunResult ShardedSimulation::Run() {
       deferred_.resize(keep);
     }
 
-    if (T == next_metrics) {
+    if (T == next_metrics_) {
+      // Each job writes only its own snapshot slot inside the barrier, then
+      // the coordinator replays them serially in job order -- the observer
+      // sees the same sequence the classic engine would produce.
+      const bool observe = config_.minute_observer != nullptr;
+      if (observe) {
+        snaps_.resize(num_jobs);
+      }
       ParallelFor(
           shards_.size(),
           [&](size_t s) {
@@ -515,25 +549,32 @@ RunResult ShardedSimulation::Run() {
             for (const uint32_t j : sh.jobs) {
               CloseMetricsWindowCore(state_[j], jobs_[j].spec, now_, window_s,
                                      config_.history_steps,
-                                     config_.record_minute_series, sh.scratch);
+                                     config_.record_minute_series, sh.scratch,
+                                     observe ? &snaps_[j] : nullptr);
             }
-            if (next_minute < total_minutes) {
-              ScheduleMinuteArrivals(sh, next_minute);
+            if (next_minute_ < total_minutes_) {
+              ScheduleMinuteArrivals(sh, next_minute_);
             }
           },
           shards_.size());
+      if (observe) {
+        for (uint32_t j = 0; j < num_jobs; ++j) {
+          snaps_[j].job = j;
+          config_.minute_observer->OnMinute(snaps_[j]);
+        }
+      }
       double minute_replicas = 0.0;
       for (uint32_t j = 0; j < num_jobs; ++j) {
         minute_replicas += static_cast<double>(state_[j].ready + state_[j].starting);
       }
       peak_replicas_ = std::max(peak_replicas_, minute_replicas);
-      if (next_minute < total_minutes) {
-        ++next_minute;
+      if (next_minute_ < total_minutes_) {
+        ++next_minute_;
       }
-      next_metrics += window_s;
+      next_metrics_ += window_s;
     }
 
-    if (T == next_reactive) {
+    if (T == next_reactive_) {
       if (injector_.active() && injector_.DrawBurst(reactive_s)) {
         ApplyBurst(-1, injector_.plan().burst_fraction, 0);
       }
@@ -556,10 +597,10 @@ RunResult ShardedSimulation::Run() {
         ApplyAction(*action);
       }
       MarkLadderDegradations(ladder_before);
-      next_reactive += reactive_s;
+      next_reactive_ += reactive_s;
     }
 
-    if (T == next_decide) {
+    if (T == next_decide_) {
       const auto& metrics = CollectMetrics();
       const uint64_t ladder_before =
           sim_internal::LadderDegradations(policy_.solver_telemetry());
@@ -567,16 +608,31 @@ RunResult ShardedSimulation::Run() {
           policy_.Decide(now_, specs_, metrics, config_.resources);
       MarkLadderDegradations(ladder_before);
       ApplyAction(action);
-      next_decide += decide_s > 0.0 ? decide_s : duration + 1.0;
+      next_decide_ += decide_s > 0.0 ? decide_s : duration_ + 1.0;
     }
   }
 
-  // Tail events at exactly t = duration (classic processes time <= duration).
-  now_ = duration;
-  ParallelFor(
-      shards_.size(), [&](size_t s) { Advance(shards_[s], duration, true); },
-      shards_.size());
+  if (until_s >= duration_) {
+    // Tail events at exactly t = duration (classic processes time <= it).
+    now_ = duration_;
+    ParallelFor(
+        shards_.size(), [&](size_t s) { Advance(shards_[s], duration_, true); },
+        shards_.size());
+    done_ = true;
+  } else {
+    // Eager intra-segment drain up to (excluding) the pacing target: between
+    // boundaries, job subclusters are independent and each shard pops its
+    // own queue in the engine's canonical order, so processing these events
+    // now versus at the next boundary's Advance is bit-equivalent.
+    ParallelFor(
+        shards_.size(), [&](size_t s) { Advance(shards_[s], until_s, false); },
+        shards_.size());
+    now_ = until_s;
+  }
+}
 
+RunResult ShardedSimulation::Finish() {
+  const size_t num_jobs = jobs_.size();
   // --- aggregate (serial, job order: shard-count invariant) -----------------
   RunResult result;
   result.jobs.resize(num_jobs);
@@ -633,11 +689,12 @@ RunResult ShardedSimulation::Run() {
 
 }  // namespace
 
-RunResult RunSimulationSharded(const SimConfig& config,
-                               const std::vector<SimJobConfig>& jobs,
-                               AutoscalingPolicy& policy) {
-  ShardedSimulation simulation(config, jobs, policy);
-  return simulation.Run();
+std::unique_ptr<SimStepper> MakeSimStepperSharded(const SimConfig& config,
+                                                  const std::vector<SimJobConfig>& jobs,
+                                                  AutoscalingPolicy& policy) {
+  auto simulation = std::make_unique<ShardedSimulation>(config, jobs, policy);
+  simulation->Init();
+  return simulation;
 }
 
 }  // namespace faro

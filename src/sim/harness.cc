@@ -183,9 +183,8 @@ TraceSession StartRunTraceSession(const ExperimentSetup& setup, const std::strin
   return session;
 }
 
-RunResult RunPolicy(const ExperimentSetup& setup, const PreparedWorkload& workload,
-                    AutoscalingPolicy& policy, uint64_t trial_seed,
-                    const TraceSession& trace) {
+SimConfig BuildSimConfig(const ExperimentSetup& setup, uint64_t trial_seed,
+                         const TraceSession& trace) {
   SimConfig config;
   config.resources = ClusterResources{setup.capacity, setup.capacity};
   config.processing_jitter = setup.processing_jitter;
@@ -200,7 +199,13 @@ RunResult RunPolicy(const ExperimentSetup& setup, const PreparedWorkload& worklo
   config.shard_threads = setup.shard_threads;
   config.scheduler = setup.scheduler;
   config.record_minute_series = setup.record_minute_series;
-  return RunSimulation(config, workload.jobs, policy);
+  return config;
+}
+
+RunResult RunPolicy(const ExperimentSetup& setup, const PreparedWorkload& workload,
+                    AutoscalingPolicy& policy, uint64_t trial_seed,
+                    const TraceSession& trace) {
+  return RunSimulation(BuildSimConfig(setup, trial_seed, trace), workload.jobs, policy);
 }
 
 namespace {

@@ -145,6 +145,13 @@ const std::vector<std::string>& AllPolicyNames();
 // policy (FaroConfig::trace) and to RunPolicy.
 TraceSession StartRunTraceSession(const ExperimentSetup& setup, const std::string& label);
 
+// The exact SimConfig RunPolicy assembles from a setup. Exposed so live
+// drivers (the faro_serve replay daemon) can build a bit-identical run from
+// the same setup -- adding only a minute observer, which never perturbs the
+// simulation -- and step it under a pacing clock.
+SimConfig BuildSimConfig(const ExperimentSetup& setup, uint64_t trial_seed,
+                         const TraceSession& trace = {});
+
 // Runs one policy once over the prepared workload. `trace` (optional) binds
 // the simulator's request-lifecycle spans to a session from
 // StartRunTraceSession.

@@ -145,10 +145,15 @@ inline double ScratchPercentile(std::vector<double>& scratch,
 // effective utility, replica gauge, SLO-ledger fold, lost-utility attribution;
 // resets the window accumulators. Pure per-job arithmetic -- no RNG -- so
 // both engines share it bit-exactly. `end_s` is the sim time of the close.
+// When `snap` is non-null it is filled with the window's values (for
+// SimMinuteObserver delivery) before the accumulators reset; filling it
+// reads, never writes, the job state, so observed and unobserved runs are
+// bit-identical.
 inline void CloseMetricsWindowCore(JobState& js, const JobSpec& spec,
                                    double end_s, double window_s,
                                    size_t history_steps, bool record_series,
-                                   std::vector<double>& scratch) {
+                                   std::vector<double>& scratch,
+                                   MinuteSnapshot* snap = nullptr) {
   const double rate = static_cast<double>(js.window_arrivals) / window_s;  // req/s
   js.arrival_history.push_back(rate);
   if (js.arrival_history.size() > history_steps) {
@@ -219,6 +224,21 @@ inline void CloseMetricsWindowCore(JobState& js, const JobSpec& spec,
     js.minute_violations.push_back(static_cast<double>(window_violations));
     js.minute_burn_fast.push_back(slo_obs.burn_fast);
     js.minute_burn_slow.push_back(slo_obs.burn_slow);
+  }
+
+  if (snap != nullptr) {
+    snap->end_s = end_s;
+    snap->arrivals = static_cast<double>(js.window_arrivals);
+    snap->violations = static_cast<double>(window_violations);
+    snap->drop_rate = js.last_window_drop_rate;
+    snap->p99 = p99;
+    snap->utility = utility;
+    snap->replicas = replicas;
+    snap->burn_fast = slo_obs.burn_fast;
+    snap->burn_slow = slo_obs.burn_slow;
+    snap->alert_fast = slo_obs.alert_fast;
+    snap->alert_slow = slo_obs.alert_slow;
+    snap->budget_remaining_frac = js.slo_ledger.budget_remaining_frac();
   }
 
   js.window_arrivals = 0;

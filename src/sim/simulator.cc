@@ -18,9 +18,9 @@ namespace faro {
 
 // Sharded engine entry point (engine_sharded.cc). Shares ValidateSimConfig
 // and all per-job semantics via sim_internal.h.
-RunResult RunSimulationSharded(const SimConfig& config,
-                               const std::vector<SimJobConfig>& jobs,
-                               AutoscalingPolicy& policy);
+std::unique_ptr<SimStepper> MakeSimStepperSharded(const SimConfig& config,
+                                                  const std::vector<SimJobConfig>& jobs,
+                                                  AutoscalingPolicy& policy);
 
 namespace {
 
@@ -36,7 +36,12 @@ using sim_internal::UpdateOverloadTimerCore;
 // binary heap as reference -- both pop in the identical (time, sequence)
 // order, so the choice never changes results); per-request state lives in a
 // struct-of-arrays RequestPool instead of per-job deques.
-class Simulation {
+//
+// The engine is a SimStepper: Init() primes the run, StepUntil() drains the
+// event loop up to a sim-time target, Finish() aggregates. The batch path
+// (RunSimulation) is Init + StepUntil(+inf) + Finish, so paced and batch
+// runs execute identical code over the identical event order.
+class Simulation final : public SimStepper {
  public:
   Simulation(const SimConfig& config, const std::vector<SimJobConfig>& jobs,
              AutoscalingPolicy& policy)
@@ -44,7 +49,12 @@ class Simulation {
         trace_(config.trace), events_(MakeScheduler(config.scheduler, 4096)),
         injector_(config.faults, config.seed) {}
 
-  RunResult Run();
+  void Init();
+  void StepUntil(double until_s) override;
+  RunResult Finish() override;
+  double duration_s() const override { return duration_; }
+  double now_s() const override { return now_; }
+  bool done() const override { return done_; }
 
  private:
   void Push(double time, EventKind kind, uint32_t job, double payload = 0.0) {
@@ -132,6 +142,9 @@ class Simulation {
   std::vector<JobState> state_;
   std::vector<JobSpec> specs_;
   size_t total_minutes_ = 0;
+  double duration_ = 0.0;
+  size_t next_minute_ = 1;
+  bool done_ = false;
   // Optional node-placement model.
   std::unique_ptr<PlacementTracker> placement_;
   // Replicas requested but not yet placeable (Pending pods), per job.
@@ -619,7 +632,7 @@ void Simulation::ApplyAction(const ScalingAction& action) {
   }
 }
 
-RunResult Simulation::Run() {
+void Simulation::Init() {
   if (config_.obs_metrics) {
     MetricsRegistry& registry = MetricsRegistry::Global();
     m_requests_ = &registry
@@ -669,7 +682,7 @@ RunResult Simulation::Run() {
   for (const SimJobConfig& job : jobs_) {
     total_minutes_ = std::min(total_minutes_, job.arrival_rate_per_min.size());
   }
-  const double duration = static_cast<double>(total_minutes_) * 60.0;
+  duration_ = static_cast<double>(total_minutes_) * 60.0;
   if (config_.record_minute_series) {
     for (JobState& js : state_) {
       js.minute_p99.reserve(total_minutes_);
@@ -709,13 +722,18 @@ RunResult Simulation::Run() {
   Push(config_.metrics_window_s, EventKind::kMetricsTick, 0);
   Push(config_.reactive_interval_s, EventKind::kReactiveTick, 0);
   Push(0.0, EventKind::kDecideTick, 0);
-  size_t next_minute = 1;
+  next_minute_ = 1;
+}
 
-  while (!events_->Empty()) {
+void Simulation::StepUntil(double until_s) {
+  // Peeking the head (instead of the historical pop-then-break) is exact:
+  // NextTime() returns the time of the event Pop() would hand back, so an
+  // event past the limit is simply left in the queue -- unprocessed and
+  // uncounted either way. That makes stepping to any intermediate target a
+  // pure prefix of the batch loop.
+  const double limit = std::min(until_s, duration_);
+  while (!events_->Empty() && events_->NextTime() <= limit) {
     const Event event = events_->Pop();
-    if (event.time > duration) {
-      break;
-    }
     ++events_processed_;
     now_ = event.time;
     switch (event.kind) {
@@ -762,17 +780,24 @@ RunResult Simulation::Run() {
       }
       case EventKind::kMetricsTick: {
         double minute_replicas = 0.0;
+        MinuteSnapshot snap;
+        MinuteSnapshot* snap_ptr =
+            config_.minute_observer != nullptr ? &snap : nullptr;
         for (uint32_t j = 0; j < jobs_.size(); ++j) {
           sim_internal::CloseMetricsWindowCore(
               state_[j], jobs_[j].spec, now_, config_.metrics_window_s,
               config_.history_steps, config_.record_minute_series,
-              scratch_latencies_);
+              scratch_latencies_, snap_ptr);
+          if (snap_ptr != nullptr) {
+            snap.job = j;
+            config_.minute_observer->OnMinute(snap);
+          }
           minute_replicas += static_cast<double>(state_[j].ready + state_[j].starting);
         }
         peak_replicas_ = std::max(peak_replicas_, minute_replicas);
-        if (next_minute < total_minutes_) {
-          ScheduleMinuteArrivals(next_minute);
-          ++next_minute;
+        if (next_minute_ < total_minutes_) {
+          ScheduleMinuteArrivals(next_minute_);
+          ++next_minute_;
         }
         Push(now_ + config_.metrics_window_s, EventKind::kMetricsTick, 0);
         break;
@@ -793,7 +818,12 @@ RunResult Simulation::Run() {
       }
     }
   }
+  if (events_->Empty() || events_->NextTime() > duration_) {
+    done_ = true;
+  }
+}
 
+RunResult Simulation::Finish() {
   // --- aggregate ------------------------------------------------------------
   RunResult result;
   result.jobs.resize(jobs_.size());
@@ -931,16 +961,25 @@ std::string ValidateSimConfig(const SimConfig& config) {
   return {};
 }
 
-RunResult RunSimulation(const SimConfig& config, const std::vector<SimJobConfig>& jobs,
-                        AutoscalingPolicy& policy) {
+std::unique_ptr<SimStepper> MakeSimStepper(const SimConfig& config,
+                                           const std::vector<SimJobConfig>& jobs,
+                                           AutoscalingPolicy& policy) {
   if (std::string problem = ValidateSimConfig(config); !problem.empty()) {
     throw std::invalid_argument(problem);
   }
   if (config.engine == SimEngine::kSharded) {
-    return RunSimulationSharded(config, jobs, policy);
+    return MakeSimStepperSharded(config, jobs, policy);
   }
-  Simulation simulation(config, jobs, policy);
-  return simulation.Run();
+  auto simulation = std::make_unique<Simulation>(config, jobs, policy);
+  simulation->Init();
+  return simulation;
+}
+
+RunResult RunSimulation(const SimConfig& config, const std::vector<SimJobConfig>& jobs,
+                        AutoscalingPolicy& policy) {
+  const std::unique_ptr<SimStepper> stepper = MakeSimStepper(config, jobs, policy);
+  stepper->StepUntil(std::numeric_limits<double>::infinity());
+  return stepper->Finish();
 }
 
 }  // namespace faro

@@ -27,6 +27,7 @@
 
 #include <array>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -65,6 +66,37 @@ struct SimJobConfig {
   // Arrival rates per one-minute step (requests per minute).
   Series arrival_rate_per_min;
   uint32_t initial_replicas = 1;
+};
+
+// One job's closed metrics window, as delivered to a SimMinuteObserver the
+// moment the window closes. Every field is computed by the shared
+// CloseMetricsWindowCore, so the values match the batch minute series
+// bit-for-bit; observing a run never perturbs it (no RNG draws, no state).
+struct MinuteSnapshot {
+  uint32_t job = 0;       // index into the run's job vector
+  double end_s = 0.0;     // sim time of the window close
+  double arrivals = 0.0;  // requests that arrived in the window
+  double violations = 0.0;
+  double drop_rate = 0.0;  // fraction of the window's arrivals
+  double p99 = 0.0;
+  double utility = 0.0;
+  double replicas = 0.0;  // provisioned (ready + starting) at the close
+  double burn_fast = 0.0;  // 1 h-window error-budget burn rate
+  double burn_slow = 0.0;  // 6 h-window error-budget burn rate
+  bool alert_fast = false;
+  bool alert_slow = false;
+  double budget_remaining_frac = 1.0;  // run-to-date; negative when overspent
+};
+
+// Streaming hook for live consumers (the faro_serve telemetry daemon). Both
+// engines invoke it serially, in job order, on the thread driving the run --
+// the classic event-loop thread, or the sharded engine's coordinator with
+// every shard parked at the metrics barrier -- so implementations need no
+// locking against the simulation itself.
+class SimMinuteObserver {
+ public:
+  virtual ~SimMinuteObserver() = default;
+  virtual void OnMinute(const MinuteSnapshot& snapshot) = 0;
 };
 
 struct SimConfig {
@@ -118,6 +150,10 @@ struct SimConfig {
   // Hyperscale runs switch this off to keep memory flat: averages are then
   // maintained as running sums and the timelines come back empty.
   bool record_minute_series = true;
+  // Live per-window stream (see SimMinuteObserver above). Null (the default)
+  // costs nothing; a non-null observer sees every job's window in job order
+  // as it closes and must outlive the run.
+  SimMinuteObserver* minute_observer = nullptr;
 };
 
 struct JobRunStats {
@@ -208,6 +244,44 @@ std::string ValidateSimConfig(const SimConfig& config);
 // shortest job trace (in minutes).
 RunResult RunSimulation(const SimConfig& config, const std::vector<SimJobConfig>& jobs,
                         AutoscalingPolicy& policy);
+
+// Incremental run driver. MakeSimStepper primes a run (initial replicas,
+// minute-0 arrivals, control ticks) and returns a stepper that processes
+// events on demand; RunSimulation itself is implemented as
+// StepUntil(+infinity) followed by Finish(), so a paced run -- stepping to
+// successive wall-clock targets -- executes the *same* code over the same
+// event order and produces bit-identical results to the batch call. Pacing
+// only throttles delivery; it can never reorder events.
+//
+// Contract: `until_s` must be non-decreasing across calls. Finish() may be
+// called once; the canonical sequence finishes after done() turns true
+// (StepUntil past duration_s()), but an interrupted driver (the replay
+// daemon winding down on SIGTERM) may finish early and gets the aggregation
+// of everything processed so far. The config, jobs, and policy must outlive
+// the stepper (they are referenced, not copied), matching RunSimulation's
+// borrowing.
+class SimStepper {
+ public:
+  virtual ~SimStepper() = default;
+
+  // Sim end time: shortest job trace in minutes x 60.
+  virtual double duration_s() const = 0;
+  // Sim time reached so far (last processed event or step target).
+  virtual double now_s() const = 0;
+  // True once every event at or before duration_s() has been processed.
+  virtual bool done() const = 0;
+  // Processes every pending event with time <= min(until_s, duration_s()),
+  // in exactly the order the batch loop would.
+  virtual void StepUntil(double until_s) = 0;
+  // Aggregates and returns the run result (the batch RunResult).
+  virtual RunResult Finish() = 0;
+};
+
+// Validates `config` (throws std::invalid_argument like RunSimulation) and
+// returns a primed stepper for the configured engine.
+std::unique_ptr<SimStepper> MakeSimStepper(const SimConfig& config,
+                                           const std::vector<SimJobConfig>& jobs,
+                                           AutoscalingPolicy& policy);
 
 }  // namespace faro
 

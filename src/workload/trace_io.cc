@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <fstream>
 #include <sstream>
+#include <stdexcept>
 
 namespace faro {
 namespace {
@@ -76,10 +77,13 @@ std::vector<Series> LoadTracesCsv(const std::string& path, std::vector<std::stri
     return {};
   }
   std::vector<std::vector<double>> columns;
+  std::vector<std::string> header;
   std::string line;
   bool first_line = true;
+  size_t line_no = 0;
   while (std::getline(in, line)) {
-    if (line.empty()) {
+    ++line_no;
+    if (line.empty() || line == "\r") {
       continue;
     }
     const std::vector<std::string> cells = SplitCsvLine(line);
@@ -88,6 +92,7 @@ std::vector<Series> LoadTracesCsv(const std::string& path, std::vector<std::stri
       double probe = 0.0;
       if (!cells.empty() && !ParseDouble(cells[0], probe)) {
         // Header row.
+        header = cells;
         if (names != nullptr) {
           *names = cells;
         }
@@ -99,10 +104,22 @@ std::vector<Series> LoadTracesCsv(const std::string& path, std::vector<std::stri
       columns.resize(cells.size());
     }
     for (size_t c = 0; c < cells.size(); ++c) {
-      double value = 0.0;
-      if (ParseDouble(cells[c], value)) {
-        columns[c].push_back(value);
+      if (cells[c].empty() || cells[c] == "\r") {
+        continue;  // ragged row padding from SaveTracesCsv
       }
+      double value = 0.0;
+      if (!ParseDouble(cells[c], value)) {
+        std::string field = "column " + std::to_string(c + 1);
+        if (c < header.size() && !header[c].empty()) {
+          field += " ('" + header[c] + "')";
+        }
+        throw std::invalid_argument(
+            "TraceCsv: " + path + ":" + std::to_string(line_no) + ": " + field +
+            ": cannot parse '" + cells[c] +
+            "' as a number (empty cells mark ragged-trace padding and are the "
+            "only non-numeric values allowed past the header)");
+      }
+      columns[c].push_back(value);
     }
   }
   std::vector<Series> traces;

@@ -18,8 +18,11 @@ bool SaveTracesCsv(const std::string& path, const std::vector<Series>& traces,
                    const std::vector<std::string>& names = {});
 
 // Reads a CSV of numeric columns. A non-numeric first row is treated as a
-// header (returned through `names` when non-null). Empty cells are skipped.
-// Returns an empty vector on I/O or parse failure.
+// header (returned through `names` when non-null). Empty cells are skipped
+// (they are how SaveTracesCsv pads ragged traces). Returns an empty vector
+// when the file cannot be opened; throws std::invalid_argument naming the
+// file, line, and column for any other non-numeric cell, so truncated or
+// garbage external traces fail loudly instead of silently losing samples.
 std::vector<Series> LoadTracesCsv(const std::string& path,
                                   std::vector<std::string>* names = nullptr);
 

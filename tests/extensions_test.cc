@@ -4,7 +4,9 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 #include <numbers>
+#include <stdexcept>
 
 #include <gtest/gtest.h>
 
@@ -266,6 +268,56 @@ TEST(TraceIoTest, HeaderlessNumericFile) {
 
 TEST(TraceIoTest, MissingFileReturnsEmpty) {
   EXPECT_TRUE(LoadTracesCsv("/nonexistent/path/t.csv").empty());
+}
+
+TEST(TraceIoTest, MalformedCellThrowsNamingFileLineAndColumn) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "faro_trace_io_bad.csv").string();
+  {
+    std::ofstream out(path);
+    out << "jobA,jobB\n1,2\n3,oops\n";
+  }
+  try {
+    LoadTracesCsv(path);
+    FAIL() << "malformed cell did not throw";
+  } catch (const std::invalid_argument& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find(path), std::string::npos) << what;
+    EXPECT_NE(what.find(":3:"), std::string::npos) << what;       // line number
+    EXPECT_NE(what.find("column 2"), std::string::npos) << what;  // 1-based column
+    EXPECT_NE(what.find("'jobB'"), std::string::npos) << what;    // header name
+    EXPECT_NE(what.find("'oops'"), std::string::npos) << what;    // offending text
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(TraceIoTest, GarbageInHeaderlessFileThrows) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "faro_trace_io_garbage.csv").string();
+  {
+    std::ofstream out(path);
+    out << "5,6\n7,\x01garbage\n";  // numeric first row, binary junk later
+  }
+  EXPECT_THROW(LoadTracesCsv(path), std::invalid_argument);
+  std::filesystem::remove(path);
+}
+
+TEST(TraceIoTest, TruncatedRaggedTailStaysLegal) {
+  // A file cut off mid-row leaves trailing empty cells -- exactly what
+  // SaveTracesCsv emits for ragged traces, so it must keep loading; blank
+  // lines and CRLF endings are tolerated too.
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "faro_trace_io_trunc.csv").string();
+  {
+    std::ofstream out(path);
+    out << "jobA,jobB\r\n1,2\r\n\r\n3,\n";
+  }
+  const auto loaded = LoadTracesCsv(path);
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_EQ(loaded[0].size(), 2u);
+  EXPECT_EQ(loaded[1].size(), 1u);
+  EXPECT_DOUBLE_EQ(loaded[0][1], 3.0);
+  std::filesystem::remove(path);
 }
 
 // --- Fault injection --------------------------------------------------------------

@@ -7,6 +7,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
+#include <map>
 #include <string>
 #include <thread>
 #include <vector>
@@ -197,8 +199,10 @@ TEST(RegistryTest, JsonLinesParse) {
   registry.GetCounter("json_counter\"evil\\name").Add(3);
   registry.GetHistogram("json_hist", "h").Record(0.25);
   const std::string lines = registry.JsonLines();
-  // Metric names are escaped into the JSON string.
-  EXPECT_NE(lines.find("json_counter\\\"evil\\\\name"), std::string::npos);
+  // Registration sanitizes hostile names, so the JSON sink only ever sees
+  // charset-clean families — the quote and backslash become underscores.
+  EXPECT_NE(lines.find("\"json_counter_evil_name\""), std::string::npos);
+  EXPECT_EQ(lines.find("json_counter\\\"evil\\\\name"), std::string::npos);
   EXPECT_NE(lines.find("\"json_hist\""), std::string::npos);
   EXPECT_NE(lines.find("\"p99\""), std::string::npos);
   // Every line is brace-balanced (cheap well-formedness check without a
@@ -216,6 +220,173 @@ TEST(RegistryTest, JsonLinesParse) {
     }
     start = end + 1;
   }
+}
+
+// --- Prometheus exposition-format conformance ------------------------------
+//
+// A line-by-line validator for the text exposition format (the subset the
+// registry emits): every line must be a # HELP / # TYPE comment or a sample
+// `name[{labels}] value`, names must match the spec charsets, HELP text and
+// label values must carry no raw control bytes, and every sample's family
+// must have announced its TYPE earlier -- exactly once. promtool in CI checks
+// the real scrape; this keeps the guarantee in the unit suite.
+
+bool ConformantMetricName(const std::string& name) {
+  if (name.empty()) {
+    return false;
+  }
+  for (size_t i = 0; i < name.size(); ++i) {
+    const char c = name[i];
+    const bool alpha = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                       c == '_' || c == ':';
+    if (!(alpha || (i > 0 && c >= '0' && c <= '9'))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool ConformantLabelName(const std::string& name) {
+  return ConformantMetricName(name) && name.find(':') == std::string::npos;
+}
+
+// Family a sample name belongs to: histograms suffix _bucket/_sum/_count.
+std::string SampleFamily(const std::string& name) {
+  for (const char* suffix : {"_bucket", "_sum", "_count"}) {
+    const std::string s(suffix);
+    if (name.size() > s.size() && name.compare(name.size() - s.size(), s.size(), s) == 0) {
+      return name.substr(0, name.size() - s.size());
+    }
+  }
+  return name;
+}
+
+void ValidatePrometheusExposition(const std::string& text) {
+  std::map<std::string, std::string> type_of;  // family -> counter|gauge|histogram
+  std::map<std::string, int> type_lines;       // family -> # TYPE occurrences
+  size_t samples = 0;
+  size_t start = 0;
+  while (start < text.size()) {
+    size_t end = text.find('\n', start);
+    ASSERT_NE(end, std::string::npos) << "unterminated final line";
+    const std::string line = text.substr(start, end - start);
+    start = end + 1;
+    ASSERT_FALSE(line.empty()) << "blank line in exposition";
+    for (char c : line) {
+      ASSERT_TRUE(static_cast<unsigned char>(c) >= 0x20)
+          << "raw control byte in: " << line;
+    }
+    if (line.rfind("# HELP ", 0) == 0 || line.rfind("# TYPE ", 0) == 0) {
+      const bool is_type = line.rfind("# TYPE ", 0) == 0;
+      const size_t name_end = line.find(' ', 7);
+      ASSERT_NE(name_end, std::string::npos) << line;
+      const std::string family = line.substr(7, name_end - 7);
+      EXPECT_TRUE(ConformantMetricName(family)) << line;
+      if (is_type) {
+        const std::string type = line.substr(name_end + 1);
+        EXPECT_TRUE(type == "counter" || type == "gauge" || type == "histogram") << line;
+        type_of[family] = type;
+        ++type_lines[family];
+      }
+      continue;
+    }
+    ASSERT_NE(line[0], '#') << "unknown comment form: " << line;
+    ++samples;
+    // Sample: name, optional {labels}, one space, value.
+    size_t pos = line.find_first_of("{ ");
+    ASSERT_NE(pos, std::string::npos) << line;
+    const std::string name = line.substr(0, pos);
+    EXPECT_TRUE(ConformantMetricName(name)) << line;
+    if (line[pos] == '{') {
+      // Walk label pairs: label="value" with only \\ \" \n escapes inside.
+      ++pos;
+      while (line[pos] != '}') {
+        const size_t eq = line.find('=', pos);
+        ASSERT_NE(eq, std::string::npos) << line;
+        EXPECT_TRUE(ConformantLabelName(line.substr(pos, eq - pos))) << line;
+        ASSERT_EQ(line[eq + 1], '"') << line;
+        pos = eq + 2;
+        while (line[pos] != '"') {
+          if (line[pos] == '\\') {
+            const char esc = line[pos + 1];
+            ASSERT_TRUE(esc == '\\' || esc == '"' || esc == 'n') << line;
+            ++pos;
+          }
+          ++pos;
+          ASSERT_LT(pos, line.size()) << "unterminated label value: " << line;
+        }
+        ++pos;
+        if (line[pos] == ',') {
+          ++pos;
+        }
+      }
+      ++pos;
+    }
+    ASSERT_EQ(line[pos], ' ') << line;
+    const std::string value = line.substr(pos + 1);
+    char* parse_end = nullptr;
+    std::strtod(value.c_str(), &parse_end);
+    EXPECT_TRUE(parse_end != nullptr && *parse_end == '\0' &&
+                parse_end != value.c_str())
+        << "unparseable sample value: " << line;
+    // TYPE must precede the family's first sample.
+    const std::string family = SampleFamily(name);
+    EXPECT_TRUE(type_of.count(family) == 1 || type_of.count(name) == 1)
+        << "sample before its # TYPE: " << line;
+  }
+  EXPECT_GT(samples, 0u);
+  for (const auto& [family, occurrences] : type_lines) {
+    EXPECT_EQ(occurrences, 1) << "# TYPE repeated for " << family;
+  }
+}
+
+TEST(PrometheusConformanceTest, HostileNamesLabelsAndHelpAreSanitized) {
+  MetricsRegistry registry;
+  // Hostile on every axis: bad name charset, leading digit, newline and
+  // backslash in help, quotes/newlines/backslashes in label values, bad
+  // label-name charset.
+  registry.GetCounter("9starts.with-digit total", "line one\nline two \\ slash").Add(3);
+  registry.GetGauge("temp-c!", "degrees\n").Set(-7.25);
+  registry
+      .GetGauge("faro_per_job", {{"job name", "a\"b\\c\nd"}, {"tier", "gold"}},
+                "per-job gauge")
+      .Set(0.5);
+  registry.GetGauge("faro_per_job", {{"job name", "plain"}}, "per-job gauge").Set(1.5);
+  Histogram& hist = registry.GetHistogram("lat_seconds", "latency");
+  hist.Record(0.01);
+  hist.Record(4.0);
+  ValidatePrometheusExposition(registry.PrometheusText());
+}
+
+TEST(PrometheusConformanceTest, LabeledFamilyEmitsHeaderOnceAndStaysContiguous) {
+  MetricsRegistry registry;
+  // A family name sorting *between* "fam" and "fam{...}" byte-wise ("fam_x" >
+  // "fam{" is false: '{' = 0x7b > '_' = 0x5f, so "fam_x" sorts between "fam"
+  // and "fam{a=...}" under plain string order). The (family, labels) map key
+  // must keep fam's samples contiguous anyway.
+  registry.GetGauge("fam", {{"a", "1"}}, "labeled family").Set(1.0);
+  registry.GetGauge("fam", {{"a", "2"}}, "labeled family").Set(2.0);
+  registry.GetGauge("fam_x", "interloper").Set(9.0);
+  const std::string text = registry.PrometheusText();
+  ValidatePrometheusExposition(text);
+  const size_t first = text.find("fam{a=\"1\"} 1");
+  const size_t second = text.find("fam{a=\"2\"} 2");
+  const size_t other = text.find("fam_x 9");
+  ASSERT_NE(first, std::string::npos) << text;
+  ASSERT_NE(second, std::string::npos) << text;
+  ASSERT_NE(other, std::string::npos) << text;
+  // Both labeled samples sit between fam's single header and fam_x's.
+  const size_t fam_type = text.find("# TYPE fam gauge");
+  const size_t fam_x_type = text.find("# TYPE fam_x gauge");
+  ASSERT_NE(fam_type, std::string::npos);
+  ASSERT_NE(fam_x_type, std::string::npos);
+  EXPECT_LT(fam_type, first);
+  EXPECT_LT(first, second);
+  EXPECT_LT(second, fam_x_type);
+  EXPECT_LT(fam_x_type, other);
+  // One HELP per family, not one per label set.
+  EXPECT_EQ(text.find("# HELP fam labeled family"),
+            text.rfind("# HELP fam labeled family"));
 }
 
 TEST(RegistryTest, ResetForTestZeroesValuesButKeepsRegistrations) {

@@ -2,8 +2,10 @@
 // decision audit log (src/obs/slo.h, src/obs/attribution.h).
 
 #include <array>
+#include <cmath>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -116,6 +118,101 @@ TEST(SloLedgerTest, BurnRateAndAlertOnsets) {
   EXPECT_EQ(ledger.alerts_fast(), 2u);
   // The slow 6 h window saw sustained burn >= 6 as well.
   EXPECT_GE(ledger.max_burn_slow(), 6.0);
+}
+
+// Reference batch evaluator: re-scans the entire observation history on
+// every window, summing front to back. For integer request counts both this
+// scan and the ledger's incremental add/subtract sums equal the exact
+// integer value (partial sums stay below 2^53), so the ledger's O(1) rolling
+// evaluation must be *bit-identical* to the scan -- burns, alert flags, and
+// onset counts alike. This is the contract the live alert feed rides on.
+class ReferenceSloEvaluator {
+ public:
+  explicit ReferenceSloEvaluator(const SloLedgerConfig& config) : config_(config) {}
+
+  SloLedger::Observation Observe(double end_s, double arrivals, double violations) {
+    history_.push_back({end_s, arrivals, violations});
+    double fast_arrivals = 0.0, fast_violations = 0.0;
+    double slow_arrivals = 0.0, slow_violations = 0.0;
+    for (const Sample& s : history_) {
+      if (s.end_s > end_s - config_.slow_window_s) {
+        slow_arrivals += s.arrivals;
+        slow_violations += s.violations;
+      }
+      if (s.end_s > end_s - config_.fast_window_s) {
+        fast_arrivals += s.arrivals;
+        fast_violations += s.violations;
+      }
+    }
+    SloLedger::Observation obs;
+    obs.burn_fast = Burn(fast_violations, fast_arrivals);
+    obs.burn_slow = Burn(slow_violations, slow_arrivals);
+    obs.alert_fast = obs.burn_fast >= config_.fast_threshold;
+    obs.alert_slow = obs.burn_slow >= config_.slow_threshold;
+    if (obs.alert_fast && !fast_firing_) ++alerts_fast_;
+    if (obs.alert_slow && !slow_firing_) ++alerts_slow_;
+    fast_firing_ = obs.alert_fast;
+    slow_firing_ = obs.alert_slow;
+    return obs;
+  }
+
+  uint64_t alerts_fast() const { return alerts_fast_; }
+  uint64_t alerts_slow() const { return alerts_slow_; }
+
+ private:
+  struct Sample {
+    double end_s, arrivals, violations;
+  };
+  double Burn(double violations, double arrivals) const {
+    const double budget = config_.allowance * arrivals;
+    return budget > 0.0 ? violations / budget : 0.0;
+  }
+
+  SloLedgerConfig config_;
+  std::vector<Sample> history_;
+  uint64_t alerts_fast_ = 0;
+  uint64_t alerts_slow_ = 0;
+  bool fast_firing_ = false;
+  bool slow_firing_ = false;
+};
+
+TEST(SloLedgerTest, IncrementalRingBitIdenticalToBatchScanFuzzed) {
+  SloLedgerConfig configs[3];
+  // SRE defaults; tiny windows (heavy eviction and ring reuse); degenerate
+  // fast == slow window.
+  configs[1].fast_window_s = 300.0;
+  configs[1].slow_window_s = 900.0;
+  configs[2].fast_window_s = 1800.0;
+  configs[2].slow_window_s = 1800.0;
+  Rng rng(20260808);
+  for (const SloLedgerConfig& config : configs) {
+    SloLedger ledger(config);
+    ReferenceSloEvaluator reference(config);
+    double t = 0.0;
+    for (int step = 0; step < 3000; ++step) {
+      // Irregular window spacing (missed scrapes) and integer counts, with
+      // occasional zero-traffic and violation-storm windows.
+      t += 60.0 * (1.0 + std::floor(5.0 * rng.Uniform() * rng.Uniform()));
+      const double arrivals =
+          rng.Uniform() < 0.1 ? 0.0 : std::floor(2000.0 * rng.Uniform());
+      double violations = std::floor(arrivals * rng.Uniform() * 0.1);
+      if (rng.Uniform() < 0.05) {
+        violations = arrivals;  // total outage window
+      }
+      const auto got = ledger.Observe(t, arrivals, violations);
+      const auto want = reference.Observe(t, arrivals, violations);
+      ASSERT_EQ(got.burn_fast, want.burn_fast) << "step " << step;
+      ASSERT_EQ(got.burn_slow, want.burn_slow) << "step " << step;
+      ASSERT_EQ(got.alert_fast, want.alert_fast) << "step " << step;
+      ASSERT_EQ(got.alert_slow, want.alert_slow) << "step " << step;
+    }
+    EXPECT_EQ(ledger.alerts_fast(), reference.alerts_fast());
+    EXPECT_EQ(ledger.alerts_slow(), reference.alerts_slow());
+    EXPECT_GT(ledger.alerts_fast(), 0u);  // the fuzz actually exercised alerts
+    // The ring retains only the slow window, not the whole run.
+    EXPECT_LE(ledger.window_samples(),
+              static_cast<size_t>(config.slow_window_s / 60.0) + 1);
+  }
 }
 
 TEST(SloLedgerTest, NoTrafficMeansNoBurn) {

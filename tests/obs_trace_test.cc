@@ -6,6 +6,7 @@
 
 #include "src/obs/trace.h"
 
+#include <cctype>
 #include <cstdlib>
 #include <string>
 #include <vector>
@@ -22,6 +23,13 @@ namespace {
 // (same idiom as harness_determinism_test).
 const bool kForcePoolSize = [] {
   setenv("FARO_THREADS", "4", /*overwrite=*/0);
+  return true;
+}();
+
+// Install an aggressive event cap before DefaultObsConfig's first use so the
+// FARO_TRACE_MAX_EVENTS plumbing is what the truncation test exercises.
+const bool kForceTraceCap = [] {
+  setenv("FARO_TRACE_MAX_EVENTS", "512", /*overwrite=*/1);
   return true;
 }();
 
@@ -142,6 +150,78 @@ TEST(TraceDeterminismTest, SimSpansBitIdenticalAcrossThreadCounts) {
     }
   }
   EXPECT_TRUE(saw_service);
+}
+
+// Structural JSON well-formedness: balanced objects/arrays outside strings,
+// escape-aware string scanning, nothing after the top-level value. Cheap
+// stand-in for a parser; CI loads real traces with python3 -m json.tool.
+bool JsonIsStructurallyValid(const std::string& json) {
+  int depth = 0;
+  bool in_string = false;
+  bool seen_value = false;
+  for (size_t i = 0; i < json.size(); ++i) {
+    const char c = json[i];
+    if (in_string) {
+      if (c == '\\') {
+        ++i;
+      } else if (c == '"') {
+        in_string = false;
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        return false;  // raw control byte inside a string
+      }
+      continue;
+    }
+    switch (c) {
+      case '"': in_string = true; break;
+      case '{': case '[': ++depth; break;
+      case '}': case ']':
+        if (--depth < 0) {
+          return false;
+        }
+        if (depth == 0) {
+          seen_value = true;
+        }
+        break;
+      default:
+        if (seen_value && !std::isspace(static_cast<unsigned char>(c))) {
+          return false;  // trailing garbage after the top-level value
+        }
+    }
+  }
+  return depth == 0 && !in_string && seen_value;
+}
+
+// The FARO_TRACE_MAX_EVENTS satellite: a harness run against a capped tracer
+// overflows the buffer, yet the Chrome/Perfetto JSON stays loadable and the
+// drop counter reports exactly what was lost -- truncation is never silent.
+TEST(TracerTest, EnvCappedTraceStillParsesAndCountsDrops) {
+  ASSERT_TRUE(kForceTraceCap);
+  // The env-installed cap reached ObsConfig.
+  ASSERT_EQ(DefaultObsConfig().trace_max_events, 512u);
+
+  Tracer tracer(DefaultObsConfig().trace_max_events);
+  ExperimentSetup setup;
+  setup.num_jobs = 3;
+  setup.right_size_replicas = 10.0;
+  setup.capacity = 8.0;
+  setup.trials = 1;
+  setup.days = 3;
+  setup.obs.tracer = &tracer;
+  const PreparedWorkload workload = PrepareWorkload(setup);
+  RunTrials(setup, workload, "Faro-FairSum", nullptr);
+
+  EXPECT_GT(tracer.dropped_events(), 0u);
+  // Metadata (process names) bypasses the cap; data events honour it.
+  size_t data_events = 0;
+  for (const TraceEvent& event : tracer.Events()) {
+    if (event.phase != 'M') {
+      ++data_events;
+    }
+  }
+  EXPECT_LE(data_events, 512u);
+  const std::string json = tracer.ChromeTraceJson();
+  EXPECT_EQ(json.rfind("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[", 0), 0u);
+  EXPECT_TRUE(JsonIsStructurallyValid(json));
 }
 
 }  // namespace
