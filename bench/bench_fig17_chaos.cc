@@ -7,6 +7,13 @@
 // re-solve and actuation retry at their defaults and the (default-off)
 // forecast sanity guard armed at 8x.
 //
+// Actuation A/B: the Faro-FairSum arm is run twice per scenario -- once with
+// the reconciling actuator (the default) and once with the legacy in-step
+// fire-and-forget apply -- so the recovery-time delta quantifies what the
+// desired-state control loop buys when scale-ups get lost or replicas get
+// killed. Both arms land in the --bench-json output together with the
+// reconciler's convergence telemetry.
+//
 // Flags (besides the BenchObs --metrics-out/--trace-out pair):
 //   --scenario=NAME      run one scenario instead of all four
 //   --summary-out=PATH   per-job summary CSV (recovery columns included) of
@@ -19,6 +26,7 @@
 //   --audit-out=PATH     decision audit JSONL of every run (via BenchObs)
 
 #include <algorithm>
+#include <cctype>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
@@ -58,9 +66,45 @@ Recovery FoldRecovery(const RunResult& result) {
   return r;
 }
 
+// "node-crash" / "MArk/Cocktail/Barista" -> "node_crash" / "mark_cocktail_barista".
+std::string JsonKey(const std::string& raw) {
+  std::string key;
+  key.reserve(raw.size());
+  for (char c : raw) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      key.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+    } else if (!key.empty() && key.back() != '_') {
+      key.push_back('_');
+    }
+  }
+  while (!key.empty() && key.back() == '_') {
+    key.pop_back();
+  }
+  return key;
+}
+
+void PrintRow(const std::string& name, const RunResult& result, const Recovery& r) {
+  std::printf("%-24s %-10.3f %-8llu %-12.0f %-12.0f ", name.c_str(),
+              result.cluster_lost_utility, static_cast<unsigned long long>(r.injected),
+              r.capacity_lost, r.recovery_s);
+  if (r.reconverge_s < 0.0) {
+    std::printf("%-12s ", "never");
+  } else {
+    std::printf("%-12.0f ", r.reconverge_s);
+  }
+  const auto& by_cause = result.cluster_lost_by_cause;
+  std::printf("%-7.3f %-7.3f %-7.3f %-7.3f %-6llu\n",
+              by_cause[CauseIndex(LossCause::kQueueWait)],
+              by_cause[CauseIndex(LossCause::kColdStart)],
+              by_cause[CauseIndex(LossCause::kDropAdmission)],
+              by_cause[CauseIndex(LossCause::kFaultCapacity)],
+              static_cast<unsigned long long>(result.cluster_burn_alerts_fast +
+                                              result.cluster_burn_alerts_slow));
+}
+
 void Run(const std::string& only_scenario, const std::string& summary_out,
          const std::string& solver_out, const std::string& faults_out,
-         const std::string& slo_out) {
+         const std::string& slo_out, BenchJson& json) {
   PrintHeader("Figure 17: resilience under chaos injection, 32 replicas / 8 nodes");
 
   ExperimentSetup setup;
@@ -115,6 +159,7 @@ void Run(const std::string& only_scenario, const std::string& summary_out,
     std::printf("%-24s %-10s %-8s %-12s %-12s %-12s %-7s %-7s %-7s %-7s %-6s\n", "policy",
                 "lost_util", "killed", "cap_lost(s)", "recovery(s)", "reconverge", "queue",
                 "cold", "drop", "fault", "alerts");
+    const std::string sc = JsonKey(scenario);
     for (const std::string& name : policies) {
       const TraceSession session = StartRunTraceSession(setup, scenario + "/" + name);
       FaroConfig overrides;
@@ -132,22 +177,8 @@ void Run(const std::string& only_scenario, const std::string& summary_out,
       auto policy = MakePolicy(name, predictor, &overrides);
       const RunResult result = RunPolicy(setup, workload, *policy, 5150, session);
       const Recovery r = FoldRecovery(result);
-      std::printf("%-24s %-10.3f %-8llu %-12.0f %-12.0f ", name.c_str(),
-                  result.cluster_lost_utility, static_cast<unsigned long long>(r.injected),
-                  r.capacity_lost, r.recovery_s);
-      if (r.reconverge_s < 0.0) {
-        std::printf("%-12s ", "never");
-      } else {
-        std::printf("%-12.0f ", r.reconverge_s);
-      }
-      const auto& by_cause = result.cluster_lost_by_cause;
-      std::printf("%-7.3f %-7.3f %-7.3f %-7.3f %-6llu\n",
-                  by_cause[CauseIndex(LossCause::kQueueWait)],
-                  by_cause[CauseIndex(LossCause::kColdStart)],
-                  by_cause[CauseIndex(LossCause::kDropAdmission)],
-                  by_cause[CauseIndex(LossCause::kFaultCapacity)],
-                  static_cast<unsigned long long>(result.cluster_burn_alerts_fast +
-                                                  result.cluster_burn_alerts_slow));
+      PrintRow(name, result, r);
+      json.Set(sc + "_" + JsonKey(name) + "_lost_utility", result.cluster_lost_utility);
       if (name == "Faro-FairSum") {
         if (!summary_out.empty()) {
           WriteSummaryCsv(summary_out, result);
@@ -161,6 +192,46 @@ void Run(const std::string& only_scenario, const std::string& summary_out,
         if (!slo_out.empty()) {
           WriteSloCsv(slo_out, result);
         }
+        // Actuation A/B: rerun the same arm with the legacy fire-and-forget
+        // in-step apply. Same seed, same workload, same policy config -- the
+        // only difference is whether lost scale-ups are retried, so the
+        // recovery/reconverge deltas are the reconciler's contribution.
+        ExperimentSetup ab = setup;
+        ab.actuation = ActuationMode::kInStep;
+        const TraceSession ab_session =
+            StartRunTraceSession(ab, scenario + "/" + name + "-instep");
+        FaroConfig ab_overrides = overrides;
+        ab_overrides.trace = ab_session;
+        if (ab.obs.auditing()) {
+          ab_overrides.audit_label = scenario + "/" + name + "-instep";
+        }
+        auto ab_policy = MakePolicy(name, predictor, &ab_overrides);
+        const RunResult ab_result = RunPolicy(ab, workload, *ab_policy, 5150, ab_session);
+        const Recovery ab_r = FoldRecovery(ab_result);
+        PrintRow(name + "/in-step", ab_result, ab_r);
+        std::printf("  actuation A/B: recovery delta %+.0fs, lost-utility delta %+.3f "
+                    "(in-step minus reconciler); reconciler retries=%llu "
+                    "generations=%llu max-convergence=%.0fs\n",
+                    ab_r.recovery_s - r.recovery_s,
+                    ab_result.cluster_lost_utility - result.cluster_lost_utility,
+                    static_cast<unsigned long long>(result.actuation.retries),
+                    static_cast<unsigned long long>(result.actuation.generations_published),
+                    result.actuation.convergence_s_max);
+        json.Set(sc + "_faro_fairsum_recovery_s", r.recovery_s);
+        json.Set(sc + "_faro_fairsum_reconverge_s", r.reconverge_s);
+        json.Set(sc + "_instep_lost_utility", ab_result.cluster_lost_utility);
+        json.Set(sc + "_instep_recovery_s", ab_r.recovery_s);
+        json.Set(sc + "_instep_reconverge_s", ab_r.reconverge_s);
+        json.Set(sc + "_actuation_recovery_delta_s", ab_r.recovery_s - r.recovery_s);
+        json.Set(sc + "_actuation_lost_utility_delta",
+                 ab_result.cluster_lost_utility - result.cluster_lost_utility);
+        json.Set(sc + "_actuation_retries",
+                 static_cast<double>(result.actuation.retries));
+        json.Set(sc + "_actuation_generations",
+                 static_cast<double>(result.actuation.generations_published));
+        json.Set(sc + "_actuation_fence_rejections",
+                 static_cast<double>(result.actuation.fence_rejections));
+        json.Set(sc + "_actuation_convergence_s_max", result.actuation.convergence_s_max);
       }
     }
   }
@@ -186,6 +257,6 @@ int main(int argc, char** argv) {
       slo_out = arg + 10;
     }
   }
-  faro::Run(scenario, summary_out, solver_out, faults_out, slo_out);
+  faro::Run(scenario, summary_out, solver_out, faults_out, slo_out, obs.json());
   return 0;
 }

@@ -1,0 +1,191 @@
+#include "src/actuate/async_actuator.h"
+
+#include <algorithm>
+#include <memory>
+
+namespace faro {
+
+// ClusterPort over the actuator's in-memory model. Only ever called from the
+// actuator thread with mu_ held, so plain field access is safe.
+class AsyncActuator::ModelPort : public ClusterPort {
+ public:
+  ModelPort(AsyncActuator& owner) : owner_(owner) {
+    attempts_.assign(owner_.num_jobs_, 0);
+  }
+
+  void ResetForGeneration(uint64_t generation) {
+    generation_ = generation;
+    attempts_.assign(owner_.num_jobs_, 0);
+  }
+
+  size_t num_jobs() const override { return owner_.num_jobs_; }
+
+  uint32_t Fleet(size_t job) const override {
+    return owner_.model_replicas_[job];
+  }
+
+  uint32_t ApplyTarget(size_t job, uint32_t target, bool first_pass,
+                       double now_s) override {
+    const uint32_t attempt = attempts_[job]++;
+    if (owner_.apply_fault_ &&
+        owner_.apply_fault_(job, generation_, attempt)) {
+      return 0;  // the operation is lost; a later repair pass re-issues it
+    }
+    const uint32_t before = owner_.model_replicas_[job];
+    owner_.model_replicas_[job] = target;
+    if (owner_.current_entry_ != SIZE_MAX) {
+      ++owner_.log_[owner_.current_entry_].jobs_applied;
+    }
+    return before < target ? target - before
+                           : (before > target ? before - target : 0);
+  }
+
+  void SetDropRate(size_t job, double rate) override {
+    owner_.model_drop_rates_[job] = rate;
+  }
+
+ private:
+  AsyncActuator& owner_;
+  uint64_t generation_ = 0;
+  std::vector<uint32_t> attempts_;
+};
+
+AsyncActuator::AsyncActuator(size_t num_jobs, const ReconcilerConfig& config)
+    : num_jobs_(num_jobs),
+      epoch_(std::chrono::steady_clock::now()),
+      reconciler_(config),
+      model_replicas_(num_jobs, 0),
+      model_drop_rates_(num_jobs, 0.0) {}
+
+AsyncActuator::~AsyncActuator() { Stop(); }
+
+double AsyncActuator::NowS() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+void AsyncActuator::Start() {
+  if (thread_.joinable()) {
+    return;
+  }
+  epoch_ = std::chrono::steady_clock::now();
+  thread_ = std::thread(&AsyncActuator::Loop, this);
+}
+
+void AsyncActuator::Stop() {
+  if (!thread_.joinable()) {
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+}
+
+void AsyncActuator::Publish(const DesiredState& desired) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(desired);
+  }
+  cv_.notify_all();
+}
+
+void AsyncActuator::DrainQueueLocked() {
+  while (!queue_.empty()) {
+    DesiredState desired = std::move(queue_.front());
+    queue_.pop_front();
+    ActuatorLogEntry entry;
+    entry.generation = desired.generation;
+    const bool was_converged = reconciler_.converged();
+    if (!reconciler_.Publish(desired, NowS())) {
+      entry.fenced = true;
+      log_.push_back(entry);
+      continue;
+    }
+    // A previous generation still awaiting its first pass is superseded by
+    // this accepted publish (the reconciler counted it); its entry must show
+    // it was discarded *before* any application -- never torn.
+    if (current_entry_ != SIZE_MAX && !log_[current_entry_].applied &&
+        !was_converged) {
+      log_[current_entry_].superseded = true;
+    }
+    log_.push_back(entry);
+    current_entry_ = log_.size() - 1;
+  }
+}
+
+void AsyncActuator::ReconcileLocked() {
+  if (!reconciler_.has_desired()) {
+    return;
+  }
+  if (port_ == nullptr) {
+    port_ = std::make_unique<ModelPort>(*this);
+  }
+  if (port_generation_ != reconciler_.generation()) {
+    port_generation_ = reconciler_.generation();
+    port_->ResetForGeneration(port_generation_);
+  }
+  const bool first_pass_pending =
+      current_entry_ != SIZE_MAX && !log_[current_entry_].applied &&
+      !log_[current_entry_].superseded;
+  reconciler_.Reconcile(*port_, NowS());
+  if (first_pass_pending) {
+    // The generation's first pass ran to completion inside this critical
+    // section: every job's target was issued in one indivisible step.
+    log_[current_entry_].applied = true;
+  }
+}
+
+void AsyncActuator::Loop() {
+  while (true) {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (queue_.empty() && !stop_) {
+      if (reconciler_.has_desired() && !reconciler_.converged()) {
+        // Unconverged: poll for repair-eligibility at millisecond grain (the
+        // reconciler's backoff gates make un-eligible passes free).
+        cv_.wait_for(lock, std::chrono::milliseconds(1));
+      } else {
+        cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+      }
+    }
+    DrainQueueLocked();
+    ReconcileLocked();
+    if (stop_ && queue_.empty()) {
+      return;
+    }
+  }
+}
+
+ReconcileTelemetry AsyncActuator::telemetry() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return reconciler_.telemetry();
+}
+
+std::vector<ActuatorLogEntry> AsyncActuator::op_log() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return log_;
+}
+
+std::vector<uint32_t> AsyncActuator::applied_replicas() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return model_replicas_;
+}
+
+std::vector<double> AsyncActuator::applied_drop_rates() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return model_drop_rates_;
+}
+
+bool AsyncActuator::converged() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return reconciler_.converged();
+}
+
+uint64_t AsyncActuator::generation() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return reconciler_.generation();
+}
+
+}  // namespace faro

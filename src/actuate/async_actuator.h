@@ -1,0 +1,113 @@
+// Live asynchronous actuator: a dedicated thread that reconciles a mutable
+// cluster model toward the newest published DesiredState, racing the
+// publisher (faro_serve's replay thread) and any telemetry scrapers.
+//
+// Threading contract. One mutex guards the publish queue, the reconciler,
+// the cluster model, and the op log; the actuator thread drains the queue in
+// batches and runs each generation's first reconcile pass inside a single
+// critical section. An external observer can therefore see a generation in
+// exactly three states -- not yet applied, fully applied, or discarded
+// (fenced as stale / superseded by a newer generation drained in the same
+// batch) -- never partially applied. That is the crash-consistency invariant
+// the TSan determinism test asserts via the op log.
+//
+// The actuator never touches the simulation: it converges its *own* model of
+// the cluster (per-job applied replica targets and drop rates). The replay
+// thread remains the sole writer of simulation state, which is what keeps
+// paced daemon runs byte-identical to batch runs while this thread races.
+
+#ifndef SRC_ACTUATE_ASYNC_ACTUATOR_H_
+#define SRC_ACTUATE_ASYNC_ACTUATOR_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/actuate/reconciler.h"
+
+namespace faro {
+
+// One entry per publish attempt, in arrival order at the actuator.
+struct ActuatorLogEntry {
+  uint64_t generation = 0;
+  // Exactly one of the three is true once the actuator has processed the
+  // publish; `applied` additionally requires every job written in one
+  // critical section (jobs_applied == num_jobs).
+  bool applied = false;
+  bool fenced = false;      // stale generation discarded by the fence
+  bool superseded = false;  // replaced by a newer generation before its pass
+  size_t jobs_applied = 0;
+};
+
+class AsyncActuator {
+ public:
+  AsyncActuator(size_t num_jobs, const ReconcilerConfig& config);
+  ~AsyncActuator();
+  AsyncActuator(const AsyncActuator&) = delete;
+  AsyncActuator& operator=(const AsyncActuator&) = delete;
+
+  void Start();
+  // Drains pending publishes (newer generations win, stale ones fence), runs
+  // a final reconcile pass, and joins the thread. Idempotent.
+  void Stop();
+
+  // Thread-safe; callable from any thread. Stale generations are fenced by
+  // the reconciler on the actuator thread (recorded in the op log), so
+  // at-least-once publishers may re-send without double-applying.
+  void Publish(const DesiredState& desired);
+
+  // Test hook: ops for which this returns true are dropped (the model is not
+  // written), forcing the retry/backoff path. Set before Start().
+  using ApplyFault = std::function<bool(size_t job, uint64_t generation, uint32_t attempt)>;
+  void set_apply_fault(ApplyFault fault) { apply_fault_ = std::move(fault); }
+
+  // --- thread-safe snapshots ----------------------------------------------
+  ReconcileTelemetry telemetry() const;
+  std::vector<ActuatorLogEntry> op_log() const;
+  std::vector<uint32_t> applied_replicas() const;
+  std::vector<double> applied_drop_rates() const;
+  bool converged() const;
+  uint64_t generation() const;
+  bool running() const { return thread_.joinable(); }
+
+ private:
+  // ClusterPort over the in-memory model; called only with mu_ held.
+  class ModelPort;
+
+  double NowS() const;
+  void Loop();
+  // With mu_ held: fold queued publishes into the reconciler and op log.
+  void DrainQueueLocked();
+  // With mu_ held: one reconcile pass; finalises op-log entries.
+  void ReconcileLocked();
+
+  const size_t num_jobs_;
+  ApplyFault apply_fault_;
+  std::chrono::steady_clock::time_point epoch_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::deque<DesiredState> queue_;
+  Reconciler reconciler_;
+  std::vector<uint32_t> model_replicas_;
+  std::vector<double> model_drop_rates_;
+  std::vector<ActuatorLogEntry> log_;
+  // Index into log_ of the entry for the reconciler's current generation
+  // (the one whose first pass is pending or whose repair is in flight).
+  size_t current_entry_ = SIZE_MAX;
+  std::unique_ptr<ModelPort> port_;
+  uint64_t port_generation_ = 0;
+
+  std::thread thread_;
+};
+
+}  // namespace faro
+
+#endif  // SRC_ACTUATE_ASYNC_ACTUATOR_H_

@@ -919,14 +919,11 @@ ScalingAction FaroAutoscaler::Decide(double now_s, const std::vector<JobSpec>& j
   }
   const double solve_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - solve_start).count();
-  // Remember the target and the capacity it was solved for: FastReact's
-  // actuation-retry and capacity-change triggers compare against these.
-  last_targets_ = action.replicas;
+  // Remember the capacity the target was solved for: FastReact's
+  // capacity-change trigger compares against it. (Re-issuing missed
+  // scale-ups is no longer the policy's job: the reconciling actuator in
+  // src/actuate/ repairs the fleet against the published desired state.)
   last_solve_cpu_ = resources.cpu;
-  retry_backoff_.assign(job_specs.size(), config_.actuation_retry_backoff_s);
-  if (last_retry_.size() != job_specs.size()) {
-    last_retry_.assign(job_specs.size(), -1e18);
-  }
   ++telemetry_.cycles;
   telemetry_.solve_seconds_total += solve_seconds;
   telemetry_.solve_seconds_max = std::max(telemetry_.solve_seconds_max, solve_seconds);
@@ -1008,10 +1005,6 @@ std::optional<ScalingAction> FaroAutoscaler::FastReact(double now_s,
   if (last_reactive_up_.size() != metrics.size()) {
     last_reactive_up_.assign(metrics.size(), -1e18);
   }
-  if (last_retry_.size() != metrics.size()) {
-    last_retry_.assign(metrics.size(), -1e18);
-    retry_backoff_.assign(metrics.size(), config_.actuation_retry_backoff_s);
-  }
   double used_cpu = 0.0;
   for (size_t i = 0; i < metrics.size(); ++i) {
     used_cpu +=
@@ -1042,39 +1035,11 @@ std::optional<ScalingAction> FaroAutoscaler::FastReact(double now_s,
     last_reactive_up_[i] = now_s;
     changed = true;
   }
-  // Actuation retry (degradation ladder): a fleet below the last long-term
-  // target means a scale-up command was dropped or only partially applied --
-  // the simulator never removes replicas on its own, and deliberate
-  // downscales reset last_targets_ at the next Decide. Re-issue the missing
-  // replicas, doubling the per-job backoff on each consecutive retry so a
-  // persistently failing actuator is not hammered every reactive tick. Never
-  // fires in a fault-free run: without injected actuation faults the fleet
-  // reaches the target before the first backoff elapses.
-  if (config_.actuation_retry_backoff_s > 0.0 && last_targets_.size() == metrics.size()) {
-    for (const size_t i : order) {
-      const uint32_t fleet = metrics[i].ready_replicas + metrics[i].starting_replicas;
-      if (fleet >= last_targets_[i] || action.replicas[i] >= last_targets_[i]) {
-        continue;
-      }
-      if (now_s - last_retry_[i] < retry_backoff_[i]) {
-        continue;
-      }
-      const double extra_cpu =
-          job_specs[i].cpu_per_replica * (last_targets_[i] - action.replicas[i]);
-      if (used_cpu + extra_cpu > resources.cpu + 1e-9) {
-        continue;
-      }
-      action.replicas[i] = last_targets_[i];
-      used_cpu += extra_cpu;
-      last_retry_[i] = now_s;
-      retry_backoff_[i] = std::min(retry_backoff_[i] * 2.0, config_.decision_interval_s);
-      ++telemetry_.actuation_retries;
-      if (config_.trace.on()) {
-        config_.trace.SimInstant(kAutoscalerTid, "actuation_retry", "autoscaler", now_s);
-      }
-      changed = true;
-    }
-  }
+  // Missed scale-ups are repaired by the reconciling actuator (src/actuate/),
+  // which re-issues the fleet's shortfall against the published desired state
+  // with per-job backoff. The engines fold its repair count into
+  // telemetry_.actuation_retries at Finish, so the solver CSV column keeps
+  // its historical meaning.
   if (!changed) {
     return std::nullopt;
   }

@@ -169,11 +169,12 @@ struct FaroConfig {
   // therefore perturbs fault-free runs and is an explicit opt-in (the chaos
   // bench arms it at 8).
   double forecast_max_jump = 0.0;
-  // Actuation retry: when the fleet (ready + starting) sits below the last
-  // long-term target -- a scale-up was dropped or partially applied -- the
-  // reactive tick re-issues the missing replicas, backing off exponentially
-  // from this interval per consecutive retry. 0 disables. Never fires in a
-  // fault-free run: scale-ups only fail under injected faults.
+  // Legacy knob, kept for config-surface compatibility: per-job retry of
+  // missed scale-ups moved from the policy's FastReact into the reconciling
+  // actuator (src/actuate/reconciler.h, SimConfig::reconciler). The engines
+  // fold the reconciler's repair count into the policy's actuation_retries
+  // telemetry so solver CSVs stay comparable. This field is validated but
+  // otherwise unread.
   double actuation_retry_backoff_s = 20.0;
   // Off-cadence re-solve when cluster capacity shrinks by more than this
   // fraction since the last solve (node crash/drain). <= 0 disables.
@@ -285,13 +286,8 @@ class FaroAutoscaler : public AutoscalingPolicy {
   // all check the same deadline).
   bool cycle_deadline_enabled_ = false;
   std::chrono::steady_clock::time_point cycle_deadline_{};
-  // Last long-term target and solve-time capacity, for the actuation-retry
-  // and capacity-change triggers in FastReact.
-  std::vector<uint32_t> last_targets_;
+  // Solve-time capacity, for the capacity-change trigger in FastReact.
   double last_solve_cpu_ = 0.0;
-  // Per-job actuation-retry pacing: last retry time and current backoff.
-  std::vector<double> last_retry_;
-  std::vector<double> retry_backoff_;
 };
 
 }  // namespace faro

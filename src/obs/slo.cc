@@ -182,6 +182,10 @@ std::string AuditLog::ToJsonl() const {
         << ",\"deadline_misses\":" << r.deadline_misses
         << ",\"replicas_total\":" << AuditFormatDouble(r.replicas_total)
         << ",\"drop_rate_mean\":" << AuditFormatDouble(r.drop_rate_mean)
+        << ",\"actuation_generation\":" << r.actuation_generation
+        << ",\"actuation_convergence_s\":" << AuditFormatDouble(r.actuation_convergence_s)
+        << ",\"actuation_retries\":" << r.actuation_retries
+        << ",\"actuation_fenced\":" << r.actuation_fenced
         << "}\n";
   }
   return out.str();

@@ -133,6 +133,13 @@ struct DecisionAuditRecord {
   uint64_t deadline_misses = 0;    // this cycle
   double replicas_total = 0.0;     // summed decided replica targets
   double drop_rate_mean = 0.0;     // mean decided drop rate
+  // --- reconciling actuator (src/actuate/) ---------------------------------
+  // Filled by the engines' actuation records (label suffix "/actuate", one
+  // per converged generation); zero/defaulted on plain decision records.
+  uint64_t actuation_generation = 0;   // generation that converged
+  double actuation_convergence_s = -1.0;  // publish-to-converge (sim seconds)
+  uint64_t actuation_retries = 0;      // repair re-issues this generation
+  uint64_t actuation_fenced = 0;       // cumulative stale publishes discarded
 };
 
 // Append-only, thread-safe decision log with a deterministic JSONL dump.

@@ -76,6 +76,16 @@ ReplayDaemon::ReplayDaemon(const SimConfig& config,
       pacing_(options.speed) {
   config_.minute_observer = this;
   MetricsRegistry& registry = MetricsRegistry::Global();
+  if (options_.live_actuator) {
+    config_.desired_observer = this;
+    actuator_ = std::make_unique<AsyncActuator>(jobs_.size(), config_.reconciler);
+    actuator_generation_gauge_ = &registry.GetGauge(
+        "faro_serve_actuator_generation",
+        "Newest desired-state generation accepted by the live actuator");
+    actuator_fences_gauge_ = &registry.GetGauge(
+        "faro_serve_actuator_fence_rejections",
+        "Stale publishes discarded by the live actuator's generation fence");
+  }
   budget_gauges_.reserve(jobs_.size());
   burn_fast_gauges_.reserve(jobs_.size());
   burn_slow_gauges_.reserve(jobs_.size());
@@ -153,6 +163,14 @@ void ReplayDaemon::OnMinute(const MinuteSnapshot& snapshot) {
   alert_onsets_.fetch_add(onsets, std::memory_order_relaxed);
 }
 
+void ReplayDaemon::OnPublish(const DesiredState& desired) {
+  if (actuator_ == nullptr) {
+    return;
+  }
+  last_desired_ = desired;
+  actuator_->Publish(desired);
+}
+
 std::string ReplayDaemon::AlertsJsonl() const {
   std::lock_guard<std::mutex> lock(alerts_mu_);
   return alerts_jsonl_;
@@ -193,6 +211,51 @@ HttpResponse ReplayDaemon::Handle(const HttpRequest& request) {
     response.body = TailLines(options_.audit->ToJsonl(), ParseTailParam(request.query, 64));
     return response;
   }
+  if (request.path == "/actuator") {
+    if (actuator_ == nullptr) {
+      response.status = 404;
+      response.body = "live actuator not enabled (ServeOptions::live_actuator)\n";
+      return response;
+    }
+    const ReconcileTelemetry t = actuator_->telemetry();
+    const std::vector<ActuatorLogEntry> log = actuator_->op_log();
+    // Crash-consistency probe over the op log: an entry is torn when its
+    // first pass was marked applied without every job's target having been
+    // issued. The AsyncActuator runs the pass in one critical section, so
+    // this must read 0 at any instant -- the TSan determinism test polls it.
+    size_t applied = 0, fenced = 0, superseded = 0, pending = 0, torn = 0;
+    for (const ActuatorLogEntry& entry : log) {
+      if (entry.applied) {
+        ++applied;
+        if (entry.jobs_applied < jobs_.size()) {
+          ++torn;
+        }
+      } else if (entry.fenced) {
+        ++fenced;
+      } else if (entry.superseded) {
+        ++superseded;
+      } else {
+        ++pending;
+      }
+    }
+    response.content_type = "application/json";
+    response.body =
+        "{\"generation\":" + std::to_string(actuator_->generation()) +
+        ",\"converged\":" + (actuator_->converged() ? "true" : "false") +
+        ",\"generations_published\":" + std::to_string(t.generations_published) +
+        ",\"generations_converged\":" + std::to_string(t.generations_converged) +
+        ",\"generations_superseded\":" + std::to_string(t.generations_superseded) +
+        ",\"fence_rejections\":" + std::to_string(t.fence_rejections) +
+        ",\"retries\":" + std::to_string(t.retries) +
+        ",\"op_timeouts\":" + std::to_string(t.op_timeouts) +
+        ",\"op_log\":{\"entries\":" + std::to_string(log.size()) +
+        ",\"applied\":" + std::to_string(applied) +
+        ",\"fenced\":" + std::to_string(fenced) +
+        ",\"superseded\":" + std::to_string(superseded) +
+        ",\"pending\":" + std::to_string(pending) +
+        ",\"torn\":" + std::to_string(torn) + "}}\n";
+    return response;
+  }
   if (request.path == "/speed") {
     if (request.method == "GET") {
       response.content_type = "application/json";
@@ -223,7 +286,8 @@ HttpResponse ReplayDaemon::Handle(const HttpRequest& request) {
     return response;
   }
   response.status = 404;
-  response.body = "unknown path (try /metrics /alerts /audit /healthz /speed)\n";
+  response.body =
+      "unknown path (try /metrics /alerts /audit /actuator /healthz /speed)\n";
   return response;
 }
 
@@ -231,6 +295,9 @@ RunResult ReplayDaemon::Run() {
   std::unique_ptr<SimStepper> stepper = MakeSimStepper(config_, jobs_, policy_);
   pacing_.Reset(options_.speed);
   speed_gauge_->Set(pacing_.speed());
+  if (actuator_ != nullptr) {
+    actuator_->Start();
+  }
   while (!stop_.load(std::memory_order_acquire) && !stepper->done()) {
     const double target = options_.batch
                               ? std::numeric_limits<double>::infinity()
@@ -245,6 +312,27 @@ RunResult ReplayDaemon::Run() {
         std::max(1, options_.poll_ms)));
   }
   RunResult result = stepper->Finish();
+  if (actuator_ != nullptr) {
+    // At-least-once wind-down: re-send the final generation. The actuator's
+    // fence must discard the duplicate (fence_rejections >= 1 after every
+    // completed run with at least one decision) -- the live analogue of the
+    // engines' stale-delayed-scale-up fencing.
+    if (last_desired_.generation > 0) {
+      actuator_->Publish(last_desired_);
+    }
+    actuator_->Stop();
+    const ReconcileTelemetry t = actuator_->telemetry();
+    actuator_generation_gauge_->Set(static_cast<double>(actuator_->generation()));
+    actuator_fences_gauge_->Set(static_cast<double>(t.fence_rejections));
+    std::fprintf(stderr,
+                 "faro_serve: actuator %llu generations (%llu converged, "
+                 "%llu superseded, %llu fenced), %llu retries\n",
+                 static_cast<unsigned long long>(t.generations_published),
+                 static_cast<unsigned long long>(t.generations_converged),
+                 static_cast<unsigned long long>(t.generations_superseded),
+                 static_cast<unsigned long long>(t.fence_rejections),
+                 static_cast<unsigned long long>(t.retries));
+  }
   complete_.store(true, std::memory_order_release);
 
   // Final flush: batch-identical artifacts (the summary CSV is the CI

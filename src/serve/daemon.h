@@ -14,6 +14,10 @@
 //   GET  /alerts   streaming JSONL feed of burn-rate alert onsets and clears,
 //                  evaluated incrementally as each sim-minute closes
 //   GET  /audit    tail of the decision-audit JSONL (?tail=N, default 64)
+//   GET  /actuator JSON snapshot of the live async actuator (enabled with
+//                  ServeOptions::live_actuator): current generation,
+//                  convergence state, reconcile telemetry, and op-log
+//                  crash-consistency counts
 //   GET  /healthz  JSON liveness: sim time, wall speed, done flag
 //   POST /speed    set the replay speed multiplier (clamped to 1..10000)
 //
@@ -23,6 +27,15 @@
 // only reads those (and flips the pacing speed, itself mutexed), so the
 // daemon is clean under ThreadSanitizer and a slow scraper can never stall
 // the replay.
+//
+// Live actuation (ServeOptions::live_actuator): the daemon registers itself
+// as the run's desired-state observer and forwards every published
+// generation to an AsyncActuator -- a real reconciling thread converging its
+// own cluster model while racing the replay (src/actuate/async_actuator.h).
+// The actuator never writes simulation state, so paced runs stay
+// byte-identical to batch; after the replay completes, the daemon re-sends
+// the final generation to prove the fence discards duplicates, then joins
+// the actuator thread.
 
 #ifndef SRC_SERVE_DAEMON_H_
 #define SRC_SERVE_DAEMON_H_
@@ -33,6 +46,9 @@
 #include <string>
 #include <vector>
 
+#include <memory>
+
+#include "src/actuate/async_actuator.h"
 #include "src/core/policy.h"
 #include "src/obs/metrics.h"
 #include "src/obs/slo.h"
@@ -60,9 +76,12 @@ struct ServeOptions {
   std::string alerts_out;   // burn-rate alert feed JSONL
   // Wall-clock sleep between pacing polls.
   int poll_ms = 10;
+  // Run a live AsyncActuator thread: every published generation is forwarded
+  // to a reconciling actuator racing the replay (see the header comment).
+  bool live_actuator = false;
 };
 
-class ReplayDaemon : public SimMinuteObserver {
+class ReplayDaemon : public SimMinuteObserver, public DesiredStateObserver {
  public:
   // Borrows config/jobs/policy for its lifetime (RunSimulation's contract).
   // The daemon registers itself as the run's minute observer; any observer
@@ -87,9 +106,17 @@ class ReplayDaemon : public SimMinuteObserver {
   // SimMinuteObserver: called by the engine as each job's window closes.
   void OnMinute(const MinuteSnapshot& snapshot) override;
 
+  // DesiredStateObserver: called by the engine (on the replay thread) each
+  // time a decision is published; forwards to the live actuator when enabled.
+  void OnPublish(const DesiredState& desired) override;
+
   // Alert feed snapshot (JSONL) and its line count.
   std::string AlertsJsonl() const;
   uint64_t alert_onsets() const { return alert_onsets_.load(std::memory_order_relaxed); }
+
+  // Live actuator (null unless ServeOptions::live_actuator); its snapshot
+  // accessors are thread-safe during and after the run.
+  const AsyncActuator* actuator() const { return actuator_.get(); }
 
  private:
   HttpResponse Handle(const HttpRequest& request);
@@ -119,6 +146,14 @@ class ReplayDaemon : public SimMinuteObserver {
   mutable std::mutex alerts_mu_;
   std::string alerts_jsonl_;
   std::atomic<uint64_t> alert_onsets_{0};
+
+  // Live actuation plane (options_.live_actuator). last_desired_ is only
+  // touched on the replay thread (OnPublish and Run's end-of-run duplicate
+  // re-publish happen on the same thread).
+  std::unique_ptr<AsyncActuator> actuator_;
+  DesiredState last_desired_;
+  Gauge* actuator_generation_gauge_ = nullptr;
+  Gauge* actuator_fences_gauge_ = nullptr;
 };
 
 }  // namespace faro

@@ -12,7 +12,7 @@
 //   faro_serve [--scenario=node-crash] [--minutes=240] [--speed=1000]
 //              [--port=9100] [--seed=5150] [--policy=Faro-FairSum]
 //              [--trace-file=traces.csv] [--engine=classic|sharded]
-//              [--train] [--batch] [--linger]
+//              [--train] [--batch] [--linger] [--live-actuator]
 //              [--summary-out=..] [--metrics-out=..] [--audit-out=..]
 //              [--alerts-out=..]
 //
@@ -25,6 +25,9 @@
 //                default is the damped-average forecast fallback
 //   --batch      no pacing, no HTTP: write artifacts and exit (reference)
 //   --linger     keep serving after the replay completes until SIGTERM
+//   --live-actuator  run the asynchronous reconciling actuator thread and
+//                serve its state at /actuator (src/actuate/async_actuator.h);
+//                the replayed simulation itself is unaffected
 
 #include <csignal>
 #include <cstdio>
@@ -62,6 +65,7 @@ struct Flags {
   bool train = false;
   bool batch = false;
   bool linger = false;
+  bool live_actuator = false;
   std::string summary_out;
   std::string metrics_out;
   std::string audit_out;
@@ -105,6 +109,8 @@ bool ParseFlags(int argc, char** argv, Flags& flags) {
       flags.batch = true;
     } else if (std::strcmp(arg, "--linger") == 0) {
       flags.linger = true;
+    } else if (std::strcmp(arg, "--live-actuator") == 0) {
+      flags.live_actuator = true;
     } else {
       std::fprintf(stderr, "faro_serve: unknown flag %s\n", arg);
       return false;
@@ -233,6 +239,7 @@ int Main(int argc, char** argv) {
   options.metrics_out = flags.metrics_out;
   options.audit_out = flags.audit_out;
   options.alerts_out = flags.alerts_out;
+  options.live_actuator = flags.live_actuator;
 
   ReplayDaemon daemon(config, workload.jobs, *policy, options);
   g_daemon = &daemon;
@@ -246,8 +253,9 @@ int Main(int argc, char** argv) {
     }
     std::fprintf(stderr,
                  "faro_serve: serving http://127.0.0.1:%u "
-                 "(/metrics /alerts /audit /healthz /speed) at %.0fx\n",
-                 daemon.port(), flags.speed);
+                 "(/metrics /alerts /audit%s /healthz /speed) at %.0fx\n",
+                 daemon.port(), flags.live_actuator ? " /actuator" : "",
+                 flags.speed);
   }
 
   const RunResult result = daemon.Run();

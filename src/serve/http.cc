@@ -4,10 +4,12 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <algorithm>
 #include <cctype>
+#include <cerrno>
 #include <cstdlib>
 #include <cstring>
 #include <utility>
@@ -15,7 +17,11 @@
 namespace faro {
 namespace {
 
-constexpr size_t kMaxRequestBytes = 1 << 20;  // 1 MiB: /speed bodies are tiny
+// Hard request caps: headers must be small (scrape paths and a query string),
+// bodies are tiny (/speed). Oversize requests are rejected with a status,
+// never buffered -- a hostile client cannot balloon the accept thread.
+constexpr size_t kMaxHeaderBytes = 16 << 10;  // 16 KiB
+constexpr size_t kMaxBodyBytes = 1 << 20;     // 1 MiB
 
 const char* StatusText(int status) {
   switch (status) {
@@ -24,6 +30,9 @@ const char* StatusText(int status) {
     case 400: return "Bad Request";
     case 404: return "Not Found";
     case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
+    case 413: return "Content Too Large";
+    case 431: return "Request Header Fields Too Large";
     default: return "Error";
   }
 }
@@ -137,13 +146,34 @@ void HttpServer::AcceptLoop() {
   }
 }
 
+void HttpServer::SendError(int fd, int status) {
+  const std::string out = "HTTP/1.1 " + std::to_string(status) + " " +
+                          StatusText(status) +
+                          "\r\nContent-Length: 0\r\nConnection: close\r\n\r\n";
+  WriteAll(fd, out.data(), out.size());
+}
+
 void HttpServer::HandleConnection(int fd) {
+  // Per-connection read/write deadlines: a half-open or trickling client
+  // makes its own recv/send fail with EAGAIN after io_timeout_ms_, so the
+  // (serial) accept loop is stalled for at most one timeout, never wedged.
+  timeval timeout{};
+  timeout.tv_sec = io_timeout_ms_ / 1000;
+  timeout.tv_usec = (io_timeout_ms_ % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &timeout, sizeof(timeout));
+
   std::string raw;
   char buf[4096];
   size_t header_end = std::string::npos;
   // Read until the blank line terminating the headers.
-  while (header_end == std::string::npos && raw.size() < kMaxRequestBytes) {
+  while (header_end == std::string::npos && raw.size() < kMaxHeaderBytes) {
     const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      connections_timed_out_.fetch_add(1, std::memory_order_relaxed);
+      SendError(fd, 408);
+      return;
+    }
     if (n <= 0) {
       return;
     }
@@ -151,6 +181,7 @@ void HttpServer::HandleConnection(int fd) {
     header_end = raw.find("\r\n\r\n");
   }
   if (header_end == std::string::npos) {
+    SendError(fd, 431);
     return;
   }
   const size_t line_end = raw.find("\r\n");
@@ -174,13 +205,21 @@ void HttpServer::HandleConnection(int fd) {
   size_t content_length = 0;
   const std::string length_text = HeaderValue(headers, "Content-Length");
   if (!length_text.empty()) {
-    content_length = static_cast<size_t>(
-        std::min<unsigned long>(std::strtoul(length_text.c_str(), nullptr, 10),
-                                kMaxRequestBytes));
+    const unsigned long declared = std::strtoul(length_text.c_str(), nullptr, 10);
+    if (declared > kMaxBodyBytes) {
+      SendError(fd, 413);
+      return;
+    }
+    content_length = static_cast<size_t>(declared);
   }
   request.body = raw.substr(header_end + 4);
   while (request.body.size() < content_length) {
     const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      connections_timed_out_.fetch_add(1, std::memory_order_relaxed);
+      SendError(fd, 408);
+      return;
+    }
     if (n <= 0) {
       return;
     }

@@ -7,6 +7,11 @@
 // and poke /speed. Serving never touches the simulation: handlers read
 // shared state behind their own synchronisation, so a slow or hostile
 // scraper can delay its own response, never the replay.
+//
+// Hardening: every accepted connection gets read/write deadlines
+// (SO_RCVTIMEO/SO_SNDTIMEO, io_timeout_ms), so a half-open client stalls the
+// serial accept loop for at most one timeout before being dropped with 408;
+// headers are capped at 16 KiB (431) and declared bodies at 1 MiB (413).
 
 #ifndef SRC_SERVE_HTTP_H_
 #define SRC_SERVE_HTTP_H_
@@ -54,17 +59,28 @@ class HttpServer {
   uint64_t requests_served() const {
     return requests_served_.load(std::memory_order_relaxed);
   }
+  // Connections dropped by the per-connection read deadline (408s sent).
+  uint64_t connections_timed_out() const {
+    return connections_timed_out_.load(std::memory_order_relaxed);
+  }
+  // Per-connection read/write deadline in milliseconds (default 5000).
+  // Call before Start; tests shrink it to prove half-open clients cannot
+  // wedge the accept loop.
+  void set_io_timeout_ms(int ms) { io_timeout_ms_ = ms > 0 ? ms : 1; }
 
  private:
   void AcceptLoop();
   void HandleConnection(int fd);
+  void SendError(int fd, int status);
 
   HttpHandler handler_;
   std::thread thread_;
   int listen_fd_ = -1;
   uint16_t port_ = 0;
+  int io_timeout_ms_ = 5000;
   std::atomic<bool> stop_{false};
   std::atomic<uint64_t> requests_served_{0};
+  std::atomic<uint64_t> connections_timed_out_{0};
 };
 
 // Minimal loopback HTTP client for tests and the daemon's own smoke checks:

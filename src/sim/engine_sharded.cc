@@ -29,11 +29,13 @@
 #include <memory>
 #include <vector>
 
+#include "src/actuate/reconciler.h"
 #include "src/common/parallel.h"
 #include "src/common/pool.h"
 #include "src/common/rng.h"
 #include "src/common/stats.h"
 #include "src/faults/injector.h"
+#include "src/obs/slo.h"
 #include "src/sim/event_queue.h"
 #include "src/sim/sim_internal.h"
 #include "src/sim/simulator.h"
@@ -60,23 +62,28 @@ struct Shard {
   uint64_t events_processed = 0;
 };
 
-// An actuation-delayed scale-up waiting for its first control boundary.
+// An actuation-delayed scale-up waiting for its first control boundary. The
+// desired-state generation it was issued under rides along so the
+// reconciler's fence can discard it if a newer generation supersedes it
+// before it lands.
 struct DeferredScaleUp {
   double due = 0.0;
   uint32_t job = 0;
   uint32_t add = 0;
+  uint64_t generation = 0;
 };
 
 // Stepper shape mirrors the classic engine: Init() primes, StepUntil()
 // processes control boundaries at or before the target (plus an eager
 // intra-segment drain of shard-local events, which is order-equivalent
 // because jobs are independent between boundaries), Finish() aggregates.
-class ShardedSimulation final : public SimStepper {
+class ShardedSimulation final : public SimStepper, private ClusterPort {
  public:
   ShardedSimulation(const SimConfig& config, const std::vector<SimJobConfig>& jobs,
                     AutoscalingPolicy& policy)
       : config_(config), jobs_(jobs), policy_(policy),
-        injector_(config.faults, config.seed) {}
+        injector_(config.faults, config.seed),
+        reconciler_(EffectiveReconcilerConfig(config)) {}
 
   void Init();
   void StepUntil(double until_s) override;
@@ -345,57 +352,145 @@ class ShardedSimulation final : public SimStepper {
     return metrics_;
   }
 
-  void ApplyAction(const ScalingAction& action) {
+  // --- reconciling actuator (src/actuate/) --------------------------------
+  // All reconciler work runs on the coordinator thread, serially, in job
+  // order -- shard-count invariant like every other control-boundary action.
+  static ReconcilerConfig EffectiveReconcilerConfig(const SimConfig& config) {
+    ReconcilerConfig rc = config.reconciler;
+    rc.seed = HashCombine(HashCombine(config.seed, 0xac70a7eull), rc.seed);
+    return rc;
+  }
+
+  // Actuation-fault outcome for a scale-up of `add` replicas of job j;
+  // returns the count to provision now. Delayed commands carry the issuing
+  // generation for the landing-time fence check.
+  uint32_t DrawActuationFor(uint32_t j, uint32_t add) {
+    switch (injector_.DrawActuation()) {
+      case ActuationOutcome::kDrop:
+        injector_.Record(now_, "actuation_drop", jobs_[j].spec.name, add);
+        state_[j].attr_act_units += static_cast<double>(add);
+        return 0;
+      case ActuationOutcome::kDelay:
+        injector_.Record(now_, "actuation_delay", jobs_[j].spec.name, add);
+        state_[j].attr_act_units += static_cast<double>(add);
+        deferred_.push_back({now_ + injector_.plan().actuation_delay_s, j, add,
+                             next_generation_});
+        return 0;
+      case ActuationOutcome::kPartial: {
+        const uint32_t applied = (add + 1) / 2;
+        injector_.Record(now_, "actuation_partial", jobs_[j].spec.name,
+                         add - applied);
+        state_[j].attr_act_units += static_cast<double>(add - applied);
+        return applied;
+      }
+      case ActuationOutcome::kApply:
+        break;
+    }
+    return add;
+  }
+
+  // ClusterPort: the reconciler sees the engine itself as the cluster. The
+  // sharded engine has no placement model, so the committed fleet is just
+  // ready + starting (draining replicas stay in `ready` until they exit).
+  size_t num_jobs() const override { return jobs_.size(); }
+  uint32_t Fleet(size_t job) const override {
+    return state_[job].ready + state_[job].starting;
+  }
+  void SetDropRate(size_t job, double rate) override {
+    state_[job].explicit_drop_rate = rate;
+  }
+  uint32_t ApplyTarget(size_t job, uint32_t target, bool first_pass,
+                       double /*now_s*/) override {
+    const uint32_t j = static_cast<uint32_t>(job);
+    JobState& js = state_[j];
+    if (!first_pass) {
+      // Repair pass: re-issue only the committed-fleet shortfall. Downscales
+      // are one-shot per generation (re-issuing would double-drain).
+      const uint32_t fleet = js.ready + js.starting;
+      if (fleet >= target) {
+        return 0;
+      }
+      uint32_t add = target - fleet;
+      add = DrawActuationFor(j, add);
+      Provision(j, add, now_);
+      return add;
+    }
+    // First pass: the historical in-step apply, bit-exact.
+    const uint32_t current = js.ready + js.starting;
+    if (target > current) {
+      uint32_t add = target - current;
+      add = DrawActuationFor(j, add);
+      Provision(j, add, now_);
+      return add;
+    }
+    if (target < current) {
+      js.recover_target = std::min(js.recover_target, target);
+      uint32_t remove = current - target;
+      const uint32_t removed = remove;
+      const uint32_t cancel = std::min(remove, js.starting);
+      js.starting -= cancel;
+      js.cancelled_starts += cancel;
+      remove -= cancel;
+      const uint32_t idle = js.ready - js.busy;
+      const uint32_t drop_idle = std::min(remove, idle);
+      js.ready -= drop_idle;
+      remove -= drop_idle;
+      js.pending_removal += remove;
+      return removed;
+    }
+    return 0;
+  }
+
+  // Publishes one decision as the next desired-state generation and runs its
+  // first reconcile pass (the historical in-step apply).
+  void PublishAction(const ScalingAction& action) {
     if (action.replicas.size() != jobs_.size()) {
       return;
     }
+    DesiredState desired;
+    desired.generation = ++next_generation_;
+    desired.published_s = now_;
+    desired.replicas.resize(jobs_.size());
     for (uint32_t j = 0; j < jobs_.size(); ++j) {
-      JobState& js = state_[j];
-      const uint32_t target = std::max<uint32_t>(1, action.replicas[j]);
-      const uint32_t current = js.ready + js.starting;
-      if (target > current) {
-        uint32_t add = target - current;
-        switch (injector_.DrawActuation()) {
-          case ActuationOutcome::kDrop:
-            injector_.Record(now_, "actuation_drop", jobs_[j].spec.name, add);
-            js.attr_act_units += static_cast<double>(add);
-            add = 0;
-            break;
-          case ActuationOutcome::kDelay:
-            injector_.Record(now_, "actuation_delay", jobs_[j].spec.name, add);
-            js.attr_act_units += static_cast<double>(add);
-            deferred_.push_back(
-                {now_ + injector_.plan().actuation_delay_s, j, add});
-            add = 0;
-            break;
-          case ActuationOutcome::kPartial: {
-            const uint32_t applied = (add + 1) / 2;
-            injector_.Record(now_, "actuation_partial", jobs_[j].spec.name,
-                             add - applied);
-            js.attr_act_units += static_cast<double>(add - applied);
-            add = applied;
-            break;
-          }
-          case ActuationOutcome::kApply:
-            break;
-        }
-        Provision(j, add, now_);
-      } else if (target < current) {
-        js.recover_target = std::min(js.recover_target, target);
-        uint32_t remove = current - target;
-        const uint32_t cancel = std::min(remove, js.starting);
-        js.starting -= cancel;
-        js.cancelled_starts += cancel;
-        remove -= cancel;
-        const uint32_t idle = js.ready - js.busy;
-        const uint32_t drop_idle = std::min(remove, idle);
-        js.ready -= drop_idle;
-        remove -= drop_idle;
-        js.pending_removal += remove;
+      desired.replicas[j] = std::max<uint32_t>(1, action.replicas[j]);
+    }
+    if (!action.drop_rates.empty() && action.drop_rates.size() == jobs_.size()) {
+      desired.drop_rates.resize(jobs_.size());
+      for (uint32_t j = 0; j < jobs_.size(); ++j) {
+        desired.drop_rates[j] = std::clamp(action.drop_rates[j], 0.0, 1.0);
       }
-      if (!action.drop_rates.empty() && action.drop_rates.size() == jobs_.size()) {
-        js.explicit_drop_rate = std::clamp(action.drop_rates[j], 0.0, 1.0);
+    }
+    if (config_.desired_observer != nullptr) {
+      config_.desired_observer->OnPublish(desired);
+    }
+    reconciler_.Publish(desired, now_);
+    RunReconcilePass();
+  }
+
+  // One reconcile pass; emits the convergence audit record when a generation
+  // converges. Zero RNG draws while the fleet holds its targets.
+  void RunReconcilePass() {
+    ConvergenceEvent event;
+    reconciler_.Reconcile(*this, now_, &event);
+    if (event.generation == 0) {
+      return;
+    }
+    if (config_.audit != nullptr) {
+      DecisionAuditRecord record;
+      record.label = config_.audit_label + "/actuate";
+      record.time_s = event.converged_s;
+      record.cycle = event.generation;
+      record.num_jobs = jobs_.size();
+      double replicas_total = 0.0;
+      for (const uint32_t r : reconciler_.desired().replicas) {
+        replicas_total += static_cast<double>(r);
       }
+      record.replicas_total = replicas_total;
+      record.actuation_generation = event.generation;
+      record.actuation_convergence_s = event.convergence_s;
+      record.actuation_retries = event.retries;
+      record.actuation_fenced = reconciler_.telemetry().fence_rejections;
+      config_.audit->Append(std::move(record));
     }
   }
 
@@ -411,6 +506,9 @@ class ShardedSimulation final : public SimStepper {
   std::vector<JobMetrics> metrics_;
   std::vector<DeferredScaleUp> deferred_;
   std::vector<MinuteSnapshot> snaps_;  // per-job slots, observer runs only
+  // Reconciling actuator: generation counter + the reconcile loop core.
+  Reconciler reconciler_;
+  uint64_t next_generation_ = 0;
   double now_ = 0.0;
   double peak_replicas_ = 0.0;
   // Stepping state (see StepUntil): run length, pending control boundaries,
@@ -521,12 +619,30 @@ void ShardedSimulation::StepUntil(double until_s) {
       ApplyBurst(fault.job, fault.fraction, fault.count);
       ++next_fault_;
     }
-    // Delayed scale-ups due by now, in the order they were deferred.
+    // Delayed scale-ups due by now, in the order they were deferred. Under
+    // the reconciler, a command from a superseded generation dies on the
+    // fence, and a current-generation command is clamped to the still-open
+    // deficit so a repair that already landed is never double-applied.
     if (!deferred_.empty()) {
       size_t keep = 0;
       for (size_t i = 0; i < deferred_.size(); ++i) {
         if (deferred_[i].due <= T) {
-          Provision(deferred_[i].job, deferred_[i].add, T);
+          uint32_t add = deferred_[i].add;
+          const uint32_t j = deferred_[i].job;
+          if (config_.actuation == ActuationMode::kReconciler) {
+            if (deferred_[i].generation < reconciler_.generation()) {
+              reconciler_.FenceStale();
+              injector_.Record(T, "actuation_fenced", jobs_[j].spec.name, add);
+              continue;
+            }
+            const uint32_t target = reconciler_.desired().replicas[j];
+            const uint32_t fleet = Fleet(j);
+            add = std::min(add, target > fleet ? target - fleet : 0u);
+            if (add == 0) {
+              continue;
+            }
+          }
+          Provision(j, add, T);
         } else {
           deferred_[keep++] = deferred_[i];
         }
@@ -580,6 +696,13 @@ void ShardedSimulation::StepUntil(double until_s) {
       }
       InjectReplicaFailures();
       AccountFaultDeficits();
+      // Level-triggered repair rides the reactive cadence: re-issue any
+      // scale-up an actuation fault ate or a kill re-opened, before the
+      // policy reads metrics (so FastReact sees repairs as `starting`).
+      // Zero draws -- and zero state changes -- while the fleet converges.
+      if (config_.actuation == ActuationMode::kReconciler) {
+        RunReconcilePass();
+      }
       ParallelFor(
           shards_.size(),
           [&](size_t s) {
@@ -594,7 +717,7 @@ void ShardedSimulation::StepUntil(double until_s) {
       const uint64_t ladder_before =
           sim_internal::LadderDegradations(policy_.solver_telemetry());
       if (auto action = policy_.FastReact(now_, specs_, metrics, config_.resources)) {
-        ApplyAction(*action);
+        PublishAction(*action);
       }
       MarkLadderDegradations(ladder_before);
       next_reactive_ += reactive_s;
@@ -607,7 +730,7 @@ void ShardedSimulation::StepUntil(double until_s) {
       const ScalingAction action =
           policy_.Decide(now_, specs_, metrics, config_.resources);
       MarkLadderDegradations(ladder_before);
-      ApplyAction(action);
+      PublishAction(action);
       next_decide_ += decide_s > 0.0 ? decide_s : duration_ + 1.0;
     }
   }
@@ -684,6 +807,9 @@ RunResult ShardedSimulation::Finish() {
   result.solver = policy_.solver_telemetry();
   result.faults = injector_.stats();
   result.fault_log = injector_.log();
+  result.actuation = reconciler_.telemetry();
+  // Keep the historical solver-CSV column comparable (see classic engine).
+  result.solver.actuation_retries += result.actuation.retries;
   return result;
 }
 

@@ -199,6 +199,7 @@ SimConfig BuildSimConfig(const ExperimentSetup& setup, uint64_t trial_seed,
   config.shard_threads = setup.shard_threads;
   config.scheduler = setup.scheduler;
   config.record_minute_series = setup.record_minute_series;
+  config.actuation = setup.actuation;
   return config;
 }
 

@@ -106,6 +106,10 @@ struct ExperimentSetup {
   // Trial racing, defaulting from the process-wide --race / FARO_RACE switch
   // so existing benches inherit it without code changes.
   TrialRaceConfig race = DefaultTrialRace();
+  // Actuation path, copied verbatim into SimConfig: the reconciling actuator
+  // (default) or the legacy fire-and-forget in-step apply -- the A/B arm
+  // bench_fig17_chaos uses to quantify what reconciliation buys under chaos.
+  ActuationMode actuation = ActuationMode::kReconciler;
 };
 
 // Job specs plus train/eval traces, all in simulator units (traces are req

@@ -41,13 +41,22 @@ using sim_internal::UpdateOverloadTimerCore;
 // event loop up to a sim-time target, Finish() aggregates. The batch path
 // (RunSimulation) is Init + StepUntil(+inf) + Finish, so paced and batch
 // runs execute identical code over the identical event order.
-class Simulation final : public SimStepper {
+//
+// Actuation goes through the reconciler (src/actuate/): decisions are
+// published as versioned desired states and the engine itself is the
+// ClusterPort the reconciler converges. The first reconcile pass of a
+// generation executes the historical in-step apply bit-exactly (same job
+// order, same fault/cold-start draw order); repair passes run at reactive
+// ticks and are zero-draw no-ops while the fleet holds its targets, so
+// fault-free runs are unchanged to the bit.
+class Simulation final : public SimStepper, private ClusterPort {
  public:
   Simulation(const SimConfig& config, const std::vector<SimJobConfig>& jobs,
              AutoscalingPolicy& policy)
       : config_(config), jobs_(jobs), policy_(policy), rng_(config.seed),
         trace_(config.trace), events_(MakeScheduler(config.scheduler, 4096)),
-        injector_(config.faults, config.seed) {}
+        injector_(config.faults, config.seed),
+        reconciler_(EffectiveReconcilerConfig(config)) {}
 
   void Init();
   void StepUntil(double until_s) override;
@@ -69,7 +78,33 @@ class Simulation final : public SimStepper {
   void HandleReplicaReady(const Event& event);
   void StartServiceIfPossible(uint32_t job);
   void RecordLatency(uint32_t job, double latency);
-  void ApplyAction(const ScalingAction& action);
+
+  // --- reconciling actuator (src/actuate/) --------------------------------
+  // Derives the jitter seed from the run seed so distinct trials get
+  // distinct (but reproducible) retry schedules.
+  static ReconcilerConfig EffectiveReconcilerConfig(const SimConfig& config) {
+    ReconcilerConfig rc = config.reconciler;
+    rc.seed = HashCombine(HashCombine(config.seed, 0xac70a7eull), rc.seed);
+    return rc;
+  }
+  // Publishes one decision as the next desired-state generation and runs its
+  // first reconcile pass (the historical in-step apply).
+  void PublishAction(const ScalingAction& action);
+  // One reconcile pass; emits the convergence audit record when a generation
+  // converges. Zero RNG draws while the fleet holds its targets.
+  void RunReconcilePass();
+  // Actuation-fault outcome for a scale-up of `add` replicas of job j (the
+  // PR 5 drop/delay/partial switch); returns the count to provision now.
+  uint32_t DrawActuationFor(uint32_t j, uint32_t add);
+  // ClusterPort: the reconciler sees the engine itself as the cluster.
+  size_t num_jobs() const override { return jobs_.size(); }
+  uint32_t Fleet(size_t job) const override {
+    return state_[job].ready + state_[job].starting + pending_placement_[job];
+  }
+  uint32_t ApplyTarget(size_t job, uint32_t target, bool first_pass,
+                       double now_s) override;
+  void SetDropRate(size_t job, double rate) override;
+
   void InjectReplicaFailures();
   void UpdateOverloadTimers();
   const std::vector<JobMetrics>& CollectMetrics();
@@ -158,6 +193,10 @@ class Simulation final : public SimStepper {
   std::vector<std::string> down_nodes_;
   Counter::Cell* m_fault_events_ = nullptr;
   Counter::Cell* m_fault_kills_ = nullptr;
+  // Reconciling actuator: generation counter + the reconcile loop core.
+  Reconciler reconciler_;
+  uint64_t next_generation_ = 0;
+  Histogram::Cell* m_act_converge_ = nullptr;
 
   // Starts the cold-start clock for one replica of job j if a node has room
   // (or unconditionally without a node model). Returns false when Pending.
@@ -558,77 +597,163 @@ const std::vector<JobMetrics>& Simulation::CollectMetrics() {
   return metrics_scratch_;
 }
 
-void Simulation::ApplyAction(const ScalingAction& action) {
+uint32_t Simulation::DrawActuationFor(uint32_t j, uint32_t add) {
+  // Actuation faults (chaos injection): the scale-up command can be dropped,
+  // delayed, or only partially applied. DrawActuation() costs zero RNG draws
+  // when the knobs are off. Repair re-issues draw again -- the retried
+  // command travels the same lossy path as the original.
+  switch (injector_.DrawActuation()) {
+    case ActuationOutcome::kDrop:
+      RecordFault("actuation_drop", jobs_[j].spec.name, add);
+      state_[j].attr_act_units += static_cast<double>(add);
+      return 0;
+    case ActuationOutcome::kDelay:
+      RecordFault("actuation_delay", jobs_[j].spec.name, add);
+      state_[j].attr_act_units += static_cast<double>(add);
+      // The payload carries (add, generation): when the command finally
+      // lands, the generation fence decides whether it is stale.
+      Push(now_ + injector_.plan().actuation_delay_s, EventKind::kDelayedScaleUp,
+           j, static_cast<double>(add) +
+                  65536.0 * static_cast<double>(next_generation_));
+      return 0;
+    case ActuationOutcome::kPartial: {
+      const uint32_t applied = (add + 1) / 2;
+      RecordFault("actuation_partial", jobs_[j].spec.name, add - applied);
+      state_[j].attr_act_units += static_cast<double>(add - applied);
+      return applied;
+    }
+    case ActuationOutcome::kApply:
+      break;
+  }
+  return add;
+}
+
+uint32_t Simulation::ApplyTarget(size_t job, uint32_t target, bool first_pass,
+                                 double /*now_s*/) {
+  const uint32_t j = static_cast<uint32_t>(job);
+  JobState& js = state_[j];
+  if (!first_pass) {
+    // Repair pass: re-issue only the committed-fleet shortfall (ready +
+    // starting + pending placements -- everything the cluster already owes
+    // us). Downscales are one-shot per generation: replicas draining toward
+    // a pending removal still sit in `ready`, so re-issuing would
+    // double-drain.
+    const uint32_t fleet = js.ready + js.starting + pending_placement_[j];
+    if (fleet >= target) {
+      return 0;
+    }
+    uint32_t add = target - fleet;
+    add = DrawActuationFor(j, add);
+    for (uint32_t k = 0; k < add; ++k) {
+      if (!TryProvisionReplica(j)) {
+        ++pending_placement_[j];
+      }
+    }
+    return add;
+  }
+  // First pass: the historical in-step apply, bit-exact. The scale-up
+  // baseline deliberately excludes pending placements (the pre-reconciler
+  // engines always re-requested them; CollectJobMetrics folds them into
+  // starting_replicas, so the policy's own baseline matches).
+  const uint32_t current = js.ready + js.starting;
+  if (target > current) {
+    uint32_t add = target - current;
+    add = DrawActuationFor(j, add);
+    for (uint32_t k = 0; k < add; ++k) {
+      if (!TryProvisionReplica(j)) {
+        ++pending_placement_[j];  // Pending pod; retried each reactive tick
+      }
+    }
+    return add;
+  }
+  if (target < current) {
+    // A deliberate downscale lowers the post-fault recovery bar: the
+    // autoscaler no longer owes the pre-kill replica count.
+    js.recover_target = std::min(js.recover_target, target);
+    uint32_t remove = current - target;
+    const uint32_t removed = remove;
+    // Pending placements are free to abandon.
+    const uint32_t unqueue = std::min(remove, pending_placement_[j]);
+    pending_placement_[j] -= unqueue;
+    remove -= unqueue;
+    // Cancel cold starts next.
+    const uint32_t cancel = std::min(remove, js.starting);
+    js.starting -= cancel;
+    js.cancelled_starts += cancel;
+    remove -= cancel;
+    // Then idle replicas, immediately.
+    const uint32_t idle = js.ready - js.busy;
+    const uint32_t drop_idle = std::min(remove, idle);
+    js.ready -= drop_idle;
+    remove -= drop_idle;
+    // Busy replicas exit after their in-flight request (graceful drain).
+    js.pending_removal += remove;
+    if (placement_ != nullptr) {
+      for (uint32_t k = 0; k < cancel + drop_idle; ++k) {
+        (void)placement_->RemoveReplica(jobs_[j].spec);
+      }
+    }
+    return removed;
+  }
+  return 0;
+}
+
+void Simulation::SetDropRate(size_t job, double rate) {
+  state_[job].explicit_drop_rate = rate;
+}
+
+void Simulation::PublishAction(const ScalingAction& action) {
   if (action.replicas.size() != jobs_.size()) {
     return;
   }
+  DesiredState desired;
+  desired.generation = ++next_generation_;
+  desired.published_s = now_;
+  desired.replicas.resize(jobs_.size());
   for (uint32_t j = 0; j < jobs_.size(); ++j) {
-    JobState& js = state_[j];
-    const uint32_t target = std::max<uint32_t>(1, action.replicas[j]);
-    const uint32_t current = js.ready + js.starting;
-    if (target > current) {
-      uint32_t add = target - current;
-      // Actuation faults (chaos injection): the scale-up command can be
-      // dropped, delayed, or only partially applied. DrawActuation() costs
-      // zero RNG draws when the knobs are off.
-      switch (injector_.DrawActuation()) {
-        case ActuationOutcome::kDrop:
-          RecordFault("actuation_drop", jobs_[j].spec.name, add);
-          js.attr_act_units += static_cast<double>(add);
-          add = 0;
-          break;
-        case ActuationOutcome::kDelay:
-          RecordFault("actuation_delay", jobs_[j].spec.name, add);
-          js.attr_act_units += static_cast<double>(add);
-          Push(now_ + injector_.plan().actuation_delay_s,
-               EventKind::kDelayedScaleUp, j, static_cast<double>(add));
-          add = 0;
-          break;
-        case ActuationOutcome::kPartial: {
-          const uint32_t applied = (add + 1) / 2;
-          RecordFault("actuation_partial", jobs_[j].spec.name, add - applied);
-          js.attr_act_units += static_cast<double>(add - applied);
-          add = applied;
-          break;
-        }
-        case ActuationOutcome::kApply:
-          break;
-      }
-      for (uint32_t k = 0; k < add; ++k) {
-        if (!TryProvisionReplica(j)) {
-          ++pending_placement_[j];  // Pending pod; retried each reactive tick
-        }
-      }
-    } else if (target < current) {
-      // A deliberate downscale lowers the post-fault recovery bar: the
-      // autoscaler no longer owes the pre-kill replica count.
-      js.recover_target = std::min(js.recover_target, target);
-      uint32_t remove = current - target;
-      // Pending placements are free to abandon.
-      const uint32_t unqueue = std::min(remove, pending_placement_[j]);
-      pending_placement_[j] -= unqueue;
-      remove -= unqueue;
-      // Cancel cold starts next.
-      const uint32_t cancel = std::min(remove, js.starting);
-      js.starting -= cancel;
-      js.cancelled_starts += cancel;
-      remove -= cancel;
-      // Then idle replicas, immediately.
-      const uint32_t idle = js.ready - js.busy;
-      const uint32_t drop_idle = std::min(remove, idle);
-      js.ready -= drop_idle;
-      remove -= drop_idle;
-      // Busy replicas exit after their in-flight request (graceful drain).
-      js.pending_removal += remove;
-      if (placement_ != nullptr) {
-        for (uint32_t k = 0; k < cancel + drop_idle; ++k) {
-          (void)placement_->RemoveReplica(jobs_[j].spec);
-        }
-      }
+    desired.replicas[j] = std::max<uint32_t>(1, action.replicas[j]);
+  }
+  if (!action.drop_rates.empty() && action.drop_rates.size() == jobs_.size()) {
+    desired.drop_rates.resize(jobs_.size());
+    for (uint32_t j = 0; j < jobs_.size(); ++j) {
+      desired.drop_rates[j] = std::clamp(action.drop_rates[j], 0.0, 1.0);
     }
-    if (!action.drop_rates.empty() && action.drop_rates.size() == jobs_.size()) {
-      js.explicit_drop_rate = std::clamp(action.drop_rates[j], 0.0, 1.0);
+  }
+  if (config_.desired_observer != nullptr) {
+    config_.desired_observer->OnPublish(desired);
+  }
+  reconciler_.Publish(desired, now_);
+  RunReconcilePass();
+}
+
+void Simulation::RunReconcilePass() {
+  ConvergenceEvent event;
+  reconciler_.Reconcile(*this, now_, &event);
+  if (event.generation == 0) {
+    return;
+  }
+  if (m_act_converge_ != nullptr) {
+    m_act_converge_->Record(event.convergence_s);
+  }
+  if (trace_.on()) {
+    trace_.SimInstant(kAutoscalerTid, "actuation_converged", "sim.control", now_);
+  }
+  if (config_.audit != nullptr) {
+    DecisionAuditRecord record;
+    record.label = config_.audit_label + "/actuate";
+    record.time_s = event.converged_s;
+    record.cycle = event.generation;
+    record.num_jobs = jobs_.size();
+    double replicas_total = 0.0;
+    for (const uint32_t r : reconciler_.desired().replicas) {
+      replicas_total += static_cast<double>(r);
     }
+    record.replicas_total = replicas_total;
+    record.actuation_generation = event.generation;
+    record.actuation_convergence_s = event.convergence_s;
+    record.actuation_retries = event.retries;
+    record.actuation_fenced = reconciler_.telemetry().fence_rejections;
+    config_.audit->Append(std::move(record));
   }
 }
 
@@ -667,6 +792,11 @@ void Simulation::Init() {
                           .GetCounter("faro_fault_replicas_killed_total",
                                       "Replicas killed by fault injection")
                           .LocalCell();
+    m_act_converge_ = &registry
+                           .GetHistogram("faro_actuate_convergence_seconds",
+                                         "Publish-to-converge time per desired-state "
+                                         "generation (reconciling actuator)")
+                           .LocalCell();
   }
   state_.assign(jobs_.size(), JobState{});
   pending_placement_.assign(jobs_.size(), 0);
@@ -751,12 +881,19 @@ void Simulation::StepUntil(double until_s) {
         InjectReplicaFailures();
         AccountFaultDeficits();
         RetryPendingPlacements();
+        // Level-triggered repair rides the reactive cadence: re-issue any
+        // scale-up an actuation fault ate or a kill re-opened, before the
+        // policy reads metrics (so FastReact sees repairs as `starting`).
+        // Zero draws -- and zero state changes -- while the fleet converges.
+        if (config_.actuation == ActuationMode::kReconciler) {
+          RunReconcilePass();
+        }
         UpdateOverloadTimers();
         const auto& metrics = CollectMetrics();
         const uint64_t ladder_before =
             sim_internal::LadderDegradations(policy_.solver_telemetry());
         if (auto action = policy_.FastReact(now_, specs_, metrics, EffectiveResources())) {
-          ApplyAction(*action);
+          PublishAction(*action);
         }
         MarkLadderDegradations(ladder_before);
         Push(now_ + config_.reactive_interval_s, EventKind::kReactiveTick, 0);
@@ -773,7 +910,7 @@ void Simulation::StepUntil(double until_s) {
         MarkLadderDegradations(ladder_before);
         {
           ScopedWallSpan actuate(trace_, kAutoscalerTid, "actuate", "autoscaler");
-          ApplyAction(action);
+          PublishAction(action);
         }
         Push(now_ + policy_.decision_interval_s(), EventKind::kDecideTick, 0);
         break;
@@ -806,9 +943,31 @@ void Simulation::StepUntil(double until_s) {
         HandleFaultEvent(injector_.scheduled()[event.job]);
         break;
       case EventKind::kDelayedScaleUp: {
-        // A delayed actuation finally lands: provision what was asked for
-        // back then (the next decision corrects any drift since).
-        const uint32_t add = static_cast<uint32_t>(event.payload);
+        // A delayed actuation finally lands. The payload packs (add,
+        // generation); under the reconciler the generation fence discards
+        // commands a newer solve has superseded, and a current-generation
+        // landing is clamped to the open deficit so a repair that already
+        // closed it is never double-applied. kInStep keeps the historical
+        // fire-and-forget landing (the next decision corrects any drift).
+        const uint64_t packed = static_cast<uint64_t>(event.payload);
+        uint32_t add = static_cast<uint32_t>(packed % 65536);
+        const uint64_t generation = packed / 65536;
+        if (config_.actuation == ActuationMode::kReconciler) {
+          if (generation < reconciler_.generation()) {
+            reconciler_.FenceStale();
+            RecordFault("actuation_fenced", jobs_[event.job].spec.name, add);
+            break;
+          }
+          const uint32_t fleet = Fleet(event.job);
+          const uint32_t target =
+              event.job < reconciler_.desired().replicas.size()
+                  ? reconciler_.desired().replicas[event.job]
+                  : 0;
+          add = std::min(add, target > fleet ? target - fleet : 0);
+          if (add == 0) {
+            break;
+          }
+        }
         for (uint32_t k = 0; k < add; ++k) {
           if (!TryProvisionReplica(event.job)) {
             ++pending_placement_[event.job];
@@ -896,6 +1055,38 @@ RunResult Simulation::Finish() {
   result.solver = policy_.solver_telemetry();
   result.faults = injector_.stats();
   result.fault_log = injector_.log();
+  result.actuation = reconciler_.telemetry();
+  // The reconciler absorbed the autoscaler's in-policy retry ladder (PR 5);
+  // folding its repair count into the historical solver counter keeps the
+  // solver CSV column -- and every script reading it -- comparable.
+  result.solver.actuation_retries += result.actuation.retries;
+  if (config_.obs_metrics) {
+    MetricsRegistry& registry = MetricsRegistry::Global();
+    registry
+        .GetCounter("faro_actuate_generations_published_total",
+                    "Desired-state generations accepted by the reconciler")
+        .Add(result.actuation.generations_published);
+    registry
+        .GetCounter("faro_actuate_generations_converged_total",
+                    "Generations whose fleet reached every target")
+        .Add(result.actuation.generations_converged);
+    registry
+        .GetCounter("faro_actuate_generations_superseded_total",
+                    "Generations replaced before converging")
+        .Add(result.actuation.generations_superseded);
+    registry
+        .GetCounter("faro_actuate_fence_rejections_total",
+                    "Stale publishes/commands discarded by the generation fence")
+        .Add(result.actuation.fence_rejections);
+    registry
+        .GetCounter("faro_actuate_retries_total",
+                    "Repair re-issues of missed scale-ups")
+        .Add(result.actuation.retries);
+    registry
+        .GetCounter("faro_actuate_op_timeouts_total",
+                    "Scale-up deficits outliving the operation timeout")
+        .Add(result.actuation.op_timeouts);
+  }
   return result;
 }
 
@@ -941,6 +1132,20 @@ std::string ValidateSimConfig(const SimConfig& config) {
     if (node.cpu_capacity <= 0.0 || node.mem_capacity <= 0.0) {
       return "SimConfig: node '" + node.name + "' needs positive cpu/mem capacity";
     }
+  }
+  if (config.reconciler.retry_backoff_s < 0.0) {
+    return "SimConfig: reconciler.retry_backoff_s must be >= 0 (0 disables "
+           "repair passes)";
+  }
+  if (config.reconciler.backoff_cap_s < config.reconciler.retry_backoff_s) {
+    return "SimConfig: reconciler.backoff_cap_s must be >= retry_backoff_s";
+  }
+  if (config.reconciler.jitter_frac < 0.0) {
+    return "SimConfig: reconciler.jitter_frac must be >= 0";
+  }
+  if (config.reconciler.op_timeout_s < 0.0) {
+    return "SimConfig: reconciler.op_timeout_s must be >= 0 (0 disables the "
+           "operation timeout)";
   }
   if (std::string problem = config.faults.Validate(); !problem.empty()) {
     return problem;

@@ -31,15 +31,36 @@
 #include <string>
 #include <vector>
 
+#include "src/actuate/reconciler.h"
 #include "src/common/series.h"
 #include "src/core/policy.h"
 #include "src/faults/faultplan.h"
 #include "src/obs/attribution.h"
+#include "src/obs/slo.h"
 #include "src/obs/trace.h"
 #include "src/sim/event_queue.h"
 #include "src/sim/placement.h"
 
 namespace faro {
+
+// How autoscaler decisions reach the simulated cluster.
+//
+//  - kReconciler (default): decisions are *published* as versioned desired
+//    states and a virtual-time reconciler (src/actuate/) converges the
+//    cluster: generation fencing discards stale publishes, and level-
+//    triggered repair passes at reactive ticks re-issue scale-ups that an
+//    actuation fault ate or a replica kill re-opened, with per-job
+//    exponential backoff + deterministic jitter. Fault-free runs are
+//    bit-identical to kInStep (the first reconcile pass IS the historical
+//    in-step apply, and a converged generation makes every repair pass a
+//    zero-draw no-op).
+//  - kInStep: the historical fire-and-forget path -- each decision is applied
+//    once, inside the engine step, and never repaired. Kept for A/B runs
+//    (bench_fig17_chaos) quantifying what reconciliation buys under chaos.
+enum class ActuationMode : uint8_t {
+  kInStep,
+  kReconciler,
+};
 
 // Which event-loop implementation runs the cluster.
 //
@@ -99,6 +120,18 @@ class SimMinuteObserver {
   virtual void OnMinute(const MinuteSnapshot& snapshot) = 0;
 };
 
+// Streaming hook for published desired states (the faro_serve live actuator).
+// Both engines invoke it on the thread driving the run, immediately after a
+// decision is stamped with its generation and handed to the virtual-time
+// reconciler -- both actuation modes publish. Observing never perturbs the
+// run: no RNG draws, no simulation state, and the engine does not wait on
+// anything the observer does with the copy.
+class DesiredStateObserver {
+ public:
+  virtual ~DesiredStateObserver() = default;
+  virtual void OnPublish(const DesiredState& desired) = 0;
+};
+
 struct SimConfig {
   ClusterResources resources;
   double cold_start_s = 60.0;
@@ -154,6 +187,20 @@ struct SimConfig {
   // costs nothing; a non-null observer sees every job's window in job order
   // as it closes and must outlive the run.
   SimMinuteObserver* minute_observer = nullptr;
+  // Live desired-state stream (see DesiredStateObserver above). Null costs
+  // nothing; a non-null observer sees every published generation in order
+  // and must outlive the run.
+  DesiredStateObserver* desired_observer = nullptr;
+  // Actuation path (see ActuationMode above) and the reconciler's retry/
+  // backoff knobs. The reconciler's jitter seed is derived from this config's
+  // seed; `reconciler.seed` is an extra mix-in (0 = none).
+  ActuationMode actuation = ActuationMode::kReconciler;
+  ReconcilerConfig reconciler;
+  // Decision-audit sink for actuation records (one per converged generation,
+  // label `audit_label + "/actuate"`). Null disables; the log must outlive
+  // the run. Virtual-time fields only, so records are deterministic.
+  AuditLog* audit = nullptr;
+  std::string audit_label;
 };
 
 struct JobRunStats {
@@ -233,6 +280,9 @@ struct RunResult {
   // count summed across jobs. Measurement, not simulation state.
   uint64_t events_processed = 0;
   double cluster_peak_replicas = 0.0;
+  // Reconciling-actuator convergence telemetry (src/actuate/). All-zero in
+  // kInStep mode apart from the publish/converge counts of the first passes.
+  ReconcileTelemetry actuation;
 };
 
 // Empty string when `config` is well formed (fault plan included); otherwise

@@ -14,6 +14,7 @@
 
 #include <gtest/gtest.h>
 
+#include "src/actuate/reconciler.h"
 #include "src/core/autoscaler.h"
 
 namespace faro {
@@ -145,38 +146,83 @@ TEST(DegradationTest, CapacityShrinkForcesOffCadenceResolve) {
   EXPECT_EQ(faro.solver_telemetry().capacity_resolves, 1u);
 }
 
+// Missed scale-ups are no longer the policy's problem: the reconciling
+// actuator (src/actuate/reconciler.h) repairs the fleet against the
+// published desired state. These two tests pin the ladder rung at its new
+// home -- same semantics (re-issue with backoff, 0 disables), one core.
+
+// A cluster whose scale-up API drops every command while `drop_commands` is
+// set; applied targets land as committed fleet immediately.
+class FlakyCluster : public ClusterPort {
+ public:
+  explicit FlakyCluster(size_t n) : fleet_(n, 1) {}
+  size_t num_jobs() const override { return fleet_.size(); }
+  uint32_t Fleet(size_t job) const override { return fleet_[job]; }
+  uint32_t ApplyTarget(size_t job, uint32_t target, bool, double) override {
+    if (fleet_[job] >= target) {
+      return 0;
+    }
+    const uint32_t add = target - fleet_[job];
+    ++issued_;
+    if (drop_commands) {
+      return add;  // the command was sent -- and eaten by the flaky API
+    }
+    fleet_[job] = target;
+    return add;
+  }
+  void SetDropRate(size_t, double) override {}
+
+  bool drop_commands = true;
+  uint64_t issued_ = 0;
+
+ private:
+  std::vector<uint32_t> fleet_;
+};
+
+DesiredState MakeDesired(uint64_t generation, std::vector<uint32_t> replicas) {
+  DesiredState d;
+  d.generation = generation;
+  d.replicas = std::move(replicas);
+  return d;
+}
+
 TEST(DegradationTest, ActuationRetryReissuesMissedScaleUp) {
-  FaroConfig config;
-  config.actuation_retry_backoff_s = 20.0;
-  FaroAutoscaler faro(config);
-  const auto specs = MakeSpecs(2);
-  std::vector<JobMetrics> metrics{MakeMetrics(40.0, 1), MakeMetrics(40.0, 1)};
-  const ClusterResources resources{16.0, 16.0};
-  const auto action = faro.Decide(0.0, specs, metrics, resources);
-  const uint32_t target0 = action.replicas[0];
-  ASSERT_GT(target0, 1u) << "overloaded job should be scaled up";
-  // The scale-up never lands (dropped by a flaky API): the fleet still sits
-  // at 1 ready / 0 starting at the next reactive tick.
-  const auto retry = faro.FastReact(10.0, specs, metrics, resources);
-  ASSERT_TRUE(retry.has_value());
-  EXPECT_GE(retry->replicas[0], target0);
-  EXPECT_GE(faro.solver_telemetry().actuation_retries, 1u);
+  ReconcilerConfig config;
+  config.retry_backoff_s = 20.0;
+  config.jitter_frac = 0.0;
+  Reconciler reconciler(config);
+  FlakyCluster cluster(2);
+  ASSERT_TRUE(reconciler.Publish(MakeDesired(1, {4, 1}), 0.0));
+  // The first pass issues the scale-up; the flaky API eats it.
+  reconciler.Reconcile(cluster, 0.0);
+  EXPECT_FALSE(reconciler.converged());
+  EXPECT_EQ(cluster.Fleet(0), 1u);
+  // The next reactive tick re-issues the missing replicas (level-triggered).
+  reconciler.Reconcile(cluster, 10.0);
+  EXPECT_GE(reconciler.telemetry().retries, 1u);
   // Immediately after, the retry is backed off -- no endless hammering.
-  const uint64_t retries_before = faro.solver_telemetry().actuation_retries;
-  (void)faro.FastReact(12.0, specs, metrics, resources);
-  EXPECT_EQ(faro.solver_telemetry().actuation_retries, retries_before);
+  const uint64_t issued_before = cluster.issued_;
+  reconciler.Reconcile(cluster, 12.0);
+  EXPECT_EQ(cluster.issued_, issued_before);
+  // Once the API heals, the backed-off retry converges the fleet.
+  cluster.drop_commands = false;
+  reconciler.Reconcile(cluster, 40.0);
+  EXPECT_TRUE(reconciler.converged());
+  EXPECT_EQ(cluster.Fleet(0), 4u);
 }
 
 TEST(DegradationTest, RetryDisabledLeavesFleetAlone) {
-  FaroConfig config;
-  config.actuation_retry_backoff_s = 0.0;
-  FaroAutoscaler faro(config);
-  const auto specs = MakeSpecs(1);
-  std::vector<JobMetrics> metrics{MakeMetrics(40.0, 1)};
-  const ClusterResources resources{16.0, 16.0};
-  (void)faro.Decide(0.0, specs, metrics, resources);
-  (void)faro.FastReact(10.0, specs, metrics, resources);
-  EXPECT_EQ(faro.solver_telemetry().actuation_retries, 0u);
+  ReconcilerConfig config;
+  config.retry_backoff_s = 0.0;  // first pass only, fire-and-forget
+  Reconciler reconciler(config);
+  FlakyCluster cluster(1);
+  ASSERT_TRUE(reconciler.Publish(MakeDesired(1, {4}), 0.0));
+  reconciler.Reconcile(cluster, 0.0);
+  const uint64_t issued_after_first = cluster.issued_;
+  reconciler.Reconcile(cluster, 10.0);
+  reconciler.Reconcile(cluster, 300.0);
+  EXPECT_EQ(cluster.issued_, issued_after_first);
+  EXPECT_EQ(reconciler.telemetry().retries, 0u);
 }
 
 // --- FaroConfig validation (satellite) --------------------------------------

@@ -364,13 +364,24 @@ TEST(FaultInjectionTest, FailuresDegradeFixedAllocationButRestoringPolicyRecover
     }
   };
   InertPolicy inert;
-  const RunResult bled = RunSimulation(config, {job}, inert);
+  // Fire-and-forget actuation: nothing re-issues the dead replicas between
+  // decisions, so the inert policy bleeds capacity.
+  SimConfig in_step = config;
+  in_step.actuation = ActuationMode::kInStep;
+  const RunResult bled = RunSimulation(in_step, {job}, inert);
   EXPECT_LT(bled.jobs[0].minute_replicas.back(), 4.0);
   EXPECT_GT(bled.jobs[0].slo_violation_rate, 0.05);
 
   RestoringPolicy restoring(4);
-  const RunResult restored = RunSimulation(config, {job}, restoring);
+  const RunResult restored = RunSimulation(in_step, {job}, restoring);
   EXPECT_LT(restored.jobs[0].slo_violation_rate, bled.jobs[0].slo_violation_rate);
+
+  // The reconciling actuator is level-triggered: a kill after convergence
+  // reopens the deficit against the last published generation, so even the
+  // inert policy self-heals back toward its own published targets.
+  const RunResult healed = RunSimulation(config, {job}, inert);
+  EXPECT_GT(healed.actuation.retries, 0u);
+  EXPECT_LT(healed.jobs[0].slo_violation_rate, bled.jobs[0].slo_violation_rate);
 }
 
 TEST(FaultInjectionTest, ZeroMtbfDisablesFailures) {

@@ -106,6 +106,44 @@ TEST(FaultPlanTest, ValidateCatchesBadKnobs) {
   EXPECT_NE(straggler.Validate(), "");
 }
 
+TEST(FaultPlanTest, ActuationProbabilitySumBoundaryIsInclusive) {
+  // Probabilities summing to exactly 1.0 are legal (every op draws a fault)...
+  FaultPlan saturated;
+  saturated.actuation_drop_prob = 0.5;
+  saturated.actuation_delay_prob = 0.25;
+  saturated.actuation_delay_s = 30.0;
+  saturated.actuation_partial_prob = 0.25;
+  EXPECT_EQ(saturated.Validate(), "");
+  // ...anything above the boundary is not.
+  saturated.actuation_partial_prob = 0.25 + 1e-9;
+  EXPECT_NE(saturated.Validate(), "");
+
+  // A negative probability is rejected even when the sum stays under 1.
+  FaultPlan negative;
+  negative.actuation_drop_prob = -0.1;
+  negative.actuation_delay_prob = 0.5;
+  negative.actuation_delay_s = 30.0;
+  EXPECT_NE(negative.Validate(), "");
+}
+
+TEST(FaultPlanTest, ActuationDelayDurationEdges) {
+  // Delays enabled with a zero (or negative) duration are rejected: a
+  // zero-second "delay" would silently behave like a clean apply.
+  FaultPlan zero_delay;
+  zero_delay.actuation_delay_prob = 0.2;
+  zero_delay.actuation_delay_s = 0.0;
+  EXPECT_NE(zero_delay.Validate(), "");
+  zero_delay.actuation_delay_s = -5.0;
+  EXPECT_NE(zero_delay.Validate(), "");
+
+  // With delays disabled the duration knob is unread: zero is fine and the
+  // plan stays inactive.
+  FaultPlan no_delay;
+  no_delay.actuation_delay_s = 0.0;
+  EXPECT_EQ(no_delay.Validate(), "");
+  EXPECT_FALSE(no_delay.active());
+}
+
 TEST(FaultPlanTest, NamedScenariosAreValidAndActive) {
   const std::vector<std::string> nodes{"n0", "n1", "n2", "n3"};
   for (const std::string& name : FaultScenarioNames()) {

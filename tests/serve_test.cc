@@ -4,6 +4,11 @@
 // -- a paced daemon replay is bit-identical to the batch run of the same
 // config and seed while a concurrent scraper watches monotone counters.
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <atomic>
 #include <chrono>
 #include <cstdlib>
@@ -18,6 +23,7 @@
 
 #include <gtest/gtest.h>
 
+#include "src/actuate/async_actuator.h"
 #include "src/obs/metrics.h"
 #include "src/serve/daemon.h"
 #include "src/serve/http.h"
@@ -107,6 +113,78 @@ TEST(HttpServerTest, RoundTripsRequestsAndStopsIdempotently) {
   server.Stop();
   EXPECT_FALSE(server.running());
   server.Stop();  // idempotent
+}
+
+// A half-open client -- connected, request never completed, socket held open
+// -- must not wedge the serial accept loop: the per-connection read deadline
+// drops it with 408 and the next well-formed request is served normally.
+TEST(HttpServerTest, HalfOpenConnectionCannotWedgeAcceptLoop) {
+  HttpServer server;
+  server.set_io_timeout_ms(100);
+  ASSERT_TRUE(server.Start(0, [](const HttpRequest&) { return HttpResponse{}; }));
+
+  // Raw half-open connection: partial request line, no terminating blank
+  // line, held open across the whole test.
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(server.port());
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  const char partial[] = "GET /metr";
+  ASSERT_GT(::send(fd, partial, sizeof(partial) - 1, MSG_NOSIGNAL), 0);
+
+  // A normal request issued while the wedge attempt is live: it must be
+  // served (after at most one 100 ms deadline), not starve.
+  const auto before = std::chrono::steady_clock::now();
+  int status = 0;
+  std::string body;
+  ASSERT_TRUE(HttpFetch(server.port(), "GET", "/ok", "", &status, &body));
+  EXPECT_EQ(status, 200);
+  const auto elapsed = std::chrono::steady_clock::now() - before;
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed).count(),
+            5000);
+  EXPECT_GE(server.connections_timed_out(), 1u);
+  ::close(fd);
+  server.Stop();
+}
+
+// Oversize requests are rejected with a status, never buffered: headers past
+// 16 KiB get 431, a declared body past 1 MiB gets 413.
+TEST(HttpServerTest, RejectsOversizeHeadersAndBodies) {
+  HttpServer server;
+  server.set_io_timeout_ms(2000);
+  ASSERT_TRUE(server.Start(0, [](const HttpRequest&) { return HttpResponse{}; }));
+
+  int status = 0;
+  std::string body;
+  const std::string huge_query(32 << 10, 'q');
+  ASSERT_TRUE(HttpFetch(server.port(), "GET", "/x?" + huge_query, "", &status, &body));
+  EXPECT_EQ(status, 431);
+
+  // Declared Content-Length over the cap: rejected from the declaration
+  // alone, before any body bytes are read.
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(server.port());
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  const std::string request =
+      "POST /speed HTTP/1.1\r\nHost: 127.0.0.1\r\nContent-Length: 2097152\r\n"
+      "Connection: close\r\n\r\n";
+  ASSERT_GT(::send(fd, request.data(), request.size(), MSG_NOSIGNAL), 0);
+  std::string raw;
+  char buf[512];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+    raw.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  EXPECT_NE(raw.find("413"), std::string::npos) << raw;
+  server.Stop();
 }
 
 // --- Replay determinism ----------------------------------------------------
@@ -227,6 +305,90 @@ TEST(ServeDeterminismTest, PacedDaemonBitIdenticalToBatchUnderScrape) {
   EXPECT_NE(body.find("2500"), std::string::npos) << body;
   ASSERT_TRUE(HttpFetch(daemon.port(), "POST", "/speed", "speed=banana", &status, &body));
   EXPECT_EQ(status, 400);
+}
+
+// Live async actuation: a real reconciling thread (src/actuate/) races the
+// paced replay under TSan. Three contracts at once: (1) the run stays
+// byte-identical to batch -- the actuator converges its own cluster model,
+// never simulation state; (2) crash consistency -- at every polled instant,
+// each published generation is either fully applied (every job's target
+// issued in one critical section), fenced, superseded, or still pending,
+// never torn; (3) the end-of-run duplicate re-publish is discarded by the
+// generation fence.
+TEST(ServeDeterminismTest, LiveActuatorRacesReplayWithoutTearingOrDivergence) {
+  ASSERT_TRUE(kForcePoolSize);
+  const ExperimentSetup setup = SmallSetup();
+  PreparedWorkload workload = PrepareWorkload(setup);
+  Truncate(workload, 60);
+  const size_t num_jobs = workload.jobs.size();
+
+  const SimConfig batch_config = BuildSimConfig(setup, setup.seed);
+  const auto batch_policy = MakePolicy("Faro-FairSum", nullptr);
+  const RunResult batch = RunSimulation(batch_config, workload.jobs, *batch_policy);
+
+  const SimConfig live_config = BuildSimConfig(setup, setup.seed);
+  const auto live_policy = MakePolicy("Faro-FairSum", nullptr);
+  ServeOptions options;
+  options.speed = 10000.0;
+  options.poll_ms = 1;
+  options.live_actuator = true;
+  ReplayDaemon daemon(live_config, workload.jobs, *live_policy, options);
+  ASSERT_TRUE(daemon.StartServer());
+  const AsyncActuator* actuator = daemon.actuator();
+  ASSERT_NE(actuator, nullptr);
+
+  RunResult live;
+  std::thread replay([&] { live = daemon.Run(); });
+  while (!daemon.run_complete()) {
+    // Poll the op log while the actuator races the replay: an applied entry
+    // must already carry every job's write (the first pass runs whole inside
+    // one critical section); an unprocessed one must carry none.
+    for (const ActuatorLogEntry& entry : actuator->op_log()) {
+      if (entry.applied) {
+        EXPECT_GE(entry.jobs_applied, num_jobs) << "torn generation " << entry.generation;
+      } else {
+        EXPECT_EQ(entry.jobs_applied, 0u) << "torn generation " << entry.generation;
+      }
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  replay.join();
+
+  // (1) Byte-identity with the batch reference.
+  EXPECT_EQ(live.events_processed, batch.events_processed);
+  EXPECT_EQ(live.cluster_lost_utility, batch.cluster_lost_utility);
+  EXPECT_EQ(SummaryCsvString(live, "actuated"), SummaryCsvString(batch, "reference"));
+
+  // (2) Every generation landed in exactly one terminal state; accepted ones
+  // account one-for-one for the reconciler's publish count.
+  const std::vector<ActuatorLogEntry> log = actuator->op_log();
+  ASSERT_FALSE(log.empty());
+  uint64_t applied = 0, fenced = 0, superseded = 0;
+  for (const ActuatorLogEntry& entry : log) {
+    EXPECT_EQ((entry.applied ? 1 : 0) + (entry.fenced ? 1 : 0) +
+                  (entry.superseded ? 1 : 0),
+              1)
+        << "generation " << entry.generation << " not in exactly one state";
+    applied += entry.applied;
+    fenced += entry.fenced;
+    superseded += entry.superseded;
+  }
+  const ReconcileTelemetry telemetry = actuator->telemetry();
+  EXPECT_EQ(applied + superseded, telemetry.generations_published);
+  EXPECT_TRUE(actuator->converged());
+  EXPECT_GT(actuator->generation(), 0u);
+
+  // (3) The wind-down duplicate was fenced, and the /actuator endpoint
+  // agrees: no torn entries, fence count visible to scrapers.
+  EXPECT_GE(fenced, 1u);
+  EXPECT_EQ(fenced, telemetry.fence_rejections);
+  int status = 0;
+  std::string body;
+  ASSERT_TRUE(HttpFetch(daemon.port(), "GET", "/actuator", "", &status, &body));
+  EXPECT_EQ(status, 200);
+  EXPECT_NE(body.find("\"torn\":0"), std::string::npos) << body;
+  EXPECT_NE(body.find("\"pending\":0"), std::string::npos) << body;
+  EXPECT_NE(body.find("\"converged\":true"), std::string::npos) << body;
 }
 
 // Stepping in arbitrary small increments is a pure refactor of Run on BOTH
